@@ -1,0 +1,110 @@
+//! Criterion microbenches: single-operation latency of each tree under a
+//! single-threaded virtual context. These measure the *implementation*
+//! cost of this reproduction (wall time per op on the host), complementing
+//! the virtual-time figure binaries which measure the *modelled* machine.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use euno_baselines::{HtmBTree, HtmMasstree, Masstree};
+use euno_core::EunoBTreeDefault;
+use euno_htm::{ConcurrentMap, Runtime};
+use euno_workloads::{KeyDistribution, KeySampler};
+
+fn build_all(rt: &Arc<Runtime>) -> Vec<Box<dyn ConcurrentMap>> {
+    vec![
+        Box::new(EunoBTreeDefault::new(Arc::clone(rt))),
+        Box::new(HtmBTree::<16>::new(Arc::clone(rt))),
+        Box::new(Masstree::new(Arc::clone(rt))),
+        Box::new(HtmMasstree::new(Arc::clone(rt))),
+    ]
+}
+
+fn preload_all(rt: &Arc<Runtime>, maps: &[Box<dyn ConcurrentMap>]) {
+    let mut ctx = rt.thread(1);
+    for m in maps {
+        for k in 0..10_000u64 {
+            m.put(&mut ctx, k * 2, k);
+        }
+    }
+    rt.reset_dynamics();
+}
+
+fn zipf_sampler() -> KeySampler {
+    KeySampler::new(
+        &KeyDistribution::Zipfian {
+            theta: 0.9,
+            scramble: false,
+        },
+        20_000,
+    )
+}
+
+fn bench_get(c: &mut Criterion) {
+    let rt = Runtime::new_virtual();
+    let maps = build_all(&rt);
+    preload_all(&rt, &maps);
+    let sampler = zipf_sampler();
+    let mut group = c.benchmark_group("get_zipf09");
+    for m in &maps {
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), m, |b, m| {
+            let mut ctx = rt.thread(2);
+            b.iter(|| {
+                let k = sampler.sample(ctx.rng());
+                std::hint::black_box(m.get(&mut ctx, k))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_put(c: &mut Criterion) {
+    let rt = Runtime::new_virtual();
+    let maps = build_all(&rt);
+    preload_all(&rt, &maps);
+    let sampler = zipf_sampler();
+    let mut group = c.benchmark_group("put_zipf09");
+    for m in &maps {
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), m, |b, m| {
+            let mut ctx = rt.thread(3);
+            let mut v = 0u64;
+            b.iter(|| {
+                let k = sampler.sample(ctx.rng());
+                v += 1;
+                std::hint::black_box(m.put(&mut ctx, k, v))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let rt = Runtime::new_virtual();
+    let maps = build_all(&rt);
+    preload_all(&rt, &maps);
+    let mut group = c.benchmark_group("scan16");
+    for m in &maps {
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), m, |b, m| {
+            let mut ctx = rt.thread(4);
+            let mut out = Vec::with_capacity(16);
+            let mut from = 0u64;
+            b.iter(|| {
+                out.clear();
+                from = (from + 97) % 9_000;
+                std::hint::black_box(m.scan(&mut ctx, from, 16, &mut out))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_get, bench_put, bench_scan
+}
+criterion_main!(benches);

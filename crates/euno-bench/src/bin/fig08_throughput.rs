@@ -1,0 +1,68 @@
+//! Figure 8 — "Throughput under different contention rates (16 threads)":
+//! all four systems across the Zipfian skew sweep (§5.2).
+//!
+//! Paper shape: Euno ≈ HTM-B+Tree (and ~37 % above Masstree) for θ < 0.6;
+//! past θ = 0.6 the HTM-B+Tree collapses while Euno stays high — 11×
+//! HTM-B+Tree and 1.65× Masstree at θ = 0.99 (18.6 vs 1.7 vs ~11 Mops/s);
+//! HTM-Masstree trails everything.
+
+use euno_bench::common::{measure, print_table, scaled, write_csv, Cli, Point, System};
+use euno_sim::RunConfig;
+use euno_workloads::WorkloadSpec;
+
+fn main() {
+    let cli = Cli::parse();
+    let mut cfg = RunConfig {
+        threads: 16,
+        ops_per_thread: scaled(20_000),
+        seed: 0xF1608,
+        warmup_ops: scaled(1_000).max(4_000),
+    };
+    cli.apply(&mut cfg);
+
+    let thetas = [0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99];
+    let mut points = Vec::new();
+    for &theta in &thetas {
+        let spec = WorkloadSpec::paper_default(theta);
+        for system in System::MAIN_FOUR {
+            let m = measure(system, &spec, &cfg);
+            eprintln!("θ={theta:<4} {:<14} {:>8.2} Mops/s", system.label(), m.mops());
+            points.push(Point {
+                system: system.label(),
+                x: format!("{theta}"),
+                metrics: m,
+            });
+        }
+    }
+
+    print_table(
+        "Figure 8: throughput vs contention, 16 threads",
+        &points,
+        "Mops/s",
+        |m| m.mops(),
+    );
+
+    // Headline ratios of §5.2.
+    let get = |x: &str, s: &str| {
+        points
+            .iter()
+            .find(|p| p.x == x && p.system == s)
+            .map(|p| p.metrics.mops())
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "\nEuno/HTM-B+Tree at θ=0.99: {:.1}× (paper: ~11×)",
+        get("0.99", "Euno-B+Tree") / get("0.99", "HTM-B+Tree")
+    );
+    println!(
+        "Euno/Masstree at θ=0.99: {:.2}× (paper: ~1.65×)",
+        get("0.99", "Euno-B+Tree") / get("0.99", "Masstree")
+    );
+    println!(
+        "Euno/Masstree at θ=0.5: {:.2}× (paper: ~1.37×)",
+        get("0.5", "Euno-B+Tree") / get("0.5", "Masstree")
+    );
+    if let Some(csv) = &cli.csv {
+        write_csv(csv, &points).unwrap();
+    }
+}

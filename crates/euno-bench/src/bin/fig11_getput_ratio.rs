@@ -1,0 +1,63 @@
+//! Figure 11 — "Performance under different get/put ratios in Zipfian
+//! distribution" (θ = 0.9): thread-scalability at get fractions 0 %,
+//! 20 %, 50 % and 70 % (§5.4).
+//!
+//! Paper shape: Euno scales near-linearly at every mix; its advantage is
+//! largest at 100 % puts; Masstree scales too but sits ~25 % below Euno
+//! on average; the HTM-B+Tree stays collapsed.
+
+use euno_bench::common::{measure, print_table, scaled, write_csv, Cli, Point, System};
+use euno_sim::RunConfig;
+use euno_workloads::{OpMix, WorkloadSpec};
+
+fn main() {
+    let cli = Cli::parse();
+    let thread_counts = [1usize, 2, 4, 8, 12, 16, 20];
+    let mut all = Vec::new();
+
+    for get_pct in [0u32, 20, 50, 70] {
+        let spec = WorkloadSpec {
+            mix: OpMix::get_put(get_pct as f64 / 100.0),
+            ..WorkloadSpec::paper_default(0.9)
+        };
+        let mut points = Vec::new();
+        for &threads in &thread_counts {
+            let mut cfg = RunConfig {
+                threads,
+                ops_per_thread: scaled(15_000),
+                seed: 0xF1611 + get_pct as u64,
+                warmup_ops: scaled(1_000).max(4_000),
+            };
+            if let Some(ops) = cli.ops_override {
+                cfg.ops_per_thread = ops;
+            }
+            for system in System::MAIN_FOUR {
+                let m = measure(system, &spec, &cfg);
+                eprintln!(
+                    "get={get_pct:<2}% threads={threads:<2} {:<14} {:>8.2} Mops/s",
+                    system.label(),
+                    m.mops()
+                );
+                points.push(Point {
+                    system: system.label(),
+                    x: format!("{threads}"),
+                    metrics: m,
+                });
+            }
+        }
+        print_table(
+            &format!("Figure 11: {get_pct}% get / {}% put, θ=0.9", 100 - get_pct),
+            &points,
+            "Mops/s",
+            |m| m.mops(),
+        );
+        all.extend(points.into_iter().map(|mut p| {
+            p.x = format!("{get_pct}get/{}", p.x);
+            p
+        }));
+    }
+
+    if let Some(csv) = &cli.csv {
+        write_csv(csv, &all).unwrap();
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 12 — "Performance with different input distributions under high
+//! contention": thread-scalability under Poisson, Normal, Self-similar
+//! and Zipfian(0.9) request distributions, all at 50/50 get/put (§5.5).
+//!
+//! Paper shape: Euno scales under every distribution; the HTM-B+Tree
+//! collapses past 2–4 threads under Poisson/Self-similar/Zipfian and
+//! stays flat-low under Normal (densest hot set); Masstree is stable but
+//! 38–51 % (≈40 %) below Euno.
+
+use euno_bench::common::{measure, print_table, scaled, write_csv, Cli, Point, System};
+use euno_sim::RunConfig;
+use euno_workloads::{KeyDistribution, WorkloadSpec};
+
+fn main() {
+    let cli = Cli::parse();
+    let thread_counts = [1usize, 2, 4, 8, 12, 16, 20];
+    let dists: [(&str, KeyDistribution); 4] = [
+        ("Poisson", KeyDistribution::poisson_paper()),
+        ("Normal", KeyDistribution::normal_paper()),
+        ("Self-Similar", KeyDistribution::self_similar_paper()),
+        (
+            "Zipfian",
+            KeyDistribution::Zipfian {
+                theta: 0.9,
+                scramble: false,
+            },
+        ),
+    ];
+    let mut all = Vec::new();
+
+    for (name, dist) in dists {
+        let spec = WorkloadSpec {
+            dist,
+            ..WorkloadSpec::paper_default(0.9)
+        };
+        let mut points = Vec::new();
+        for &threads in &thread_counts {
+            let mut cfg = RunConfig {
+                threads,
+                ops_per_thread: scaled(15_000),
+                seed: 0xF1612,
+                warmup_ops: scaled(1_000).max(4_000),
+            };
+            if let Some(ops) = cli.ops_override {
+                cfg.ops_per_thread = ops;
+            }
+            for system in System::MAIN_FOUR {
+                let m = measure(system, &spec, &cfg);
+                eprintln!(
+                    "{name:<13} threads={threads:<2} {:<14} {:>8.2} Mops/s",
+                    system.label(),
+                    m.mops()
+                );
+                points.push(Point {
+                    system: system.label(),
+                    x: format!("{threads}"),
+                    metrics: m,
+                });
+            }
+        }
+        print_table(
+            &format!("Figure 12: {name} distribution"),
+            &points,
+            "Mops/s",
+            |m| m.mops(),
+        );
+        all.extend(points.into_iter().map(|mut p| {
+            p.x = format!("{name}/{}", p.x);
+            p
+        }));
+    }
+
+    if let Some(csv) = &cli.csv {
+        write_csv(csv, &all).unwrap();
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 13 — "Impact of Different Design Choices": the ablation ladder
+//! at 20 threads under high (θ = 0.9) and low (θ = 0.2) contention,
+//! reported relative to the HTM-B+Tree baseline (§5.6).
+//!
+//! Paper numbers (high contention): +Split HTM 1.83×, +Part Leaf 4.58×,
+//! +CCM lockbits 9.68×, +CCM markbits 11.10×. Low-contention overheads:
+//! −3 % (split), −4 % (part leaf), −8 %/−2 % (CCM), recovered to −2 % by
+//! +Adaptive.
+
+use euno_bench::common::{measure, scaled, write_csv, Cli, Point, System};
+use euno_sim::RunConfig;
+use euno_workloads::WorkloadSpec;
+
+fn main() {
+    let cli = Cli::parse();
+    let ladder = [
+        System::HtmBTree, // "Baseline"
+        System::AblationSplitHtm,
+        System::AblationPartLeaf,
+        System::AblationCcmLockbits,
+        System::AblationCcmMarkbits,
+        System::AblationAdaptive,
+    ];
+
+    let mut all = Vec::new();
+    for (theta, label) in [(0.9, "high contention"), (0.2, "low contention")] {
+        let spec = WorkloadSpec::paper_default(theta);
+        let mut cfg = RunConfig {
+            threads: 20,
+            ops_per_thread: scaled(15_000),
+            seed: 0xF1613,
+            warmup_ops: scaled(1_000).max(4_000),
+        };
+        cli.apply(&mut cfg);
+
+        println!("\n== Figure 13: design-choice ladder, {label} (θ={theta}) ==");
+        println!("{:<16} {:>10} {:>10}", "variant", "Mops/s", "relative");
+        let mut baseline = f64::NAN;
+        for system in ladder {
+            let m = measure(system, &spec, &cfg);
+            if system == System::HtmBTree {
+                baseline = m.mops();
+            }
+            let name = if system == System::HtmBTree {
+                "Baseline"
+            } else {
+                system.label()
+            };
+            println!("{name:<16} {:>10.2} {:>9.2}x", m.mops(), m.mops() / baseline);
+            all.push(Point {
+                system: name,
+                x: format!("{theta}"),
+                metrics: m,
+            });
+        }
+    }
+
+    if let Some(csv) = &cli.csv {
+        write_csv(csv, &all).unwrap();
+    }
+}

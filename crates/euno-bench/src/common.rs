@@ -1,0 +1,244 @@
+//! Shared plumbing for the figure-regeneration binaries: system registry,
+//! run orchestration, table/CSV emission.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (§5). They all follow the same recipe: build the
+//! systems against a fresh virtual-time runtime, preload the YCSB keys,
+//! run the configured workload per data point, and print the series the
+//! paper plots — as an aligned table on stdout and as CSV when
+//! `--csv <path>` is given.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use euno_baselines::{HtmBTree, HtmMasstree, Masstree};
+use euno_core::{EunoBTree, EunoBTreeDefault, EunoBTreeUnpartitioned, EunoConfig};
+use euno_htm::{ConcurrentMap, Runtime};
+use euno_sim::{preload, run_virtual, RunConfig, RunMetrics};
+use euno_workloads::WorkloadSpec;
+
+/// The four systems of §5.1, plus the ablation variants of Figure 13.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum System {
+    EunoBTree,
+    HtmBTree,
+    Masstree,
+    HtmMasstree,
+    /// Figure 13 variants.
+    AblationSplitHtm,
+    AblationPartLeaf,
+    AblationCcmLockbits,
+    AblationCcmMarkbits,
+    AblationAdaptive,
+}
+
+impl System {
+    pub const MAIN_FOUR: [System; 4] = [
+        System::EunoBTree,
+        System::HtmBTree,
+        System::Masstree,
+        System::HtmMasstree,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            System::EunoBTree => "Euno-B+Tree",
+            System::HtmBTree => "HTM-B+Tree",
+            System::Masstree => "Masstree",
+            System::HtmMasstree => "HTM-Masstree",
+            System::AblationSplitHtm => "+Split HTM",
+            System::AblationPartLeaf => "+Part Leaf",
+            System::AblationCcmLockbits => "+CCM lockbits",
+            System::AblationCcmMarkbits => "+CCM markbits",
+            System::AblationAdaptive => "+Adaptive",
+        }
+    }
+
+    /// Instantiate the system against a runtime.
+    pub fn build(self, rt: &Arc<Runtime>) -> Box<dyn ConcurrentMap> {
+        match self {
+            System::EunoBTree | System::AblationAdaptive => {
+                Box::new(EunoBTreeDefault::new(Arc::clone(rt)))
+            }
+            System::HtmBTree => Box::new(HtmBTree::<16>::new(Arc::clone(rt))),
+            System::Masstree => Box::new(Masstree::new(Arc::clone(rt))),
+            System::HtmMasstree => Box::new(HtmMasstree::new(Arc::clone(rt))),
+            System::AblationSplitHtm => Box::new(EunoBTreeUnpartitioned::with_config(
+                Arc::clone(rt),
+                EunoConfig::split_htm_only(),
+            )),
+            System::AblationPartLeaf => Box::new(EunoBTree::<4, 4>::with_config(
+                Arc::clone(rt),
+                EunoConfig::part_leaf(),
+            )),
+            System::AblationCcmLockbits => Box::new(EunoBTree::<4, 4>::with_config(
+                Arc::clone(rt),
+                EunoConfig::ccm_lockbits(),
+            )),
+            System::AblationCcmMarkbits => Box::new(EunoBTree::<4, 4>::with_config(
+                Arc::clone(rt),
+                EunoConfig::ccm_markbits(),
+            )),
+        }
+    }
+}
+
+/// One measured data point.
+#[derive(Clone, Debug)]
+pub struct Point {
+    pub system: &'static str,
+    /// The x-axis value (θ, thread count, …) as a printable string.
+    pub x: String,
+    pub metrics: RunMetrics,
+}
+
+/// Run one (system, workload, config) cell: fresh runtime, preload,
+/// measure.
+pub fn measure(system: System, spec: &WorkloadSpec, cfg: &RunConfig) -> RunMetrics {
+    let rt = Runtime::new_virtual();
+    let map = system.build(&rt);
+    preload(map.as_ref(), &rt, spec);
+    rt.reset_dynamics();
+    run_virtual(map.as_ref(), &rt, spec, cfg)
+}
+
+/// Global scale factor for op budgets: `EUNO_BENCH_SCALE` (default 1.0;
+/// the quick CI runs set 0.1).
+pub fn scale() -> f64 {
+    std::env::var("EUNO_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+pub fn scaled(ops: u64) -> u64 {
+    ((ops as f64 * scale()) as u64).max(200)
+}
+
+/// Parse `--csv <path>` / `--ops <n>` / `--threads <n>` style CLI flags.
+pub struct Cli {
+    pub csv: Option<String>,
+    pub ops_override: Option<u64>,
+    pub threads_override: Option<usize>,
+}
+
+impl Cli {
+    pub fn parse() -> Cli {
+        let mut args = std::env::args().skip(1);
+        let mut cli = Cli {
+            csv: None,
+            ops_override: None,
+            threads_override: None,
+        };
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--csv" => cli.csv = args.next(),
+                "--ops" => cli.ops_override = args.next().and_then(|v| v.parse().ok()),
+                "--threads" => cli.threads_override = args.next().and_then(|v| v.parse().ok()),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --csv <path>  --ops <per-thread>  --threads <n>\n\
+                         env:   EUNO_BENCH_SCALE=<f64> scales default op budgets"
+                    );
+                    std::process::exit(0);
+                }
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+        }
+        cli
+    }
+
+    pub fn apply(&self, cfg: &mut RunConfig) {
+        if let Some(ops) = self.ops_override {
+            cfg.ops_per_thread = ops;
+        }
+        if let Some(t) = self.threads_override {
+            cfg.threads = t;
+        }
+    }
+}
+
+/// Emit an aligned table of `value_of` over (row = x, column = system).
+pub fn print_table(
+    title: &str,
+    points: &[Point],
+    value_name: &str,
+    value_of: impl Fn(&RunMetrics) -> f64,
+) {
+    println!("\n== {title} ==  ({value_name})");
+    let mut systems: Vec<&str> = Vec::new();
+    let mut xs: Vec<&str> = Vec::new();
+    for p in points {
+        if !systems.contains(&p.system) {
+            systems.push(p.system);
+        }
+        if !xs.iter().any(|x| *x == p.x) {
+            xs.push(&p.x);
+        }
+    }
+    let mut header = format!("{:>10}", "x");
+    for s in &systems {
+        let _ = write!(header, " {s:>14}");
+    }
+    println!("{header}");
+    for x in &xs {
+        let mut row = format!("{x:>10}");
+        for s in &systems {
+            let v = points
+                .iter()
+                .find(|p| &p.x == x && p.system == *s)
+                .map(|p| value_of(&p.metrics));
+            match v {
+                Some(v) => {
+                    let _ = write!(row, " {v:>14.3}");
+                }
+                None => {
+                    let _ = write!(row, " {:>14}", "-");
+                }
+            }
+        }
+        println!("{row}");
+    }
+}
+
+/// Write the full per-point metric set as CSV.
+pub fn write_csv(path: &str, points: &[Point]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "system,x,threads,total_ops,elapsed_secs,throughput_mops,aborts_per_op,\
+         true_conflicts,false_record,false_metadata,false_structure,capacity,spurious,\
+         fallback_locked,wasted_cycle_fraction,accesses_per_op,fallbacks_per_op,\
+         optimistic_retries,lock_wait_cycles"
+    )?;
+    for p in points {
+        let m = &p.metrics;
+        let ops = m.total_ops.max(1) as f64;
+        writeln!(
+            f,
+            "{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.5},{:.4},{}",
+            p.system,
+            p.x,
+            m.threads,
+            m.total_ops,
+            m.elapsed_secs,
+            m.mops(),
+            m.aborts_per_op,
+            m.aborts.true_same_record as f64 / ops,
+            m.aborts.false_different_record as f64 / ops,
+            m.aborts.false_metadata as f64 / ops,
+            m.aborts.false_structure as f64 / ops,
+            m.aborts.capacity as f64 / ops,
+            m.aborts.spurious as f64 / ops,
+            m.aborts.fallback_locked as f64 / ops,
+            m.wasted_cycle_fraction,
+            m.accesses_per_op,
+            m.fallbacks_per_op,
+            m.stats.optimistic_retries as f64 / ops,
+            m.stats.cycles_lock_wait,
+        )?;
+    }
+    eprintln!("wrote {path}");
+    Ok(())
+}

@@ -1,0 +1,330 @@
+//! The conflict-control module (CCM): mark bits, lock bits and the
+//! adaptive contention detector (§4.1, Figure 5).
+//!
+//! One CCM sits "above" each leaf node, on its own cache line so its CAS
+//! traffic never invalidates lines the HTM regions read. A request hashes
+//! its key to one of `2 × fanout` slots:
+//!
+//! * the slot's **lock bit** is a fine-grained advisory lock taken
+//!   *outside* the HTM region, serializing concurrent requests to the same
+//!   record (and to hash-colliding records) so true conflicts never meet
+//!   inside a transaction;
+//! * the slot's **mark bit** says "a key hashing here may exist" — a
+//!   Bloom-filter-style filter that sends definite misses home without
+//!   touching the leaf.
+//!
+//! The same line hosts the **adaptive contention detector** (§4.1): a
+//! windowed conflict counter that flips a per-leaf `bypass` flag when the
+//! leaf has been calm, letting requests skip the CCM entirely under low
+//! contention (Figure 13's `+Adaptive` bar).
+//!
+//! Mark bits here are *monotone within a leaf's lifetime*: deletion does
+//! not clear them (the paper clears; doing so can manufacture false
+//! negatives for hash-colliding live keys, which would be a correctness
+//! bug — see DESIGN.md). A split gives the new right node a freshly
+//! computed vector, so staleness decays at reorganization.
+
+use euno_htm::runtime::lock_key_for_bit;
+use euno_htm::{Mode, ThreadCtx, TxCell};
+
+/// Per-leaf conflict-control module. Fits one cache line.
+#[repr(C, align(64))]
+pub struct Ccm {
+    /// Existence filter: bit per slot.
+    marks: TxCell<u64>,
+    /// Fine-grained advisory locks: bit per slot.
+    locks: TxCell<u64>,
+    /// Adaptive detector: operations seen in the current window.
+    ops: TxCell<u64>,
+    /// Adaptive detector: conflict aborts seen in the current window.
+    conflicts: TxCell<u64>,
+    /// 1 ⇒ requests may bypass the CCM and leaf-lock pre-acquisition.
+    bypass: TxCell<u64>,
+    _pad: [u64; 3],
+}
+
+impl Ccm {
+    /// A fresh module. `bypass` starts true: an untouched leaf has no
+    /// contention history, and the detector re-protects it on the very
+    /// first conflict it observes (split-born nodes, which were hot a
+    /// moment ago, are explicitly protected by the split path instead).
+    pub fn new() -> Self {
+        Ccm {
+            marks: TxCell::new(0),
+            locks: TxCell::new(0),
+            ops: TxCell::new(0),
+            conflicts: TxCell::new(0),
+            bypass: TxCell::new(1),
+            _pad: [0; 3],
+        }
+    }
+
+    /// Force the protected state (used for nodes born from a split of a
+    /// contended leaf, before publication).
+    pub fn protect_prepublication(&self) {
+        self.bypass.store_plain(0);
+    }
+
+    /// Hash a key to a slot in `0..nbits` (Figure 5's hash function).
+    #[inline]
+    pub fn slot(key: u64, nbits: u32) -> u32 {
+        debug_assert!(nbits > 0 && nbits <= 64);
+        // Fibonacci hashing: cheap, well-mixed low bits.
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h >> 32) as u32 % nbits
+    }
+
+    // ----- lock bits -----
+
+    /// Acquire the slot's lock bit (Algorithm 2 lines 30-31): spin-CAS in
+    /// concurrent mode, virtual-wait in virtual mode.
+    pub fn lock_slot(&self, ctx: &mut ThreadCtx, slot: u32) {
+        let mask = 1u64 << slot;
+        match ctx.mode() {
+            Mode::Concurrent => {
+                let spin = ctx.runtime().cost.spin_iter;
+                loop {
+                    let prev = self.locks.fetch_or_direct(ctx, mask);
+                    if prev & mask == 0 {
+                        return;
+                    }
+                    ctx.charge(spin);
+                    ctx.stats.cycles_lock_wait += spin;
+                    std::hint::spin_loop();
+                }
+            }
+            Mode::Virtual => {
+                let key = lock_key_for_bit(self.locks.raw_addr(), slot);
+                let free_at = ctx.runtime().vlock_free_at(key, ctx.clock);
+                if free_at > ctx.clock {
+                    ctx.stats.cycles_lock_wait += free_at - ctx.clock;
+                    ctx.clock = free_at;
+                }
+                let prev = self.locks.fetch_or_direct(ctx, mask);
+                debug_assert_eq!(prev & mask, 0, "virtual lock bit must be free");
+            }
+        }
+    }
+
+    pub fn unlock_slot(&self, ctx: &mut ThreadCtx, slot: u32) {
+        let mask = 1u64 << slot;
+        if ctx.mode() == Mode::Virtual {
+            let key = lock_key_for_bit(self.locks.raw_addr(), slot);
+            ctx.runtime().vlock_hold(key, ctx.clock);
+        }
+        self.locks.fetch_and_direct(ctx, !mask);
+    }
+
+    // ----- mark bits -----
+
+    /// Algorithm 2 line 32: does a key hashing to `slot` possibly exist?
+    pub fn marked(&self, ctx: &mut ThreadCtx, slot: u32) -> bool {
+        self.marks.load_direct(ctx) & (1 << slot) != 0
+    }
+
+    /// Algorithm 2 line 38: claim the slot's existence bit; returns the
+    /// previous state.
+    pub fn set_mark(&self, ctx: &mut ThreadCtx, slot: u32) -> bool {
+        self.marks.fetch_or_direct(ctx, 1 << slot) & (1 << slot) != 0
+    }
+
+    /// Install a freshly computed mark vector. Only safe before the owning
+    /// leaf is published (split construction) — hence plain store.
+    pub fn install_marks_prepublication(&self, bits: u64) {
+        self.marks.store_plain(bits);
+    }
+
+    /// OR a whole mark vector in (leaf merges adopt the right sibling's
+    /// marks — monotone, so concurrent readers stay conservative).
+    pub fn or_marks(&self, ctx: &mut ThreadCtx, bits: u64) {
+        if bits != 0 {
+            self.marks.fetch_or_direct(ctx, bits);
+        }
+    }
+
+    pub fn marks_plain(&self) -> u64 {
+        self.marks.load_plain()
+    }
+
+    pub fn locks_plain(&self) -> u64 {
+        self.locks.load_plain()
+    }
+
+    // ----- adaptive contention detector -----
+
+    /// Should this request bypass the CCM? (§4.1 "Adaptive concurrency
+    /// control": per-leaf decision.)
+    pub fn bypassed(&self, ctx: &mut ThreadCtx) -> bool {
+        self.bypass.load_direct(ctx) != 0
+    }
+
+    /// Feed the detector with one finished operation and the number of
+    /// conflict aborts its lower region suffered. Every
+    /// `window` operations the bypass flag is re-decided: calm window ⇒
+    /// bypass on, contended window ⇒ bypass off.
+    pub fn record_outcome(
+        &self,
+        ctx: &mut ThreadCtx,
+        conflicts: u32,
+        window: u64,
+        max_rate: f64,
+    ) {
+        if conflicts > 0 {
+            self.conflicts.fetch_add_direct(ctx, conflicts as u64);
+            // React immediately to contention: a bypassed leaf that starts
+            // aborting re-enables its CCM without waiting out the window.
+            if self.bypass.load_direct(ctx) != 0 {
+                self.bypass.store_direct(ctx, 0);
+            }
+        }
+        let ops = self.ops.fetch_add_direct(ctx, 1) + 1;
+        if ops >= window {
+            let confl = self.conflicts.load_direct(ctx);
+            let calm = (confl as f64) <= max_rate * (ops as f64);
+            self.bypass.store_direct(ctx, u64::from(calm));
+            self.ops.store_direct(ctx, 0);
+            self.conflicts.store_direct(ctx, 0);
+        }
+    }
+
+    pub fn bypass_plain(&self) -> bool {
+        self.bypass.load_plain() != 0
+    }
+
+    /// Bytes of CCM state per leaf (for the §5.7 accounting): the mark and
+    /// lock vectors (the detector words are counted too — they live here).
+    pub const fn bytes() -> usize {
+        std::mem::size_of::<Ccm>()
+    }
+}
+
+impl Default for Ccm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// Small helper used by lock_slot: expose the raw address for virtual-lock
+// key derivation without leaking the pointer type.
+trait RawAddr {
+    fn raw_addr(&self) -> usize;
+}
+impl RawAddr for TxCell<u64> {
+    fn raw_addr(&self) -> usize {
+        self as *const TxCell<u64> as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euno_htm::Runtime;
+
+    #[test]
+    fn ccm_is_one_cache_line() {
+        assert_eq!(std::mem::size_of::<Ccm>(), 64);
+        assert_eq!(std::mem::align_of::<Ccm>(), 64);
+    }
+
+    #[test]
+    fn slot_hash_spreads_and_bounds() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..1000u64 {
+            let s = Ccm::slot(k, 32);
+            assert!(s < 32);
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 32, "all slots reachable");
+        // Adjacent keys should usually land on different slots (the hash
+        // must decorrelate the Zipfian hot prefix).
+        let same = (1..100u64)
+            .filter(|&k| Ccm::slot(k, 32) == Ccm::slot(k - 1, 32))
+            .count();
+        assert!(same < 15, "{same} adjacent collisions out of 99");
+    }
+
+    #[test]
+    fn mark_bits_set_and_query() {
+        let rt = Runtime::new_virtual();
+        let mut ctx = rt.thread(0);
+        let ccm = Ccm::new();
+        assert!(!ccm.marked(&mut ctx, 5));
+        assert!(!ccm.set_mark(&mut ctx, 5), "first set: previously clear");
+        assert!(ccm.marked(&mut ctx, 5));
+        assert!(ccm.set_mark(&mut ctx, 5), "second set: previously set");
+        assert!(!ccm.marked(&mut ctx, 6));
+    }
+
+    #[test]
+    fn lock_bits_serialize_same_slot_in_virtual_time() {
+        let rt = Runtime::new_virtual();
+        let mut a = rt.thread(0);
+        let mut b = rt.thread(1);
+        let ccm = Ccm::new();
+        ccm.lock_slot(&mut a, 7);
+        a.charge(5_000);
+        ccm.unlock_slot(&mut a, 7);
+        // Same slot: b is delayed past a's release.
+        ccm.lock_slot(&mut b, 7);
+        assert!(b.clock >= 5_000);
+        ccm.unlock_slot(&mut b, 7);
+        // Different slot: free immediately.
+        let mut c = rt.thread(2);
+        ccm.lock_slot(&mut c, 8);
+        assert!(c.clock < 5_000);
+        ccm.unlock_slot(&mut c, 8);
+    }
+
+    #[test]
+    fn lock_bits_mutual_exclusion_concurrent() {
+        let rt = Runtime::new_concurrent();
+        let ccm = Ccm::new();
+        let shared = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let mut ctx = rt.thread(t);
+                let (ccm, shared) = (&ccm, &shared);
+                s.spawn(move || {
+                    for _ in 0..300 {
+                        ccm.lock_slot(&mut ctx, 3);
+                        let v = shared.load(std::sync::atomic::Ordering::Relaxed);
+                        shared.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                        ccm.unlock_slot(&mut ctx, 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.load(std::sync::atomic::Ordering::Relaxed), 1200);
+        assert_eq!(ccm.locks_plain(), 0);
+    }
+
+    #[test]
+    fn adaptive_bypasses_after_calm_window_and_reverts_on_conflict() {
+        let rt = Runtime::new_virtual();
+        let mut ctx = rt.thread(0);
+        let ccm = Ccm::new();
+        let (window, rate) = (16, 0.05);
+        assert!(ccm.bypassed(&mut ctx), "fresh leaf starts bypassed");
+        ccm.protect_prepublication();
+        assert!(!ccm.bypassed(&mut ctx), "split-born leaf starts protected");
+        for _ in 0..16 {
+            ccm.record_outcome(&mut ctx, 0, window, rate);
+        }
+        assert!(ccm.bypassed(&mut ctx), "calm window enables bypass");
+        // A conflict immediately re-protects the leaf.
+        ccm.record_outcome(&mut ctx, 2, window, rate);
+        assert!(!ccm.bypassed(&mut ctx));
+        // A contended window keeps it protected.
+        for _ in 0..16 {
+            ccm.record_outcome(&mut ctx, 1, window, rate);
+        }
+        assert!(!ccm.bypassed(&mut ctx));
+    }
+
+    #[test]
+    fn prepublication_mark_install() {
+        let ccm = Ccm::new();
+        ccm.install_marks_prepublication(0b1010);
+        assert_eq!(ccm.marks_plain(), 0b1010);
+    }
+}

@@ -1,0 +1,38 @@
+//! # euno-core — Euno-B+Tree
+//!
+//! The primary contribution of *Eunomia: Scaling Concurrent Search Trees
+//! under Contention Using HTM* (Wang et al., PPoPP 2017), implemented over
+//! the `euno-htm` engine:
+//!
+//! * split HTM regions glued by per-leaf version numbers ([`tree`]),
+//! * scattered (segmented) leaves with a randomized write scheduler
+//!   ([`segment`]) and sorted *reserved keys* buffers ([`node`]),
+//! * a conflict-control module of mark/lock bit vectors ([`ccm`]),
+//! * per-leaf adaptive contention control ([`ccm`], [`config`]).
+//!
+//! ```
+//! use euno_htm::{Runtime, ConcurrentMap};
+//! use euno_core::EunoBTreeDefault;
+//! use std::sync::Arc;
+//!
+//! let rt = Runtime::new_virtual();
+//! let tree = EunoBTreeDefault::new(Arc::clone(&rt));
+//! let mut ctx = rt.thread(0);
+//! tree.put(&mut ctx, 42, 4200);
+//! assert_eq!(tree.get(&mut ctx, 42), Some(4200));
+//! ```
+
+pub mod ccm;
+pub mod config;
+pub mod inspect;
+pub mod node;
+pub mod rebalance;
+pub mod segment;
+pub mod tree;
+
+pub use ccm::Ccm;
+pub use config::EunoConfig;
+pub use inspect::TreeStats;
+pub use node::{EunoInternal, EunoLeaf, NodeRef, INTERNAL_FANOUT};
+pub use segment::Segment;
+pub use tree::{EunoBTree, EunoBTreeDefault, EunoBTreeUnpartitioned};

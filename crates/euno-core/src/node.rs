@@ -1,0 +1,281 @@
+//! Euno-B+Tree node types: scattered leaves (Figure 4) and internal index
+//! nodes with parent links.
+//!
+//! Layout is cache-line-deliberate:
+//!
+//! * the leaf header (`seqno`, `next`, `parent`) has its own line — it is
+//!   read inside HTM regions, so nothing that gets CAS'd from outside
+//!   regions may share it;
+//! * the split lock has its own line — its acquisition invalidates a line,
+//!   which must not be one transactions read;
+//! * each segment is line-aligned with keys and values on separate lines
+//!   (see [`Segment`]);
+//! * the CCM is one separate line (see [`Ccm`]).
+//!
+//! Records live **scattered across the segments at all times** — a
+//! reorganization or split deals the sorted record set round-robin over
+//! the segments, so keys that are adjacent in key order live in different
+//! segments and therefore on different cache lines. This placement is
+//! what keeps a hot run of Zipfian keys from re-concentrating on one line
+//! after the leaf reorganizes (the *reserved keys* sort buffer of §4.1 is
+//! transient scratch, tracked for the §5.7 memory analysis but never the
+//! steady-state home of records).
+
+use euno_htm::{AdvisoryLock, Arena, LineClass, Runtime, Tx, TxCell, TxResult, TxWord, KEY_SENTINEL};
+
+use crate::ccm::Ccm;
+use crate::segment::Segment;
+
+/// Internal-node fanout (the paper sets node fanout to 16, §5.7).
+pub const INTERNAL_FANOUT: usize = 16;
+
+/// A scattered leaf: header, split lock, `SEGS` segments of `K` slots, and
+/// the conflict-control module.
+#[repr(C, align(64))]
+pub struct EunoLeaf<const SEGS: usize, const K: usize> {
+    /// Version number tracking splits (the consistency glue between the
+    /// upper and lower HTM regions, §4.1/Figure 4).
+    pub seqno: TxCell<u64>,
+    /// Next-leaf chain for range scans (NodeRef bits).
+    pub next: TxCell<u64>,
+    /// Parent internal node (NodeRef bits; 0 at the root).
+    pub parent: TxCell<u64>,
+    _pad0: [u64; 5],
+    /// Serializes splits and scans on this leaf (own cache line).
+    pub split_lock: AdvisoryLock,
+    _pad1: [u64; 7],
+    pub segs: [Segment<K>; SEGS],
+    pub ccm: Ccm,
+}
+
+impl<const SEGS: usize, const K: usize> EunoLeaf<SEGS, K> {
+    pub fn empty() -> Self {
+        assert!(SEGS >= 1 && K >= 2, "need at least one segment of ≥2 slots");
+        assert!(
+            2 * SEGS * K <= 64,
+            "CCM bit vectors are single words: 2·fanout ≤ 64"
+        );
+        EunoLeaf {
+            seqno: TxCell::new(0),
+            next: TxCell::new(0),
+            parent: TxCell::new(0),
+            _pad0: [0; 5],
+            split_lock: AdvisoryLock::new(),
+            _pad1: [0; 7],
+            segs: std::array::from_fn(|_| Segment::empty()),
+            ccm: Ccm::new(),
+        }
+    }
+
+    /// Total record slots (the paper's leaf fanout).
+    pub const fn capacity() -> usize {
+        SEGS * K
+    }
+
+    /// CCM bit-vector length: 2 × fanout (§4.1).
+    pub const fn ccm_bits() -> u32 {
+        (2 * SEGS * K) as u32
+    }
+
+    /// Occupied slots across all segments (transactional).
+    pub fn occupied_tx(&self, tx: &mut Tx<'_>) -> TxResult<usize> {
+        let mut n = 0;
+        for s in &self.segs {
+            n += s.count_tx(tx)?;
+        }
+        Ok(n)
+    }
+
+    /// Approximate occupancy from outside any region (the Algorithm 2
+    /// line 39 `isNearFull` check happens before the lower region).
+    pub fn occupied_direct(&self, ctx: &mut euno_htm::ThreadCtx) -> usize {
+        let mut n = 0;
+        for s in &self.segs {
+            n += s.count_plain();
+            ctx.charge(ctx.runtime().cost.access_hit);
+        }
+        n
+    }
+
+    pub fn register(&self, rt: &Runtime) {
+        let base = self as *const Self as usize;
+        let segs_off = std::mem::offset_of!(Self, segs);
+        let ccm_off = std::mem::offset_of!(Self, ccm);
+        // Header + split-lock lines.
+        rt.register_region(base, segs_off, LineClass::Metadata);
+        // Segments: record storage (their count words live amid the
+        // records deliberately — per-segment metadata is the point).
+        rt.register_region(base + segs_off, ccm_off - segs_off, LineClass::Record);
+        // CCM line.
+        rt.register_region(base + ccm_off, std::mem::size_of::<Ccm>(), LineClass::Metadata);
+    }
+}
+
+/// Internal index node with parent link.
+#[repr(C, align(64))]
+pub struct EunoInternal {
+    pub count: TxCell<u64>,
+    pub child0: TxCell<u64>,
+    pub parent: TxCell<u64>,
+    _pad: [u64; 5],
+    pub keys: [TxCell<u64>; INTERNAL_FANOUT],
+    pub children: [TxCell<u64>; INTERNAL_FANOUT],
+}
+
+impl EunoInternal {
+    pub fn empty() -> Self {
+        EunoInternal {
+            count: TxCell::new(0),
+            child0: TxCell::new(0),
+            parent: TxCell::new(0),
+            _pad: [0; 5],
+            keys: std::array::from_fn(|_| TxCell::new(KEY_SENTINEL)),
+            children: std::array::from_fn(|_| TxCell::new(0)),
+        }
+    }
+
+    pub fn register(&self, rt: &Runtime) {
+        rt.register_value(self, LineClass::Structure);
+    }
+}
+
+/// Tagged node pointer: bit 0 set ⇒ leaf.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NodeRef(pub u64);
+
+impl NodeRef {
+    pub const NULL: NodeRef = NodeRef(0);
+
+    pub fn of_leaf<const S: usize, const K: usize>(l: &EunoLeaf<S, K>) -> Self {
+        NodeRef(l as *const EunoLeaf<S, K> as u64 | 1)
+    }
+
+    pub fn of_internal(i: &EunoInternal) -> Self {
+        NodeRef(i as *const EunoInternal as u64)
+    }
+
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    pub fn is_leaf(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// # Safety
+    /// Must originate from [`NodeRef::of_leaf`] on an arena node that
+    /// outlives `'a` (trees reclaim nodes only at drop).
+    #[inline]
+    pub unsafe fn as_leaf<'a, const S: usize, const K: usize>(self) -> &'a EunoLeaf<S, K> {
+        debug_assert!(self.is_leaf() && !self.is_null());
+        &*((self.0 & !1) as *const EunoLeaf<S, K>)
+    }
+
+    /// # Safety
+    /// As [`NodeRef::as_leaf`], for internal nodes.
+    #[inline]
+    pub unsafe fn as_internal<'a>(self) -> &'a EunoInternal {
+        debug_assert!(!self.is_leaf() && !self.is_null());
+        &*(self.0 as *const EunoInternal)
+    }
+
+    /// The node's parent-pointer cell, whatever its kind.
+    ///
+    /// # Safety
+    /// As [`NodeRef::as_leaf`].
+    pub unsafe fn parent_cell<'a, const S: usize, const K: usize>(self) -> &'a TxCell<u64> {
+        if self.is_leaf() {
+            &self.as_leaf::<S, K>().parent
+        } else {
+            &self.as_internal().parent
+        }
+    }
+}
+
+impl TxWord for NodeRef {
+    fn to_word(self) -> u64 {
+        self.0
+    }
+    fn from_word(w: u64) -> Self {
+        NodeRef(w)
+    }
+}
+
+/// Arenas owning all of a tree's allocations.
+pub struct NodeArenas<const S: usize, const K: usize> {
+    pub leaves: Arena<EunoLeaf<S, K>>,
+    pub internals: Arena<EunoInternal>,
+}
+
+impl<const S: usize, const K: usize> NodeArenas<S, K> {
+    pub fn new() -> Self {
+        NodeArenas {
+            leaves: Arena::new(),
+            internals: Arena::new(),
+        }
+    }
+}
+
+impl<const S: usize, const K: usize> Default for NodeArenas<S, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euno_htm::LineId;
+
+    type Leaf44 = EunoLeaf<4, 4>;
+
+    #[test]
+    fn leaf_line_discipline() {
+        let l: Box<Leaf44> = Box::new(EunoLeaf::empty());
+        let header = LineId::of_ptr(&l.seqno as *const _);
+        let lock_line = LineId::of_addr(&l.split_lock as *const _ as usize);
+        let seg0k = l.segs[0].key_cell(0).line();
+        let seg0v = l.segs[0].val_cell(0).line();
+        let seg1k = l.segs[1].key_cell(0).line();
+        let ccm = LineId::of_addr(&l.ccm as *const _ as usize);
+        // All regions on distinct lines.
+        let set: std::collections::HashSet<_> =
+            [header, lock_line, seg0k, seg0v, seg1k, ccm].into_iter().collect();
+        assert_eq!(
+            set.len(),
+            6,
+            "header/lock/segment-keys/segment-vals/ccm must not share lines"
+        );
+    }
+
+    #[test]
+    fn capacity_and_bits() {
+        assert_eq!(Leaf44::capacity(), 16);
+        assert_eq!(Leaf44::ccm_bits(), 32);
+        assert_eq!(EunoLeaf::<1, 16>::capacity(), 16);
+        assert_eq!(EunoLeaf::<2, 8>::ccm_bits(), 32);
+    }
+
+    #[test]
+    fn noderef_round_trips() {
+        let l: Box<Leaf44> = Box::new(EunoLeaf::empty());
+        let i: Box<EunoInternal> = Box::new(EunoInternal::empty());
+        let lr = NodeRef::of_leaf(&*l);
+        let ir = NodeRef::of_internal(&*i);
+        assert!(lr.is_leaf() && !ir.is_leaf());
+        assert!(std::ptr::eq(unsafe { lr.as_leaf::<4, 4>() }, &*l));
+        assert!(std::ptr::eq(unsafe { ir.as_internal() }, &*i));
+        let pl = unsafe { lr.parent_cell::<4, 4>() };
+        assert!(std::ptr::eq(pl, &l.parent));
+        let pi = unsafe { ir.parent_cell::<4, 4>() };
+        assert!(std::ptr::eq(pi, &i.parent));
+    }
+
+    #[test]
+    #[should_panic(expected = "2·fanout ≤ 64")]
+    fn oversized_ccm_rejected() {
+        let _l: EunoLeaf<8, 8> = EunoLeaf::empty();
+    }
+}

@@ -1,0 +1,310 @@
+//! Deferred re-balancing (§4.2.4).
+//!
+//! Deletions tombstone records in place; tombstones are compacted at the
+//! next reorganization, but a delete-heavy phase can still strand many
+//! underfull leaves. Following the paper ("instead of re-balancing the
+//! tree on every deletion instantly, we do the re-balance when the number
+//! of delete operations exceeds a threshold", citing Sen & Tarjan's
+//! *deletion without rebalancing*), [`EunoBTree::maintain`] sweeps the
+//! leaf chain and merges adjacent underfull siblings:
+//!
+//! * both leaves' split locks are taken (in chain order — deadlock-free
+//!   against splits, which take a single lock);
+//! * the merge itself runs in one HTM region: re-verify adjacency, deal
+//!   the combined records round-robin over the left leaf's segments,
+//!   unlink the right leaf and drop its separator from the shared parent;
+//! * the right leaf's `seqno` is bumped so two-step traversals holding its
+//!   pointer retry from the root, and the node is retired (deferred
+//!   reclamation keeps it readable until the tree drops).
+//!
+//! Like Sen-Tarjan, interior nodes are allowed to go underfull — only
+//! their entries are removed, never cascaded. Merges are restricted to
+//! siblings sharing a parent where the right leaf is not the parent's
+//! leftmost child; boundary pairs are simply skipped (they become
+//! mergeable after their parents themselves drain).
+
+use euno_htm::{TxWord, TOMBSTONE};
+
+use crate::node::{EunoLeaf, NodeRef};
+use crate::tree::EunoBTree;
+
+impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
+    /// Sweep the leaf chain once, merging adjacent underfull siblings.
+    /// Returns the number of merges performed. Safe to run concurrently
+    /// with normal operations.
+    pub fn maintain(&self, ctx: &mut euno_htm::ThreadCtx) -> usize {
+        let mut merges = 0;
+        // Leftmost leaf via an uninstrumented walk (the maintenance thread
+        // races ops; all pointers stay valid under deferred reclamation).
+        let mut cur = NodeRef::from_word(self.root_bits());
+        while !cur.is_leaf() {
+            cur = NodeRef::from_word(unsafe { cur.as_internal() }.child0.load_plain());
+        }
+        loop {
+            let leaf = unsafe { cur.as_leaf::<SEGS, K>() };
+            let next = NodeRef::from_word(leaf.next.load_plain());
+            if next.is_null() {
+                break;
+            }
+            if self.try_merge(ctx, leaf, unsafe { next.as_leaf::<SEGS, K>() }) {
+                merges += 1;
+                // Stay on `leaf`: it may now be mergeable with its new
+                // successor too.
+                continue;
+            }
+            cur = next;
+        }
+        merges
+    }
+
+    /// Attempt to merge `right` into `left`. Returns whether it happened.
+    fn try_merge(
+        &self,
+        ctx: &mut euno_htm::ThreadCtx,
+        left: &EunoLeaf<SEGS, K>,
+        right: &EunoLeaf<SEGS, K>,
+    ) -> bool {
+        // Note: slot occupancy counts tombstones, so it cannot serve as a
+        // pre-filter after a deletion wave — the transactional path below
+        // counts live records exactly. Only skip the obviously hopeless
+        // case of two brim-full leaves.
+        if left.occupied_direct(ctx) + right.occupied_direct(ctx) == 2 * Self::capacity() {
+            return false;
+        }
+        left.split_lock.acquire(ctx);
+        right.split_lock.acquire(ctx);
+
+        let merged = self.merge_locked(ctx, left, right);
+
+        right.split_lock.release(ctx);
+        left.split_lock.release(ctx);
+        if merged {
+            self.arenas().leaves.retire_one();
+        }
+        merged
+    }
+
+    fn merge_locked(
+        &self,
+        ctx: &mut euno_htm::ThreadCtx,
+        left: &EunoLeaf<SEGS, K>,
+        right: &EunoLeaf<SEGS, K>,
+    ) -> bool {
+        // Union the mark bits BEFORE the merge becomes visible: a get for
+        // an adopted key must never find the left leaf unmarked. Marks are
+        // a monotone superset, so setting them early is safe even if the
+        // merge is abandoned (just extra false positives).
+        let right_marks = right.ccm.marks_plain();
+        left.ccm.or_marks(ctx, right_marks);
+        let out = ctx.htm_execute(self.fallback_cell(), self.policy(), |tx| {
+            // Both split locks are held: contending structural ops queue.
+            tx.mark_serialized();
+            // Re-verify adjacency under transactional protection.
+            if NodeRef::from_word(tx.read(&left.next)?)
+                != NodeRef::of_leaf(right)
+            {
+                return Ok(false);
+            }
+            // Both leaves must share a parent, and the right leaf must
+            // have a separator entry (not be a leftmost child).
+            let parent_bits = tx.read(&left.parent)?;
+            if parent_bits == 0 || parent_bits != tx.read(&right.parent)? {
+                return Ok(false);
+            }
+            let parent = unsafe { NodeRef::from_word(parent_bits).as_internal() };
+            let pcnt = tx.read(&parent.count)? as usize;
+            let mut slot = None;
+            for j in 0..pcnt {
+                if NodeRef::from_word(tx.read(&parent.children[j])?)
+                    == NodeRef::of_leaf(right)
+                {
+                    slot = Some(j);
+                    break;
+                }
+            }
+            let Some(j) = slot else {
+                return Ok(false); // right is the parent's child0
+            };
+
+            // Gather both leaves' live records; verify they fit.
+            let mut records = self.peek_all_for_merge(tx, left)?;
+            self.peek_all_into(tx, right, &mut records)?;
+            records.retain(|&(_, v)| v != TOMBSTONE);
+            records.sort_unstable_by_key(|&(k, _)| k);
+            if records.len() > Self::capacity() - Self::capacity() / 4 {
+                return Ok(false);
+            }
+
+            // Deal into the left leaf; empty the right one.
+            self.redistribute_for_merge(tx, left, &records)?;
+            self.clear_segments(tx, right)?;
+
+            // Unlink and drop the separator entry.
+            let rnext = tx.read(&right.next)?;
+            tx.write(&left.next, rnext)?;
+            let mut i = j;
+            while i + 1 < pcnt {
+                let k = tx.read(&parent.keys[i + 1])?;
+                let c = tx.read(&parent.children[i + 1])?;
+                tx.write(&parent.keys[i], k)?;
+                tx.write(&parent.children[i], c)?;
+                i += 1;
+            }
+            tx.write(&parent.count, (pcnt - 1) as u64)?;
+
+            // Invalidate two-step traversals holding the right leaf.
+            let rseq = tx.read(&right.seqno)?;
+            tx.write(&right.seqno, rseq + 1)?;
+
+            Ok(true)
+        });
+        out.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    use euno_htm::{ConcurrentMap, Runtime};
+
+    use crate::tree::EunoBTreeDefault;
+
+    #[test]
+    fn maintain_merges_after_mass_deletion() {
+        let rt = Runtime::new_virtual();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        let mut ctx = rt.thread(1);
+        for k in 0..2_000u64 {
+            t.put(&mut ctx, k, k);
+        }
+        let leaves_before = t.leaf_count_plain();
+        // Delete 90 % of the records.
+        for k in 0..2_000u64 {
+            if k % 10 != 0 {
+                t.delete(&mut ctx, k);
+            }
+        }
+        let merges = t.maintain(&mut ctx);
+        assert!(merges > 0, "mass deletion must produce mergeable leaves");
+        let leaves_after = t.leaf_count_plain();
+        assert!(
+            leaves_after < leaves_before / 2,
+            "leaf count must shrink: {leaves_before} → {leaves_after}"
+        );
+        // Correctness preserved.
+        for k in 0..2_000u64 {
+            let expect = (k % 10 == 0).then_some(k);
+            assert_eq!(t.get(&mut ctx, k), expect, "key {k}");
+        }
+        let audit = t.collect_all_plain();
+        assert_eq!(audit.len(), 200);
+        assert!(audit.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn maintain_is_a_noop_on_full_tree() {
+        let rt = Runtime::new_virtual();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        let mut ctx = rt.thread(1);
+        for k in 0..2_000u64 {
+            t.put(&mut ctx, k, k);
+        }
+        let before = t.leaf_count_plain();
+        assert_eq!(t.maintain(&mut ctx), 0);
+        assert_eq!(t.leaf_count_plain(), before);
+    }
+
+    #[test]
+    fn operations_after_merge_match_model() {
+        let rt = Runtime::new_virtual();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        let mut ctx = rt.thread(1);
+        let mut model = BTreeMap::new();
+        for k in 0..800u64 {
+            t.put(&mut ctx, k, k);
+            model.insert(k, k);
+        }
+        for k in 0..800u64 {
+            if k % 4 != 0 {
+                t.delete(&mut ctx, k);
+                model.remove(&k);
+            }
+        }
+        t.maintain(&mut ctx);
+        // Keep mutating after the merge: inserts land in merged leaves.
+        let mut state = 0xABCD_EF01u64;
+        for _ in 0..5_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let key = state % 900;
+            match state % 3 {
+                0 => {
+                    let v = state >> 8;
+                    assert_eq!(t.put(&mut ctx, key, v), model.insert(key, v));
+                }
+                1 => assert_eq!(t.delete(&mut ctx, key), model.remove(&key)),
+                _ => assert_eq!(t.get(&mut ctx, key), model.get(&key).copied()),
+            }
+        }
+        assert_eq!(
+            t.collect_all_plain(),
+            model.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn concurrent_maintain_with_live_traffic() {
+        let rt = Runtime::new_concurrent();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        {
+            let mut ctx = rt.thread(0);
+            for k in 0..1_500u64 {
+                t.put(&mut ctx, k, k);
+            }
+            for k in 0..1_500u64 {
+                if k % 8 != 0 {
+                    t.delete(&mut ctx, k);
+                }
+            }
+        }
+        std::thread::scope(|s| {
+            // One maintenance thread merging while three mutators run.
+            {
+                let t = &t;
+                let mut ctx = rt.thread(100);
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        t.maintain(&mut ctx);
+                    }
+                });
+            }
+            for tid in 1..4u64 {
+                let t = &t;
+                let mut ctx = rt.thread(100 + tid);
+                s.spawn(move || {
+                    for i in 0..400u64 {
+                        let key = (tid * 10_000) + i;
+                        t.put(&mut ctx, key, key);
+                        assert_eq!(t.get(&mut ctx, key), Some(key));
+                    }
+                });
+            }
+        });
+        let mut ctx = rt.thread(200);
+        // Every surviving preloaded key and every new key is present.
+        for k in (0..1_500u64).step_by(8) {
+            assert_eq!(t.get(&mut ctx, k), Some(k), "preloaded {k}");
+        }
+        for tid in 1..4u64 {
+            for i in 0..400u64 {
+                let key = tid * 10_000 + i;
+                assert_eq!(t.get(&mut ctx, key), Some(key), "new {key}");
+            }
+        }
+        let audit = t.collect_all_plain();
+        assert!(audit.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

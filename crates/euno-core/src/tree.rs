@@ -1,0 +1,1162 @@
+//! Euno-B+Tree: the Eunomia design pattern applied to a B+Tree (§4).
+//!
+//! Every point operation is a **two-step transactional traversal**
+//! (Algorithm 2):
+//!
+//! 1. an *upper* HTM region descends the index and reads the target leaf's
+//!    `seqno` into a local;
+//! 2. the conflict-control stage (outside any region) takes the key's CCM
+//!    lock bit, consults the mark bit, and pre-acquires the split lock for
+//!    inserts into near-full leaves;
+//! 3. a *lower* HTM region re-reads `seqno` — if unchanged, the leaf
+//!    pointer is still the right one and the operation completes locally;
+//!    if changed, a concurrent split moved records and the operation
+//!    retries from the root (the rare case).
+//!
+//! Inserts use the randomized **write scheduler** over the leaf's segments
+//! (Algorithm 3); overflowing leaves first *reorganize* — merge into the
+//! transient sorted buffer (the paper's *reserved keys*), drop tombstones,
+//! and deal the records round-robin back over the segments so key-adjacent
+//! records stay on different cache lines — and split only when genuinely
+//! full, in the *sorting-split-reorganizing* style of §4.2.3. Splits
+//! propagate upward through parent pointers, all inside the lower region
+//! so index edits stay atomic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::Rng;
+
+use euno_htm::{
+    ConcurrentMap, MemoryReport, RetryPolicy, Runtime, ThreadCtx, TransientBytes, Tx, TxResult,
+    TxCell, TxWord, KEY_SENTINEL, TOMBSTONE,
+};
+
+use crate::ccm::Ccm;
+use crate::config::EunoConfig;
+use crate::node::{EunoInternal, EunoLeaf, NodeArenas, NodeRef, INTERNAL_FANOUT};
+
+/// The Euno-B+Tree. `SEGS` segments of `K` slots per leaf
+/// (fanout = `SEGS·K`; the paper's default geometry is 16 with partitioned
+/// leaves — `EunoBTree<4, 4>`; `EunoBTree<1, 16>` is the unpartitioned
+/// `+Split HTM` ablation variant).
+pub struct EunoBTree<const SEGS: usize = 4, const K: usize = 4> {
+    rt: Arc<Runtime>,
+    cfg: EunoConfig,
+    policy: RetryPolicy,
+    pub(crate) ctrl: Box<euno_htm::ControlBlock>,
+    arenas: NodeArenas<SEGS, K>,
+    reserved_bytes: TransientBytes,
+    deletes: AtomicU64,
+}
+
+/// What the lower region concluded.
+enum Lower {
+    Done(Option<u64>),
+    /// `seqno` changed: the leaf split concurrently; retry from the root.
+    Inconsistent,
+    /// The insert needs a split but the split lock is not held; retry the
+    /// operation acquiring it up front.
+    NeedSplitLock,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Req {
+    Get,
+    Put,
+    Delete,
+}
+
+impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
+    pub fn new(rt: Arc<Runtime>) -> Self {
+        Self::with_config(rt, EunoConfig::default())
+    }
+
+    pub fn with_config(rt: Arc<Runtime>, cfg: EunoConfig) -> Self {
+        let arenas: NodeArenas<SEGS, K> = NodeArenas::new();
+        let first = arenas.leaves.alloc(EunoLeaf::empty());
+        first.register(&rt);
+        let ctrl = euno_htm::ControlBlock::new(NodeRef::of_leaf(first).to_word());
+        rt.register_value(&*ctrl, euno_htm::LineClass::Structure);
+        EunoBTree {
+            rt,
+            cfg,
+            policy: RetryPolicy::default(),
+            ctrl,
+            arenas,
+            reserved_bytes: TransientBytes::new(),
+            deletes: AtomicU64::new(0),
+        }
+    }
+
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.rt
+    }
+
+    pub fn config(&self) -> &EunoConfig {
+        &self.cfg
+    }
+
+    const fn ccm_bits() -> u32 {
+        EunoLeaf::<SEGS, K>::ccm_bits()
+    }
+
+    pub(crate) const fn capacity() -> usize {
+        EunoLeaf::<SEGS, K>::capacity()
+    }
+
+    // ================= upper region =================
+
+    /// Root-to-leaf descent inside the upper HTM region.
+    fn descend<'t>(&'t self, tx: &mut Tx<'_>, key: u64) -> TxResult<&'t EunoLeaf<SEGS, K>> {
+        let mut cur = NodeRef::from_word(tx.read(&self.ctrl.root)?);
+        while !cur.is_leaf() {
+            let node: &EunoInternal = unsafe { cur.as_internal() };
+            let cnt = tx.read(&node.count)? as usize;
+            let (mut lo, mut hi) = (0usize, cnt);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if tx.read(&node.keys[mid])? <= key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            cur = if lo == 0 {
+                NodeRef::from_word(tx.read(&node.child0)?)
+            } else {
+                NodeRef::from_word(tx.read(&node.children[lo - 1])?)
+            };
+        }
+        Ok(unsafe { cur.as_leaf::<SEGS, K>() })
+    }
+
+    /// Algorithm 2 lines 23-28: find the leaf, read its version.
+    fn upper_region(
+        &self,
+        ctx: &mut ThreadCtx,
+        key: u64,
+    ) -> (&EunoLeaf<SEGS, K>, u64, u32) {
+        let out = ctx.htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
+            tx.set_op_key(key);
+            let leaf = self.descend(tx, key)?;
+            let seq = tx.read(&leaf.seqno)?;
+            Ok((NodeRef::of_leaf(leaf).to_word(), seq))
+        });
+        let (bits, seq) = out.value;
+        let leaf = unsafe { NodeRef::from_word(bits).as_leaf::<SEGS, K>() };
+        (leaf, seq, out.conflict_aborts)
+    }
+
+    // ================= lower region =================
+
+    /// Locate `key`'s value cell: compare each segment's first/last
+    /// element, binary-searching only segments whose range brackets the
+    /// key (the paper's scattered-leaf search).
+    fn leaf_find<'t>(
+        &self,
+        tx: &mut Tx<'_>,
+        leaf: &'t EunoLeaf<SEGS, K>,
+        key: u64,
+    ) -> TxResult<Option<&'t TxCell<u64>>> {
+        for seg in &leaf.segs {
+            if let Some(i) = seg.find(tx, key)? {
+                return Ok(Some(seg.val_cell(i)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn lower_body(
+        &self,
+        tx: &mut Tx<'_>,
+        leaf: &EunoLeaf<SEGS, K>,
+        req: Req,
+        key: u64,
+        newval: u64,
+        have_split_lock: bool,
+    ) -> TxResult<Lower> {
+        let found = self.leaf_find(tx, leaf, key)?;
+        match req {
+            Req::Get => Ok(Lower::Done(match found {
+                Some(vc) => {
+                    let v = tx.read(vc)?;
+                    (v != TOMBSTONE).then_some(v)
+                }
+                None => None,
+            })),
+            Req::Delete => {
+                if let Some(vc) = found {
+                    let old = tx.read(vc)?;
+                    if old != TOMBSTONE {
+                        tx.write(vc, TOMBSTONE)?;
+                        return Ok(Lower::Done(Some(old)));
+                    }
+                }
+                Ok(Lower::Done(None))
+            }
+            Req::Put => {
+                if let Some(vc) = found {
+                    let old = tx.read(vc)?;
+                    tx.write(vc, newval)?;
+                    return Ok(Lower::Done((old != TOMBSTONE).then_some(old)));
+                }
+                self.insert_record(tx, leaf, key, newval, have_split_lock)
+            }
+        }
+    }
+
+    /// Algorithm 3: write-scheduler dispatch, reorganization, split.
+    fn insert_record(
+        &self,
+        tx: &mut Tx<'_>,
+        leaf: &EunoLeaf<SEGS, K>,
+        key: u64,
+        newval: u64,
+        have_split_lock: bool,
+    ) -> TxResult<Lower> {
+        // 1. Randomized dispatch to a non-full segment (lines 60-66). The
+        //    scheduler never repeats the previous index (line 60).
+        let mut idx = if SEGS == 1 {
+            0
+        } else {
+            tx.ctx().rng().gen_range(0..SEGS)
+        };
+        let mut tries = 0;
+        loop {
+            if !leaf.segs[idx].is_full_tx(tx)? {
+                leaf.segs[idx].insert(tx, key, newval)?;
+                return Ok(Lower::Done(None));
+            }
+            if SEGS == 1 || tries >= self.cfg.scheduler_retries {
+                break;
+            }
+            let prev = idx;
+            while idx == prev && SEGS > 1 {
+                idx = tx.ctx().rng().gen_range(0..SEGS);
+            }
+            tries += 1;
+        }
+
+        // 2. Retries exhausted: the leaf is near-full or unevenly loaded
+        //    (lines 67-86). Reorganizing or splitting rewrites shared
+        //    state, so demand the advisory split lock first when the node
+        //    may genuinely be full (the serialized fallback path is already
+        //    exclusive).
+        let occupied = leaf.occupied_tx(tx)?;
+        if occupied >= Self::capacity() && !have_split_lock && !tx.is_fallback() {
+            return Ok(Lower::NeedSplitLock);
+        }
+
+        // moveToReserved: merge every segment into the (transient) sorted
+        // buffer, compacting tombstones — the deferred deletion cleanup of
+        // §4.2.4 happens here too.
+        let records = self.collect_all(tx, leaf)?;
+
+        if records.len() < Self::capacity() {
+            // 2a. Sufficient room after reorganization (lines 67-74): deal
+            //     the sorted records round-robin over the segments so
+            //     key-adjacent records land on different cache lines, then
+            //     place the new key in the emptiest segment.
+            self.redistribute(tx, leaf, &records)?;
+            let seg = self.emptiest_segment(tx, leaf)?;
+            leaf.segs[seg].insert(tx, key, newval)?;
+            Ok(Lower::Done(None))
+        } else {
+            // 2b. Really full: sort, split, reorganize (lines 75-86).
+            debug_assert!(have_split_lock || tx.is_fallback());
+            let target = self.split_leaf(tx, leaf, &records, key)?;
+            let seg = self.emptiest_segment(tx, target)?;
+            target.segs[seg].insert(tx, key, newval)?;
+            Ok(Lower::Done(None))
+        }
+    }
+
+    /// Index of the segment with the fewest records (guaranteed non-full
+    /// after a reorganization left total occupancy below capacity).
+    fn emptiest_segment(
+        &self,
+        tx: &mut Tx<'_>,
+        leaf: &EunoLeaf<SEGS, K>,
+    ) -> TxResult<usize> {
+        let mut best = 0;
+        let mut best_cnt = usize::MAX;
+        for (i, seg) in leaf.segs.iter().enumerate() {
+            let c = seg.count_tx(tx)?;
+            if c < best_cnt {
+                best = i;
+                best_cnt = c;
+            }
+        }
+        debug_assert!(best_cnt < K, "no free slot after reorganization");
+        Ok(best)
+    }
+
+    /// Deal `records` (sorted) round-robin across the segments: segment
+    /// `i` receives records `i, i+SEGS, i+2·SEGS, …` — each segment stays
+    /// sorted while adjacent keys land in different segments (and lines).
+    fn redistribute(
+        &self,
+        tx: &mut Tx<'_>,
+        leaf: &EunoLeaf<SEGS, K>,
+        records: &[(u64, u64)],
+    ) -> TxResult<()> {
+        debug_assert!(records.len() <= Self::capacity());
+        let mut part = Vec::with_capacity(records.len().div_ceil(SEGS));
+        for (i, seg) in leaf.segs.iter().enumerate() {
+            part.clear();
+            part.extend(records.iter().copied().skip(i).step_by(SEGS));
+            seg.write_all(tx, &part)?;
+        }
+        Ok(())
+    }
+
+    /// `moveToReserved`: drain every segment into one sorted transient
+    /// buffer, dropping tombstones. The buffer is the paper's *reserved
+    /// keys* — allocated for the reorganization and released right after
+    /// (its footprint is charged to the §5.7 transient accounting).
+    fn collect_all(
+        &self,
+        tx: &mut Tx<'_>,
+        leaf: &EunoLeaf<SEGS, K>,
+    ) -> TxResult<Vec<(u64, u64)>> {
+        let mut records = Vec::with_capacity(Self::capacity());
+        for seg in &leaf.segs {
+            seg.drain_into(tx, &mut records)?;
+        }
+        records.retain(|&(_, v)| v != TOMBSTONE);
+        records.sort_unstable_by_key(|&(k, _)| k);
+        // Merge-sort cost beyond the per-cell charges.
+        tx.charge(self.rt.cost.alu * records.len() as u64);
+        let bytes = records.capacity() * 16;
+        self.reserved_bytes.allocated(bytes);
+        self.reserved_bytes.freed(bytes);
+        Ok(records)
+    }
+
+    /// Read every record sorted, tombstones dropped, WITHOUT draining the
+    /// segments — the read-only counterpart of [`Self::collect_all`] used
+    /// by scans.
+    fn peek_all(
+        &self,
+        tx: &mut Tx<'_>,
+        leaf: &EunoLeaf<SEGS, K>,
+    ) -> TxResult<Vec<(u64, u64)>> {
+        let mut records = Vec::with_capacity(Self::capacity());
+        for seg in &leaf.segs {
+            seg.read_into(tx, &mut records)?;
+        }
+        records.retain(|&(_, v)| v != TOMBSTONE);
+        records.sort_unstable_by_key(|&(k, _)| k);
+        tx.charge(self.rt.cost.alu * records.len() as u64);
+        let bytes = records.capacity() * 16;
+        self.reserved_bytes.allocated(bytes);
+        self.reserved_bytes.freed(bytes);
+        Ok(records)
+    }
+
+    /// §4.2.3: sort → split → reorganize. `records` holds the full sorted
+    /// contents (already drained from the segments); each half is dealt
+    /// round-robin back over its node's segments, so both nodes keep the
+    /// scattered placement with evenly distributed free slots. Returns the
+    /// half that should receive `key`.
+    fn split_leaf<'t>(
+        &'t self,
+        tx: &mut Tx<'_>,
+        leaf: &'t EunoLeaf<SEGS, K>,
+        records: &[(u64, u64)],
+        key: u64,
+    ) -> TxResult<&'t EunoLeaf<SEGS, K>> {
+        let right: &'t EunoLeaf<SEGS, K> = self.arenas.leaves.alloc(EunoLeaf::empty());
+        right.register(&self.rt);
+        let mid = records.len() / 2;
+        let sep = records[mid].0;
+
+        self.redistribute(tx, leaf, &records[..mid])?;
+        self.redistribute(tx, right, &records[mid..])?;
+
+        // Fresh exact mark bits for the unpublished right node; the left
+        // node keeps its (superset) bits. The pending key the caller will
+        // insert after the split must be included when it lands right of
+        // the separator — its CCM-stage mark was set on the *old* leaf.
+        let mut marks = 0u64;
+        for &(k, _) in &records[mid..] {
+            marks |= 1 << Ccm::slot(k, Self::ccm_bits());
+        }
+        if key >= sep {
+            marks |= 1 << Ccm::slot(key, Self::ccm_bits());
+        }
+        right.ccm.install_marks_prepublication(marks);
+        // The right node inherits the old leaf's heat: it was just split,
+        // so it starts protected and must earn its bypass.
+        right.ccm.protect_prepublication();
+        tx.charge(self.rt.cost.alu * (records.len() - mid) as u64);
+
+        let old_next = tx.read(&leaf.next)?;
+        tx.write(&right.next, old_next)?;
+        tx.write(&leaf.next, NodeRef::of_leaf(right).to_word())?;
+        let parent = tx.read(&leaf.parent)?;
+        tx.write(&right.parent, parent)?;
+        // Bump the version: concurrent two-step traversals holding this
+        // leaf's pointer must retry from the root (Algorithm 3 line 80).
+        let seq = tx.read(&leaf.seqno)?;
+        tx.write(&leaf.seqno, seq + 1)?;
+
+        self.insert_into_parent(
+            tx,
+            NodeRef::of_leaf(leaf),
+            sep,
+            NodeRef::of_leaf(right),
+        )?;
+        Ok(if key < sep { leaf } else { right })
+    }
+
+    /// Propagate `(sep, right)` upward from `child`, splitting full
+    /// internal nodes and maintaining parent pointers (lines 84-86).
+    fn insert_into_parent(
+        &self,
+        tx: &mut Tx<'_>,
+        mut child: NodeRef,
+        mut sep: u64,
+        mut right: NodeRef,
+    ) -> TxResult<()> {
+        loop {
+            let parent_bits = tx.read(unsafe { child.parent_cell::<SEGS, K>() })?;
+            if parent_bits == 0 {
+                // `child` was the root: grow the tree.
+                let new_root = self.arenas.internals.alloc(EunoInternal::empty());
+                new_root.register(&self.rt);
+                let nr = NodeRef::of_internal(new_root);
+                tx.write(&new_root.child0, child.to_word())?;
+                tx.write(&new_root.keys[0], sep)?;
+                tx.write(&new_root.children[0], right.to_word())?;
+                tx.write(&new_root.count, 1)?;
+                tx.write(unsafe { child.parent_cell::<SEGS, K>() }, nr.to_word())?;
+                tx.write(unsafe { right.parent_cell::<SEGS, K>() }, nr.to_word())?;
+                tx.write(&self.ctrl.root, nr.to_word())?;
+                return Ok(());
+            }
+            let parent: &EunoInternal = unsafe { NodeRef::from_word(parent_bits).as_internal() };
+            let cnt = tx.read(&parent.count)? as usize;
+            if cnt < INTERNAL_FANOUT {
+                self.internal_insert_at(tx, parent, cnt, sep, right)?;
+                tx.write(unsafe { right.parent_cell::<SEGS, K>() }, parent_bits)?;
+                return Ok(());
+            }
+
+            // Split the full internal node.
+            let new_int = self.arenas.internals.alloc(EunoInternal::empty());
+            new_int.register(&self.rt);
+            let new_ref = NodeRef::of_internal(new_int);
+            let mid = INTERNAL_FANOUT / 2;
+            let promoted = tx.read(&parent.keys[mid])?;
+            let mid_child = NodeRef::from_word(tx.read(&parent.children[mid])?);
+            tx.write(&new_int.child0, mid_child.to_word())?;
+            tx.write(
+                unsafe { mid_child.parent_cell::<SEGS, K>() },
+                new_ref.to_word(),
+            )?;
+            for i in mid + 1..INTERNAL_FANOUT {
+                let k = tx.read(&parent.keys[i])?;
+                let c = NodeRef::from_word(tx.read(&parent.children[i])?);
+                tx.write(&new_int.keys[i - mid - 1], k)?;
+                tx.write(&new_int.children[i - mid - 1], c.to_word())?;
+                tx.write(unsafe { c.parent_cell::<SEGS, K>() }, new_ref.to_word())?;
+            }
+            tx.write(&new_int.count, (INTERNAL_FANOUT - mid - 1) as u64)?;
+            tx.write(&parent.count, mid as u64)?;
+            let old_grandparent = tx.read(&parent.parent)?;
+            tx.write(&new_int.parent, old_grandparent)?;
+
+            // Insert the pending (sep, right) into the proper half.
+            let (target, target_bits) = if sep < promoted {
+                (parent, parent_bits)
+            } else {
+                (new_int, new_ref.to_word())
+            };
+            let tcnt = tx.read(&target.count)? as usize;
+            self.internal_insert_at(tx, target, tcnt, sep, right)?;
+            tx.write(unsafe { right.parent_cell::<SEGS, K>() }, target_bits)?;
+
+            sep = promoted;
+            right = new_ref;
+            child = NodeRef::from_word(parent_bits);
+        }
+    }
+
+    fn internal_insert_at(
+        &self,
+        tx: &mut Tx<'_>,
+        node: &EunoInternal,
+        cnt: usize,
+        sep: u64,
+        right: NodeRef,
+    ) -> TxResult<()> {
+        debug_assert!(cnt < INTERNAL_FANOUT);
+        let (mut lo, mut hi) = (0usize, cnt);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if tx.read(&node.keys[mid])? < sep {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut i = cnt;
+        while i > lo {
+            let k = tx.read(&node.keys[i - 1])?;
+            let c = tx.read(&node.children[i - 1])?;
+            tx.write(&node.keys[i], k)?;
+            tx.write(&node.children[i], c)?;
+            i -= 1;
+        }
+        tx.write(&node.keys[lo], sep)?;
+        tx.write(&node.children[lo], right.to_word())?;
+        tx.write(&node.count, (cnt + 1) as u64)?;
+        Ok(())
+    }
+
+    // ================= the two-step operation driver =================
+
+    /// Algorithm 2: the traversal shared by get, put and delete.
+    fn traverse(&self, ctx: &mut ThreadCtx, req: Req, key: u64, newval: u64) -> Option<u64> {
+        let mut force_split_lock = false;
+        loop {
+            // Step 1: upper region.
+            let (leaf, seqno, upper_conflicts) = self.upper_region(ctx, key);
+
+            // Step 2: conflict control (outside any region).
+            let ccm_configured = self.cfg.ccm_lock_bits || self.cfg.ccm_mark_bits;
+            let ccm_active = ccm_configured
+                && !(self.cfg.adaptive && leaf.ccm.bypassed(ctx));
+            let slot = Ccm::slot(key, Self::ccm_bits());
+            ctx.charge(self.rt.cost.alu * 3); // hash computation
+            let mut slot_locked = false;
+            if ccm_active && self.cfg.ccm_lock_bits {
+                leaf.ccm.lock_slot(ctx, slot);
+                slot_locked = true;
+            }
+            let mut split_locked = false;
+            let mut fast_miss = false;
+            if self.cfg.ccm_mark_bits {
+                match req {
+                    Req::Put => {
+                        // Claim existence (line 38). This runs even when
+                        // the leaf is adaptively bypassed: the mark vector
+                        // must stay a superset of the live keys or gets
+                        // would miss real records once protection
+                        // re-engages.
+                        let existed = leaf.ccm.set_mark(ctx, slot);
+                        // Pre-lock if an insert may split (lines 39-40).
+                        if ccm_active
+                            && !existed
+                            && leaf.occupied_direct(ctx) + self.cfg.near_full_slack
+                                >= Self::capacity()
+                        {
+                            leaf.split_lock.acquire(ctx);
+                            split_locked = true;
+                        }
+                    }
+                    // Definite miss: never enter the leaf (line 35).
+                    Req::Get | Req::Delete => {
+                        if ccm_active && !leaf.ccm.marked(ctx, slot) {
+                            fast_miss = true;
+                        }
+                    }
+                }
+            }
+            if force_split_lock && req == Req::Put && !split_locked {
+                leaf.split_lock.acquire(ctx);
+                split_locked = true;
+            }
+
+            // Step 3: lower region.
+            let (outcome, lower_conflicts) = if fast_miss {
+                (Lower::Done(None), 0)
+            } else {
+                let out = ctx.htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
+                    tx.set_op_key(key);
+                    if slot_locked {
+                        // Same-record contenders queue on the CCM lock bit
+                        // (§4.1): this attempt's true conflicts are
+                        // serialized away, so the storm model must not
+                        // re-manufacture them.
+                        tx.mark_serialized();
+                    }
+                    if tx.read(&leaf.seqno)? != seqno {
+                        return Ok(Lower::Inconsistent);
+                    }
+                    self.lower_body(tx, leaf, req, key, newval, split_locked)
+                });
+                (out.value, out.conflict_aborts)
+            };
+
+            if split_locked {
+                leaf.split_lock.release(ctx);
+            }
+            if slot_locked {
+                leaf.ccm.unlock_slot(ctx, slot);
+            }
+            if self.cfg.adaptive {
+                leaf.ccm.record_outcome(
+                    ctx,
+                    upper_conflicts + lower_conflicts,
+                    self.cfg.adaptive_window,
+                    self.cfg.adaptive_conflict_rate,
+                );
+            }
+
+            match outcome {
+                Lower::Done(v) => {
+                    if req == Req::Delete && v.is_some() {
+                        let n = self.deletes.fetch_add(1, Ordering::Relaxed) + 1;
+                        // §4.2.4: re-balance once deletions cross the
+                        // threshold (0 disables the automatic trigger).
+                        let thr = self.cfg.rebalance_delete_threshold;
+                        if thr > 0 && n % thr == 0 {
+                            self.maintain(ctx);
+                        }
+                    }
+                    return v;
+                }
+                Lower::Inconsistent => continue,
+                Lower::NeedSplitLock => {
+                    force_split_lock = true;
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Number of logical deletions performed (deferred-rebalance trigger
+    /// observability; compaction happens lazily at reorganization).
+    pub fn delete_count(&self) -> u64 {
+        self.deletes.load(Ordering::Relaxed)
+    }
+
+    // ----- crate-internal accessors for the rebalance module -----
+
+    pub(crate) fn root_bits(&self) -> u64 {
+        self.ctrl.root.load_plain()
+    }
+
+    pub(crate) fn arenas(&self) -> &NodeArenas<SEGS, K> {
+        &self.arenas
+    }
+
+    pub(crate) fn fallback_cell(&self) -> &TxCell<u64> {
+        &self.ctrl.fallback
+    }
+
+    pub(crate) fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    pub(crate) fn peek_all_for_merge(
+        &self,
+        tx: &mut Tx<'_>,
+        leaf: &EunoLeaf<SEGS, K>,
+    ) -> TxResult<Vec<(u64, u64)>> {
+        self.peek_all(tx, leaf)
+    }
+
+    /// Append `leaf`'s raw records (including tombstones) to `out`.
+    pub(crate) fn peek_all_into(
+        &self,
+        tx: &mut Tx<'_>,
+        leaf: &EunoLeaf<SEGS, K>,
+        out: &mut Vec<(u64, u64)>,
+    ) -> TxResult<()> {
+        for seg in &leaf.segs {
+            seg.read_into(tx, out)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn redistribute_for_merge(
+        &self,
+        tx: &mut Tx<'_>,
+        leaf: &EunoLeaf<SEGS, K>,
+        records: &[(u64, u64)],
+    ) -> TxResult<()> {
+        self.redistribute(tx, leaf, records)
+    }
+
+    pub(crate) fn clear_segments(
+        &self,
+        tx: &mut Tx<'_>,
+        leaf: &EunoLeaf<SEGS, K>,
+    ) -> TxResult<()> {
+        let mut sink = Vec::new();
+        for seg in &leaf.segs {
+            sink.clear();
+            seg.drain_into(tx, &mut sink)?;
+        }
+        Ok(())
+    }
+
+    /// Number of leaves currently linked into the chain (uninstrumented
+    /// diagnostic).
+    pub fn leaf_count_plain(&self) -> usize {
+        let mut cur = NodeRef::from_word(self.root_bits());
+        while !cur.is_leaf() {
+            cur = NodeRef::from_word(unsafe { cur.as_internal() }.child0.load_plain());
+        }
+        let mut n = 0;
+        while !cur.is_null() {
+            n += 1;
+            cur = NodeRef::from_word(unsafe { cur.as_leaf::<SEGS, K>() }.next.load_plain());
+        }
+        n
+    }
+
+    /// Uninstrumented whole-tree audit: every live record in key order.
+    /// Test/diagnostic helper — not concurrency safe.
+    pub fn collect_all_plain(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cur = NodeRef::from_word(self.ctrl.root.load_plain());
+        while !cur.is_leaf() {
+            cur = NodeRef::from_word(unsafe { cur.as_internal() }.child0.load_plain());
+        }
+        while !cur.is_null() {
+            let leaf = unsafe { cur.as_leaf::<SEGS, K>() };
+            let mut recs = Vec::new();
+            for seg in &leaf.segs {
+                for i in 0..seg.count_plain() {
+                    recs.push((seg.key_cell(i).load_plain(), seg.val_cell(i).load_plain()));
+                }
+            }
+            recs.sort_unstable_by_key(|&(k, _)| k);
+            out.extend(recs.into_iter().filter(|&(_, v)| v != TOMBSTONE));
+            cur = NodeRef::from_word(leaf.next.load_plain());
+        }
+        out
+    }
+}
+
+impl<const SEGS: usize, const K: usize> ConcurrentMap for EunoBTree<SEGS, K> {
+    fn get(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        self.traverse(ctx, Req::Get, key, 0)
+    }
+
+    fn put(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Option<u64> {
+        assert!(key < KEY_SENTINEL && value != TOMBSTONE);
+        self.traverse(ctx, Req::Put, key, value)
+    }
+
+    fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        self.traverse(ctx, Req::Delete, key, 0)
+    }
+
+    fn scan(
+        &self,
+        ctx: &mut ThreadCtx,
+        from: u64,
+        count: usize,
+        out: &mut Vec<(u64, u64)>,
+    ) -> usize {
+        let mut collected = 0usize;
+        let mut cursor = from;
+        // Locate the first leaf.
+        let (mut leaf, mut seqno, _) = self.upper_region(ctx, cursor);
+        loop {
+            // §4.2.4: lock the leaf, merge segments into the sorted
+            // reserved area, read an ordered run.
+            leaf.split_lock.acquire(ctx);
+            let out_piece = ctx.htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
+                tx.set_op_key(cursor);
+                if tx.read(&leaf.seqno)? != seqno {
+                    return Ok(None);
+                }
+                // §4.2.4: gather the leaf's records into the transient
+                // sorted buffer (a merge over the per-segment sorted runs).
+                let part: Vec<(u64, u64)> = self
+                    .peek_all(tx, leaf)?
+                    .into_iter()
+                    .filter(|&(k, _)| k >= cursor)
+                    .collect();
+                let next = NodeRef::from_word(tx.read(&leaf.next)?);
+                let next_seq = if next.is_null() {
+                    0
+                } else {
+                    tx.read(&unsafe { next.as_leaf::<SEGS, K>() }.seqno)?
+                };
+                Ok(Some((part, next, next_seq)))
+            });
+            leaf.split_lock.release(ctx);
+
+            match out_piece.value {
+                None => {
+                    // Version changed: re-find the leaf for the cursor.
+                    let (l, s, _) = self.upper_region(ctx, cursor);
+                    leaf = l;
+                    seqno = s;
+                }
+                Some((part, next, next_seq)) => {
+                    for (k, v) in part {
+                        if collected == count {
+                            return collected;
+                        }
+                        out.push((k, v));
+                        collected += 1;
+                        cursor = k.saturating_add(1);
+                    }
+                    if collected == count || next.is_null() {
+                        return collected;
+                    }
+                    leaf = unsafe { next.as_leaf::<SEGS, K>() };
+                    seqno = next_seq;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Euno-B+Tree"
+    }
+
+    fn memory(&self) -> MemoryReport {
+        let leaf_sz = std::mem::size_of::<EunoLeaf<SEGS, K>>();
+        let live_leaves = self.arenas.leaves.live_bytes() / leaf_sz.max(1);
+        let ccm_bytes = live_leaves * Ccm::bytes();
+        MemoryReport {
+            structural_bytes: self.arenas.leaves.live_bytes() - ccm_bytes
+                + self.arenas.internals.live_bytes(),
+            ccm_bytes,
+            reserved_live_bytes: self.reserved_bytes.live(),
+            // Transient sort buffers: allocated per reorganization/scan,
+            // freed immediately (§4.1 "the memory space is freed after the
+            // process") — peak is the figure §5.7 cares about.
+            reserved_peak_bytes: self.reserved_bytes.peak(),
+            reserved_cumulative_bytes: self.reserved_bytes.cumulative(),
+        }
+    }
+}
+
+/// The paper's default geometry: 4 segments × 4 slots (fanout 16).
+pub type EunoBTreeDefault = EunoBTree<4, 4>;
+/// The `+Split HTM` ablation variant: one conventional sorted leaf.
+pub type EunoBTreeUnpartitioned = EunoBTree<1, 16>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn tree() -> (Arc<Runtime>, EunoBTreeDefault, ThreadCtx) {
+        let rt = Runtime::new_virtual();
+        let t = EunoBTree::new(Arc::clone(&rt));
+        let ctx = rt.thread(1);
+        (rt, t, ctx)
+    }
+
+    #[test]
+    fn put_get_update_roundtrip() {
+        let (_rt, t, mut ctx) = tree();
+        assert_eq!(t.get(&mut ctx, 5), None);
+        assert_eq!(t.put(&mut ctx, 5, 50), None);
+        assert_eq!(t.get(&mut ctx, 5), Some(50));
+        assert_eq!(t.put(&mut ctx, 5, 51), Some(50));
+        assert_eq!(t.get(&mut ctx, 5), Some(51));
+    }
+
+    #[test]
+    fn mark_bits_short_circuit_definite_misses() {
+        let (_rt, t, mut ctx) = tree();
+        t.put(&mut ctx, 1, 10);
+        let leaf_bits = t.ctrl.root.load_plain();
+        let leaf = unsafe { NodeRef::from_word(leaf_bits).as_leaf::<4, 4>() };
+        // The CCM only filters while the leaf is protected (a calm fresh
+        // leaf bypasses it by default).
+        leaf.ccm.protect_prepublication();
+        // A key hashing to an unmarked slot must be answered without
+        // entering the lower region: count commits before/after.
+        let commits_before = ctx.stats.commits;
+        let mut probe = 1000u64;
+        while leaf.ccm.marks_plain() & (1 << Ccm::slot(probe, 32)) != 0 {
+            probe += 1;
+        }
+        assert_eq!(t.get(&mut ctx, probe), None);
+        // Only the upper region committed (1 commit, not 2).
+        assert_eq!(ctx.stats.commits - commits_before, 1);
+    }
+
+    #[test]
+    fn fills_one_leaf_then_splits() {
+        let (_rt, t, mut ctx) = tree();
+        for k in 0..100u64 {
+            assert_eq!(t.put(&mut ctx, k, k * 2), None, "insert {k}");
+        }
+        for k in 0..100u64 {
+            assert_eq!(t.get(&mut ctx, k), Some(k * 2), "get {k}");
+        }
+        // Leaves split: root must now be internal.
+        assert!(!NodeRef::from_word(t.ctrl.root.load_plain()).is_leaf());
+    }
+
+    #[test]
+    fn large_ascending_and_descending_inserts() {
+        for descending in [false, true] {
+            let (_rt, t, mut ctx) = tree();
+            let n = 3_000u64;
+            if descending {
+                for k in (0..n).rev() {
+                    t.put(&mut ctx, k, k + 7);
+                }
+            } else {
+                for k in 0..n {
+                    t.put(&mut ctx, k, k + 7);
+                }
+            }
+            for k in 0..n {
+                assert_eq!(t.get(&mut ctx, k), Some(k + 7), "key {k} desc={descending}");
+            }
+            let all = t.collect_all_plain();
+            assert_eq!(all.len(), n as usize);
+            assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "leaf chain sorted");
+        }
+    }
+
+    #[test]
+    fn random_inserts_match_model() {
+        let (_rt, t, mut ctx) = tree();
+        let mut model = BTreeMap::new();
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..30_000 {
+            let key = rnd() % 800;
+            match rnd() % 10 {
+                0..=4 => {
+                    let v = rnd() % 1_000_000;
+                    assert_eq!(t.put(&mut ctx, key, v), model.insert(key, v), "put {key}");
+                }
+                5..=6 => {
+                    assert_eq!(t.delete(&mut ctx, key), model.remove(&key), "del {key}");
+                }
+                _ => {
+                    assert_eq!(t.get(&mut ctx, key), model.get(&key).copied(), "get {key}");
+                }
+            }
+        }
+        let all = t.collect_all_plain();
+        let expect: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn delete_then_reinsert_and_compaction() {
+        let (_rt, t, mut ctx) = tree();
+        for k in 0..16u64 {
+            t.put(&mut ctx, k, k);
+        }
+        for k in 0..8u64 {
+            assert_eq!(t.delete(&mut ctx, k), Some(k));
+        }
+        assert_eq!(t.delete_count(), 8);
+        // Tombstones freed at reorganization: inserting more keys must not
+        // grow the tree unnecessarily.
+        for k in 100..108u64 {
+            assert_eq!(t.put(&mut ctx, k, k), None);
+        }
+        for k in 0..8u64 {
+            assert_eq!(t.get(&mut ctx, k), None);
+        }
+        for k in 8..16u64 {
+            assert_eq!(t.get(&mut ctx, k), Some(k));
+        }
+    }
+
+    #[test]
+    fn scan_is_sorted_and_skips_tombstones() {
+        let (_rt, t, mut ctx) = tree();
+        for k in 0..500u64 {
+            t.put(&mut ctx, k, k * 3);
+        }
+        t.delete(&mut ctx, 120);
+        t.delete(&mut ctx, 121);
+        let mut out = Vec::new();
+        let n = t.scan(&mut ctx, 118, 6, &mut out);
+        assert_eq!(n, 6);
+        let keys: Vec<u64> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![118, 119, 122, 123, 124, 125]);
+        assert!(out.iter().all(|(k, v)| *v == k * 3));
+    }
+
+    #[test]
+    fn scan_whole_tree_matches_collect() {
+        let (_rt, t, mut ctx) = tree();
+        for k in (0..400u64).rev() {
+            t.put(&mut ctx, k, k);
+        }
+        let mut out = Vec::new();
+        let n = t.scan(&mut ctx, 0, usize::MAX, &mut out);
+        assert_eq!(n, 400);
+        assert_eq!(out, t.collect_all_plain());
+    }
+
+    #[test]
+    fn unpartitioned_variant_works() {
+        let rt = Runtime::new_virtual();
+        let t: EunoBTreeUnpartitioned =
+            EunoBTree::with_config(Arc::clone(&rt), EunoConfig::split_htm_only());
+        let mut ctx = rt.thread(3);
+        for k in 0..2_000u64 {
+            t.put(&mut ctx, k * 3 % 2_000, k);
+        }
+        for k in 0..2_000u64 {
+            assert!(t.get(&mut ctx, k).is_some(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn all_ablation_configs_are_correct() {
+        for cfg in [
+            EunoConfig::part_leaf(),
+            EunoConfig::ccm_lockbits(),
+            EunoConfig::ccm_markbits(),
+            EunoConfig::full(),
+        ] {
+            let rt = Runtime::new_virtual();
+            let t: EunoBTreeDefault = EunoBTree::with_config(Arc::clone(&rt), cfg.clone());
+            let mut ctx = rt.thread(5);
+            let mut model = BTreeMap::new();
+            let mut state = 11_400_714_819_323_198_485u64;
+            let mut rnd = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state >> 11
+            };
+            for _ in 0..4_000 {
+                let key = rnd() % 300;
+                if rnd() % 2 == 0 {
+                    let v = rnd() % 9_999;
+                    assert_eq!(t.put(&mut ctx, key, v), model.insert(key, v));
+                } else {
+                    assert_eq!(t.get(&mut ctx, key), model.get(&key).copied());
+                }
+            }
+            assert_eq!(
+                t.collect_all_plain(),
+                model.into_iter().collect::<Vec<_>>(),
+                "config {cfg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_bypass_lifecycle() {
+        let (_rt, t, mut ctx) = tree();
+        t.put(&mut ctx, 1, 1);
+        let leaf = unsafe { NodeRef::from_word(t.ctrl.root.load_plain()).as_leaf::<4, 4>() };
+        // Fresh leaves start bypassed (no contention history)…
+        assert!(leaf.ccm.bypass_plain());
+        // …split-born nodes start protected…
+        for k in 0..100u64 {
+            t.put(&mut ctx, k, k);
+        }
+        // …and a calm window re-enables the bypass on a protected leaf.
+        leaf.ccm.protect_prepublication();
+        assert!(!leaf.ccm.bypass_plain());
+        for _ in 0..t.config().adaptive_window + 1 {
+            t.get(&mut ctx, 1);
+        }
+        assert!(leaf.ccm.bypass_plain(), "calm leaf must bypass CCM");
+        assert_eq!(t.get(&mut ctx, 1), Some(1));
+        assert_eq!(t.get(&mut ctx, 999_999), None);
+    }
+
+    #[test]
+    fn concurrent_threads_no_lost_updates() {
+        let rt = Runtime::new_concurrent();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        let per = 400u64;
+        let threads = 4u64;
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let t = &t;
+                let mut ctx = rt.thread(tid);
+                s.spawn(move || {
+                    for i in 0..per {
+                        let key = tid * per + i;
+                        t.put(&mut ctx, key, key + 1);
+                    }
+                });
+            }
+        });
+        let mut ctx = rt.thread(99);
+        for key in 0..threads * per {
+            assert_eq!(t.get(&mut ctx, key), Some(key + 1), "key {key}");
+        }
+        let all = t.collect_all_plain();
+        assert_eq!(all.len(), (threads * per) as usize);
+    }
+
+    #[test]
+    fn concurrent_same_hot_keys_converge() {
+        let rt = Runtime::new_concurrent();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let t = &t;
+                let mut ctx = rt.thread(tid);
+                s.spawn(move || {
+                    for i in 0..600u64 {
+                        t.put(&mut ctx, i % 8, tid * 10_000 + i);
+                    }
+                });
+            }
+        });
+        // Every hot key must hold one of the written values.
+        let mut ctx = rt.thread(99);
+        for k in 0..8u64 {
+            let v = t.get(&mut ctx, k).expect("hot key present");
+            assert!(v % 10_000 < 600);
+        }
+    }
+
+    #[test]
+    fn interleaved_scans_and_inserts_never_overflow_reserved() {
+        // Regression: a scan used to cache oversize merges (> fanout) into
+        // the reserved buffer, letting the next reorganization overflow
+        // its capacity. Dense inserts interleaved with scans hit exactly
+        // that pattern; debug assertions in write_sorted catch overflow.
+        let (_rt, t, mut ctx) = tree();
+        let mut expect = std::collections::BTreeMap::new();
+        for k in 0..600u64 {
+            t.put(&mut ctx, k % 97, k);
+            expect.insert(k % 97, k);
+            if k % 10 == 7 {
+                let mut out = Vec::new();
+                t.scan(&mut ctx, 0, usize::MAX, &mut out);
+                let want: Vec<(u64, u64)> = expect.iter().map(|(&a, &b)| (a, b)).collect();
+                assert_eq!(out, want, "after {k} ops");
+            }
+        }
+        assert_eq!(
+            t.collect_all_plain(),
+            expect.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn memory_report_accounts_ccm_and_reserved() {
+        let (_rt, t, mut ctx) = tree();
+        for k in 0..2_000u64 {
+            t.put(&mut ctx, k, k);
+        }
+        let m = t.memory();
+        assert!(m.structural_bytes > 0);
+        assert!(m.ccm_bytes > 0, "CCM bytes counted");
+        assert!(m.reserved_peak_bytes > 0, "splits allocate reserved bufs");
+        assert!(
+            m.ccm_bytes < m.structural_bytes / 4,
+            "CCM overhead stays small: {} vs {}",
+            m.ccm_bytes,
+            m.structural_bytes
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests: the Euno-B+Tree is an ordered map — equivalent
+//! to `BTreeMap` under arbitrary operation sequences, across its
+//! configuration variants and leaf geometries.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use euno_core::{EunoBTree, EunoConfig};
+use euno_htm::{ConcurrentMap, Runtime};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u64, u64),
+    Get(u64),
+    Del(u64),
+    Scan(u64, usize),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..key_space, 0u64..1_000_000).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => (0..key_space).prop_map(Op::Get),
+        2 => (0..key_space).prop_map(Op::Del),
+        1 => (0..key_space, 1usize..20).prop_map(|(k, n)| Op::Scan(k, n)),
+    ]
+}
+
+fn check_against_model<const S: usize, const K: usize>(
+    cfg: EunoConfig,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    let rt = Runtime::new_virtual();
+    let tree: EunoBTree<S, K> = EunoBTree::with_config(Arc::clone(&rt), cfg);
+    let mut ctx = rt.thread(1);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Put(k, v) => {
+                prop_assert_eq!(tree.put(&mut ctx, k, v), model.insert(k, v), "put {}", k)
+            }
+            Op::Get(k) => {
+                prop_assert_eq!(tree.get(&mut ctx, k), model.get(&k).copied(), "get {}", k)
+            }
+            Op::Del(k) => {
+                prop_assert_eq!(tree.delete(&mut ctx, k), model.remove(&k), "del {}", k)
+            }
+            Op::Scan(k, n) => {
+                let mut got = Vec::new();
+                tree.scan(&mut ctx, k, n, &mut got);
+                let expect: Vec<(u64, u64)> =
+                    model.range(k..).take(n).map(|(&k, &v)| (k, v)).collect();
+                prop_assert_eq!(got, expect, "scan {}", k);
+            }
+        }
+    }
+    // Terminal audit.
+    let audit = tree.collect_all_plain();
+    let expect: Vec<(u64, u64)> = model.into_iter().collect();
+    prop_assert_eq!(audit, expect);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// Default geometry, full config.
+    #[test]
+    fn full_config_matches_model(ops in prop::collection::vec(op_strategy(128), 1..400)) {
+        check_against_model::<4, 4>(EunoConfig::full(), &ops)?;
+    }
+
+    /// Unpartitioned +SplitHTM variant.
+    #[test]
+    fn split_only_matches_model(ops in prop::collection::vec(op_strategy(128), 1..400)) {
+        check_against_model::<1, 16>(EunoConfig::split_htm_only(), &ops)?;
+    }
+
+    /// CCM without adaptive.
+    #[test]
+    fn ccm_markbits_matches_model(ops in prop::collection::vec(op_strategy(128), 1..400)) {
+        check_against_model::<4, 4>(EunoConfig::ccm_markbits(), &ops)?;
+    }
+
+    /// An unusual leaf geometry (2 segments × 8 slots).
+    #[test]
+    fn alternate_geometry_matches_model(ops in prop::collection::vec(op_strategy(96), 1..300)) {
+        check_against_model::<2, 8>(EunoConfig::full(), &ops)?;
+    }
+
+    /// Dense keyspaces force constant splitting and reorganization.
+    #[test]
+    fn dense_keyspace_splits_are_sound(ops in prop::collection::vec(op_strategy(24), 1..500)) {
+        check_against_model::<4, 4>(EunoConfig::full(), &ops)?;
+    }
+
+    /// Interleaving maintenance sweeps with random operations never
+    /// changes the map's contents.
+    #[test]
+    fn maintenance_preserves_the_model(
+        ops in prop::collection::vec(op_strategy(160), 1..400),
+        maintain_every in 10usize..60,
+    ) {
+        let rt = Runtime::new_virtual();
+        let tree: EunoBTree<4, 4> = EunoBTree::with_config(
+            Arc::clone(&rt),
+            EunoConfig::full(),
+        );
+        let mut ctx = rt.thread(1);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Put(k, v) => {
+                    prop_assert_eq!(tree.put(&mut ctx, k, v), model.insert(k, v))
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&mut ctx, k), model.get(&k).copied())
+                }
+                Op::Del(k) => {
+                    prop_assert_eq!(tree.delete(&mut ctx, k), model.remove(&k))
+                }
+                Op::Scan(k, n) => {
+                    let mut got = Vec::new();
+                    tree.scan(&mut ctx, k, n, &mut got);
+                    let expect: Vec<(u64, u64)> =
+                        model.range(k..).take(n).map(|(&k, &v)| (k, v)).collect();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            if i % maintain_every == maintain_every - 1 {
+                tree.maintain(&mut ctx);
+            }
+        }
+        tree.maintain(&mut ctx);
+        let audit = tree.collect_all_plain();
+        prop_assert_eq!(audit, model.into_iter().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,150 @@
+//! TSX-like abort status codes and the paper's conflict taxonomy.
+//!
+//! Intel RTM reports the abort reason through `EAX` status bits
+//! (conflict, capacity, explicit `XABORT`, retry-possible, debug, nested).
+//! The engine mirrors that interface and — because, unlike hardware, it
+//! knows both sides of every collision — additionally classifies each
+//! conflict the way §2.3 of the paper does: *true* conflicts (two requests
+//! to the same record), *false* conflicts from different records sharing a
+//! cache line, and *false* conflicts on shared metadata.
+
+use crate::line::{LineClass, LineId};
+
+/// Why a transaction attempt failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortCause {
+    /// Another thread's footprint collided with ours (the dominant cause
+    /// under contention). Carries the classification evidence.
+    Conflict(ConflictInfo),
+    /// Read or write set exceeded the hardware tracking capacity.
+    Capacity,
+    /// The program executed `XABORT imm8`.
+    Explicit(u8),
+    /// Interrupt / TLB shootdown / other environmental abort.
+    Spurious,
+    /// The subscribed fallback lock was held when the region started (or
+    /// was acquired while it ran), which aborts all elided transactions.
+    FallbackLocked,
+}
+
+impl AbortCause {
+    /// Whether the TSX "retry" hint bit would be set: retrying may succeed.
+    /// Capacity aborts of a deterministic overflow would fail again, and
+    /// fallback-lock aborts should wait for the lock instead.
+    pub fn may_retry(self) -> bool {
+        matches!(
+            self,
+            AbortCause::Conflict(_) | AbortCause::Spurious | AbortCause::FallbackLocked
+        )
+    }
+}
+
+/// The paper's abort taxonomy (§2.3, Figures 2 and 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConflictKind {
+    /// Both requests targeted exactly the same record.
+    TrueSameRecord,
+    /// Different records that share a cache line (consecutive layout).
+    FalseDifferentRecord,
+    /// Collision on shared per-node metadata (counts, versions, locks).
+    FalseMetadata,
+    /// Collision inside the interior index (internal-node keys/children).
+    FalseStructure,
+    /// The colliding line was never registered with a class.
+    Unclassified,
+}
+
+impl ConflictKind {
+    /// Derive the taxonomy bucket from the colliding line's class and the
+    /// two operations' target keys (when both are known).
+    pub fn classify(class: LineClass, my_key: Option<u64>, other_key: Option<u64>) -> Self {
+        match class {
+            LineClass::Record => match (my_key, other_key) {
+                (Some(a), Some(b)) if a == b => ConflictKind::TrueSameRecord,
+                _ => ConflictKind::FalseDifferentRecord,
+            },
+            LineClass::Metadata => ConflictKind::FalseMetadata,
+            LineClass::Structure => ConflictKind::FalseStructure,
+            LineClass::Unknown => ConflictKind::Unclassified,
+        }
+    }
+
+    /// Whether the conflict happened at the leaf level of a tree (record or
+    /// leaf metadata) as opposed to the interior index — the paper reports
+    /// >90 % of conflicts at the leaf level (§2.3).
+    pub fn is_leaf_level(self) -> bool {
+        !matches!(self, ConflictKind::FalseStructure)
+    }
+}
+
+/// Evidence attached to a conflict abort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConflictInfo {
+    /// The first colliding cache line found.
+    pub line: LineId,
+    /// Taxonomy bucket.
+    pub kind: ConflictKind,
+    /// Virtual-thread id of the transaction we collided with, when known.
+    pub other_thread: Option<u32>,
+}
+
+/// Outcome of running a region body: commit or abort with a cause.
+pub type TxResult<R> = Result<R, AbortCause>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_same_record_is_true_conflict() {
+        let k = ConflictKind::classify(LineClass::Record, Some(42), Some(42));
+        assert_eq!(k, ConflictKind::TrueSameRecord);
+    }
+
+    #[test]
+    fn classify_adjacent_records_is_false_conflict() {
+        let k = ConflictKind::classify(LineClass::Record, Some(42), Some(43));
+        assert_eq!(k, ConflictKind::FalseDifferentRecord);
+        // Unknown counterpart key can't be proven equal → false conflict.
+        let k = ConflictKind::classify(LineClass::Record, Some(42), None);
+        assert_eq!(k, ConflictKind::FalseDifferentRecord);
+    }
+
+    #[test]
+    fn classify_metadata_and_structure() {
+        assert_eq!(
+            ConflictKind::classify(LineClass::Metadata, Some(1), Some(1)),
+            ConflictKind::FalseMetadata,
+            "metadata collisions are false conflicts even on equal keys"
+        );
+        assert_eq!(
+            ConflictKind::classify(LineClass::Structure, None, None),
+            ConflictKind::FalseStructure
+        );
+        assert_eq!(
+            ConflictKind::classify(LineClass::Unknown, None, None),
+            ConflictKind::Unclassified
+        );
+    }
+
+    #[test]
+    fn leaf_level_attribution() {
+        assert!(ConflictKind::TrueSameRecord.is_leaf_level());
+        assert!(ConflictKind::FalseDifferentRecord.is_leaf_level());
+        assert!(ConflictKind::FalseMetadata.is_leaf_level());
+        assert!(!ConflictKind::FalseStructure.is_leaf_level());
+    }
+
+    #[test]
+    fn retry_hint_bits() {
+        assert!(AbortCause::Spurious.may_retry());
+        assert!(!AbortCause::Capacity.may_retry());
+        assert!(!AbortCause::Explicit(7).may_retry());
+        let ci = ConflictInfo {
+            line: LineId(1),
+            kind: ConflictKind::TrueSameRecord,
+            other_thread: None,
+        };
+        assert!(AbortCause::Conflict(ci).may_retry());
+    }
+}

@@ -1,0 +1,66 @@
+//! # euno-htm — a software HTM engine with TSX-like semantics
+//!
+//! The substrate for the Eunomia reproduction (Wang et al., *Eunomia:
+//! Scaling Concurrent Search Trees under Contention Using HTM*, PPoPP
+//! 2017). The paper's experiments run on Intel RTM hardware; this crate
+//! recreates the behaviours the paper's analysis depends on in software so
+//! the full evaluation can run anywhere:
+//!
+//! * **Cache-line-granularity conflict detection.** Footprints are sets of
+//!   real 64-byte line addresses ([`line`]), so false sharing between
+//!   adjacent records and shared metadata — the paper's dominant abort
+//!   source — emerges from the actual memory layout.
+//! * **TSX abort semantics.** Conflict / capacity / explicit / spurious
+//!   abort codes ([`abort`]), bounded read/write sets, lock-subscribing
+//!   fallback with per-cause retry budgets ([`policy`]).
+//! * **Two execution modes** ([`runtime::Mode`]): real-thread software
+//!   transactions (NOrec-style) for stress-testing correctness, and a
+//!   deterministic virtual-time mode where transactions occupy intervals
+//!   of a cycle-charged clock ([`cost`]) and conflict when overlapping
+//!   intervals have colliding footprints — the mode every figure of the
+//!   paper is regenerated under (the host has no 20-core TSX machine).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use euno_htm::{Runtime, RetryPolicy, TxCell};
+//!
+//! let rt = Runtime::new_virtual();
+//! let mut ctx = rt.thread(42);
+//! let fallback = TxCell::new(0u64);
+//! let counter = TxCell::new(0u64);
+//!
+//! let out = ctx.htm_execute(&fallback, &RetryPolicy::default(), |tx| {
+//!     let v = tx.read(&counter)?;
+//!     tx.write(&counter, v + 1)?;
+//!     Ok(v)
+//! });
+//! assert_eq!(out.value, 0);
+//! assert_eq!(counter.load_plain(), 1);
+//! ```
+
+pub mod abort;
+pub mod arena;
+pub mod cost;
+pub mod ctx;
+#[cfg(all(feature = "hw-rtm", target_arch = "x86_64"))]
+pub mod hw;
+pub mod line;
+pub mod lock;
+pub mod map;
+pub mod policy;
+pub mod runtime;
+pub mod stats;
+pub mod word;
+
+pub use abort::{AbortCause, ConflictInfo, ConflictKind, TxResult};
+pub use arena::{Arena, TransientBytes};
+pub use cost::CostModel;
+pub use ctx::{EpisodeKind, ExecOutcome, ThreadCtx, Tx};
+pub use line::{LineClass, LineId, LineSet, CACHE_LINE_BYTES};
+pub use lock::{AdvisoryLock, AtomicBitVector, BitLockVector, ControlBlock};
+pub use map::{ConcurrentMap, MemoryReport, KEY_SENTINEL, TOMBSTONE};
+pub use policy::{RetryCounts, RetryPolicy};
+pub use runtime::{Mode, Runtime};
+pub use stats::{AbortCounts, AggregateStats, ThreadStats};
+pub use word::{TxCell, TxWord};

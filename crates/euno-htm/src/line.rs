@@ -1,0 +1,221 @@
+//! Cache-line addressing and footprint sets.
+//!
+//! Intel TSX detects conflicts at 64-byte cache-line granularity: two
+//! transactions conflict when the write set of one overlaps the read or
+//! write set of the other *measured in cache lines*, not in program-level
+//! objects. Everything the Eunomia paper calls a *false conflict* (adjacent
+//! records sharing a line, shared metadata words) falls out of this
+//! granularity, so the engine tracks footprints as sets of [`LineId`]s
+//! derived from the *real addresses* of the cells a transaction touches.
+
+use std::fmt;
+
+/// Size of a cache line on the modelled machine (Intel Haswell: 64 bytes).
+pub const CACHE_LINE_BYTES: usize = 64;
+const LINE_SHIFT: u32 = 6;
+
+/// Identifier of one 64-byte cache line: the address divided by 64.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineId(pub u64);
+
+impl LineId {
+    /// The line containing `addr`.
+    #[inline]
+    pub fn of_addr(addr: usize) -> Self {
+        LineId((addr as u64) >> LINE_SHIFT)
+    }
+
+    /// The line containing the referent of `p`.
+    #[inline]
+    pub fn of_ptr<T>(p: *const T) -> Self {
+        Self::of_addr(p as usize)
+    }
+
+    /// First byte address covered by this line.
+    #[inline]
+    pub fn base_addr(self) -> u64 {
+        self.0 << LINE_SHIFT
+    }
+}
+
+impl fmt::Debug for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// What kind of program-level data lives on a line.
+///
+/// The Eunomia paper decomposes HTM aborts into *true conflicts* (same
+/// record), *false conflicts from different records* (consecutive layout)
+/// and *false conflicts from shared metadata* (§2.3, Figure 2). Trees
+/// register each allocated region with a class so the simulator can
+/// attribute every conflict to one of these buckets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum LineClass {
+    /// Key/value record storage (leaf slots).
+    Record,
+    /// Per-node bookkeeping: counts, versions, locks, parent pointers.
+    Metadata,
+    /// Interior index structure: internal-node keys and child pointers.
+    Structure,
+    /// Anything not registered (stack temporaries, engine-internal words).
+    #[default]
+    Unknown,
+}
+
+/// A small, allocation-friendly set of cache lines.
+///
+/// Transactional footprints are tiny (a handful of lines for a tree
+/// traversal, a few dozen for a node split), so a sorted `Vec` with linear
+/// insert beats a hash set by a wide margin and keeps iteration ordered and
+/// deterministic — determinism matters because the virtual-time simulator
+/// must be bit-for-bit reproducible for a given seed.
+#[derive(Clone, Default, Debug)]
+pub struct LineSet {
+    lines: Vec<LineId>,
+}
+
+impl LineSet {
+    pub fn new() -> Self {
+        LineSet { lines: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        LineSet {
+            lines: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Insert a line; returns `true` if it was not present before.
+    #[inline]
+    pub fn insert(&mut self, line: LineId) -> bool {
+        match self.lines.binary_search(&line) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.lines.insert(pos, line);
+                true
+            }
+        }
+    }
+
+    #[inline]
+    pub fn contains(&self, line: LineId) -> bool {
+        self.lines.binary_search(&line).is_ok()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = LineId> + '_ {
+        self.lines.iter().copied()
+    }
+
+    pub fn as_slice(&self) -> &[LineId] {
+        &self.lines
+    }
+
+    /// First line present in both sets, if any. O(n + m) merge walk.
+    pub fn first_intersection(&self, other: &LineSet) -> Option<LineId> {
+        let (mut i, mut j) = (0, 0);
+        let (a, b) = (&self.lines, &other.lines);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return Some(a[i]),
+            }
+        }
+        None
+    }
+
+    /// Whether the two sets share any line.
+    #[inline]
+    pub fn intersects(&self, other: &LineSet) -> bool {
+        self.first_intersection(other).is_some()
+    }
+}
+
+impl FromIterator<LineId> for LineSet {
+    fn from_iter<I: IntoIterator<Item = LineId>>(iter: I) -> Self {
+        let mut s = LineSet::new();
+        for l in iter {
+            s.insert(l);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_addr_maps_64_byte_blocks() {
+        assert_eq!(LineId::of_addr(0), LineId(0));
+        assert_eq!(LineId::of_addr(63), LineId(0));
+        assert_eq!(LineId::of_addr(64), LineId(1));
+        assert_eq!(LineId::of_addr(128 + 17), LineId(2));
+    }
+
+    #[test]
+    fn adjacent_words_share_a_line() {
+        // Two u64s 8 bytes apart land on the same line unless they straddle
+        // a boundary — the root cause of the paper's false conflicts.
+        let xs = [0u64; 8];
+        let distinct: std::collections::HashSet<_> =
+            xs.iter().map(|x| LineId::of_ptr(x)).collect();
+        assert!(
+            distinct.len() <= 2,
+            "8 contiguous words span at most two lines, got {}",
+            distinct.len()
+        );
+        // And at least one pair of neighbours must share a line.
+        assert!((1..8).any(|i| LineId::of_ptr(&xs[i]) == LineId::of_ptr(&xs[i - 1])));
+    }
+
+    #[test]
+    fn lineset_insert_dedup_and_order() {
+        let mut s = LineSet::new();
+        assert!(s.insert(LineId(5)));
+        assert!(s.insert(LineId(1)));
+        assert!(!s.insert(LineId(5)));
+        assert_eq!(s.len(), 2);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![LineId(1), LineId(5)]);
+        assert!(s.contains(LineId(1)));
+        assert!(!s.contains(LineId(2)));
+    }
+
+    #[test]
+    fn lineset_intersection() {
+        let a: LineSet = [1u64, 3, 9].iter().map(|&x| LineId(x)).collect();
+        let b: LineSet = [2u64, 9, 11].iter().map(|&x| LineId(x)).collect();
+        let c: LineSet = [4u64, 6].iter().map(|&x| LineId(x)).collect();
+        assert_eq!(a.first_intersection(&b), Some(LineId(9)));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!c.intersects(&a));
+    }
+
+    #[test]
+    fn empty_sets_never_intersect() {
+        let e = LineSet::new();
+        let a: LineSet = [1u64].iter().map(|&x| LineId(x)).collect();
+        assert!(!e.intersects(&a));
+        assert!(!a.intersects(&e));
+        assert!(!e.intersects(&e));
+        assert!(e.is_empty());
+    }
+}

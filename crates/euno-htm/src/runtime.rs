@@ -1,0 +1,594 @@
+//! Engine-wide shared state: execution mode, the NOrec sequence lock for
+//! real-thread commits, and the virtual-time conflict bookkeeping
+//! (committed-episode window, virtual lock table, hot-line map, line-class
+//! registry).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::abort::{ConflictInfo, ConflictKind};
+use crate::cost::CostModel;
+use crate::line::{LineClass, LineId, LineSet, CACHE_LINE_BYTES};
+
+/// How transactions execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Real OS threads; NOrec-style software transactions (global sequence
+    /// lock, value-based validation). Used by stress tests — genuinely
+    /// concurrent and linearizable, but abort statistics reflect the STM,
+    /// not TSX.
+    Concurrent,
+    /// Deterministic single-threaded virtual-time execution; conflicts
+    /// derived from interval overlap × cache-line footprint intersection,
+    /// faithfully mimicking TSX's line-granularity detection. Used by all
+    /// paper-figure experiments.
+    Virtual,
+}
+
+/// One committed episode visible to later overlapping episodes.
+#[derive(Clone, Debug)]
+pub struct EpisodeRecord {
+    pub start: u64,
+    pub end: u64,
+    pub thread: u32,
+    pub op_key: Option<u64>,
+    pub reads: LineSet,
+    pub writes: LineSet,
+}
+
+/// Write-recency record for one cache line.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LineHeat {
+    pub end: u64,
+    pub thread: u32,
+    /// EWMA of the gap between consecutive writes (cycles); `u64::MAX`
+    /// until a second write establishes a rate.
+    pub gap_ewma: u64,
+}
+
+/// Virtual-mode shared state. Guarded by a mutex for `Send`/`Sync`, but in
+/// virtual mode all access is from the single scheduler thread, so the lock
+/// is never contended.
+#[derive(Default)]
+pub(crate) struct VirtState {
+    /// Recently committed episodes, ordered by start time (execution order).
+    window: VecDeque<EpisodeRecord>,
+    /// Advisory-lock table: lock key → virtual time it is held until.
+    locks: HashMap<u64, u64>,
+    /// Per-line write heat: last writer end/thread plus an EWMA of the
+    /// write interarrival gap. Drives both the cross-core line-transfer
+    /// charge and the storm (write-rate) extrapolation.
+    recent_writes: HashMap<u64, LineHeat>,
+    /// Cycles of history to keep in `recent_writes` for hot-line charging.
+    transfer_horizon: u64,
+}
+
+/// The engine runtime shared by all threads of one experiment.
+///
+/// Trees hold an `Arc<Runtime>`; per-thread handles are
+/// [`ThreadCtx`](crate::ctx::ThreadCtx)s created via [`Runtime::thread`].
+pub struct Runtime {
+    mode: Mode,
+    pub cost: CostModel,
+    /// NOrec global sequence lock (even = stable, odd = commit in flight).
+    pub(crate) seq: AtomicU64,
+    /// Serializes NOrec commits.
+    pub(crate) commit_lock: Mutex<()>,
+    pub(crate) virt: Mutex<VirtState>,
+    /// Line → data class, populated by trees at node allocation.
+    classes: RwLock<HashMap<u64, LineClass>>,
+    /// Monotonic source for thread ids handed out by [`Runtime::thread`].
+    next_thread: AtomicU64,
+}
+
+impl Runtime {
+    pub fn new(mode: Mode, cost: CostModel) -> Arc<Self> {
+        Arc::new(Runtime {
+            mode,
+            cost,
+            seq: AtomicU64::new(0),
+            commit_lock: Mutex::new(()),
+            virt: Mutex::new(VirtState {
+                transfer_horizon: 20_000,
+                ..VirtState::default()
+            }),
+            classes: RwLock::new(HashMap::new()),
+            next_thread: AtomicU64::new(0),
+        })
+    }
+
+    /// Convenience: virtual-time runtime with the default cost model.
+    pub fn new_virtual() -> Arc<Self> {
+        Self::new(Mode::Virtual, CostModel::default())
+    }
+
+    /// Convenience: real-thread runtime with the default cost model.
+    pub fn new_concurrent() -> Arc<Self> {
+        Self::new(Mode::Concurrent, CostModel::default())
+    }
+
+    #[inline]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Create a per-thread execution handle with a deterministic RNG seed.
+    pub fn thread(self: &Arc<Self>, seed: u64) -> crate::ctx::ThreadCtx {
+        let id = self
+            .next_thread
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed) as u32;
+        crate::ctx::ThreadCtx::new(Arc::clone(self), id, seed)
+    }
+
+    // ----- line-class registry ---------------------------------------
+
+    /// Tag every cache line overlapping `[addr, addr + bytes)` with `class`.
+    /// Trees call this when allocating nodes so conflicts can be attributed
+    /// to the paper's taxonomy buckets.
+    pub fn register_region(&self, addr: usize, bytes: usize, class: LineClass) {
+        if bytes == 0 {
+            return;
+        }
+        let first = LineId::of_addr(addr).0;
+        let last = LineId::of_addr(addr + bytes - 1).0;
+        let mut map = self.classes.write();
+        for l in first..=last {
+            map.insert(l, class);
+        }
+    }
+
+    /// Convenience: register the memory occupied by a value.
+    pub fn register_value<T>(&self, v: &T, class: LineClass) {
+        self.register_region(v as *const T as usize, std::mem::size_of::<T>(), class);
+    }
+
+    pub fn class_of(&self, line: LineId) -> LineClass {
+        self.classes
+            .read()
+            .get(&line.0)
+            .copied()
+            .unwrap_or(LineClass::Unknown)
+    }
+
+    /// Number of distinct registered lines (used to bound registry growth
+    /// in tests).
+    pub fn registered_lines(&self) -> usize {
+        self.classes.read().len()
+    }
+
+    // ----- virtual-mode conflict window --------------------------------
+
+    /// Check an episode's footprint against committed overlapping episodes.
+    /// `check_reads_against_writes` only (optimistic reads) when
+    /// `writes` is `None`.
+    ///
+    /// Returns the first collision found, classified.
+    pub(crate) fn virt_check(
+        &self,
+        start: u64,
+        reads: &LineSet,
+        writes: Option<&LineSet>,
+        my_key: Option<u64>,
+    ) -> Option<ConflictInfo> {
+        let virt = self.virt.lock();
+        for rec in virt.window.iter().rev() {
+            if rec.end <= start {
+                // Window is start-ordered, not end-ordered, so we cannot
+                // break early; older records may still have larger ends.
+                continue;
+            }
+            // Collision rules (TSX): my W ∩ their (R ∪ W), my R ∩ their W.
+            let hit = if let Some(w) = writes {
+                w.first_intersection(&rec.writes)
+                    .or_else(|| w.first_intersection(&rec.reads))
+                    .or_else(|| reads.first_intersection(&rec.writes))
+            } else {
+                reads.first_intersection(&rec.writes)
+            };
+            if let Some(line) = hit {
+                let (other_key, other_thread) = (rec.op_key, rec.thread);
+                drop(virt);
+                let kind = ConflictKind::classify(self.class_of(line), my_key, other_key);
+                return Some(ConflictInfo {
+                    line,
+                    kind,
+                    other_thread: Some(other_thread),
+                });
+            }
+        }
+        None
+    }
+
+    /// Publish a committed episode and refresh the hot-line map.
+    pub(crate) fn virt_commit(&self, rec: EpisodeRecord) {
+        let mut virt = self.virt.lock();
+        for l in rec.writes.iter() {
+            let heat = match virt.recent_writes.get(&l.0) {
+                Some(prev) => {
+                    let gap = rec.end.saturating_sub(prev.end).max(1);
+                    let ewma = if prev.gap_ewma == u64::MAX {
+                        gap
+                    } else {
+                        (3 * prev.gap_ewma + gap) / 4
+                    };
+                    LineHeat {
+                        end: rec.end,
+                        thread: rec.thread,
+                        gap_ewma: ewma,
+                    }
+                }
+                None => LineHeat {
+                    end: rec.end,
+                    thread: rec.thread,
+                    gap_ewma: u64::MAX,
+                },
+            };
+            virt.recent_writes.insert(l.0, heat);
+        }
+        // Opportunistic backstop pruning for drivers that never call
+        // [`Runtime::virt_prune`] (ad-hoc tests, hand-rolled loops): any
+        // future episode in a min-clock-ordered schedule starts no earlier
+        // than this commit's start, so records ending a full safety margin
+        // before it can never collide again. The scheduler still performs
+        // exact pruning.
+        if virt.window.len() >= 256 {
+            let cutoff = rec.start.saturating_sub(200_000);
+            while let Some(front) = virt.window.front() {
+                if front.end <= cutoff {
+                    virt.window.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if virt.window.len() >= 4096 {
+                virt.window.retain(|r| r.end > cutoff);
+            }
+        }
+        virt.window.push_back(rec);
+    }
+
+    /// Storm extrapolation: serial virtual execution can only see
+    /// conflicts with *already committed* episodes, but on real hardware a
+    /// transaction also races writers that are wall-clock concurrent yet
+    /// execute later in the serial order. Model them statistically: if a
+    /// line in the footprint was last written by another thread Δ cycles
+    /// before this episode started, treat writes to it as a Poisson stream
+    /// of rate 1/Δ, so an episode of duration L collides with probability
+    /// `1 − exp(−L/Δ)`. Under a genuine storm Δ collapses and retries keep
+    /// failing — reproducing TSX's retry livelock and the fallback convoy
+    /// that drives the paper's throughput collapse; under low contention Δ
+    /// is huge and the correction vanishes.
+    pub(crate) fn virt_storm_check(
+        &self,
+        reads: &LineSet,
+        writes: Option<&LineSet>,
+        start: u64,
+        duration: u64,
+        me: u32,
+        u: f64,
+    ) -> Option<LineId> {
+        let virt = self.virt.lock();
+        let l = duration.max(1) as f64;
+        // Survival probability across all hot lines in the footprint: the
+        // line's write process is modelled as Poisson with rate 1/EWMA-gap,
+        // damped exponentially with the time since the last write so a
+        // storm that has genuinely ended stops biting. A line with no rate
+        // estimate yet falls back to the single-observation estimate
+        // (gap ≈ time since that write).
+        let mut log_survive = 0.0f64;
+        let mut hottest: Option<(LineId, u64)> = None;
+        let mut consider = |line: LineId, virt: &VirtState| {
+            if let Some(heat) = virt.recent_writes.get(&line.0) {
+                if heat.thread != me && heat.end <= start {
+                    let since = (start - heat.end).max(1) as f64;
+                    let lambda = if heat.gap_ewma == u64::MAX {
+                        l / since
+                    } else {
+                        let gap = heat.gap_ewma.max(1) as f64;
+                        (l / gap) * (-since / (20.0 * gap)).exp()
+                    };
+                    log_survive -= lambda;
+                    if hottest.map_or(true, |(_, e)| heat.end > e) {
+                        hottest = Some((line, heat.end));
+                    }
+                }
+            }
+        };
+        for line in reads.iter() {
+            consider(line, &virt);
+        }
+        if let Some(w) = writes {
+            for line in w.iter() {
+                consider(line, &virt);
+            }
+        }
+        drop(virt);
+        let p_abort = 1.0 - log_survive.exp();
+        if p_abort > 0.0 && u < p_abort {
+            hottest.map(|(line, _)| line)
+        } else {
+            None
+        }
+    }
+
+    /// Record the write footprint of an *aborted* HTM attempt. Speculative
+    /// stores issue request-for-ownership coherence traffic whether or not
+    /// the transaction later commits, so aborted attempts keep contended
+    /// lines hot — the positive feedback that turns contention into the
+    /// retry storms the paper measures (60 aborts/op at θ = 0.99).
+    pub(crate) fn virt_note_attempt_writes(&self, writes: &LineSet, end: u64, thread: u32) {
+        if writes.is_empty() {
+            return;
+        }
+        let mut virt = self.virt.lock();
+        for l in writes.iter() {
+            let heat = match virt.recent_writes.get(&l.0) {
+                Some(prev) => {
+                    let gap = end.saturating_sub(prev.end).max(1);
+                    let ewma = if prev.gap_ewma == u64::MAX {
+                        gap
+                    } else {
+                        (3 * prev.gap_ewma + gap) / 4
+                    };
+                    LineHeat {
+                        end,
+                        thread,
+                        gap_ewma: ewma,
+                    }
+                }
+                None => LineHeat {
+                    end,
+                    thread,
+                    gap_ewma: u64::MAX,
+                },
+            };
+            virt.recent_writes.insert(l.0, heat);
+        }
+    }
+
+    /// Cycles charged for cache-coherence transfers of recently-written hot
+    /// lines (touched by another thread within the transfer horizon).
+    pub(crate) fn virt_transfer_charge(
+        &self,
+        footprint: impl Iterator<Item = LineId>,
+        now: u64,
+        me: u32,
+    ) -> u64 {
+        let virt = self.virt.lock();
+        let mut hot = 0u64;
+        for l in footprint {
+            if let Some(heat) = virt.recent_writes.get(&l.0) {
+                if heat.thread != me && heat.end + virt.transfer_horizon > now {
+                    hot += 1;
+                }
+            }
+        }
+        hot * self.cost.line_transfer
+    }
+
+    /// Drop window entries and hot-line records that can no longer affect
+    /// any episode starting at or after `before`. The scheduler calls this
+    /// with the minimum pending start time.
+    pub fn virt_prune(&self, before: u64) {
+        let mut virt = self.virt.lock();
+        // Window is start-ordered; entries may have any end. Do a linear
+        // retain occasionally — cheap because the window stays small.
+        while let Some(front) = virt.window.front() {
+            if front.end <= before {
+                virt.window.pop_front();
+            } else {
+                break;
+            }
+        }
+        if virt.window.len() > 4096 {
+            virt.window.retain(|r| r.end > before);
+        }
+        if virt.recent_writes.len() > 1 << 16 {
+            virt.recent_writes
+                .retain(|_, heat| heat.end + 1_000_000 > before);
+        }
+        if virt.locks.len() > 1 << 14 {
+            virt.locks.retain(|_, &mut until| until > before);
+        }
+    }
+
+    /// Current number of live window entries (observability/tests).
+    pub fn virt_window_len(&self) -> usize {
+        self.virt.lock().window.len()
+    }
+
+    // ----- virtual-mode advisory locks ---------------------------------
+
+    /// Virtual time at which the lock `key` becomes free (≥ `now`).
+    /// Public so downstream crates can build custom lock primitives (e.g.
+    /// the CCM's single-word bit locks) with virtual-wait semantics.
+    pub fn vlock_free_at(&self, key: u64, now: u64) -> u64 {
+        self.virt.lock().locks.get(&key).copied().unwrap_or(0).max(now)
+    }
+
+    /// Record that `key` is held until `until`.
+    pub fn vlock_hold(&self, key: u64, until: u64) {
+        let mut virt = self.virt.lock();
+        let slot = virt.locks.entry(key).or_insert(0);
+        *slot = (*slot).max(until);
+    }
+
+    /// Reset all engine state between experiment phases (keeps the class
+    /// registry — the tree nodes are still alive).
+    pub fn reset_dynamics(&self) {
+        let mut virt = self.virt.lock();
+        virt.window.clear();
+        virt.locks.clear();
+        virt.recent_writes.clear();
+    }
+}
+
+/// Derive a virtual-lock key from a cell address (one key per word).
+#[inline]
+pub fn lock_key_for_addr(addr: usize) -> u64 {
+    addr as u64
+}
+
+/// Derive a virtual-lock key for a single bit of a bit-vector word, so the
+/// CCM's per-slot lock bits are independent locks.
+#[inline]
+pub fn lock_key_for_bit(addr: usize, bit: u32) -> u64 {
+    // Word addresses are 8-byte aligned, so the low 3 bits are free; bits
+    // run 0..64, needing 6 bits. Shift the address up to make room.
+    ((addr as u64) << 6) | (bit as u64 & 63)
+}
+
+/// Size sanity: a cache line holds 8 cells.
+pub const CELLS_PER_LINE: usize = CACHE_LINE_BYTES / 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_classify() {
+        let rt = Runtime::new_virtual();
+        let buf = vec![0u8; 256];
+        rt.register_region(buf.as_ptr() as usize, 256, LineClass::Record);
+        let l = LineId::of_ptr(buf.as_ptr().wrapping_add(100));
+        assert_eq!(rt.class_of(l), LineClass::Record);
+        let unrelated = LineId(0xdead_beef);
+        assert_eq!(rt.class_of(unrelated), LineClass::Unknown);
+    }
+
+    #[test]
+    fn window_conflict_detection_basic() {
+        let rt = Runtime::new_virtual();
+        let reads: LineSet = [LineId(10)].into_iter().collect();
+        let writes: LineSet = [LineId(20)].into_iter().collect();
+        rt.virt_commit(EpisodeRecord {
+            start: 0,
+            end: 100,
+            thread: 0,
+            op_key: Some(7),
+            reads,
+            writes,
+        });
+
+        // Overlapping reader of line 20 collides with the committed write.
+        let r: LineSet = [LineId(20)].into_iter().collect();
+        let w = LineSet::new();
+        let c = rt.virt_check(50, &r, Some(&w), Some(9));
+        assert!(c.is_some());
+        assert_eq!(c.unwrap().other_thread, Some(0));
+
+        // Non-overlapping (starts after the episode ended): no conflict.
+        assert!(rt.virt_check(100, &r, Some(&w), Some(9)).is_none());
+
+        // Overlapping but disjoint lines: no conflict.
+        let r2: LineSet = [LineId(99)].into_iter().collect();
+        assert!(rt.virt_check(50, &r2, Some(&w), Some(9)).is_none());
+    }
+
+    #[test]
+    fn writer_collides_with_committed_reader() {
+        // TSX aborts a running reader when a writer intrudes; in the model
+        // the later-executing writer takes the abort instead — same count.
+        let rt = Runtime::new_virtual();
+        rt.virt_commit(EpisodeRecord {
+            start: 0,
+            end: 100,
+            thread: 1,
+            op_key: None,
+            reads: [LineId(5)].into_iter().collect(),
+            writes: LineSet::new(),
+        });
+        let w: LineSet = [LineId(5)].into_iter().collect();
+        let c = rt.virt_check(10, &LineSet::new(), Some(&w), None);
+        assert!(c.is_some());
+    }
+
+    #[test]
+    fn optimistic_read_only_checks_writes() {
+        let rt = Runtime::new_virtual();
+        rt.virt_commit(EpisodeRecord {
+            start: 0,
+            end: 100,
+            thread: 1,
+            op_key: None,
+            reads: [LineId(5)].into_iter().collect(),
+            writes: [LineId(6)].into_iter().collect(),
+        });
+        // Optimistic read of line 5 (their read): fine.
+        let r: LineSet = [LineId(5)].into_iter().collect();
+        assert!(rt.virt_check(10, &r, None, None).is_none());
+        // Optimistic read of line 6 (their write): retry.
+        let r: LineSet = [LineId(6)].into_iter().collect();
+        assert!(rt.virt_check(10, &r, None, None).is_some());
+    }
+
+    #[test]
+    fn prune_discards_expired_records() {
+        let rt = Runtime::new_virtual();
+        for i in 0..10 {
+            rt.virt_commit(EpisodeRecord {
+                start: i * 10,
+                end: i * 10 + 10,
+                thread: 0,
+                op_key: None,
+                reads: LineSet::new(),
+                writes: [LineId(i)].into_iter().collect(),
+            });
+        }
+        assert_eq!(rt.virt_window_len(), 10);
+        rt.virt_prune(55);
+        assert!(rt.virt_window_len() <= 5);
+        // Remaining entries still catch conflicts.
+        let w: LineSet = [LineId(9)].into_iter().collect();
+        assert!(rt.virt_check(91, &LineSet::new(), Some(&w), None).is_some());
+    }
+
+    #[test]
+    fn vlock_hold_and_query() {
+        let rt = Runtime::new_virtual();
+        assert_eq!(rt.vlock_free_at(42, 100), 100);
+        rt.vlock_hold(42, 500);
+        assert_eq!(rt.vlock_free_at(42, 100), 500);
+        assert_eq!(rt.vlock_free_at(42, 900), 900);
+        // Holds never shrink.
+        rt.vlock_hold(42, 300);
+        assert_eq!(rt.vlock_free_at(42, 100), 500);
+    }
+
+    #[test]
+    fn transfer_charge_for_hot_lines() {
+        let rt = Runtime::new_virtual();
+        rt.virt_commit(EpisodeRecord {
+            start: 0,
+            end: 100,
+            thread: 1,
+            op_key: None,
+            reads: LineSet::new(),
+            writes: [LineId(3)].into_iter().collect(),
+        });
+        let cost = rt.cost.line_transfer;
+        // Another thread touching the line soon after pays a transfer.
+        let c = rt.virt_transfer_charge([LineId(3)].into_iter(), 150, 0);
+        assert_eq!(c, cost);
+        // The writer itself does not.
+        let c = rt.virt_transfer_charge([LineId(3)].into_iter(), 150, 1);
+        assert_eq!(c, 0);
+        // Long after the horizon: cold again.
+        let c = rt.virt_transfer_charge([LineId(3)].into_iter(), 10_000_000, 0);
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn bit_lock_keys_are_distinct() {
+        let addr = 0x1000usize;
+        let mut keys = std::collections::HashSet::new();
+        for b in 0..64 {
+            keys.insert(lock_key_for_bit(addr, b));
+        }
+        assert_eq!(keys.len(), 64);
+        assert!(!keys.contains(&lock_key_for_bit(0x1008, 0)));
+    }
+}

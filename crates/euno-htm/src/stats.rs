@@ -1,0 +1,235 @@
+//! Per-thread and aggregated execution statistics.
+//!
+//! The paper's analysis figures (2 and 9) plot *aborts per operation broken
+//! down by cause*, and §2.3 quotes the fraction of CPU cycles wasted in
+//! aborted attempts (">94 % of total CPU cycles when θ = 0.9"). Each
+//! [`ThreadStats`](ThreadStats) tracks exactly those quantities; the
+//! simulator merges them into an [`AggregateStats`] per run.
+
+use crate::abort::{AbortCause, ConflictKind};
+
+/// Counters kept by one (virtual or OS) thread. Plain integers — each
+/// thread owns its counters; aggregation happens after the run.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadStats {
+    /// Completed top-level operations (get/put/delete/scan).
+    pub ops: u64,
+    /// Committed HTM transactions.
+    pub commits: u64,
+    /// HTM transaction attempts that started (commits + aborts).
+    pub attempts: u64,
+    /// Fallback-path executions (lock acquired after retry exhaustion).
+    pub fallbacks: u64,
+    /// Aborts by cause.
+    pub aborts: AbortCounts,
+    /// Optimistic-episode retries (Masstree-style version-validation
+    /// failures; not HTM aborts).
+    pub optimistic_retries: u64,
+    /// Total virtual cycles consumed by this thread.
+    pub cycles_total: u64,
+    /// Thread clock at the moment measurement began (after warmup); the
+    /// harness subtracts it from the makespan so warmup cycles don't
+    /// dilute throughput.
+    pub measure_start_cycles: u64,
+    /// Virtual cycles consumed inside attempts that later aborted, plus
+    /// rollback penalties and backoff — the "wasted work" of §2.3.
+    pub cycles_wasted: u64,
+    /// Virtual cycles spent waiting for advisory locks and the fallback lock.
+    pub cycles_lock_wait: u64,
+    /// Instrumented memory accesses (instruction-count proxy; used for the
+    /// "Masstree executes ~2.1× the instructions" comparison in §5.2).
+    pub mem_accesses: u64,
+    /// Atomic CAS operations issued.
+    pub cas_ops: u64,
+}
+
+/// Abort tallies following the paper's taxonomy.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AbortCounts {
+    pub true_same_record: u64,
+    pub false_different_record: u64,
+    pub false_metadata: u64,
+    pub false_structure: u64,
+    pub unclassified_conflict: u64,
+    pub capacity: u64,
+    pub explicit: u64,
+    pub spurious: u64,
+    pub fallback_locked: u64,
+}
+
+impl AbortCounts {
+    pub fn record(&mut self, cause: AbortCause) {
+        match cause {
+            AbortCause::Conflict(info) => match info.kind {
+                ConflictKind::TrueSameRecord => self.true_same_record += 1,
+                ConflictKind::FalseDifferentRecord => self.false_different_record += 1,
+                ConflictKind::FalseMetadata => self.false_metadata += 1,
+                ConflictKind::FalseStructure => self.false_structure += 1,
+                ConflictKind::Unclassified => self.unclassified_conflict += 1,
+            },
+            AbortCause::Capacity => self.capacity += 1,
+            AbortCause::Explicit(_) => self.explicit += 1,
+            AbortCause::Spurious => self.spurious += 1,
+            AbortCause::FallbackLocked => self.fallback_locked += 1,
+        }
+    }
+
+    /// All conflict-caused aborts (the taxonomy of Figure 2).
+    pub fn conflicts(&self) -> u64 {
+        self.true_same_record
+            + self.false_different_record
+            + self.false_metadata
+            + self.false_structure
+            + self.unclassified_conflict
+    }
+
+    /// Conflicts attributable to the leaf level (record + metadata), as in
+    /// the ">90 % of conflicts occur in the leaf level" measurement.
+    pub fn leaf_level_conflicts(&self) -> u64 {
+        self.conflicts() - self.false_structure
+    }
+
+    pub fn total(&self) -> u64 {
+        self.conflicts() + self.capacity + self.explicit + self.spurious + self.fallback_locked
+    }
+
+    pub fn merge(&mut self, other: &AbortCounts) {
+        self.true_same_record += other.true_same_record;
+        self.false_different_record += other.false_different_record;
+        self.false_metadata += other.false_metadata;
+        self.false_structure += other.false_structure;
+        self.unclassified_conflict += other.unclassified_conflict;
+        self.capacity += other.capacity;
+        self.explicit += other.explicit;
+        self.spurious += other.spurious;
+        self.fallback_locked += other.fallback_locked;
+    }
+}
+
+impl ThreadStats {
+    pub fn merge(&mut self, other: &ThreadStats) {
+        self.ops += other.ops;
+        self.commits += other.commits;
+        self.attempts += other.attempts;
+        self.fallbacks += other.fallbacks;
+        self.aborts.merge(&other.aborts);
+        self.optimistic_retries += other.optimistic_retries;
+        self.cycles_total += other.cycles_total;
+        self.measure_start_cycles = self.measure_start_cycles.min(other.measure_start_cycles);
+        self.cycles_wasted += other.cycles_wasted;
+        self.cycles_lock_wait += other.cycles_lock_wait;
+        self.mem_accesses += other.mem_accesses;
+        self.cas_ops += other.cas_ops;
+    }
+
+    /// HTM aborts per completed operation (Figures 2 and 9 y-axis).
+    pub fn aborts_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.aborts.total() as f64 / self.ops as f64
+        }
+    }
+
+    /// Fraction of cycles burnt in aborted attempts (§2.3: >94 % at θ=0.9).
+    pub fn wasted_cycle_fraction(&self) -> f64 {
+        if self.cycles_total == 0 {
+            0.0
+        } else {
+            self.cycles_wasted as f64 / self.cycles_total as f64
+        }
+    }
+}
+
+/// Statistics merged across all threads of one run.
+#[derive(Clone, Debug, Default)]
+pub struct AggregateStats {
+    pub per_run: ThreadStats,
+    pub threads: usize,
+}
+
+impl AggregateStats {
+    pub fn from_threads<'a>(stats: impl IntoIterator<Item = &'a ThreadStats>) -> Self {
+        let mut agg = AggregateStats::default();
+        for s in stats {
+            agg.per_run.merge(s);
+            agg.threads += 1;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abort::{ConflictInfo, ConflictKind};
+    use crate::line::LineId;
+
+    fn conflict(kind: ConflictKind) -> AbortCause {
+        AbortCause::Conflict(ConflictInfo {
+            line: LineId(1),
+            kind,
+            other_thread: None,
+        })
+    }
+
+    #[test]
+    fn record_routes_to_buckets() {
+        let mut a = AbortCounts::default();
+        a.record(conflict(ConflictKind::TrueSameRecord));
+        a.record(conflict(ConflictKind::FalseDifferentRecord));
+        a.record(conflict(ConflictKind::FalseDifferentRecord));
+        a.record(conflict(ConflictKind::FalseMetadata));
+        a.record(conflict(ConflictKind::FalseStructure));
+        a.record(AbortCause::Capacity);
+        a.record(AbortCause::Explicit(3));
+        a.record(AbortCause::Spurious);
+        a.record(AbortCause::FallbackLocked);
+        assert_eq!(a.true_same_record, 1);
+        assert_eq!(a.false_different_record, 2);
+        assert_eq!(a.conflicts(), 5);
+        assert_eq!(a.leaf_level_conflicts(), 4);
+        assert_eq!(a.total(), 9);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = ThreadStats::default();
+        a.ops = 10;
+        a.cycles_total = 1000;
+        a.cycles_wasted = 400;
+        let mut b = ThreadStats::default();
+        b.ops = 5;
+        b.cycles_total = 500;
+        b.aborts.record(AbortCause::Capacity);
+        a.merge(&b);
+        assert_eq!(a.ops, 15);
+        assert_eq!(a.cycles_total, 1500);
+        assert_eq!(a.aborts.capacity, 1);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let mut s = ThreadStats::default();
+        assert_eq!(s.aborts_per_op(), 0.0);
+        assert_eq!(s.wasted_cycle_fraction(), 0.0);
+        s.ops = 4;
+        s.aborts.record(AbortCause::Spurious);
+        s.aborts.record(AbortCause::Spurious);
+        s.cycles_total = 100;
+        s.cycles_wasted = 94;
+        assert!((s.aborts_per_op() - 0.5).abs() < 1e-12);
+        assert!((s.wasted_cycle_fraction() - 0.94).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_from_threads() {
+        let mut a = ThreadStats::default();
+        a.ops = 3;
+        let mut b = ThreadStats::default();
+        b.ops = 7;
+        let agg = AggregateStats::from_threads([&a, &b]);
+        assert_eq!(agg.threads, 2);
+        assert_eq!(agg.per_run.ops, 10);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the engine's core data structures and the
+//! transactional executor.
+
+use proptest::prelude::*;
+
+use euno_htm::{LineId, LineSet, RetryPolicy, Runtime, TxCell};
+
+proptest! {
+    /// LineSet behaves exactly like a BTreeSet of line ids.
+    #[test]
+    fn lineset_matches_btreeset(ops in prop::collection::vec(0u64..64, 0..200)) {
+        let mut set = LineSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for x in ops {
+            prop_assert_eq!(set.insert(LineId(x)), model.insert(x));
+        }
+        prop_assert_eq!(set.len(), model.len());
+        let got: Vec<u64> = set.iter().map(|l| l.0).collect();
+        let expect: Vec<u64> = model.iter().copied().collect();
+        prop_assert_eq!(got, expect, "iteration order is sorted");
+        for x in 0..64u64 {
+            prop_assert_eq!(set.contains(LineId(x)), model.contains(&x));
+        }
+    }
+
+    /// Intersection is symmetric and agrees with the model.
+    #[test]
+    fn lineset_intersection_symmetric(
+        a in prop::collection::btree_set(0u64..48, 0..32),
+        b in prop::collection::btree_set(0u64..48, 0..32),
+    ) {
+        let sa: LineSet = a.iter().map(|&x| LineId(x)).collect();
+        let sb: LineSet = b.iter().map(|&x| LineId(x)).collect();
+        let expect = a.intersection(&b).next().is_some();
+        prop_assert_eq!(sa.intersects(&sb), expect);
+        prop_assert_eq!(sb.intersects(&sa), expect);
+        if let Some(l) = sa.first_intersection(&sb) {
+            prop_assert!(a.contains(&l.0) && b.contains(&l.0));
+        }
+    }
+
+    /// A transactional read-modify-write sequence over arbitrary cells is
+    /// equivalent to executing it directly: no lost or phantom updates,
+    /// regardless of how the adds are interleaved across virtual threads.
+    #[test]
+    fn virtual_transactions_apply_exactly_once(
+        adds in prop::collection::vec((0usize..8, 1u64..100), 1..60),
+        threads in 1usize..6,
+    ) {
+        let rt = Runtime::new_virtual();
+        let fb = TxCell::new(0u64);
+        let cells: Vec<TxCell<u64>> = (0..8).map(|_| TxCell::new(0)).collect();
+        let mut ctxs: Vec<_> = (0..threads).map(|i| rt.thread(i as u64)).collect();
+        let mut expect = [0u64; 8];
+        for (i, (idx, n)) in adds.iter().enumerate() {
+            expect[*idx] += n;
+            // Schedule by min virtual clock, like the simulator.
+            let t = (0..threads).min_by_key(|&t| (ctxs[t].clock, t)).unwrap();
+            let _ = i;
+            ctxs[t].htm_execute(&fb, &RetryPolicy::default(), |tx| {
+                let v = tx.read(&cells[*idx])?;
+                tx.write(&cells[*idx], v + n)
+            });
+        }
+        for (cell, want) in cells.iter().zip(expect) {
+            prop_assert_eq!(cell.load_plain(), want);
+        }
+    }
+
+    /// Concurrent-mode transactions preserve a global invariant (sum of
+    /// two cells constant) under arbitrary transfer schedules.
+    #[test]
+    fn concurrent_transfers_preserve_sum(transfers in prop::collection::vec(1u64..10, 1..40)) {
+        let rt = Runtime::new_concurrent();
+        let fb = TxCell::new(0u64);
+        let a = Box::new(TxCell::new(1_000u64));
+        let b = Box::new(TxCell::new(1_000u64));
+        std::thread::scope(|s| {
+            let chunks: Vec<Vec<u64>> =
+                transfers.chunks(10).map(|c| c.to_vec()).collect();
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                let (a, b, fb, rt) = (&a, &b, &fb, &rt);
+                let mut ctx = rt.thread(i as u64);
+                s.spawn(move || {
+                    for amt in chunk {
+                        ctx.htm_execute(fb, &RetryPolicy::default(), |tx| {
+                            let va = tx.read(a)?;
+                            let vb = tx.read(b)?;
+                            let amt = amt.min(va);
+                            tx.write(a, va - amt)?;
+                            tx.write(b, vb + amt)
+                        });
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(a.load_plain() + b.load_plain(), 2_000);
+    }
+}

@@ -1,0 +1,173 @@
+//! Experiment harness: preload a tree, run a YCSB-style workload against
+//! any [`ConcurrentMap`] under either execution mode, return the metrics a
+//! paper figure plots.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use euno_htm::{ConcurrentMap, Mode, Runtime, ThreadCtx, ThreadStats};
+use euno_workloads::{Op, OpStream, WorkloadSpec};
+
+use crate::metrics::RunMetrics;
+use crate::sched::VirtualScheduler;
+
+/// Configuration of one run (one data point of one figure).
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    pub threads: usize,
+    pub ops_per_thread: u64,
+    pub seed: u64,
+    /// Unmeasured operations each thread executes first to reach steady
+    /// state (populating caches, splitting hot leaves).
+    pub warmup_ops: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: 16, // §2.3 / §5.2 measure at 16 threads
+            ops_per_thread: 20_000,
+            seed: 0x00eu64 ^ 0x5eed,
+            warmup_ops: 4_000,
+        }
+    }
+}
+
+/// Populate the tree with the workload's preload keys, single-threaded and
+/// unmeasured. Returns the number of records inserted.
+pub fn preload(map: &dyn ConcurrentMap, rt: &Arc<Runtime>, spec: &WorkloadSpec) -> u64 {
+    let mut ctx = rt.thread(0x10ad_5eed);
+    let mut n = 0;
+    for key in spec.preload_keys() {
+        map.put(&mut ctx, key, key ^ 0xabcd);
+        n += 1;
+    }
+    n
+}
+
+/// Execute one operation against the map, charging the fixed per-op
+/// overhead and counting it.
+#[inline]
+pub fn apply_op(
+    map: &dyn ConcurrentMap,
+    ctx: &mut ThreadCtx,
+    op: Op,
+    scan_buf: &mut Vec<(u64, u64)>,
+) {
+    let overhead = ctx.runtime().cost.op_overhead;
+    ctx.charge(overhead);
+    match op {
+        Op::Get { key } => {
+            map.get(ctx, key);
+        }
+        Op::Put { key, value } => {
+            map.put(ctx, key, value);
+        }
+        Op::Delete { key } => {
+            map.delete(ctx, key);
+        }
+        Op::Scan { from, len } => {
+            scan_buf.clear();
+            map.scan(ctx, from, len, scan_buf);
+        }
+    }
+    ctx.stats.ops += 1;
+}
+
+/// Run a workload in **virtual-time** mode and return the figure metrics.
+///
+/// The tree must have been built against the same `rt`. Preloading happens
+/// here (single-threaded, unmeasured) unless `preloaded` is set.
+pub fn run_virtual(
+    map: &dyn ConcurrentMap,
+    rt: &Arc<Runtime>,
+    spec: &WorkloadSpec,
+    cfg: &RunConfig,
+) -> RunMetrics {
+    assert_eq!(rt.mode(), Mode::Virtual);
+    let mut sched = VirtualScheduler::new(Arc::clone(rt));
+    for t in 0..cfg.threads {
+        let mut stream = OpStream::new(spec, t as u64, cfg.seed);
+        let mut scan_buf: Vec<(u64, u64)> = Vec::new();
+        let mut warmup_left = cfg.warmup_ops;
+        let mut left = cfg.ops_per_thread;
+        let map_ref: &dyn ConcurrentMap = map;
+        sched.add_thread(
+            cfg.seed.wrapping_add(t as u64),
+            Box::new(move |ctx| {
+                if warmup_left > 0 {
+                    warmup_left -= 1;
+                    // Warmup: run the op but roll back its statistics —
+                    // the clock contribution is kept (it shapes the
+                    // schedule) while ops/aborts are excluded from metrics.
+                    let saved = ctx.stats.clone();
+                    let mut buf = Vec::new();
+                    let op = stream.next_op();
+                    apply_op(map_ref, ctx, op, &mut buf);
+                    ctx.stats = saved;
+                    if warmup_left == 0 {
+                        ctx.stats.measure_start_cycles = ctx.clock;
+                    }
+                    return true;
+                }
+                if left == 0 {
+                    return false;
+                }
+                left -= 1;
+                let op = stream.next_op();
+                apply_op(map_ref, ctx, op, &mut scan_buf);
+                true
+            }),
+        );
+    }
+    sched.run()
+}
+
+/// Run a workload with **real OS threads** (concurrent mode) and wall-clock
+/// timing. Used by stress tests; on a many-core host this also gives
+/// native throughput numbers.
+pub fn run_concurrent(
+    map: &dyn ConcurrentMap,
+    rt: &Arc<Runtime>,
+    spec: &WorkloadSpec,
+    cfg: &RunConfig,
+) -> RunMetrics {
+    assert_eq!(rt.mode(), Mode::Concurrent);
+    // All threads warm up, meet at a barrier, then the measured phase is
+    // timed on its own.
+    let barrier = std::sync::Barrier::new(cfg.threads + 1);
+    let start_cell = parking_lot::Mutex::new(Instant::now());
+    let per_thread: Vec<ThreadStats> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..cfg.threads {
+            let rt = Arc::clone(rt);
+            let spec = spec.clone();
+            let cfg = cfg.clone();
+            let map_ref: &dyn ConcurrentMap = map;
+            let barrier = &barrier;
+            handles.push(s.spawn(move || {
+                let mut ctx = rt.thread(cfg.seed.wrapping_add(t as u64));
+                let mut stream = OpStream::new(&spec, t as u64, cfg.seed);
+                let mut scan_buf = Vec::new();
+                for _ in 0..cfg.warmup_ops {
+                    let op = stream.next_op();
+                    let saved = ctx.stats.clone();
+                    apply_op(map_ref, &mut ctx, op, &mut scan_buf);
+                    ctx.stats = saved;
+                }
+                barrier.wait();
+                for _ in 0..cfg.ops_per_thread {
+                    let op = stream.next_op();
+                    apply_op(map_ref, &mut ctx, op, &mut scan_buf);
+                }
+                ctx.finish();
+                ctx.stats
+            }));
+        }
+        barrier.wait();
+        *start_cell.lock() = Instant::now();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start_cell.lock().elapsed().as_secs_f64();
+    RunMetrics::from_wall(per_thread, elapsed)
+}

@@ -1,0 +1,20 @@
+//! # euno-sim — deterministic virtual-time experiment harness
+//!
+//! Schedules N logical threads on a virtual cycle clock so the Eunomia
+//! paper's 16-20-thread contention experiments can run (deterministically)
+//! on any host, plus a real-OS-thread runner for correctness stress tests.
+//!
+//! The scheduler always resumes the logical thread with the smallest
+//! virtual clock; operations overlap in virtual time, and the `euno-htm`
+//! engine turns overlap × footprint collision into TSX-like aborts. See
+//! DESIGN.md §2 for why this substitution preserves the paper's figures.
+
+pub mod harness;
+pub mod hist;
+pub mod metrics;
+pub mod sched;
+
+pub use harness::{apply_op, preload, run_concurrent, run_virtual, RunConfig};
+pub use hist::LatencyHistogram;
+pub use metrics::RunMetrics;
+pub use sched::{Driver, VirtualScheduler};

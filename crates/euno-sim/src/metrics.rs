@@ -1,0 +1,137 @@
+//! Run-level metrics: what each paper figure plots.
+
+use euno_htm::{AbortCounts, CostModel, ThreadStats};
+
+use crate::hist::LatencyHistogram;
+
+/// Aggregated result of one experiment run (one point of one figure).
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Number of worker threads (virtual or OS).
+    pub threads: usize,
+    /// Completed operations across all threads.
+    pub total_ops: u64,
+    /// Makespan: virtual seconds (virtual mode) or wall seconds
+    /// (concurrent mode) from first op to last.
+    pub elapsed_secs: f64,
+    /// `total_ops / elapsed_secs` — the y-axis of Figures 1, 8, 10-12.
+    pub throughput: f64,
+    /// Aborts per operation by cause — Figures 2 and 9.
+    pub aborts: AbortCounts,
+    pub aborts_per_op: f64,
+    /// Fraction of cycles burnt in aborted attempts (§2.3).
+    pub wasted_cycle_fraction: f64,
+    /// Mean instrumented memory accesses per op (instruction proxy, §5.2).
+    pub accesses_per_op: f64,
+    /// Fallback-path executions per op.
+    pub fallbacks_per_op: f64,
+    /// Merged raw counters.
+    pub stats: ThreadStats,
+    /// Per-thread raw counters (scalability diagnostics).
+    pub per_thread: Vec<ThreadStats>,
+    /// Per-operation virtual-cycle latency distribution (merged).
+    pub latency: LatencyHistogram,
+}
+
+impl RunMetrics {
+    /// Build from per-thread stats plus the makespan in cycles
+    /// (virtual mode).
+    pub fn from_virtual(per_thread: Vec<ThreadStats>, makespan_cycles: u64, cost: &CostModel) -> Self {
+        Self::from_virtual_with_latency(per_thread, makespan_cycles, cost, LatencyHistogram::new())
+    }
+
+    /// As [`RunMetrics::from_virtual`], with a latency histogram. The
+    /// measured span is the makespan minus the earliest post-warmup clock,
+    /// so warmup cycles never dilute throughput.
+    pub fn from_virtual_with_latency(
+        per_thread: Vec<ThreadStats>,
+        makespan_cycles: u64,
+        cost: &CostModel,
+        latency: LatencyHistogram,
+    ) -> Self {
+        let measure_start = per_thread
+            .iter()
+            .map(|s| s.measure_start_cycles)
+            .min()
+            .unwrap_or(0);
+        let span = makespan_cycles.saturating_sub(measure_start).max(1);
+        let elapsed = cost.cycles_to_secs(span);
+        Self::build(per_thread, elapsed, latency)
+    }
+
+    /// Build from per-thread stats plus measured wall time
+    /// (concurrent mode).
+    pub fn from_wall(per_thread: Vec<ThreadStats>, elapsed_secs: f64) -> Self {
+        Self::build(per_thread, elapsed_secs.max(1e-9), LatencyHistogram::new())
+    }
+
+    fn build(per_thread: Vec<ThreadStats>, elapsed_secs: f64, latency: LatencyHistogram) -> Self {
+        let mut merged = ThreadStats::default();
+        for s in &per_thread {
+            merged.merge(s);
+        }
+        let ops = merged.ops.max(1);
+        RunMetrics {
+            threads: per_thread.len(),
+            total_ops: merged.ops,
+            elapsed_secs,
+            throughput: merged.ops as f64 / elapsed_secs,
+            aborts: merged.aborts.clone(),
+            aborts_per_op: merged.aborts.total() as f64 / ops as f64,
+            wasted_cycle_fraction: merged.wasted_cycle_fraction(),
+            accesses_per_op: merged.mem_accesses as f64 / ops as f64,
+            fallbacks_per_op: merged.fallbacks as f64 / ops as f64,
+            stats: merged,
+            per_thread,
+            latency,
+        }
+    }
+
+    /// Throughput in millions of operations per second (the paper's unit).
+    pub fn mops(&self) -> f64 {
+        self.throughput / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_aggregate_two_threads() {
+        let mut a = ThreadStats::default();
+        a.ops = 100;
+        a.cycles_total = 1000;
+        a.cycles_wasted = 100;
+        a.mem_accesses = 400;
+        let mut b = ThreadStats::default();
+        b.ops = 100;
+        b.cycles_total = 1000;
+        b.aborts.capacity = 10;
+        let cost = CostModel::default();
+        let m = RunMetrics::from_virtual(vec![a, b], 2_300_000, &cost);
+        assert_eq!(m.threads, 2);
+        assert_eq!(m.total_ops, 200);
+        // 2.3e6 cycles at 2.3 GHz = 1 ms → 200 ops / 1 ms = 200 kops/s.
+        assert!((m.throughput - 200_000.0).abs() < 1.0);
+        assert!((m.aborts_per_op - 0.05).abs() < 1e-12);
+        assert!((m.wasted_cycle_fraction - 0.05).abs() < 1e-12);
+        assert!((m.accesses_per_op - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_ops_does_not_divide_by_zero() {
+        let m = RunMetrics::from_wall(vec![ThreadStats::default()], 0.0);
+        assert_eq!(m.total_ops, 0);
+        assert!(m.throughput.is_finite());
+        assert_eq!(m.aborts_per_op, 0.0);
+    }
+
+    #[test]
+    fn mops_unit() {
+        let mut a = ThreadStats::default();
+        a.ops = 5_000_000;
+        let m = RunMetrics::from_wall(vec![a], 1.0);
+        assert!((m.mops() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use euno_workloads::{KeyDistribution, KeySampler, OpMix, OpStream, Preload, WorkloadSpec};
+
+fn any_distribution() -> impl Strategy<Value = KeyDistribution> {
+    prop_oneof![
+        Just(KeyDistribution::Uniform),
+        (0.0f64..0.999).prop_map(|theta| KeyDistribution::Zipfian {
+            theta,
+            scramble: false
+        }),
+        (0.0f64..0.999).prop_map(|theta| KeyDistribution::Zipfian {
+            theta,
+            scramble: true
+        }),
+        (0.01f64..0.49).prop_map(|h| KeyDistribution::SelfSimilar { h }),
+        (0.001f64..0.2).prop_map(|sd| KeyDistribution::Normal { sd_fraction: sd }),
+        (1.0f64..500.0).prop_map(|lambda| KeyDistribution::Poisson { lambda }),
+    ]
+}
+
+proptest! {
+    /// Every sampler stays inside its key range for any parameters.
+    #[test]
+    fn samples_in_range(dist in any_distribution(), n in 1u64..100_000, seed: u64) {
+        let s = KeySampler::new(&dist, n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(s.sample(&mut rng) < n);
+        }
+    }
+
+    /// Samplers are pure: identical seeds give identical streams.
+    #[test]
+    fn samplers_deterministic(dist in any_distribution(), seed: u64) {
+        let s = KeySampler::new(&dist, 10_000);
+        let mut a = SmallRng::seed_from_u64(seed);
+        let mut b = SmallRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+
+    /// Op streams respect the key range and mixes with arbitrary weights.
+    #[test]
+    fn op_streams_respect_spec(
+        get in 0.0f64..1.0,
+        scan_weight in 0.0f64..0.3,
+        seed: u64,
+        thread in 0u64..32,
+    ) {
+        let put = (1.0 - get) * (1.0 - scan_weight);
+        let scan = (1.0 - get) * scan_weight;
+        let spec = WorkloadSpec {
+            key_range: 5_000,
+            dist: KeyDistribution::Uniform,
+            mix: OpMix { get, put, delete: 0.0, scan },
+            scan_len: 9,
+            preload: Preload::None,
+        };
+        let mut stream = OpStream::new(&spec, thread, seed);
+        for _ in 0..300 {
+            let op = stream.next_op();
+            prop_assert!(op.key() < 5_000);
+            if let euno_workloads::Op::Scan { len, .. } = op {
+                prop_assert_eq!(len, 9);
+            }
+        }
+    }
+
+    /// Preload policies generate strictly increasing unique keys in range.
+    #[test]
+    fn preload_keys_sorted_unique(pm in 0u32..1000, range in 1u64..50_000) {
+        for preload in [Preload::EvenKeys, Preload::FirstN(range / 2), Preload::FractionPerMille(pm)] {
+            let spec = WorkloadSpec {
+                key_range: range,
+                dist: KeyDistribution::Uniform,
+                mix: OpMix::default_ycsb(),
+                scan_len: 4,
+                preload,
+            };
+            let keys: Vec<u64> = spec.preload_keys().collect();
+            prop_assert!(keys.windows(2).all(|w| w[0] < w[1]), "{:?}", preload);
+            prop_assert!(keys.iter().all(|&k| k < range), "{:?}", preload);
+        }
+    }
+}
