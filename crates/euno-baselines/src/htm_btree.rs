@@ -13,8 +13,8 @@
 use std::sync::Arc;
 
 use euno_htm::{
-    Arena, ConcurrentMap, MemoryReport, Runtime, RetryPolicy, ThreadCtx, Tx, TxResult, TxWord,
-    KEY_SENTINEL, TOMBSTONE,
+    Arena, ConcurrentMap, MemoryReport, RetryPolicy, RetryStrategy, Runtime, ThreadCtx, Tx,
+    TxResult, TxWord, KEY_SENTINEL, TOMBSTONE,
 };
 
 use crate::node::{Internal, Leaf, NodeRef, DEFAULT_FANOUT};
@@ -23,14 +23,17 @@ use crate::node::{Internal, Leaf, NodeRef, DEFAULT_FANOUT};
 pub struct HtmBTree<const F: usize = DEFAULT_FANOUT> {
     rt: Arc<Runtime>,
     ctrl: Box<euno_htm::ControlBlock>,
-    policy: RetryPolicy,
+    strategy: Arc<dyn RetryStrategy>,
     leaves: Arena<Leaf<F>>,
     internals: Arena<Internal<F>>,
 }
 
 impl<const F: usize> HtmBTree<F> {
     pub fn new(rt: Arc<Runtime>) -> Self {
-        assert!(F >= 4 && F % 2 == 0, "fanout must be an even number ≥ 4");
+        assert!(
+            F >= 4 && F.is_multiple_of(2),
+            "fanout must be an even number ≥ 4"
+        );
         let leaves = Arena::new();
         let internals = Arena::new();
         let first: &Leaf<F> = leaves.alloc(Leaf::empty());
@@ -40,15 +43,20 @@ impl<const F: usize> HtmBTree<F> {
         HtmBTree {
             rt,
             ctrl,
-            policy: RetryPolicy::default(),
+            strategy: Arc::new(RetryPolicy::default()),
             leaves,
             internals,
         }
     }
 
     pub fn with_policy(rt: Arc<Runtime>, policy: RetryPolicy) -> Self {
+        Self::with_strategy(rt, Arc::new(policy))
+    }
+
+    /// Select the retry strategy the executor runs this tree under.
+    pub fn with_strategy(rt: Arc<Runtime>, strategy: Arc<dyn RetryStrategy>) -> Self {
         let mut t = Self::new(rt);
-        t.policy = policy;
+        t.strategy = strategy;
         t
     }
 
@@ -114,13 +122,7 @@ impl<const F: usize> HtmBTree<F> {
 
     /// Insert `key→val` into a non-full leaf, shifting the tail right —
     /// the consecutive-record data movement of §2.3.
-    fn leaf_insert_at(
-        &self,
-        tx: &mut Tx<'_>,
-        leaf: &Leaf<F>,
-        key: u64,
-        val: u64,
-    ) -> TxResult<()> {
+    fn leaf_insert_at(&self, tx: &mut Tx<'_>, leaf: &Leaf<F>, key: u64, val: u64) -> TxResult<()> {
         let cnt = tx.read(&leaf.count)? as usize;
         debug_assert!(cnt < F);
         // Position = lower bound.
@@ -269,7 +271,7 @@ impl<const F: usize> HtmBTree<F> {
 
 impl<const F: usize> ConcurrentMap for HtmBTree<F> {
     fn get(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
-        ctx.htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
+        ctx.htm_execute(&self.ctrl.fallback, &*self.strategy, |tx| {
             tx.set_op_key(key);
             let leaf = self.descend(tx, key, None)?;
             match self.leaf_find(tx, leaf, key)? {
@@ -285,7 +287,7 @@ impl<const F: usize> ConcurrentMap for HtmBTree<F> {
 
     fn put(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Option<u64> {
         assert!(key < KEY_SENTINEL && value != TOMBSTONE);
-        ctx.htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
+        ctx.htm_execute(&self.ctrl.fallback, &*self.strategy, |tx| {
             tx.set_op_key(key);
             let mut path = Vec::with_capacity(8);
             let leaf = self.descend(tx, key, Some(&mut path))?;
@@ -307,7 +309,7 @@ impl<const F: usize> ConcurrentMap for HtmBTree<F> {
     }
 
     fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
-        ctx.htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
+        ctx.htm_execute(&self.ctrl.fallback, &*self.strategy, |tx| {
             tx.set_op_key(key);
             let leaf = self.descend(tx, key, None)?;
             match self.leaf_find(tx, leaf, key)? {
@@ -333,7 +335,7 @@ impl<const F: usize> ConcurrentMap for HtmBTree<F> {
         out: &mut Vec<(u64, u64)>,
     ) -> usize {
         let collected = ctx
-            .htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
+            .htm_execute(&self.ctrl.fallback, &*self.strategy, |tx| {
                 tx.set_op_key(from);
                 let mut acc = Vec::with_capacity(count.min(1024));
                 let mut leaf = self.descend(tx, from, None)?;
@@ -538,9 +540,7 @@ mod tests {
         rt.reset_dynamics();
         let mut ctxs: Vec<ThreadCtx> = (1..=8).map(|i| rt.thread(i)).collect();
         for round in 0..400u64 {
-            let idx = (0..ctxs.len())
-                .min_by_key(|&i| (ctxs[i].clock, i))
-                .unwrap();
+            let idx = (0..ctxs.len()).min_by_key(|&i| (ctxs[i].clock, i)).unwrap();
             t.put(&mut ctxs[idx], round % 8, round);
         }
         let aborts: u64 = ctxs.iter().map(|c| c.stats.aborts.total()).sum();

@@ -20,11 +20,14 @@
 use std::sync::Arc;
 
 use euno_htm::{
-    Arena, ConcurrentMap, MemoryReport, RetryPolicy, Runtime, ThreadCtx, Tx, TxResult, TxWord,
-    TxCell, KEY_SENTINEL, TOMBSTONE,
+    Arena, ConcurrentMap, MemoryReport, RetryPolicy, RetryStrategy, Runtime, ThreadCtx, Tx, TxCell,
+    TxResult, TxWord, KEY_SENTINEL, TOMBSTONE,
 };
 
-use crate::masstree::{node_visit_overhead, permutation_decode, MtInternal, MtLeaf, MtRef, LOCK_BIT, VINSERT_UNIT, VSPLIT_UNIT};
+use crate::masstree::{
+    node_visit_overhead, permutation_decode, MtInternal, MtLeaf, MtRef, LOCK_BIT, VINSERT_UNIT,
+    VSPLIT_UNIT,
+};
 use crate::node::DEFAULT_FANOUT;
 
 const F: usize = DEFAULT_FANOUT;
@@ -33,7 +36,7 @@ const F: usize = DEFAULT_FANOUT;
 pub struct HtmMasstree {
     rt: Arc<Runtime>,
     ctrl: Box<euno_htm::ControlBlock>,
-    policy: RetryPolicy,
+    strategy: Arc<dyn RetryStrategy>,
     leaves: Arena<MtLeaf>,
     internals: Arena<MtInternal>,
 }
@@ -48,11 +51,18 @@ impl HtmMasstree {
         rt.register_value(&*ctrl, euno_htm::LineClass::Structure);
         HtmMasstree {
             ctrl,
-            policy: RetryPolicy::default(),
+            strategy: Arc::new(RetryPolicy::default()),
             rt,
             leaves,
             internals,
         }
+    }
+
+    /// Select the retry strategy the executor runs this tree under.
+    pub fn with_strategy(rt: Arc<Runtime>, strategy: Arc<dyn RetryStrategy>) -> Self {
+        let mut t = Self::new(rt);
+        t.strategy = strategy;
+        t
     }
 
     /// Read a node's version word transactionally — the lock-subsumption
@@ -155,7 +165,12 @@ impl HtmMasstree {
         Self::bump(tx, &leaf.version.cell, true, false)
     }
 
-    fn split_leaf<'t>(&'t self, tx: &mut Tx<'_>, leaf: &'t MtLeaf, key: u64) -> TxResult<&'t MtLeaf> {
+    fn split_leaf<'t>(
+        &'t self,
+        tx: &mut Tx<'_>,
+        leaf: &'t MtLeaf,
+        key: u64,
+    ) -> TxResult<&'t MtLeaf> {
         let right: &MtLeaf = self.leaves.alloc(MtLeaf::empty());
         self.rt.register_value(right, euno_htm::LineClass::Record);
         let mid = F / 2;
@@ -209,7 +224,8 @@ impl HtmMasstree {
                 return Ok(());
             }
             let new_int: &MtInternal = self.internals.alloc(MtInternal::empty());
-            self.rt.register_value(new_int, euno_htm::LineClass::Structure);
+            self.rt
+                .register_value(new_int, euno_htm::LineClass::Structure);
             let new_ref = MtRef::of_internal(new_int);
             let mid = F / 2;
             let promoted = tx.read(&parent.keys[mid])?;
@@ -278,7 +294,7 @@ impl HtmMasstree {
 
 impl ConcurrentMap for HtmMasstree {
     fn get(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
-        ctx.htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
+        ctx.htm_execute(&self.ctrl.fallback, &*self.strategy, |tx| {
             tx.set_op_key(key);
             let leaf = self.descend(tx, key)?;
             match self.leaf_find(tx, leaf, key)? {
@@ -294,7 +310,7 @@ impl ConcurrentMap for HtmMasstree {
 
     fn put(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Option<u64> {
         assert!(key < KEY_SENTINEL && value != TOMBSTONE);
-        ctx.htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
+        ctx.htm_execute(&self.ctrl.fallback, &*self.strategy, |tx| {
             tx.set_op_key(key);
             let leaf = self.descend(tx, key)?;
             if let Some(i) = self.leaf_find(tx, leaf, key)? {
@@ -315,7 +331,7 @@ impl ConcurrentMap for HtmMasstree {
     }
 
     fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
-        ctx.htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
+        ctx.htm_execute(&self.ctrl.fallback, &*self.strategy, |tx| {
             tx.set_op_key(key);
             let leaf = self.descend(tx, key)?;
             match self.leaf_find(tx, leaf, key)? {
@@ -342,7 +358,7 @@ impl ConcurrentMap for HtmMasstree {
         out: &mut Vec<(u64, u64)>,
     ) -> usize {
         let collected = ctx
-            .htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
+            .htm_execute(&self.ctrl.fallback, &*self.strategy, |tx| {
                 tx.set_op_key(from);
                 let mut acc = Vec::with_capacity(count.min(1024));
                 let mut leaf = self.descend(tx, from)?;

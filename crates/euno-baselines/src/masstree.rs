@@ -401,50 +401,30 @@ impl Masstree {
 
     /// Full optimistic read of one key: descent + leaf search + double
     /// validation (node version and, in virtual mode, episode overlap).
+    /// The retry loop is the engine's [`ThreadCtx::optimistic_execute`].
     fn read_key(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
-        loop {
-            ctx.episode_begin(EpisodeKind::OptimisticRead);
-            ctx.set_op_key(key);
-            let attempt = (|| {
-                let (leaf, v) = self.descend(ctx, key)?;
-                let in_range = key < leaf.highkey.load_direct(ctx);
-                let found = self.leaf_search(ctx, leaf, key);
-                if found.is_some() {
-                    value_indirection(ctx);
-                }
-                if !in_range || leaf.version.read(ctx) != v {
-                    return None;
-                }
-                Some(found.map(|(_, val)| val))
-            })();
-            let overlap = ctx.episode_end_optimistic();
-            match attempt {
-                Some(found) if !version_visible(overlap) => {
-                    return found.filter(|&v| v != TOMBSTONE);
-                }
-                _ => {
-                    ctx.stats.optimistic_retries += 1;
-                    ctx.charge(ctx.runtime().cost.backoff_base);
-                }
+        let found = ctx.optimistic_execute(Some(key), version_visible, |ctx| {
+            let (leaf, v) = self.descend(ctx, key)?;
+            let in_range = key < leaf.highkey.load_direct(ctx);
+            let found = self.leaf_search(ctx, leaf, key);
+            if found.is_some() {
+                value_indirection(ctx);
             }
-        }
+            if !in_range || leaf.version.read(ctx) != v {
+                return None;
+            }
+            Some(found.map(|(_, val)| val))
+        });
+        found.filter(|&v| v != TOMBSTONE)
     }
 
     /// Locate and writer-lock the leaf for `key`, revalidating that no
     /// split moved the key range while we were locking.
     fn locate_locked(&self, ctx: &mut ThreadCtx, key: u64) -> &MtLeaf {
         loop {
-            ctx.episode_begin(EpisodeKind::OptimisticRead);
-            let found = self.descend(ctx, key).map(|(l, v)| (l as *const MtLeaf, v));
-            let overlap = ctx.episode_end_optimistic();
-            let (leaf_ptr, v) = match (found, version_visible(overlap)) {
-                (Some(ok), false) => ok,
-                _ => {
-                    ctx.stats.optimistic_retries += 1;
-                    ctx.charge(ctx.runtime().cost.backoff_base);
-                    continue;
-                }
-            };
+            let (leaf_ptr, v) = ctx.optimistic_execute(None, version_visible, |ctx| {
+                self.descend(ctx, key).map(|(l, v)| (l as *const MtLeaf, v))
+            });
             let leaf = unsafe { &*leaf_ptr };
             leaf.version.lock(ctx);
             // Two staleness guards once the lock is held: the split
@@ -575,15 +555,15 @@ impl Masstree {
         let cnt = parent.count.load_direct(ctx) as usize;
         if cnt < F {
             self.internal_insert(ctx, parent, cnt, sep, right);
-            unsafe { right.parent_cell() }
-                .store_direct(ctx, MtRef::of_internal(parent).to_word());
+            unsafe { right.parent_cell() }.store_direct(ctx, MtRef::of_internal(parent).to_word());
             parent.version.unlock(ctx, true, false);
             return;
         }
 
         // Split the parent, then recurse upward while still holding it.
         let new_int: &MtInternal = self.internals.alloc(MtInternal::empty());
-        self.rt.register_value(new_int, euno_htm::LineClass::Structure);
+        self.rt
+            .register_value(new_int, euno_htm::LineClass::Structure);
         new_int.version.lock(ctx);
         let new_ref = MtRef::of_internal(new_int);
         let mid = F / 2;
@@ -679,9 +659,7 @@ impl ConcurrentMap for Masstree {
             };
             self.leaf_insert(ctx, target, key, value);
             ctx.episode_end_locked_write();
-            target
-                .version
-                .unlock(ctx, true, old_leaf_needs_split_bump);
+            target.version.unlock(ctx, true, old_leaf_needs_split_bump);
             return None;
         }
         ctx.episode_end_locked_write();
@@ -719,11 +697,11 @@ impl ConcurrentMap for Masstree {
         // leaf that yields no records ≥ cursor (e.g. all tombstoned).
         let mut hint: Option<MtRef> = None;
         loop {
-            // Optimistically read one leaf's run.
-            ctx.episode_begin(EpisodeKind::OptimisticRead);
-            ctx.set_op_key(cursor);
-            let attempt = (|| {
-                let (leaf, v) = match hint {
+            // Optimistically read one leaf's run. `hint.take()` implements
+            // the hint-reset on failure: a retry attempt (the hint was
+            // consumed by the failed one) re-descends.
+            let (part, next) = ctx.optimistic_execute(Some(cursor), version_visible, |ctx| {
+                let (leaf, v) = match hint.take() {
                     Some(r) => {
                         let l = unsafe { r.leaf() };
                         let v = l.version.stable(ctx);
@@ -746,29 +724,19 @@ impl ConcurrentMap for Masstree {
                     return None;
                 }
                 Some((part, next))
-            })();
-            let overlap = ctx.episode_end_optimistic();
-            match attempt {
-                Some((part, next)) if !version_visible(overlap) => {
-                    for (k, v) in part {
-                        if collected == count {
-                            return collected;
-                        }
-                        out.push((k, v));
-                        collected += 1;
-                        cursor = k.saturating_add(1);
-                    }
-                    if collected == count || next.is_null() {
-                        return collected;
-                    }
-                    hint = Some(next);
+            });
+            for (k, v) in part {
+                if collected == count {
+                    return collected;
                 }
-                _ => {
-                    hint = None;
-                    ctx.stats.optimistic_retries += 1;
-                    ctx.charge(ctx.runtime().cost.backoff_base);
-                }
+                out.push((k, v));
+                collected += 1;
+                cursor = k.saturating_add(1);
             }
+            if collected == count || next.is_null() {
+                return collected;
+            }
+            hint = Some(next);
         }
     }
 

@@ -5,24 +5,17 @@
 //! Paper shape: high, stable throughput for θ < 0.6; sharp collapse past
 //! θ ≈ 0.6; below 3 Mops/s at θ = 0.9.
 
-use euno_bench::common::{measure, print_table, scaled, write_csv, Cli, Point, System};
-use euno_sim::RunConfig;
-use euno_workloads::WorkloadSpec;
+use euno_bench::common::{fig_config, measure, print_table, write_csv, Cli, Point, System};
 
 fn main() {
     let cli = Cli::parse();
-    let mut cfg = RunConfig {
-        threads: 16,
-        ops_per_thread: scaled(20_000),
-        seed: 0xF1601,
-        warmup_ops: scaled(1_000).max(4_000),
-    };
+    let mut cfg = fig_config(0xF1601, 20_000);
     cli.apply(&mut cfg);
 
     let thetas = [0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99];
     let mut points = Vec::new();
     for &theta in &thetas {
-        let spec = WorkloadSpec::paper_default(theta);
+        let spec = cli.spec(theta);
         let m = measure(System::HtmBTree, &spec, &cfg);
         eprintln!(
             "θ={theta:<4}  {:>8.2} Mops/s  {:>7.2} aborts/op  {:>5.1}% cycles wasted",
@@ -37,7 +30,12 @@ fn main() {
         });
     }
 
-    print_table("Figure 1: HTM-B+Tree throughput vs contention", &points, "Mops/s", |m| m.mops());
+    print_table(
+        "Figure 1: HTM-B+Tree throughput vs contention",
+        &points,
+        "Mops/s",
+        |m| m.mops(),
+    );
     if let Some(csv) = &cli.csv {
         write_csv(csv, &points).unwrap();
     }

@@ -9,18 +9,11 @@
 //! false sharing), 6-10 % from shared metadata, 9-12 % from true
 //! same-record conflicts.
 
-use euno_bench::common::{measure, scaled, write_csv, Cli, Point, System};
-use euno_sim::RunConfig;
-use euno_workloads::WorkloadSpec;
+use euno_bench::common::{fig_config, measure, write_csv, Cli, Point, System};
 
 fn main() {
     let cli = Cli::parse();
-    let mut cfg = RunConfig {
-        threads: 16,
-        ops_per_thread: scaled(20_000),
-        seed: 0xF1602,
-        warmup_ops: scaled(1_000).max(4_000),
-    };
+    let mut cfg = fig_config(0xF1602, 20_000);
     cli.apply(&mut cfg);
 
     println!(
@@ -29,7 +22,7 @@ fn main() {
     );
     let mut points = Vec::new();
     for theta in [0.5, 0.6, 0.7, 0.8, 0.9, 0.99] {
-        let spec = WorkloadSpec::paper_default(theta);
+        let spec = cli.spec(theta);
         let m = measure(System::HtmBTree, &spec, &cfg);
         let conflicts = m.aborts.conflicts().max(1) as f64;
         let pct = |n: u64| 100.0 * n as f64 / conflicts;

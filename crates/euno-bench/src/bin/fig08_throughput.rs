@@ -6,27 +6,24 @@
 //! HTM-B+Tree and 1.65× Masstree at θ = 0.99 (18.6 vs 1.7 vs ~11 Mops/s);
 //! HTM-Masstree trails everything.
 
-use euno_bench::common::{measure, print_table, scaled, write_csv, Cli, Point, System};
-use euno_sim::RunConfig;
-use euno_workloads::WorkloadSpec;
+use euno_bench::common::{fig_config, measure, print_table, write_csv, Cli, Point, System};
 
 fn main() {
     let cli = Cli::parse();
-    let mut cfg = RunConfig {
-        threads: 16,
-        ops_per_thread: scaled(20_000),
-        seed: 0xF1608,
-        warmup_ops: scaled(1_000).max(4_000),
-    };
+    let mut cfg = fig_config(0xF1608, 20_000);
     cli.apply(&mut cfg);
 
     let thetas = [0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99];
     let mut points = Vec::new();
     for &theta in &thetas {
-        let spec = WorkloadSpec::paper_default(theta);
+        let spec = cli.spec(theta);
         for system in System::MAIN_FOUR {
             let m = measure(system, &spec, &cfg);
-            eprintln!("θ={theta:<4} {:<14} {:>8.2} Mops/s", system.label(), m.mops());
+            eprintln!(
+                "θ={theta:<4} {:<14} {:>8.2} Mops/s",
+                system.label(),
+                m.mops()
+            );
             points.push(Point {
                 system: system.label(),
                 x: format!("{theta}"),

@@ -5,23 +5,16 @@
 //! Paper shape: Eunomia eliminates most aborts — 60.3 vs 1.9 aborts/op
 //! under extreme contention (θ = 0.99).
 
-use euno_bench::common::{measure, print_table, scaled, write_csv, Cli, Point, System};
-use euno_sim::RunConfig;
-use euno_workloads::WorkloadSpec;
+use euno_bench::common::{fig_config, measure, print_table, write_csv, Cli, Point, System};
 
 fn main() {
     let cli = Cli::parse();
-    let mut cfg = RunConfig {
-        threads: 16,
-        ops_per_thread: scaled(20_000),
-        seed: 0xF1609,
-        warmup_ops: scaled(1_000).max(4_000),
-    };
+    let mut cfg = fig_config(0xF1609, 20_000);
     cli.apply(&mut cfg);
 
     let mut points = Vec::new();
     for theta in [0.5, 0.6, 0.7, 0.8, 0.9, 0.99] {
-        let spec = WorkloadSpec::paper_default(theta);
+        let spec = cli.spec(theta);
         for system in [System::HtmBTree, System::EunoBTree] {
             let m = measure(system, &spec, &cfg);
             let ops = m.total_ops.max(1) as f64;

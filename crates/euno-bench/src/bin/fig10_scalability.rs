@@ -8,9 +8,7 @@
 //! at θ ≥ 0.9 Euno keeps scaling and beats Masstree (21.9 vs 13.1 Mops/s
 //! at 20 threads, θ = 0.99); HTM-Masstree stops scaling by ~8 threads.
 
-use euno_bench::common::{measure, print_table, scaled, write_csv, Cli, Point, System};
-use euno_sim::RunConfig;
-use euno_workloads::WorkloadSpec;
+use euno_bench::common::{fig_config, measure, print_table, write_csv, Cli, Point, System};
 
 fn main() {
     let cli = Cli::parse();
@@ -23,15 +21,11 @@ fn main() {
         (0.9, "high"),
         (0.99, "extreme"),
     ] {
-        let spec = WorkloadSpec::paper_default(theta);
+        let spec = cli.spec(theta);
         let mut points = Vec::new();
         for &threads in &thread_counts {
-            let mut cfg = RunConfig {
-                threads,
-                ops_per_thread: scaled(15_000),
-                seed: 0xF1610 + threads as u64,
-                warmup_ops: scaled(1_000).max(4_000),
-            };
+            let mut cfg = fig_config(0xF1610 + threads as u64, 15_000);
+            cfg.threads = threads;
             if let Some(ops) = cli.ops_override {
                 cfg.ops_per_thread = ops;
             }
@@ -50,8 +44,15 @@ fn main() {
             }
         }
         print_table(
-            &format!("Figure 10{}: scalability, {label} contention (θ={theta})",
-                match label { "low" => "a", "modest" => "b", "high" => "c", _ => "d" }),
+            &format!(
+                "Figure 10{}: scalability, {label} contention (θ={theta})",
+                match label {
+                    "low" => "a",
+                    "modest" => "b",
+                    "high" => "c",
+                    _ => "d",
+                }
+            ),
             &points,
             "Mops/s",
             |m| m.mops(),

@@ -6,8 +6,7 @@
 //! largest at 100 % puts; Masstree scales too but sits ~25 % below Euno
 //! on average; the HTM-B+Tree stays collapsed.
 
-use euno_bench::common::{measure, print_table, scaled, write_csv, Cli, Point, System};
-use euno_sim::RunConfig;
+use euno_bench::common::{fig_config, measure, print_table, write_csv, Cli, Point, System};
 use euno_workloads::{OpMix, WorkloadSpec};
 
 fn main() {
@@ -18,16 +17,12 @@ fn main() {
     for get_pct in [0u32, 20, 50, 70] {
         let spec = WorkloadSpec {
             mix: OpMix::get_put(get_pct as f64 / 100.0),
-            ..WorkloadSpec::paper_default(0.9)
+            ..cli.spec(0.9)
         };
         let mut points = Vec::new();
         for &threads in &thread_counts {
-            let mut cfg = RunConfig {
-                threads,
-                ops_per_thread: scaled(15_000),
-                seed: 0xF1611 + get_pct as u64,
-                warmup_ops: scaled(1_000).max(4_000),
-            };
+            let mut cfg = fig_config(0xF1611 + get_pct as u64, 15_000);
+            cfg.threads = threads;
             if let Some(ops) = cli.ops_override {
                 cfg.ops_per_thread = ops;
             }

@@ -7,8 +7,7 @@
 //! stays flat-low under Normal (densest hot set); Masstree is stable but
 //! 38–51 % (≈40 %) below Euno.
 
-use euno_bench::common::{measure, print_table, scaled, write_csv, Cli, Point, System};
-use euno_sim::RunConfig;
+use euno_bench::common::{fig_config, measure, print_table, write_csv, Cli, Point, System};
 use euno_workloads::{KeyDistribution, WorkloadSpec};
 
 fn main() {
@@ -31,16 +30,12 @@ fn main() {
     for (name, dist) in dists {
         let spec = WorkloadSpec {
             dist,
-            ..WorkloadSpec::paper_default(0.9)
+            ..cli.spec(0.9)
         };
         let mut points = Vec::new();
         for &threads in &thread_counts {
-            let mut cfg = RunConfig {
-                threads,
-                ops_per_thread: scaled(15_000),
-                seed: 0xF1612,
-                warmup_ops: scaled(1_000).max(4_000),
-            };
+            let mut cfg = fig_config(0xF1612, 15_000);
+            cfg.threads = threads;
             if let Some(ops) = cli.ops_override {
                 cfg.ops_per_thread = ops;
             }

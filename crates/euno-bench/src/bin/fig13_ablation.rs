@@ -7,9 +7,7 @@
 //! −3 % (split), −4 % (part leaf), −8 %/−2 % (CCM), recovered to −2 % by
 //! +Adaptive.
 
-use euno_bench::common::{measure, scaled, write_csv, Cli, Point, System};
-use euno_sim::RunConfig;
-use euno_workloads::WorkloadSpec;
+use euno_bench::common::{fig_config, measure, write_csv, Cli, Point, System};
 
 fn main() {
     let cli = Cli::parse();
@@ -24,13 +22,9 @@ fn main() {
 
     let mut all = Vec::new();
     for (theta, label) in [(0.9, "high contention"), (0.2, "low contention")] {
-        let spec = WorkloadSpec::paper_default(theta);
-        let mut cfg = RunConfig {
-            threads: 20,
-            ops_per_thread: scaled(15_000),
-            seed: 0xF1613,
-            warmup_ops: scaled(1_000).max(4_000),
-        };
+        let spec = cli.spec(theta);
+        let mut cfg = fig_config(0xF1613, 15_000);
+        cfg.threads = 20;
         cli.apply(&mut cfg);
 
         println!("\n== Figure 13: design-choice ladder, {label} (θ={theta}) ==");
@@ -46,7 +40,11 @@ fn main() {
             } else {
                 system.label()
             };
-            println!("{name:<16} {:>10.2} {:>9.2}x", m.mops(), m.mops() / baseline);
+            println!(
+                "{name:<16} {:>10.2} {:>9.2}x",
+                m.mops(),
+                m.mops() / baseline
+            );
             all.push(Point {
                 system: name,
                 x: format!("{theta}"),

@@ -8,7 +8,7 @@
 //! because the reserved buffers are transient and the CCM is two words
 //! per leaf.
 
-use euno_bench::common::{scaled, Cli, System};
+use euno_bench::common::{fig_config, Cli, System};
 use euno_htm::Runtime;
 use euno_sim::{preload, run_virtual, RunConfig};
 use euno_workloads::{KeyDistribution, OpMix, WorkloadSpec};
@@ -32,17 +32,13 @@ fn run_one(label: &str, spec: &WorkloadSpec, cfg: &RunConfig) {
 
 fn main() {
     let cli = Cli::parse();
-    let mut cfg = RunConfig {
-        threads: 16,
-        ops_per_thread: scaled(20_000),
-        seed: 0x5E07,
-        warmup_ops: 0,
-    };
+    let mut cfg = fig_config(0x5E07, 20_000);
+    cfg.warmup_ops = 0; // memory audit wants the whole run's allocations
     cli.apply(&mut cfg);
 
     println!("== §5.7a: memory overhead vs contention rate ==");
     for theta in [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.99] {
-        let spec = WorkloadSpec::paper_default(theta);
+        let spec = cli.spec(theta);
         run_one(&format!("zipfian θ={theta}"), &spec, &cfg);
     }
 
@@ -50,7 +46,7 @@ fn main() {
     for (g, p) in [(0.2, 0.8), (0.5, 0.5), (0.8, 0.2)] {
         let spec = WorkloadSpec {
             mix: OpMix::get_put(g),
-            ..WorkloadSpec::paper_default(0.9)
+            ..cli.spec(0.9)
         };
         run_one(&format!("get/put {g}/{p}"), &spec, &cfg);
     }
@@ -63,7 +59,7 @@ fn main() {
     ] {
         let spec = WorkloadSpec {
             dist,
-            ..WorkloadSpec::paper_default(0.0)
+            ..cli.spec(0.0)
         };
         run_one(name, &spec, &cfg);
     }

@@ -8,35 +8,24 @@
 //! survive every cell: **Euno-B+Tree > Masstree > monolithic HTM-B+Tree at
 //! θ = 0.9**, with Euno close to the baseline at θ = 0.2.
 
-use std::sync::Arc;
-
-use euno_bench::common::{scaled, Cli, System};
+use euno_bench::common::{fig_config, Cli, System};
 use euno_htm::{CostModel, Mode, Runtime};
-use euno_sim::{preload, run_virtual, RunConfig};
+use euno_sim::{preload, run_virtual, strategy_for, RunConfig};
 use euno_workloads::WorkloadSpec;
 
-fn measure_with(
-    system: System,
-    cost: CostModel,
-    theta: f64,
-    cfg: &RunConfig,
-) -> f64 {
+fn measure_with(system: System, cost: CostModel, spec: &WorkloadSpec, cfg: &RunConfig) -> f64 {
     let rt = Runtime::new(Mode::Virtual, cost);
-    let map = system.build(&rt);
-    let spec = WorkloadSpec::paper_default(theta);
-    preload(map.as_ref(), &rt, &spec);
+    let map = system.build_with_strategy(&rt, strategy_for(spec.policy));
+    preload(map.as_ref(), &rt, spec);
     rt.reset_dynamics();
-    run_virtual(map.as_ref(), &rt, &spec, cfg).mops()
+    run_virtual(map.as_ref(), &rt, spec, cfg).mops()
 }
 
 fn main() {
     let cli = Cli::parse();
-    let mut cfg = RunConfig {
-        threads: 16,
-        ops_per_thread: scaled(10_000),
-        seed: 0x5E45,
-        warmup_ops: scaled(1_000).max(4_000),
-    };
+    let high = cli.spec(0.9);
+    let low = cli.spec(0.2);
+    let mut cfg = fig_config(0x5E45, 10_000);
     cli.apply(&mut cfg);
 
     println!("== Sensitivity: hot-line transfer charge (θ=0.9, 16 thr) ==");
@@ -49,9 +38,9 @@ fn main() {
             line_transfer: transfer,
             ..CostModel::default()
         };
-        let euno = measure_with(System::EunoBTree, cost.clone(), 0.9, &cfg);
-        let htm = measure_with(System::HtmBTree, cost.clone(), 0.9, &cfg);
-        let mt = measure_with(System::Masstree, cost.clone(), 0.9, &cfg);
+        let euno = measure_with(System::EunoBTree, cost.clone(), &high, &cfg);
+        let htm = measure_with(System::HtmBTree, cost.clone(), &high, &cfg);
+        let mt = measure_with(System::Masstree, cost.clone(), &high, &cfg);
         println!(
             "{transfer:>10} {euno:>12.2} {htm:>12.2} {mt:>12.2} {:>9.1}x",
             euno / htm
@@ -69,8 +58,8 @@ fn main() {
             backoff_cap: cap,
             ..CostModel::default()
         };
-        let euno = measure_with(System::EunoBTree, cost.clone(), 0.9, &cfg);
-        let htm = measure_with(System::HtmBTree, cost.clone(), 0.9, &cfg);
+        let euno = measure_with(System::EunoBTree, cost.clone(), &high, &cfg);
+        let htm = measure_with(System::HtmBTree, cost.clone(), &high, &cfg);
         println!("{cap:>10} {euno:>12.2} {htm:>12.2} {:>9.1}x", euno / htm);
         assert!(euno > htm, "ordering must hold at backoff cap {cap}");
     }
@@ -81,8 +70,8 @@ fn main() {
             line_transfer: transfer,
             ..CostModel::default()
         };
-        let euno = measure_with(System::EunoBTree, cost.clone(), 0.2, &cfg);
-        let htm = measure_with(System::HtmBTree, cost.clone(), 0.2, &cfg);
+        let euno = measure_with(System::EunoBTree, cost.clone(), &low, &cfg);
+        let htm = measure_with(System::HtmBTree, cost.clone(), &low, &cfg);
         println!(
             "transfer={transfer:<4} Euno {euno:>8.2} vs HTM {htm:>8.2}  ({:.0}% overhead)",
             100.0 * (1.0 - euno / htm)

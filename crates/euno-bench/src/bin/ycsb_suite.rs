@@ -9,20 +9,22 @@
 
 use std::sync::Arc;
 
-use euno_bench::common::{scaled, System};
+use euno_bench::common::{fig_config, Cli, System};
 use euno_htm::{ConcurrentMap, Runtime, ThreadCtx};
-use euno_sim::{preload, RunConfig, VirtualScheduler};
-use euno_workloads::{Op, YcsbOp, YcsbStream, YcsbWorkload};
+use euno_sim::{preload, strategy_for, RunConfig, VirtualScheduler};
+use euno_workloads::{Op, PolicyChoice, YcsbOp, YcsbStream, YcsbWorkload};
 
 fn run_ycsb(
     system: System,
     workload: YcsbWorkload,
     theta: f64,
+    policy: PolicyChoice,
     cfg: &RunConfig,
 ) -> euno_sim::RunMetrics {
     let rt = Runtime::new_virtual();
-    let map = system.build(&rt);
-    let spec = workload.spec(200_000, theta);
+    let map = system.build_with_strategy(&rt, strategy_for(policy));
+    let mut spec = workload.spec(200_000, theta);
+    spec.base.policy = policy;
     preload(map.as_ref(), &rt, &spec.base);
     rt.reset_dynamics();
 
@@ -82,21 +84,17 @@ fn run_ycsb(
 }
 
 fn main() {
-    let mut theta = 0.9;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--theta" {
-            theta = args.next().and_then(|v| v.parse().ok()).unwrap_or(0.9);
-        }
-    }
-    let cfg = RunConfig {
-        threads: 16,
-        ops_per_thread: scaled(10_000),
-        seed: 0x4C5B,
-        warmup_ops: scaled(1_000).max(4_000),
-    };
+    let cli = Cli::parse();
+    let theta = cli.theta(0.9);
+    let policy = cli.policy.unwrap_or_default();
+    let mut cfg = fig_config(0x4C5B, 10_000);
+    cli.apply(&mut cfg);
 
-    println!("== YCSB core suite, θ={theta}, 16 virtual threads ==\n");
+    println!(
+        "== YCSB core suite, θ={theta}, policy={}, {} virtual threads ==\n",
+        policy.label(),
+        cfg.threads
+    );
     for workload in YcsbWorkload::ALL {
         println!("{}", workload.label());
         println!(
@@ -104,7 +102,7 @@ fn main() {
             "system", "Mops/s", "aborts/op", "p50", "p99", "p99.9"
         );
         for system in System::MAIN_FOUR {
-            let m = run_ycsb(system, workload, theta, &cfg);
+            let m = run_ycsb(system, workload, theta, policy, &cfg);
             println!(
                 "  {:<14} {:>9.2} {:>11.4} {:>9} {:>9} {:>10}",
                 system.label(),

@@ -13,9 +13,9 @@ use std::sync::Arc;
 
 use euno_baselines::{HtmBTree, HtmMasstree, Masstree};
 use euno_core::{EunoBTree, EunoBTreeDefault, EunoBTreeUnpartitioned, EunoConfig};
-use euno_htm::{ConcurrentMap, Runtime};
-use euno_sim::{preload, run_virtual, RunConfig, RunMetrics};
-use euno_workloads::WorkloadSpec;
+use euno_htm::{ConcurrentMap, RetryStrategy, Runtime};
+use euno_sim::{preload, run_virtual, strategy_for, RunConfig, RunMetrics};
+use euno_workloads::{PolicyChoice, WorkloadSpec};
 
 /// The four systems of §5.1, plus the ablation variants of Figure 13.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,30 +54,46 @@ impl System {
         }
     }
 
-    /// Instantiate the system against a runtime.
+    /// Instantiate the system against a runtime with the default (DBX)
+    /// retry strategy.
     pub fn build(self, rt: &Arc<Runtime>) -> Box<dyn ConcurrentMap> {
+        self.build_with_strategy(rt, strategy_for(PolicyChoice::Dbx))
+    }
+
+    /// Instantiate the system with an explicit executor retry strategy.
+    /// Masstree takes no HTM regions, so the strategy does not apply
+    /// there; every other system threads it into its region executor.
+    pub fn build_with_strategy(
+        self,
+        rt: &Arc<Runtime>,
+        strategy: Arc<dyn RetryStrategy>,
+    ) -> Box<dyn ConcurrentMap> {
         match self {
             System::EunoBTree | System::AblationAdaptive => {
-                Box::new(EunoBTreeDefault::new(Arc::clone(rt)))
+                Box::new(EunoBTreeDefault::with_strategy(Arc::clone(rt), strategy))
             }
-            System::HtmBTree => Box::new(HtmBTree::<16>::new(Arc::clone(rt))),
+            System::HtmBTree => Box::new(HtmBTree::<16>::with_strategy(Arc::clone(rt), strategy)),
             System::Masstree => Box::new(Masstree::new(Arc::clone(rt))),
-            System::HtmMasstree => Box::new(HtmMasstree::new(Arc::clone(rt))),
-            System::AblationSplitHtm => Box::new(EunoBTreeUnpartitioned::with_config(
+            System::HtmMasstree => Box::new(HtmMasstree::with_strategy(Arc::clone(rt), strategy)),
+            System::AblationSplitHtm => Box::new(EunoBTreeUnpartitioned::with_config_and_strategy(
                 Arc::clone(rt),
                 EunoConfig::split_htm_only(),
+                strategy,
             )),
-            System::AblationPartLeaf => Box::new(EunoBTree::<4, 4>::with_config(
+            System::AblationPartLeaf => Box::new(EunoBTree::<4, 4>::with_config_and_strategy(
                 Arc::clone(rt),
                 EunoConfig::part_leaf(),
+                strategy,
             )),
-            System::AblationCcmLockbits => Box::new(EunoBTree::<4, 4>::with_config(
+            System::AblationCcmLockbits => Box::new(EunoBTree::<4, 4>::with_config_and_strategy(
                 Arc::clone(rt),
                 EunoConfig::ccm_lockbits(),
+                strategy,
             )),
-            System::AblationCcmMarkbits => Box::new(EunoBTree::<4, 4>::with_config(
+            System::AblationCcmMarkbits => Box::new(EunoBTree::<4, 4>::with_config_and_strategy(
                 Arc::clone(rt),
                 EunoConfig::ccm_markbits(),
+                strategy,
             )),
         }
     }
@@ -93,10 +109,11 @@ pub struct Point {
 }
 
 /// Run one (system, workload, config) cell: fresh runtime, preload,
-/// measure.
+/// measure. The tree is built under the retry strategy the spec's
+/// [`PolicyChoice`] selects.
 pub fn measure(system: System, spec: &WorkloadSpec, cfg: &RunConfig) -> RunMetrics {
     let rt = Runtime::new_virtual();
-    let map = system.build(&rt);
+    let map = system.build_with_strategy(&rt, strategy_for(spec.policy));
     preload(map.as_ref(), &rt, spec);
     rt.reset_dynamics();
     run_virtual(map.as_ref(), &rt, spec, cfg)
@@ -115,11 +132,27 @@ pub fn scaled(ops: u64) -> u64 {
     ((ops as f64 * scale()) as u64).max(200)
 }
 
-/// Parse `--csv <path>` / `--ops <n>` / `--threads <n>` style CLI flags.
+/// The standard figure run configuration every binary starts from:
+/// 16 virtual threads (§5.1), a scaled per-thread op budget, and the
+/// shared warmup sizing. Sweeping binaries override `threads` per point.
+pub fn fig_config(seed: u64, ops_per_thread: u64) -> RunConfig {
+    RunConfig {
+        threads: 16,
+        ops_per_thread: scaled(ops_per_thread),
+        seed,
+        warmup_ops: scaled(1_000).max(4_000),
+    }
+}
+
+/// Parse the flags shared by every figure binary:
+/// `--csv <path>` / `--ops <n>` / `--threads <n>` / `--theta <f>` /
+/// `--policy dbx|aggressive|adaptive`.
 pub struct Cli {
     pub csv: Option<String>,
     pub ops_override: Option<u64>,
     pub threads_override: Option<usize>,
+    pub theta_override: Option<f64>,
+    pub policy: Option<PolicyChoice>,
 }
 
 impl Cli {
@@ -129,15 +162,39 @@ impl Cli {
             csv: None,
             ops_override: None,
             threads_override: None,
+            theta_override: None,
+            policy: None,
         };
+        fn numeric<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+            match v.as_deref().map(str::parse) {
+                Some(Ok(n)) => n,
+                _ => {
+                    eprintln!("{flag} needs a numeric value, got {v:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--csv" => cli.csv = args.next(),
-                "--ops" => cli.ops_override = args.next().and_then(|v| v.parse().ok()),
-                "--threads" => cli.threads_override = args.next().and_then(|v| v.parse().ok()),
+                "--ops" => cli.ops_override = Some(numeric("--ops", args.next())),
+                "--threads" => cli.threads_override = Some(numeric("--threads", args.next())),
+                "--theta" => cli.theta_override = Some(numeric("--theta", args.next())),
+                "--policy" => match args.next().as_deref().map(str::parse::<PolicyChoice>) {
+                    Some(Ok(p)) => cli.policy = Some(p),
+                    Some(Err(e)) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("--policy needs a value (dbx|aggressive|adaptive)");
+                        std::process::exit(2);
+                    }
+                },
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --csv <path>  --ops <per-thread>  --threads <n>\n\
+                         \x20      --theta <f64>  --policy dbx|aggressive|adaptive\n\
                          env:   EUNO_BENCH_SCALE=<f64> scales default op budgets"
                     );
                     std::process::exit(0);
@@ -155,6 +212,22 @@ impl Cli {
         if let Some(t) = self.threads_override {
             cfg.threads = t;
         }
+    }
+
+    /// `--theta` if given, else the figure's default.
+    pub fn theta(&self, default: f64) -> f64 {
+        self.theta_override.unwrap_or(default)
+    }
+
+    /// The paper-default workload at `theta`, with the `--policy` choice
+    /// (if any) threaded into the spec — the knob [`measure`] reads when
+    /// picking the executor's retry strategy.
+    pub fn spec(&self, theta: f64) -> WorkloadSpec {
+        let mut spec = WorkloadSpec::paper_default(theta);
+        if let Some(p) = self.policy {
+            spec.policy = p;
+        }
+        spec
     }
 }
 

@@ -162,13 +162,7 @@ impl Ccm {
     /// conflict aborts its lower region suffered. Every
     /// `window` operations the bypass flag is re-decided: calm window ⇒
     /// bypass on, contended window ⇒ bypass off.
-    pub fn record_outcome(
-        &self,
-        ctx: &mut ThreadCtx,
-        conflicts: u32,
-        window: u64,
-        max_rate: f64,
-    ) {
+    pub fn record_outcome(&self, ctx: &mut ThreadCtx, conflicts: u32, window: u64, max_rate: f64) {
         if conflicts > 0 {
             self.conflicts.fetch_add_direct(ctx, conflicts as u64);
             // React immediately to contention: a bypassed leaf that starts

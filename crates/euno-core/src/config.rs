@@ -105,9 +105,8 @@ mod tests {
             EunoConfig::ccm_markbits(),
             EunoConfig::full(),
         ];
-        let score = |c: &EunoConfig| {
-            c.ccm_lock_bits as u32 + c.ccm_mark_bits as u32 + c.adaptive as u32
-        };
+        let score =
+            |c: &EunoConfig| c.ccm_lock_bits as u32 + c.ccm_mark_bits as u32 + c.adaptive as u32;
         for w in steps.windows(2) {
             assert!(score(&w[0]) < score(&w[1]));
         }

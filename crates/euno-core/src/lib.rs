@@ -25,9 +25,13 @@
 pub mod ccm;
 pub mod config;
 pub mod inspect;
+pub mod leaf_ops;
 pub mod node;
 pub mod rebalance;
+pub mod scan;
 pub mod segment;
+pub mod structural;
+pub mod traverse;
 pub mod tree;
 
 pub use ccm::Ccm;

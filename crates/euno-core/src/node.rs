@@ -21,7 +21,9 @@
 //! transient scratch, tracked for the §5.7 memory analysis but never the
 //! steady-state home of records).
 
-use euno_htm::{AdvisoryLock, Arena, LineClass, Runtime, Tx, TxCell, TxResult, TxWord, KEY_SENTINEL};
+use euno_htm::{
+    AdvisoryLock, Arena, LineClass, Runtime, Tx, TxCell, TxResult, TxWord, KEY_SENTINEL,
+};
 
 use crate::ccm::Ccm;
 use crate::segment::Segment;
@@ -107,7 +109,11 @@ impl<const SEGS: usize, const K: usize> EunoLeaf<SEGS, K> {
         // records deliberately — per-segment metadata is the point).
         rt.register_region(base + segs_off, ccm_off - segs_off, LineClass::Record);
         // CCM line.
-        rt.register_region(base + ccm_off, std::mem::size_of::<Ccm>(), LineClass::Metadata);
+        rt.register_region(
+            base + ccm_off,
+            std::mem::size_of::<Ccm>(),
+            LineClass::Metadata,
+        );
     }
 }
 
@@ -241,8 +247,9 @@ mod tests {
         let seg1k = l.segs[1].key_cell(0).line();
         let ccm = LineId::of_addr(&l.ccm as *const _ as usize);
         // All regions on distinct lines.
-        let set: std::collections::HashSet<_> =
-            [header, lock_line, seg0k, seg0v, seg1k, ccm].into_iter().collect();
+        let set: std::collections::HashSet<_> = [header, lock_line, seg0k, seg0v, seg1k, ccm]
+            .into_iter()
+            .collect();
         assert_eq!(
             set.len(),
             6,
@@ -263,7 +270,7 @@ mod tests {
         let l: Box<Leaf44> = Box::new(EunoLeaf::empty());
         let i: Box<EunoInternal> = Box::new(EunoInternal::empty());
         let lr = NodeRef::of_leaf(&*l);
-        let ir = NodeRef::of_internal(&*i);
+        let ir = NodeRef::of_internal(&i);
         assert!(lr.is_leaf() && !ir.is_leaf());
         assert!(std::ptr::eq(unsafe { lr.as_leaf::<4, 4>() }, &*l));
         assert!(std::ptr::eq(unsafe { ir.as_internal() }, &*i));

@@ -96,13 +96,11 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         // merge is abandoned (just extra false positives).
         let right_marks = right.ccm.marks_plain();
         left.ccm.or_marks(ctx, right_marks);
-        let out = ctx.htm_execute(self.fallback_cell(), self.policy(), |tx| {
+        let out = ctx.htm_execute(self.fallback_cell(), self.strategy(), |tx| {
             // Both split locks are held: contending structural ops queue.
             tx.mark_serialized();
             // Re-verify adjacency under transactional protection.
-            if NodeRef::from_word(tx.read(&left.next)?)
-                != NodeRef::of_leaf(right)
-            {
+            if NodeRef::from_word(tx.read(&left.next)?) != NodeRef::of_leaf(right) {
                 return Ok(false);
             }
             // Both leaves must share a parent, and the right leaf must
@@ -115,9 +113,7 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
             let pcnt = tx.read(&parent.count)? as usize;
             let mut slot = None;
             for j in 0..pcnt {
-                if NodeRef::from_word(tx.read(&parent.children[j])?)
-                    == NodeRef::of_leaf(right)
-                {
+                if NodeRef::from_word(tx.read(&parent.children[j])?) == NodeRef::of_leaf(right) {
                     slot = Some(j);
                     break;
                 }
@@ -249,10 +245,7 @@ mod tests {
                 _ => assert_eq!(t.get(&mut ctx, key), model.get(&key).copied()),
             }
         }
-        assert_eq!(
-            t.collect_all_plain(),
-            model.into_iter().collect::<Vec<_>>()
-        );
+        assert_eq!(t.collect_all_plain(), model.into_iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Range scans over the leaf chain (§4.2.4).
+//!
+//! A scan locks each leaf in turn, merges its segments into the sorted
+//! reserved area inside an HTM region, emits the ordered run, and hops to
+//! the next leaf via the chain pointer — re-finding the cursor's leaf from
+//! the root whenever a concurrent split invalidates the cached `seqno`.
+
+use euno_htm::{ThreadCtx, TxWord};
+
+use crate::node::NodeRef;
+use crate::tree::EunoBTree;
+
+impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
+    /// Walk the leaf chain from the leaf covering `from`, appending up to
+    /// `count` live records to `out`. Returns the number collected.
+    pub(crate) fn scan_chain(
+        &self,
+        ctx: &mut ThreadCtx,
+        from: u64,
+        count: usize,
+        out: &mut Vec<(u64, u64)>,
+    ) -> usize {
+        let mut collected = 0usize;
+        let mut cursor = from;
+        // Locate the first leaf.
+        let (mut leaf, mut seqno, _) = self.upper_region(ctx, cursor);
+        loop {
+            // §4.2.4: lock the leaf, merge segments into the sorted
+            // reserved area, read an ordered run.
+            leaf.split_lock.acquire(ctx);
+            let out_piece = ctx.htm_execute(&self.ctrl.fallback, self.strategy(), |tx| {
+                tx.set_op_key(cursor);
+                if tx.read(&leaf.seqno)? != seqno {
+                    return Ok(None);
+                }
+                // §4.2.4: gather the leaf's records into the transient
+                // sorted buffer (a merge over the per-segment sorted runs).
+                let part: Vec<(u64, u64)> = self
+                    .peek_all(tx, leaf)?
+                    .into_iter()
+                    .filter(|&(k, _)| k >= cursor)
+                    .collect();
+                let next = NodeRef::from_word(tx.read(&leaf.next)?);
+                let next_seq = if next.is_null() {
+                    0
+                } else {
+                    tx.read(&unsafe { next.as_leaf::<SEGS, K>() }.seqno)?
+                };
+                Ok(Some((part, next, next_seq)))
+            });
+            leaf.split_lock.release(ctx);
+
+            match out_piece.value {
+                None => {
+                    // Version changed: re-find the leaf for the cursor.
+                    let (l, s, _) = self.upper_region(ctx, cursor);
+                    leaf = l;
+                    seqno = s;
+                }
+                Some((part, next, next_seq)) => {
+                    for (k, v) in part {
+                        if collected == count {
+                            return collected;
+                        }
+                        out.push((k, v));
+                        collected += 1;
+                        cursor = k.saturating_add(1);
+                    }
+                    if collected == count || next.is_null() {
+                        return collected;
+                    }
+                    leaf = unsafe { next.as_leaf::<SEGS, K>() };
+                    seqno = next_seq;
+                }
+            }
+        }
+    }
+}

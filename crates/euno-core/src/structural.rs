@@ -1,0 +1,172 @@
+//! Structural modifications: leaf splits and their upward propagation
+//! (§4.2.3, Algorithm 3 lines 75-86).
+//!
+//! Splits run in the *sorting-split-reorganizing* style: the caller has
+//! already drained the leaf into the sorted reserved buffer; each half is
+//! dealt round-robin back over its node's segments so both nodes keep the
+//! scattered placement with evenly distributed free slots. Splits
+//! propagate upward through parent pointers, all inside the lower region
+//! so index edits stay atomic.
+
+use crate::ccm::Ccm;
+use crate::node::{EunoInternal, EunoLeaf, NodeRef, INTERNAL_FANOUT};
+use crate::tree::EunoBTree;
+use euno_htm::{Tx, TxResult, TxWord};
+
+impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
+    /// §4.2.3: sort → split → reorganize. `records` holds the full sorted
+    /// contents (already drained from the segments); each half is dealt
+    /// round-robin back over its node's segments, so both nodes keep the
+    /// scattered placement with evenly distributed free slots. Returns the
+    /// half that should receive `key`.
+    pub(crate) fn split_leaf<'t>(
+        &'t self,
+        tx: &mut Tx<'_>,
+        leaf: &'t EunoLeaf<SEGS, K>,
+        records: &[(u64, u64)],
+        key: u64,
+    ) -> TxResult<&'t EunoLeaf<SEGS, K>> {
+        let right: &'t EunoLeaf<SEGS, K> = self.arenas.leaves.alloc(EunoLeaf::empty());
+        right.register(&self.rt);
+        let mid = records.len() / 2;
+        let sep = records[mid].0;
+
+        self.redistribute(tx, leaf, &records[..mid])?;
+        self.redistribute(tx, right, &records[mid..])?;
+
+        // Fresh exact mark bits for the unpublished right node; the left
+        // node keeps its (superset) bits. The pending key the caller will
+        // insert after the split must be included when it lands right of
+        // the separator — its CCM-stage mark was set on the *old* leaf.
+        let mut marks = 0u64;
+        for &(k, _) in &records[mid..] {
+            marks |= 1 << Ccm::slot(k, Self::ccm_bits());
+        }
+        if key >= sep {
+            marks |= 1 << Ccm::slot(key, Self::ccm_bits());
+        }
+        right.ccm.install_marks_prepublication(marks);
+        // The right node inherits the old leaf's heat: it was just split,
+        // so it starts protected and must earn its bypass.
+        right.ccm.protect_prepublication();
+        tx.charge(self.rt.cost.alu * (records.len() - mid) as u64);
+
+        let old_next = tx.read(&leaf.next)?;
+        tx.write(&right.next, old_next)?;
+        tx.write(&leaf.next, NodeRef::of_leaf(right).to_word())?;
+        let parent = tx.read(&leaf.parent)?;
+        tx.write(&right.parent, parent)?;
+        // Bump the version: concurrent two-step traversals holding this
+        // leaf's pointer must retry from the root (Algorithm 3 line 80).
+        let seq = tx.read(&leaf.seqno)?;
+        tx.write(&leaf.seqno, seq + 1)?;
+
+        self.insert_into_parent(tx, NodeRef::of_leaf(leaf), sep, NodeRef::of_leaf(right))?;
+        Ok(if key < sep { leaf } else { right })
+    }
+
+    /// Propagate `(sep, right)` upward from `child`, splitting full
+    /// internal nodes and maintaining parent pointers (lines 84-86).
+    fn insert_into_parent(
+        &self,
+        tx: &mut Tx<'_>,
+        mut child: NodeRef,
+        mut sep: u64,
+        mut right: NodeRef,
+    ) -> TxResult<()> {
+        loop {
+            let parent_bits = tx.read(unsafe { child.parent_cell::<SEGS, K>() })?;
+            if parent_bits == 0 {
+                // `child` was the root: grow the tree.
+                let new_root = self.arenas.internals.alloc(EunoInternal::empty());
+                new_root.register(&self.rt);
+                let nr = NodeRef::of_internal(new_root);
+                tx.write(&new_root.child0, child.to_word())?;
+                tx.write(&new_root.keys[0], sep)?;
+                tx.write(&new_root.children[0], right.to_word())?;
+                tx.write(&new_root.count, 1)?;
+                tx.write(unsafe { child.parent_cell::<SEGS, K>() }, nr.to_word())?;
+                tx.write(unsafe { right.parent_cell::<SEGS, K>() }, nr.to_word())?;
+                tx.write(&self.ctrl.root, nr.to_word())?;
+                return Ok(());
+            }
+            let parent: &EunoInternal = unsafe { NodeRef::from_word(parent_bits).as_internal() };
+            let cnt = tx.read(&parent.count)? as usize;
+            if cnt < INTERNAL_FANOUT {
+                self.internal_insert_at(tx, parent, cnt, sep, right)?;
+                tx.write(unsafe { right.parent_cell::<SEGS, K>() }, parent_bits)?;
+                return Ok(());
+            }
+
+            // Split the full internal node.
+            let new_int = self.arenas.internals.alloc(EunoInternal::empty());
+            new_int.register(&self.rt);
+            let new_ref = NodeRef::of_internal(new_int);
+            let mid = INTERNAL_FANOUT / 2;
+            let promoted = tx.read(&parent.keys[mid])?;
+            let mid_child = NodeRef::from_word(tx.read(&parent.children[mid])?);
+            tx.write(&new_int.child0, mid_child.to_word())?;
+            tx.write(
+                unsafe { mid_child.parent_cell::<SEGS, K>() },
+                new_ref.to_word(),
+            )?;
+            for i in mid + 1..INTERNAL_FANOUT {
+                let k = tx.read(&parent.keys[i])?;
+                let c = NodeRef::from_word(tx.read(&parent.children[i])?);
+                tx.write(&new_int.keys[i - mid - 1], k)?;
+                tx.write(&new_int.children[i - mid - 1], c.to_word())?;
+                tx.write(unsafe { c.parent_cell::<SEGS, K>() }, new_ref.to_word())?;
+            }
+            tx.write(&new_int.count, (INTERNAL_FANOUT - mid - 1) as u64)?;
+            tx.write(&parent.count, mid as u64)?;
+            let old_grandparent = tx.read(&parent.parent)?;
+            tx.write(&new_int.parent, old_grandparent)?;
+
+            // Insert the pending (sep, right) into the proper half.
+            let (target, target_bits) = if sep < promoted {
+                (parent, parent_bits)
+            } else {
+                (new_int, new_ref.to_word())
+            };
+            let tcnt = tx.read(&target.count)? as usize;
+            self.internal_insert_at(tx, target, tcnt, sep, right)?;
+            tx.write(unsafe { right.parent_cell::<SEGS, K>() }, target_bits)?;
+
+            sep = promoted;
+            right = new_ref;
+            child = NodeRef::from_word(parent_bits);
+        }
+    }
+
+    fn internal_insert_at(
+        &self,
+        tx: &mut Tx<'_>,
+        node: &EunoInternal,
+        cnt: usize,
+        sep: u64,
+        right: NodeRef,
+    ) -> TxResult<()> {
+        debug_assert!(cnt < INTERNAL_FANOUT);
+        let (mut lo, mut hi) = (0usize, cnt);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if tx.read(&node.keys[mid])? < sep {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut i = cnt;
+        while i > lo {
+            let k = tx.read(&node.keys[i - 1])?;
+            let c = tx.read(&node.children[i - 1])?;
+            tx.write(&node.keys[i], k)?;
+            tx.write(&node.children[i], c)?;
+            i -= 1;
+        }
+        tx.write(&node.keys[lo], sep)?;
+        tx.write(&node.children[lo], right.to_word())?;
+        tx.write(&node.count, (cnt + 1) as u64)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,183 @@
+//! The two-step transactional traversal (Algorithm 2).
+//!
+//! Every point operation runs as:
+//!
+//! 1. an *upper* HTM region descends the index and reads the target leaf's
+//!    `seqno` into a local;
+//! 2. the conflict-control stage (outside any region) takes the key's CCM
+//!    lock bit, consults the mark bit, and pre-acquires the split lock for
+//!    inserts into near-full leaves;
+//! 3. a *lower* HTM region re-reads `seqno` — if unchanged, the leaf
+//!    pointer is still the right one and the operation completes locally;
+//!    if changed, a concurrent split moved records and the operation
+//!    retries from the root (the rare case).
+//!
+//! Both regions run on the layered executor in `euno_htm::exec` under the
+//! tree's [`RetryStrategy`](euno_htm::RetryStrategy); this module owns no
+//! retry loop of its own.
+
+use std::sync::atomic::Ordering;
+
+use euno_htm::{ThreadCtx, Tx, TxResult, TxWord};
+
+use crate::ccm::Ccm;
+use crate::node::{EunoInternal, EunoLeaf, NodeRef};
+use crate::tree::{EunoBTree, Lower, Req};
+
+impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
+    /// Root-to-leaf descent inside the upper HTM region.
+    fn descend<'t>(&'t self, tx: &mut Tx<'_>, key: u64) -> TxResult<&'t EunoLeaf<SEGS, K>> {
+        let mut cur = NodeRef::from_word(tx.read(&self.ctrl.root)?);
+        while !cur.is_leaf() {
+            let node: &EunoInternal = unsafe { cur.as_internal() };
+            let cnt = tx.read(&node.count)? as usize;
+            let (mut lo, mut hi) = (0usize, cnt);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if tx.read(&node.keys[mid])? <= key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            cur = if lo == 0 {
+                NodeRef::from_word(tx.read(&node.child0)?)
+            } else {
+                NodeRef::from_word(tx.read(&node.children[lo - 1])?)
+            };
+        }
+        Ok(unsafe { cur.as_leaf::<SEGS, K>() })
+    }
+
+    /// Algorithm 2 lines 23-28: find the leaf, read its version.
+    pub(crate) fn upper_region(
+        &self,
+        ctx: &mut ThreadCtx,
+        key: u64,
+    ) -> (&EunoLeaf<SEGS, K>, u64, u32) {
+        let out = ctx.htm_execute(&self.ctrl.fallback, self.strategy(), |tx| {
+            tx.set_op_key(key);
+            let leaf = self.descend(tx, key)?;
+            let seq = tx.read(&leaf.seqno)?;
+            Ok((NodeRef::of_leaf(leaf).to_word(), seq))
+        });
+        let (bits, seq) = out.value;
+        let leaf = unsafe { NodeRef::from_word(bits).as_leaf::<SEGS, K>() };
+        (leaf, seq, out.conflict_aborts)
+    }
+
+    /// Algorithm 2: the traversal shared by get, put and delete.
+    pub(crate) fn traverse(
+        &self,
+        ctx: &mut ThreadCtx,
+        req: Req,
+        key: u64,
+        newval: u64,
+    ) -> Option<u64> {
+        let mut force_split_lock = false;
+        loop {
+            // Step 1: upper region.
+            let (leaf, seqno, upper_conflicts) = self.upper_region(ctx, key);
+
+            // Step 2: conflict control (outside any region).
+            let ccm_configured = self.cfg.ccm_lock_bits || self.cfg.ccm_mark_bits;
+            let ccm_active = ccm_configured && !(self.cfg.adaptive && leaf.ccm.bypassed(ctx));
+            let slot = Ccm::slot(key, Self::ccm_bits());
+            ctx.charge(self.rt.cost.alu * 3); // hash computation
+            let mut slot_locked = false;
+            if ccm_active && self.cfg.ccm_lock_bits {
+                leaf.ccm.lock_slot(ctx, slot);
+                slot_locked = true;
+            }
+            let mut split_locked = false;
+            let mut fast_miss = false;
+            if self.cfg.ccm_mark_bits {
+                match req {
+                    Req::Put => {
+                        // Claim existence (line 38). This runs even when
+                        // the leaf is adaptively bypassed: the mark vector
+                        // must stay a superset of the live keys or gets
+                        // would miss real records once protection
+                        // re-engages.
+                        let existed = leaf.ccm.set_mark(ctx, slot);
+                        // Pre-lock if an insert may split (lines 39-40).
+                        if ccm_active
+                            && !existed
+                            && leaf.occupied_direct(ctx) + self.cfg.near_full_slack
+                                >= Self::capacity()
+                        {
+                            leaf.split_lock.acquire(ctx);
+                            split_locked = true;
+                        }
+                    }
+                    // Definite miss: never enter the leaf (line 35).
+                    Req::Get | Req::Delete => {
+                        if ccm_active && !leaf.ccm.marked(ctx, slot) {
+                            fast_miss = true;
+                        }
+                    }
+                }
+            }
+            if force_split_lock && req == Req::Put && !split_locked {
+                leaf.split_lock.acquire(ctx);
+                split_locked = true;
+            }
+
+            // Step 3: lower region.
+            let (outcome, lower_conflicts) = if fast_miss {
+                (Lower::Done(None), 0)
+            } else {
+                let out = ctx.htm_execute(&self.ctrl.fallback, self.strategy(), |tx| {
+                    tx.set_op_key(key);
+                    if slot_locked {
+                        // Same-record contenders queue on the CCM lock bit
+                        // (§4.1): this attempt's true conflicts are
+                        // serialized away, so the storm model must not
+                        // re-manufacture them.
+                        tx.mark_serialized();
+                    }
+                    if tx.read(&leaf.seqno)? != seqno {
+                        return Ok(Lower::Inconsistent);
+                    }
+                    self.lower_body(tx, leaf, req, key, newval, split_locked)
+                });
+                (out.value, out.conflict_aborts)
+            };
+
+            if split_locked {
+                leaf.split_lock.release(ctx);
+            }
+            if slot_locked {
+                leaf.ccm.unlock_slot(ctx, slot);
+            }
+            if self.cfg.adaptive {
+                leaf.ccm.record_outcome(
+                    ctx,
+                    upper_conflicts + lower_conflicts,
+                    self.cfg.adaptive_window,
+                    self.cfg.adaptive_conflict_rate,
+                );
+            }
+
+            match outcome {
+                Lower::Done(v) => {
+                    if req == Req::Delete && v.is_some() {
+                        let n = self.deletes.fetch_add(1, Ordering::Relaxed) + 1;
+                        // §4.2.4: re-balance once deletions cross the
+                        // threshold (0 disables the automatic trigger).
+                        let thr = self.cfg.rebalance_delete_threshold;
+                        if thr > 0 && n.is_multiple_of(thr) {
+                            self.maintain(ctx);
+                        }
+                    }
+                    return v;
+                }
+                Lower::Inconsistent => continue,
+                Lower::NeedSplitLock => {
+                    force_split_lock = true;
+                    continue;
+                }
+            }
+        }
+    }
+}

@@ -1,57 +1,51 @@
 //! Euno-B+Tree: the Eunomia design pattern applied to a B+Tree (§4).
 //!
-//! Every point operation is a **two-step transactional traversal**
-//! (Algorithm 2):
+//! This module is the façade: the struct, its constructors, the
+//! [`ConcurrentMap`] surface, and the crate-internal accessors the
+//! [`crate::rebalance`] module builds on. The operation machinery lives in
+//! sibling modules, one per concern:
 //!
-//! 1. an *upper* HTM region descends the index and reads the target leaf's
-//!    `seqno` into a local;
-//! 2. the conflict-control stage (outside any region) takes the key's CCM
-//!    lock bit, consults the mark bit, and pre-acquires the split lock for
-//!    inserts into near-full leaves;
-//! 3. a *lower* HTM region re-reads `seqno` — if unchanged, the leaf
-//!    pointer is still the right one and the operation completes locally;
-//!    if changed, a concurrent split moved records and the operation
-//!    retries from the root (the rare case).
+//! * [`crate::traverse`] — the two-step transactional traversal
+//!   (Algorithm 2): upper region, conflict-control stage, lower region;
+//! * [`crate::leaf_ops`] — intra-leaf reads and the randomized write
+//!   scheduler with reorganization (Algorithm 3);
+//! * [`crate::structural`] — leaf splits and their upward propagation
+//!   through the index (§4.2.3);
+//! * [`crate::scan`] — range scans over the leaf chain (§4.2.4).
 //!
-//! Inserts use the randomized **write scheduler** over the leaf's segments
-//! (Algorithm 3); overflowing leaves first *reorganize* — merge into the
-//! transient sorted buffer (the paper's *reserved keys*), drop tombstones,
-//! and deal the records round-robin back over the segments so key-adjacent
-//! records stay on different cache lines — and split only when genuinely
-//! full, in the *sorting-split-reorganizing* style of §4.2.3. Splits
-//! propagate upward through parent pointers, all inside the lower region
-//! so index edits stay atomic.
+//! Retry policy is pluggable: the tree holds an `Arc<dyn RetryStrategy>`
+//! consulted by the layered executor for every HTM region it starts, so
+//! the same structure runs under DBX-style budgets, persistent retry, or
+//! an adaptive controller without recompiling.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use rand::Rng;
-
 use euno_htm::{
-    ConcurrentMap, MemoryReport, RetryPolicy, Runtime, ThreadCtx, TransientBytes, Tx, TxResult,
-    TxCell, TxWord, KEY_SENTINEL, TOMBSTONE,
+    ConcurrentMap, MemoryReport, RetryPolicy, RetryStrategy, Runtime, ThreadCtx, TransientBytes,
+    Tx, TxCell, TxResult, TxWord, KEY_SENTINEL, TOMBSTONE,
 };
 
 use crate::ccm::Ccm;
 use crate::config::EunoConfig;
-use crate::node::{EunoInternal, EunoLeaf, NodeArenas, NodeRef, INTERNAL_FANOUT};
+use crate::node::{EunoLeaf, NodeArenas, NodeRef};
 
 /// The Euno-B+Tree. `SEGS` segments of `K` slots per leaf
 /// (fanout = `SEGS·K`; the paper's default geometry is 16 with partitioned
 /// leaves — `EunoBTree<4, 4>`; `EunoBTree<1, 16>` is the unpartitioned
 /// `+Split HTM` ablation variant).
 pub struct EunoBTree<const SEGS: usize = 4, const K: usize = 4> {
-    rt: Arc<Runtime>,
-    cfg: EunoConfig,
-    policy: RetryPolicy,
+    pub(crate) rt: Arc<Runtime>,
+    pub(crate) cfg: EunoConfig,
+    pub(crate) strategy: Arc<dyn RetryStrategy>,
     pub(crate) ctrl: Box<euno_htm::ControlBlock>,
-    arenas: NodeArenas<SEGS, K>,
-    reserved_bytes: TransientBytes,
-    deletes: AtomicU64,
+    pub(crate) arenas: NodeArenas<SEGS, K>,
+    pub(crate) reserved_bytes: TransientBytes,
+    pub(crate) deletes: AtomicU64,
 }
 
 /// What the lower region concluded.
-enum Lower {
+pub(crate) enum Lower {
     Done(Option<u64>),
     /// `seqno` changed: the leaf split concurrently; retry from the root.
     Inconsistent,
@@ -61,7 +55,7 @@ enum Lower {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Req {
+pub(crate) enum Req {
     Get,
     Put,
     Delete,
@@ -73,6 +67,19 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
     }
 
     pub fn with_config(rt: Arc<Runtime>, cfg: EunoConfig) -> Self {
+        Self::with_config_and_strategy(rt, cfg, Arc::new(RetryPolicy::default()))
+    }
+
+    /// Default configuration, custom retry strategy.
+    pub fn with_strategy(rt: Arc<Runtime>, strategy: Arc<dyn RetryStrategy>) -> Self {
+        Self::with_config_and_strategy(rt, EunoConfig::default(), strategy)
+    }
+
+    pub fn with_config_and_strategy(
+        rt: Arc<Runtime>,
+        cfg: EunoConfig,
+        strategy: Arc<dyn RetryStrategy>,
+    ) -> Self {
         let arenas: NodeArenas<SEGS, K> = NodeArenas::new();
         let first = arenas.leaves.alloc(EunoLeaf::empty());
         first.register(&rt);
@@ -81,7 +88,7 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         EunoBTree {
             rt,
             cfg,
-            policy: RetryPolicy::default(),
+            strategy,
             ctrl,
             arenas,
             reserved_bytes: TransientBytes::new(),
@@ -97,535 +104,12 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         &self.cfg
     }
 
-    const fn ccm_bits() -> u32 {
+    pub(crate) const fn ccm_bits() -> u32 {
         EunoLeaf::<SEGS, K>::ccm_bits()
     }
 
     pub(crate) const fn capacity() -> usize {
         EunoLeaf::<SEGS, K>::capacity()
-    }
-
-    // ================= upper region =================
-
-    /// Root-to-leaf descent inside the upper HTM region.
-    fn descend<'t>(&'t self, tx: &mut Tx<'_>, key: u64) -> TxResult<&'t EunoLeaf<SEGS, K>> {
-        let mut cur = NodeRef::from_word(tx.read(&self.ctrl.root)?);
-        while !cur.is_leaf() {
-            let node: &EunoInternal = unsafe { cur.as_internal() };
-            let cnt = tx.read(&node.count)? as usize;
-            let (mut lo, mut hi) = (0usize, cnt);
-            while lo < hi {
-                let mid = (lo + hi) / 2;
-                if tx.read(&node.keys[mid])? <= key {
-                    lo = mid + 1;
-                } else {
-                    hi = mid;
-                }
-            }
-            cur = if lo == 0 {
-                NodeRef::from_word(tx.read(&node.child0)?)
-            } else {
-                NodeRef::from_word(tx.read(&node.children[lo - 1])?)
-            };
-        }
-        Ok(unsafe { cur.as_leaf::<SEGS, K>() })
-    }
-
-    /// Algorithm 2 lines 23-28: find the leaf, read its version.
-    fn upper_region(
-        &self,
-        ctx: &mut ThreadCtx,
-        key: u64,
-    ) -> (&EunoLeaf<SEGS, K>, u64, u32) {
-        let out = ctx.htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
-            tx.set_op_key(key);
-            let leaf = self.descend(tx, key)?;
-            let seq = tx.read(&leaf.seqno)?;
-            Ok((NodeRef::of_leaf(leaf).to_word(), seq))
-        });
-        let (bits, seq) = out.value;
-        let leaf = unsafe { NodeRef::from_word(bits).as_leaf::<SEGS, K>() };
-        (leaf, seq, out.conflict_aborts)
-    }
-
-    // ================= lower region =================
-
-    /// Locate `key`'s value cell: compare each segment's first/last
-    /// element, binary-searching only segments whose range brackets the
-    /// key (the paper's scattered-leaf search).
-    fn leaf_find<'t>(
-        &self,
-        tx: &mut Tx<'_>,
-        leaf: &'t EunoLeaf<SEGS, K>,
-        key: u64,
-    ) -> TxResult<Option<&'t TxCell<u64>>> {
-        for seg in &leaf.segs {
-            if let Some(i) = seg.find(tx, key)? {
-                return Ok(Some(seg.val_cell(i)));
-            }
-        }
-        Ok(None)
-    }
-
-    fn lower_body(
-        &self,
-        tx: &mut Tx<'_>,
-        leaf: &EunoLeaf<SEGS, K>,
-        req: Req,
-        key: u64,
-        newval: u64,
-        have_split_lock: bool,
-    ) -> TxResult<Lower> {
-        let found = self.leaf_find(tx, leaf, key)?;
-        match req {
-            Req::Get => Ok(Lower::Done(match found {
-                Some(vc) => {
-                    let v = tx.read(vc)?;
-                    (v != TOMBSTONE).then_some(v)
-                }
-                None => None,
-            })),
-            Req::Delete => {
-                if let Some(vc) = found {
-                    let old = tx.read(vc)?;
-                    if old != TOMBSTONE {
-                        tx.write(vc, TOMBSTONE)?;
-                        return Ok(Lower::Done(Some(old)));
-                    }
-                }
-                Ok(Lower::Done(None))
-            }
-            Req::Put => {
-                if let Some(vc) = found {
-                    let old = tx.read(vc)?;
-                    tx.write(vc, newval)?;
-                    return Ok(Lower::Done((old != TOMBSTONE).then_some(old)));
-                }
-                self.insert_record(tx, leaf, key, newval, have_split_lock)
-            }
-        }
-    }
-
-    /// Algorithm 3: write-scheduler dispatch, reorganization, split.
-    fn insert_record(
-        &self,
-        tx: &mut Tx<'_>,
-        leaf: &EunoLeaf<SEGS, K>,
-        key: u64,
-        newval: u64,
-        have_split_lock: bool,
-    ) -> TxResult<Lower> {
-        // 1. Randomized dispatch to a non-full segment (lines 60-66). The
-        //    scheduler never repeats the previous index (line 60).
-        let mut idx = if SEGS == 1 {
-            0
-        } else {
-            tx.ctx().rng().gen_range(0..SEGS)
-        };
-        let mut tries = 0;
-        loop {
-            if !leaf.segs[idx].is_full_tx(tx)? {
-                leaf.segs[idx].insert(tx, key, newval)?;
-                return Ok(Lower::Done(None));
-            }
-            if SEGS == 1 || tries >= self.cfg.scheduler_retries {
-                break;
-            }
-            let prev = idx;
-            while idx == prev && SEGS > 1 {
-                idx = tx.ctx().rng().gen_range(0..SEGS);
-            }
-            tries += 1;
-        }
-
-        // 2. Retries exhausted: the leaf is near-full or unevenly loaded
-        //    (lines 67-86). Reorganizing or splitting rewrites shared
-        //    state, so demand the advisory split lock first when the node
-        //    may genuinely be full (the serialized fallback path is already
-        //    exclusive).
-        let occupied = leaf.occupied_tx(tx)?;
-        if occupied >= Self::capacity() && !have_split_lock && !tx.is_fallback() {
-            return Ok(Lower::NeedSplitLock);
-        }
-
-        // moveToReserved: merge every segment into the (transient) sorted
-        // buffer, compacting tombstones — the deferred deletion cleanup of
-        // §4.2.4 happens here too.
-        let records = self.collect_all(tx, leaf)?;
-
-        if records.len() < Self::capacity() {
-            // 2a. Sufficient room after reorganization (lines 67-74): deal
-            //     the sorted records round-robin over the segments so
-            //     key-adjacent records land on different cache lines, then
-            //     place the new key in the emptiest segment.
-            self.redistribute(tx, leaf, &records)?;
-            let seg = self.emptiest_segment(tx, leaf)?;
-            leaf.segs[seg].insert(tx, key, newval)?;
-            Ok(Lower::Done(None))
-        } else {
-            // 2b. Really full: sort, split, reorganize (lines 75-86).
-            debug_assert!(have_split_lock || tx.is_fallback());
-            let target = self.split_leaf(tx, leaf, &records, key)?;
-            let seg = self.emptiest_segment(tx, target)?;
-            target.segs[seg].insert(tx, key, newval)?;
-            Ok(Lower::Done(None))
-        }
-    }
-
-    /// Index of the segment with the fewest records (guaranteed non-full
-    /// after a reorganization left total occupancy below capacity).
-    fn emptiest_segment(
-        &self,
-        tx: &mut Tx<'_>,
-        leaf: &EunoLeaf<SEGS, K>,
-    ) -> TxResult<usize> {
-        let mut best = 0;
-        let mut best_cnt = usize::MAX;
-        for (i, seg) in leaf.segs.iter().enumerate() {
-            let c = seg.count_tx(tx)?;
-            if c < best_cnt {
-                best = i;
-                best_cnt = c;
-            }
-        }
-        debug_assert!(best_cnt < K, "no free slot after reorganization");
-        Ok(best)
-    }
-
-    /// Deal `records` (sorted) round-robin across the segments: segment
-    /// `i` receives records `i, i+SEGS, i+2·SEGS, …` — each segment stays
-    /// sorted while adjacent keys land in different segments (and lines).
-    fn redistribute(
-        &self,
-        tx: &mut Tx<'_>,
-        leaf: &EunoLeaf<SEGS, K>,
-        records: &[(u64, u64)],
-    ) -> TxResult<()> {
-        debug_assert!(records.len() <= Self::capacity());
-        let mut part = Vec::with_capacity(records.len().div_ceil(SEGS));
-        for (i, seg) in leaf.segs.iter().enumerate() {
-            part.clear();
-            part.extend(records.iter().copied().skip(i).step_by(SEGS));
-            seg.write_all(tx, &part)?;
-        }
-        Ok(())
-    }
-
-    /// `moveToReserved`: drain every segment into one sorted transient
-    /// buffer, dropping tombstones. The buffer is the paper's *reserved
-    /// keys* — allocated for the reorganization and released right after
-    /// (its footprint is charged to the §5.7 transient accounting).
-    fn collect_all(
-        &self,
-        tx: &mut Tx<'_>,
-        leaf: &EunoLeaf<SEGS, K>,
-    ) -> TxResult<Vec<(u64, u64)>> {
-        let mut records = Vec::with_capacity(Self::capacity());
-        for seg in &leaf.segs {
-            seg.drain_into(tx, &mut records)?;
-        }
-        records.retain(|&(_, v)| v != TOMBSTONE);
-        records.sort_unstable_by_key(|&(k, _)| k);
-        // Merge-sort cost beyond the per-cell charges.
-        tx.charge(self.rt.cost.alu * records.len() as u64);
-        let bytes = records.capacity() * 16;
-        self.reserved_bytes.allocated(bytes);
-        self.reserved_bytes.freed(bytes);
-        Ok(records)
-    }
-
-    /// Read every record sorted, tombstones dropped, WITHOUT draining the
-    /// segments — the read-only counterpart of [`Self::collect_all`] used
-    /// by scans.
-    fn peek_all(
-        &self,
-        tx: &mut Tx<'_>,
-        leaf: &EunoLeaf<SEGS, K>,
-    ) -> TxResult<Vec<(u64, u64)>> {
-        let mut records = Vec::with_capacity(Self::capacity());
-        for seg in &leaf.segs {
-            seg.read_into(tx, &mut records)?;
-        }
-        records.retain(|&(_, v)| v != TOMBSTONE);
-        records.sort_unstable_by_key(|&(k, _)| k);
-        tx.charge(self.rt.cost.alu * records.len() as u64);
-        let bytes = records.capacity() * 16;
-        self.reserved_bytes.allocated(bytes);
-        self.reserved_bytes.freed(bytes);
-        Ok(records)
-    }
-
-    /// §4.2.3: sort → split → reorganize. `records` holds the full sorted
-    /// contents (already drained from the segments); each half is dealt
-    /// round-robin back over its node's segments, so both nodes keep the
-    /// scattered placement with evenly distributed free slots. Returns the
-    /// half that should receive `key`.
-    fn split_leaf<'t>(
-        &'t self,
-        tx: &mut Tx<'_>,
-        leaf: &'t EunoLeaf<SEGS, K>,
-        records: &[(u64, u64)],
-        key: u64,
-    ) -> TxResult<&'t EunoLeaf<SEGS, K>> {
-        let right: &'t EunoLeaf<SEGS, K> = self.arenas.leaves.alloc(EunoLeaf::empty());
-        right.register(&self.rt);
-        let mid = records.len() / 2;
-        let sep = records[mid].0;
-
-        self.redistribute(tx, leaf, &records[..mid])?;
-        self.redistribute(tx, right, &records[mid..])?;
-
-        // Fresh exact mark bits for the unpublished right node; the left
-        // node keeps its (superset) bits. The pending key the caller will
-        // insert after the split must be included when it lands right of
-        // the separator — its CCM-stage mark was set on the *old* leaf.
-        let mut marks = 0u64;
-        for &(k, _) in &records[mid..] {
-            marks |= 1 << Ccm::slot(k, Self::ccm_bits());
-        }
-        if key >= sep {
-            marks |= 1 << Ccm::slot(key, Self::ccm_bits());
-        }
-        right.ccm.install_marks_prepublication(marks);
-        // The right node inherits the old leaf's heat: it was just split,
-        // so it starts protected and must earn its bypass.
-        right.ccm.protect_prepublication();
-        tx.charge(self.rt.cost.alu * (records.len() - mid) as u64);
-
-        let old_next = tx.read(&leaf.next)?;
-        tx.write(&right.next, old_next)?;
-        tx.write(&leaf.next, NodeRef::of_leaf(right).to_word())?;
-        let parent = tx.read(&leaf.parent)?;
-        tx.write(&right.parent, parent)?;
-        // Bump the version: concurrent two-step traversals holding this
-        // leaf's pointer must retry from the root (Algorithm 3 line 80).
-        let seq = tx.read(&leaf.seqno)?;
-        tx.write(&leaf.seqno, seq + 1)?;
-
-        self.insert_into_parent(
-            tx,
-            NodeRef::of_leaf(leaf),
-            sep,
-            NodeRef::of_leaf(right),
-        )?;
-        Ok(if key < sep { leaf } else { right })
-    }
-
-    /// Propagate `(sep, right)` upward from `child`, splitting full
-    /// internal nodes and maintaining parent pointers (lines 84-86).
-    fn insert_into_parent(
-        &self,
-        tx: &mut Tx<'_>,
-        mut child: NodeRef,
-        mut sep: u64,
-        mut right: NodeRef,
-    ) -> TxResult<()> {
-        loop {
-            let parent_bits = tx.read(unsafe { child.parent_cell::<SEGS, K>() })?;
-            if parent_bits == 0 {
-                // `child` was the root: grow the tree.
-                let new_root = self.arenas.internals.alloc(EunoInternal::empty());
-                new_root.register(&self.rt);
-                let nr = NodeRef::of_internal(new_root);
-                tx.write(&new_root.child0, child.to_word())?;
-                tx.write(&new_root.keys[0], sep)?;
-                tx.write(&new_root.children[0], right.to_word())?;
-                tx.write(&new_root.count, 1)?;
-                tx.write(unsafe { child.parent_cell::<SEGS, K>() }, nr.to_word())?;
-                tx.write(unsafe { right.parent_cell::<SEGS, K>() }, nr.to_word())?;
-                tx.write(&self.ctrl.root, nr.to_word())?;
-                return Ok(());
-            }
-            let parent: &EunoInternal = unsafe { NodeRef::from_word(parent_bits).as_internal() };
-            let cnt = tx.read(&parent.count)? as usize;
-            if cnt < INTERNAL_FANOUT {
-                self.internal_insert_at(tx, parent, cnt, sep, right)?;
-                tx.write(unsafe { right.parent_cell::<SEGS, K>() }, parent_bits)?;
-                return Ok(());
-            }
-
-            // Split the full internal node.
-            let new_int = self.arenas.internals.alloc(EunoInternal::empty());
-            new_int.register(&self.rt);
-            let new_ref = NodeRef::of_internal(new_int);
-            let mid = INTERNAL_FANOUT / 2;
-            let promoted = tx.read(&parent.keys[mid])?;
-            let mid_child = NodeRef::from_word(tx.read(&parent.children[mid])?);
-            tx.write(&new_int.child0, mid_child.to_word())?;
-            tx.write(
-                unsafe { mid_child.parent_cell::<SEGS, K>() },
-                new_ref.to_word(),
-            )?;
-            for i in mid + 1..INTERNAL_FANOUT {
-                let k = tx.read(&parent.keys[i])?;
-                let c = NodeRef::from_word(tx.read(&parent.children[i])?);
-                tx.write(&new_int.keys[i - mid - 1], k)?;
-                tx.write(&new_int.children[i - mid - 1], c.to_word())?;
-                tx.write(unsafe { c.parent_cell::<SEGS, K>() }, new_ref.to_word())?;
-            }
-            tx.write(&new_int.count, (INTERNAL_FANOUT - mid - 1) as u64)?;
-            tx.write(&parent.count, mid as u64)?;
-            let old_grandparent = tx.read(&parent.parent)?;
-            tx.write(&new_int.parent, old_grandparent)?;
-
-            // Insert the pending (sep, right) into the proper half.
-            let (target, target_bits) = if sep < promoted {
-                (parent, parent_bits)
-            } else {
-                (new_int, new_ref.to_word())
-            };
-            let tcnt = tx.read(&target.count)? as usize;
-            self.internal_insert_at(tx, target, tcnt, sep, right)?;
-            tx.write(unsafe { right.parent_cell::<SEGS, K>() }, target_bits)?;
-
-            sep = promoted;
-            right = new_ref;
-            child = NodeRef::from_word(parent_bits);
-        }
-    }
-
-    fn internal_insert_at(
-        &self,
-        tx: &mut Tx<'_>,
-        node: &EunoInternal,
-        cnt: usize,
-        sep: u64,
-        right: NodeRef,
-    ) -> TxResult<()> {
-        debug_assert!(cnt < INTERNAL_FANOUT);
-        let (mut lo, mut hi) = (0usize, cnt);
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            if tx.read(&node.keys[mid])? < sep {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        let mut i = cnt;
-        while i > lo {
-            let k = tx.read(&node.keys[i - 1])?;
-            let c = tx.read(&node.children[i - 1])?;
-            tx.write(&node.keys[i], k)?;
-            tx.write(&node.children[i], c)?;
-            i -= 1;
-        }
-        tx.write(&node.keys[lo], sep)?;
-        tx.write(&node.children[lo], right.to_word())?;
-        tx.write(&node.count, (cnt + 1) as u64)?;
-        Ok(())
-    }
-
-    // ================= the two-step operation driver =================
-
-    /// Algorithm 2: the traversal shared by get, put and delete.
-    fn traverse(&self, ctx: &mut ThreadCtx, req: Req, key: u64, newval: u64) -> Option<u64> {
-        let mut force_split_lock = false;
-        loop {
-            // Step 1: upper region.
-            let (leaf, seqno, upper_conflicts) = self.upper_region(ctx, key);
-
-            // Step 2: conflict control (outside any region).
-            let ccm_configured = self.cfg.ccm_lock_bits || self.cfg.ccm_mark_bits;
-            let ccm_active = ccm_configured
-                && !(self.cfg.adaptive && leaf.ccm.bypassed(ctx));
-            let slot = Ccm::slot(key, Self::ccm_bits());
-            ctx.charge(self.rt.cost.alu * 3); // hash computation
-            let mut slot_locked = false;
-            if ccm_active && self.cfg.ccm_lock_bits {
-                leaf.ccm.lock_slot(ctx, slot);
-                slot_locked = true;
-            }
-            let mut split_locked = false;
-            let mut fast_miss = false;
-            if self.cfg.ccm_mark_bits {
-                match req {
-                    Req::Put => {
-                        // Claim existence (line 38). This runs even when
-                        // the leaf is adaptively bypassed: the mark vector
-                        // must stay a superset of the live keys or gets
-                        // would miss real records once protection
-                        // re-engages.
-                        let existed = leaf.ccm.set_mark(ctx, slot);
-                        // Pre-lock if an insert may split (lines 39-40).
-                        if ccm_active
-                            && !existed
-                            && leaf.occupied_direct(ctx) + self.cfg.near_full_slack
-                                >= Self::capacity()
-                        {
-                            leaf.split_lock.acquire(ctx);
-                            split_locked = true;
-                        }
-                    }
-                    // Definite miss: never enter the leaf (line 35).
-                    Req::Get | Req::Delete => {
-                        if ccm_active && !leaf.ccm.marked(ctx, slot) {
-                            fast_miss = true;
-                        }
-                    }
-                }
-            }
-            if force_split_lock && req == Req::Put && !split_locked {
-                leaf.split_lock.acquire(ctx);
-                split_locked = true;
-            }
-
-            // Step 3: lower region.
-            let (outcome, lower_conflicts) = if fast_miss {
-                (Lower::Done(None), 0)
-            } else {
-                let out = ctx.htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
-                    tx.set_op_key(key);
-                    if slot_locked {
-                        // Same-record contenders queue on the CCM lock bit
-                        // (§4.1): this attempt's true conflicts are
-                        // serialized away, so the storm model must not
-                        // re-manufacture them.
-                        tx.mark_serialized();
-                    }
-                    if tx.read(&leaf.seqno)? != seqno {
-                        return Ok(Lower::Inconsistent);
-                    }
-                    self.lower_body(tx, leaf, req, key, newval, split_locked)
-                });
-                (out.value, out.conflict_aborts)
-            };
-
-            if split_locked {
-                leaf.split_lock.release(ctx);
-            }
-            if slot_locked {
-                leaf.ccm.unlock_slot(ctx, slot);
-            }
-            if self.cfg.adaptive {
-                leaf.ccm.record_outcome(
-                    ctx,
-                    upper_conflicts + lower_conflicts,
-                    self.cfg.adaptive_window,
-                    self.cfg.adaptive_conflict_rate,
-                );
-            }
-
-            match outcome {
-                Lower::Done(v) => {
-                    if req == Req::Delete && v.is_some() {
-                        let n = self.deletes.fetch_add(1, Ordering::Relaxed) + 1;
-                        // §4.2.4: re-balance once deletions cross the
-                        // threshold (0 disables the automatic trigger).
-                        let thr = self.cfg.rebalance_delete_threshold;
-                        if thr > 0 && n % thr == 0 {
-                            self.maintain(ctx);
-                        }
-                    }
-                    return v;
-                }
-                Lower::Inconsistent => continue,
-                Lower::NeedSplitLock => {
-                    force_split_lock = true;
-                    continue;
-                }
-            }
-        }
     }
 
     /// Number of logical deletions performed (deferred-rebalance trigger
@@ -648,8 +132,9 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         &self.ctrl.fallback
     }
 
-    pub(crate) fn policy(&self) -> &RetryPolicy {
-        &self.policy
+    /// The retry strategy every HTM region of this tree runs under.
+    pub fn strategy(&self) -> &dyn RetryStrategy {
+        &*self.strategy
     }
 
     pub(crate) fn peek_all_for_merge(
@@ -682,11 +167,7 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         self.redistribute(tx, leaf, records)
     }
 
-    pub(crate) fn clear_segments(
-        &self,
-        tx: &mut Tx<'_>,
-        leaf: &EunoLeaf<SEGS, K>,
-    ) -> TxResult<()> {
+    pub(crate) fn clear_segments(&self, tx: &mut Tx<'_>, leaf: &EunoLeaf<SEGS, K>) -> TxResult<()> {
         let mut sink = Vec::new();
         for seg in &leaf.segs {
             sink.clear();
@@ -755,60 +236,7 @@ impl<const SEGS: usize, const K: usize> ConcurrentMap for EunoBTree<SEGS, K> {
         count: usize,
         out: &mut Vec<(u64, u64)>,
     ) -> usize {
-        let mut collected = 0usize;
-        let mut cursor = from;
-        // Locate the first leaf.
-        let (mut leaf, mut seqno, _) = self.upper_region(ctx, cursor);
-        loop {
-            // §4.2.4: lock the leaf, merge segments into the sorted
-            // reserved area, read an ordered run.
-            leaf.split_lock.acquire(ctx);
-            let out_piece = ctx.htm_execute(&self.ctrl.fallback, &self.policy, |tx| {
-                tx.set_op_key(cursor);
-                if tx.read(&leaf.seqno)? != seqno {
-                    return Ok(None);
-                }
-                // §4.2.4: gather the leaf's records into the transient
-                // sorted buffer (a merge over the per-segment sorted runs).
-                let part: Vec<(u64, u64)> = self
-                    .peek_all(tx, leaf)?
-                    .into_iter()
-                    .filter(|&(k, _)| k >= cursor)
-                    .collect();
-                let next = NodeRef::from_word(tx.read(&leaf.next)?);
-                let next_seq = if next.is_null() {
-                    0
-                } else {
-                    tx.read(&unsafe { next.as_leaf::<SEGS, K>() }.seqno)?
-                };
-                Ok(Some((part, next, next_seq)))
-            });
-            leaf.split_lock.release(ctx);
-
-            match out_piece.value {
-                None => {
-                    // Version changed: re-find the leaf for the cursor.
-                    let (l, s, _) = self.upper_region(ctx, cursor);
-                    leaf = l;
-                    seqno = s;
-                }
-                Some((part, next, next_seq)) => {
-                    for (k, v) in part {
-                        if collected == count {
-                            return collected;
-                        }
-                        out.push((k, v));
-                        collected += 1;
-                        cursor = k.saturating_add(1);
-                    }
-                    if collected == count || next.is_null() {
-                        return collected;
-                    }
-                    leaf = unsafe { next.as_leaf::<SEGS, K>() };
-                    seqno = next_seq;
-                }
-            }
-        }
+        self.scan_chain(ctx, from, count, out)
     }
 
     fn name(&self) -> &'static str {
@@ -1067,6 +495,25 @@ mod tests {
         assert!(leaf.ccm.bypass_plain(), "calm leaf must bypass CCM");
         assert_eq!(t.get(&mut ctx, 1), Some(1));
         assert_eq!(t.get(&mut ctx, 999_999), None);
+    }
+
+    #[test]
+    fn custom_strategy_is_honored_per_tree() {
+        // A tree built with the aggressive strategy keeps answering
+        // correctly and reports the strategy it was given.
+        let rt = Runtime::new_virtual();
+        let t: EunoBTreeDefault = EunoBTree::with_strategy(
+            Arc::clone(&rt),
+            Arc::new(euno_htm::AggressivePolicy::default()),
+        );
+        assert_eq!(t.strategy().name(), "aggressive");
+        let mut ctx = rt.thread(7);
+        for k in 0..300u64 {
+            t.put(&mut ctx, k, k + 1);
+        }
+        for k in 0..300u64 {
+            assert_eq!(t.get(&mut ctx, k), Some(k + 1));
+        }
     }
 
     #[test]

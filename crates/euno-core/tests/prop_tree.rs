@@ -1,14 +1,15 @@
-//! Property-based tests: the Euno-B+Tree is an ordered map — equivalent
-//! to `BTreeMap` under arbitrary operation sequences, across its
-//! configuration variants and leaf geometries.
+//! Randomized property tests: the Euno-B+Tree is an ordered map —
+//! equivalent to `BTreeMap` under arbitrary operation sequences, across
+//! its configuration variants and leaf geometries. Operation sequences
+//! are drawn from seeded `euno-rng` streams, so every run replays the
+//! same deterministic sample.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use euno_core::{EunoBTree, EunoConfig};
 use euno_htm::{ConcurrentMap, Runtime};
+use euno_rng::{Rng, SmallRng};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -18,19 +19,22 @@ enum Op {
     Scan(u64, usize),
 }
 
-fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..key_space, 0u64..1_000_000).prop_map(|(k, v)| Op::Put(k, v)),
-        2 => (0..key_space).prop_map(Op::Get),
-        2 => (0..key_space).prop_map(Op::Del),
-        1 => (0..key_space, 1usize..20).prop_map(|(k, n)| Op::Scan(k, n)),
-    ]
+fn random_op(rng: &mut SmallRng, key_space: u64) -> Op {
+    // Weights match the old proptest strategy: 4 put / 2 get / 2 del / 1 scan.
+    match rng.gen_range(0u32..9) {
+        0..=3 => Op::Put(rng.gen_range(0..key_space), rng.gen_range(0u64..1_000_000)),
+        4..=5 => Op::Get(rng.gen_range(0..key_space)),
+        6..=7 => Op::Del(rng.gen_range(0..key_space)),
+        _ => Op::Scan(rng.gen_range(0..key_space), rng.gen_range(1usize..20)),
+    }
 }
 
-fn check_against_model<const S: usize, const K: usize>(
-    cfg: EunoConfig,
-    ops: &[Op],
-) -> Result<(), TestCaseError> {
+fn random_ops(rng: &mut SmallRng, key_space: u64, max_len: usize) -> Vec<Op> {
+    let n = rng.gen_range(1usize..max_len);
+    (0..n).map(|_| random_op(rng, key_space)).collect()
+}
+
+fn check_against_model<const S: usize, const K: usize>(cfg: EunoConfig, ops: &[Op]) {
     let rt = Runtime::new_virtual();
     let tree: EunoBTree<S, K> = EunoBTree::with_config(Arc::clone(&rt), cfg);
     let mut ctx = rt.thread(1);
@@ -38,97 +42,104 @@ fn check_against_model<const S: usize, const K: usize>(
     for op in ops {
         match *op {
             Op::Put(k, v) => {
-                prop_assert_eq!(tree.put(&mut ctx, k, v), model.insert(k, v), "put {}", k)
+                assert_eq!(tree.put(&mut ctx, k, v), model.insert(k, v), "put {k}")
             }
             Op::Get(k) => {
-                prop_assert_eq!(tree.get(&mut ctx, k), model.get(&k).copied(), "get {}", k)
+                assert_eq!(tree.get(&mut ctx, k), model.get(&k).copied(), "get {k}")
             }
             Op::Del(k) => {
-                prop_assert_eq!(tree.delete(&mut ctx, k), model.remove(&k), "del {}", k)
+                assert_eq!(tree.delete(&mut ctx, k), model.remove(&k), "del {k}")
             }
             Op::Scan(k, n) => {
                 let mut got = Vec::new();
                 tree.scan(&mut ctx, k, n, &mut got);
                 let expect: Vec<(u64, u64)> =
                     model.range(k..).take(n).map(|(&k, &v)| (k, v)).collect();
-                prop_assert_eq!(got, expect, "scan {}", k);
+                assert_eq!(got, expect, "scan {k}");
             }
         }
     }
     // Terminal audit.
     let audit = tree.collect_all_plain();
     let expect: Vec<(u64, u64)> = model.into_iter().collect();
-    prop_assert_eq!(audit, expect);
-    Ok(())
+    assert_eq!(audit, expect);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        ..ProptestConfig::default()
-    })]
+const CASES: usize = 48;
 
-    /// Default geometry, full config.
-    #[test]
-    fn full_config_matches_model(ops in prop::collection::vec(op_strategy(128), 1..400)) {
-        check_against_model::<4, 4>(EunoConfig::full(), &ops)?;
+/// Default geometry, full config.
+#[test]
+fn full_config_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0xf411);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 128, 400);
+        check_against_model::<4, 4>(EunoConfig::full(), &ops);
     }
+}
 
-    /// Unpartitioned +SplitHTM variant.
-    #[test]
-    fn split_only_matches_model(ops in prop::collection::vec(op_strategy(128), 1..400)) {
-        check_against_model::<1, 16>(EunoConfig::split_htm_only(), &ops)?;
+/// Unpartitioned +SplitHTM variant.
+#[test]
+fn split_only_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0x5911);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 128, 400);
+        check_against_model::<1, 16>(EunoConfig::split_htm_only(), &ops);
     }
+}
 
-    /// CCM without adaptive.
-    #[test]
-    fn ccm_markbits_matches_model(ops in prop::collection::vec(op_strategy(128), 1..400)) {
-        check_against_model::<4, 4>(EunoConfig::ccm_markbits(), &ops)?;
+/// CCM without adaptive.
+#[test]
+fn ccm_markbits_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0xcc3b);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 128, 400);
+        check_against_model::<4, 4>(EunoConfig::ccm_markbits(), &ops);
     }
+}
 
-    /// An unusual leaf geometry (2 segments × 8 slots).
-    #[test]
-    fn alternate_geometry_matches_model(ops in prop::collection::vec(op_strategy(96), 1..300)) {
-        check_against_model::<2, 8>(EunoConfig::full(), &ops)?;
+/// An unusual leaf geometry (2 segments × 8 slots).
+#[test]
+fn alternate_geometry_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0xa17);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 96, 300);
+        check_against_model::<2, 8>(EunoConfig::full(), &ops);
     }
+}
 
-    /// Dense keyspaces force constant splitting and reorganization.
-    #[test]
-    fn dense_keyspace_splits_are_sound(ops in prop::collection::vec(op_strategy(24), 1..500)) {
-        check_against_model::<4, 4>(EunoConfig::full(), &ops)?;
+/// Dense keyspaces force constant splitting and reorganization.
+#[test]
+fn dense_keyspace_splits_are_sound() {
+    let mut rng = SmallRng::seed_from_u64(0xde45e);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 24, 500);
+        check_against_model::<4, 4>(EunoConfig::full(), &ops);
     }
+}
 
-    /// Interleaving maintenance sweeps with random operations never
-    /// changes the map's contents.
-    #[test]
-    fn maintenance_preserves_the_model(
-        ops in prop::collection::vec(op_strategy(160), 1..400),
-        maintain_every in 10usize..60,
-    ) {
+/// Interleaving maintenance sweeps with random operations never changes
+/// the map's contents.
+#[test]
+fn maintenance_preserves_the_model() {
+    let mut rng = SmallRng::seed_from_u64(0x3a14);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 160, 400);
+        let maintain_every = rng.gen_range(10usize..60);
         let rt = Runtime::new_virtual();
-        let tree: EunoBTree<4, 4> = EunoBTree::with_config(
-            Arc::clone(&rt),
-            EunoConfig::full(),
-        );
+        let tree: EunoBTree<4, 4> = EunoBTree::with_config(Arc::clone(&rt), EunoConfig::full());
         let mut ctx = rt.thread(1);
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
         for (i, op) in ops.iter().enumerate() {
             match *op {
-                Op::Put(k, v) => {
-                    prop_assert_eq!(tree.put(&mut ctx, k, v), model.insert(k, v))
-                }
-                Op::Get(k) => {
-                    prop_assert_eq!(tree.get(&mut ctx, k), model.get(&k).copied())
-                }
-                Op::Del(k) => {
-                    prop_assert_eq!(tree.delete(&mut ctx, k), model.remove(&k))
-                }
+                Op::Put(k, v) => assert_eq!(tree.put(&mut ctx, k, v), model.insert(k, v)),
+                Op::Get(k) => assert_eq!(tree.get(&mut ctx, k), model.get(&k).copied()),
+                Op::Del(k) => assert_eq!(tree.delete(&mut ctx, k), model.remove(&k)),
                 Op::Scan(k, n) => {
                     let mut got = Vec::new();
                     tree.scan(&mut ctx, k, n, &mut got);
                     let expect: Vec<(u64, u64)> =
                         model.range(k..).take(n).map(|(&k, &v)| (k, v)).collect();
-                    prop_assert_eq!(got, expect);
+                    assert_eq!(got, expect);
                 }
             }
             if i % maintain_every == maintain_every - 1 {
@@ -137,6 +148,6 @@ proptest! {
         }
         tree.maintain(&mut ctx);
         let audit = tree.collect_all_plain();
-        prop_assert_eq!(audit, model.into_iter().collect::<Vec<_>>());
+        assert_eq!(audit, model.into_iter().collect::<Vec<_>>());
     }
 }

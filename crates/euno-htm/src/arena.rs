@@ -12,7 +12,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// An append-only allocation registry for nodes of type `T`.
 pub struct Arena<T> {
@@ -45,7 +45,7 @@ impl<T> Arena<T> {
     /// Allocate a node; it lives until the arena is dropped.
     pub fn alloc(&self, value: T) -> &T {
         let ptr = Box::into_raw(Box::new(value));
-        self.nodes.lock().push(ptr);
+        self.nodes.lock().unwrap().push(ptr);
         self.live_bytes
             .fetch_add(std::mem::size_of::<T>(), Ordering::Relaxed);
         // Safety: the allocation is stable (never moved/freed before drop)
@@ -72,13 +72,13 @@ impl<T> Arena<T> {
     }
 
     pub fn node_count(&self) -> usize {
-        self.nodes.lock().len()
+        self.nodes.lock().unwrap().len()
     }
 }
 
 impl<T> Drop for Arena<T> {
     fn drop(&mut self) {
-        for &ptr in self.nodes.lock().iter() {
+        for &ptr in self.nodes.lock().unwrap().iter() {
             // Safety: each pointer came from Box::into_raw and is freed
             // exactly once here.
             unsafe { drop(Box::from_raw(ptr)) };

@@ -17,12 +17,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use euno_rng::{Rng, SmallRng};
 
 use crate::abort::{AbortCause, ConflictInfo, ConflictKind, TxResult};
 use crate::line::{LineId, LineSet};
-use crate::policy::{RetryCounts, RetryPolicy};
 use crate::runtime::{EpisodeRecord, Mode, Runtime};
 use crate::stats::ThreadStats;
 use crate::word::{TxCell, TxWord};
@@ -82,18 +80,6 @@ impl EpisodeState {
             serialized: false,
         })
     }
-}
-
-/// Result of executing one HTM region to completion.
-#[derive(Debug)]
-pub struct ExecOutcome<R> {
-    pub value: R,
-    /// Transaction attempts made (≥1).
-    pub attempts: u32,
-    /// Attempts that aborted due to a footprint conflict.
-    pub conflict_aborts: u32,
-    /// Whether the region ultimately ran on the serialized fallback path.
-    pub used_fallback: bool,
 }
 
 /// Per-thread execution handle. Create via [`Runtime::thread`].
@@ -185,7 +171,9 @@ impl ThreadCtx {
     #[inline]
     pub(crate) fn direct_load(&mut self, ptr: *const AtomicU64) -> u64 {
         debug_assert!(
-            self.ep.as_ref().map_or(true, |e| e.kind != EpisodeKind::HtmTx),
+            self.ep
+                .as_ref()
+                .is_none_or(|e| e.kind != EpisodeKind::HtmTx),
             "direct access inside an HTM transaction: use Tx::read/write"
         );
         let _ = self.note_access(LineId::of_ptr(ptr), false);
@@ -195,7 +183,9 @@ impl ThreadCtx {
     #[inline]
     pub(crate) fn direct_store(&mut self, ptr: *const AtomicU64, v: u64) {
         debug_assert!(
-            self.ep.as_ref().map_or(true, |e| e.kind != EpisodeKind::HtmTx),
+            self.ep
+                .as_ref()
+                .is_none_or(|e| e.kind != EpisodeKind::HtmTx),
             "direct access inside an HTM transaction: use Tx::read/write"
         );
         let _ = self.note_access(LineId::of_ptr(ptr), true);
@@ -382,9 +372,11 @@ impl ThreadCtx {
         if self.rt.mode() != Mode::Virtual {
             return;
         }
-        let transfer = self
-            .rt
-            .virt_transfer_charge(ep.reads.iter().chain(ep.writes.iter()), ep.start, self.id);
+        let transfer = self.rt.virt_transfer_charge(
+            ep.reads.iter().chain(ep.writes.iter()),
+            ep.start,
+            self.id,
+        );
         self.clock += transfer;
         self.rt.virt_commit(EpisodeRecord {
             start: ep.start,
@@ -399,11 +391,7 @@ impl ThreadCtx {
     // ================= transactional accesses =================
 
     pub(crate) fn tx_read(&mut self, ptr: *const AtomicU64) -> Result<u64, AbortCause> {
-        let kind = self
-            .ep
-            .as_ref()
-            .expect("Tx::read outside a region")
-            .kind;
+        let kind = self.ep.as_ref().expect("Tx::read outside a region").kind;
         match kind {
             EpisodeKind::Fallback | EpisodeKind::LockedWrite | EpisodeKind::OptimisticRead => {
                 // Serialized / in-place paths read directly (still
@@ -436,11 +424,7 @@ impl ThreadCtx {
     }
 
     pub(crate) fn tx_write(&mut self, ptr: *const AtomicU64, v: u64) -> Result<(), AbortCause> {
-        let kind = self
-            .ep
-            .as_ref()
-            .expect("Tx::write outside a region")
-            .kind;
+        let kind = self.ep.as_ref().expect("Tx::write outside a region").kind;
         match kind {
             EpisodeKind::Fallback | EpisodeKind::LockedWrite => {
                 let _ = self.note_access(LineId::of_ptr(ptr), true);
@@ -452,11 +436,7 @@ impl ThreadCtx {
             }
             EpisodeKind::HtmTx => {
                 self.note_access(LineId::of_ptr(ptr), true)?;
-                self.ep
-                    .as_mut()
-                    .unwrap()
-                    .write_buf
-                    .push((CellPtr(ptr), v));
+                self.ep.as_mut().unwrap().write_buf.push((CellPtr(ptr), v));
                 Ok(())
             }
         }
@@ -488,11 +468,7 @@ impl ThreadCtx {
                 }
                 self.ep.as_mut().unwrap().rv = s1;
             }
-            self.ep
-                .as_mut()
-                .unwrap()
-                .read_log
-                .push((CellPtr(ptr), v));
+            self.ep.as_mut().unwrap().read_log.push((CellPtr(ptr), v));
             return Ok(v);
         }
     }
@@ -520,7 +496,7 @@ impl ThreadCtx {
 
     // ================= HTM commit =================
 
-    fn htm_commit(&mut self) -> Result<(), AbortCause> {
+    pub(crate) fn htm_commit(&mut self) -> Result<(), AbortCause> {
         match self.rt.mode() {
             Mode::Concurrent => self.commit_concurrent(),
             Mode::Virtual => self.commit_virtual(),
@@ -644,7 +620,7 @@ impl ThreadCtx {
 
     // ================= fallback lock plumbing =================
 
-    fn fb_wait_free(&mut self, fb: &TxCell<u64>) {
+    pub(crate) fn fb_wait_free(&mut self, fb: &TxCell<u64>) {
         match self.rt.mode() {
             Mode::Concurrent => {
                 let spin = self.rt.cost.spin_iter;
@@ -667,7 +643,7 @@ impl ThreadCtx {
 
     /// Subscribe the open transaction to the fallback lock: its word joins
     /// the read set, so a fallback acquisition aborts us.
-    fn fb_subscribe(&mut self, fb: &TxCell<u64>) -> Result<(), AbortCause> {
+    pub(crate) fn fb_subscribe(&mut self, fb: &TxCell<u64>) -> Result<(), AbortCause> {
         let ptr = fb.raw_ptr();
         let line = LineId::of_ptr(ptr);
         {
@@ -682,18 +658,14 @@ impl ThreadCtx {
                 if v != 0 {
                     return Err(AbortCause::FallbackLocked);
                 }
-                self.ep
-                    .as_mut()
-                    .unwrap()
-                    .read_log
-                    .push((CellPtr(ptr), 0));
+                self.ep.as_mut().unwrap().read_log.push((CellPtr(ptr), 0));
                 Ok(())
             }
             Mode::Virtual => Ok(()),
         }
     }
 
-    fn fb_acquire(&mut self, fb: &TxCell<u64>) {
+    pub(crate) fn fb_acquire(&mut self, fb: &TxCell<u64>) {
         match self.rt.mode() {
             Mode::Concurrent => {
                 let spin = self.rt.cost.spin_iter;
@@ -731,7 +703,7 @@ impl ThreadCtx {
         }
     }
 
-    fn fb_release(&mut self, fb: &TxCell<u64>) {
+    pub(crate) fn fb_release(&mut self, fb: &TxCell<u64>) {
         self.charge(self.rt.cost.lock_release);
         match self.rt.mode() {
             Mode::Concurrent => fb.raw().store(0, Ordering::Release),
@@ -742,125 +714,38 @@ impl ThreadCtx {
         }
     }
 
-    // ================= the region executor =================
+    // ============ mechanism hooks for the layered executor ============
+    //
+    // The retry/fallback *policy* lives in [`crate::exec`]; these helpers
+    // expose the episode-state manipulations its stages need without
+    // leaking `EpisodeState` itself.
 
-    /// Execute `body` as an HTM region with the DBX-style retry policy and
-    /// a global-lock fallback (§2.1, §4.2.1).
-    ///
-    /// `body` may run many times: transactionally (reads validated, writes
-    /// buffered) and, after retry exhaustion, once more on the serialized
-    /// fallback path where reads/writes are direct. Bodies therefore must
-    /// be idempotent up to their tx reads/writes and must not return
-    /// `Err` on the fallback path.
-    pub fn htm_execute<R>(
-        &mut self,
-        fb: &TxCell<u64>,
-        policy: &RetryPolicy,
-        mut body: impl FnMut(&mut Tx<'_>) -> TxResult<R>,
-    ) -> ExecOutcome<R> {
-        let mut counts = RetryCounts::default();
-        let mut attempts = 0u32;
-        let mut conflict_aborts = 0u32;
-
-        loop {
-            self.fb_wait_free(fb);
-            let attempt_start = self.clock;
-            self.charge(self.rt.cost.xbegin);
-            self.episode_begin(EpisodeKind::HtmTx);
-            self.stats.attempts += 1;
-            attempts += 1;
-
-            let result = match self.fb_subscribe(fb) {
-                Err(c) => Err(c),
-                Ok(()) => match body(&mut Tx { ctx: self }) {
-                    Ok(v) => {
-                        self.charge(self.rt.cost.xend);
-                        self.htm_commit().map(|()| v)
-                    }
-                    Err(c) => Err(c),
-                },
-            };
-
-            match result {
-                Ok(v) => {
-                    self.stats.commits += 1;
-                    return ExecOutcome {
-                        value: v,
-                        attempts,
-                        conflict_aborts,
-                        used_fallback: false,
-                    };
-                }
-                Err(cause) => {
-                    // The attempt's speculative writes were coherence
-                    // traffic even though they never commit: keep their
-                    // lines hot so concurrent and subsequent attempts see
-                    // the storm (virtual mode only).
-                    if self.rt.mode() == Mode::Virtual {
-                        if let Some(ep) = self.ep.as_ref() {
-                            let writes = ep.writes.clone();
-                            self.rt
-                                .virt_note_attempt_writes(&writes, self.clock, self.id);
-                        }
-                    }
-                    self.episode_abort();
-                    let mut wasted_attempt = self.clock - attempt_start;
-                    // TSX detects conflicts eagerly: on average a
-                    // conflicting transaction dies about halfway through
-                    // its execution, not at commit. Refund half the attempt
-                    // so retry density (and thus the abort counts the
-                    // figures plot) matches eager detection.
-                    if matches!(cause, AbortCause::Conflict(_))
-                        && self.rt.mode() == Mode::Virtual
-                    {
-                        let refund = wasted_attempt / 2;
-                        self.clock -= refund;
-                        wasted_attempt -= refund;
-                    }
-                    let penalty = self.rt.cost.abort_penalty;
-                    self.charge(penalty);
-                    self.stats.cycles_wasted += wasted_attempt + penalty;
-                    self.stats.aborts.record(cause);
-                    if matches!(cause, AbortCause::Conflict(_)) {
-                        conflict_aborts += 1;
-                    }
-                    counts.bump(cause);
-                    if policy.exhausted(&counts) {
-                        break;
-                    }
-                    if policy.backoff {
-                        let b = self.rt.cost.backoff(counts.total_attempted());
-                        self.charge(b);
-                        self.stats.cycles_wasted += b;
-                    }
-                }
-            }
+    /// The attempt's speculative writes were coherence traffic even though
+    /// they never commit: keep their lines hot so concurrent and
+    /// subsequent attempts see the storm (virtual mode only).
+    pub(crate) fn note_attempt_writes(&mut self) {
+        if self.rt.mode() != Mode::Virtual {
+            return;
         }
-
-        // Fallback: serialize on the lock, run the body directly.
-        self.fb_acquire(fb);
-        self.episode_begin(EpisodeKind::Fallback);
-        {
-            let ep = self.ep.as_mut().unwrap();
-            let line = LineId::of_ptr(fb.raw_ptr());
-            ep.writes.insert(line);
-            ep.fb_line = Some(line);
+        if let Some(ep) = self.ep.as_ref() {
+            let writes = ep.writes.clone();
+            self.rt
+                .virt_note_attempt_writes(&writes, self.clock, self.id);
         }
-        let mut tries = 0;
-        let value = loop {
-            match body(&mut Tx { ctx: self }) {
-                Ok(v) => break v,
-                Err(e) => {
-                    tries += 1;
-                    assert!(
-                        tries < 16,
-                        "region body keeps failing on the serialized fallback path: {e:?}"
-                    );
-                }
-            }
-        };
-        // Publish the fallback section (virtual mode) so overlapping
-        // transactions abort on the subscribed lock line.
+    }
+
+    /// Put the fallback lock's line into the open fallback episode's write
+    /// footprint so overlapping transactions observe the serialization.
+    pub(crate) fn fallback_mark(&mut self, fb: &TxCell<u64>) {
+        let ep = self.ep.as_mut().unwrap();
+        let line = LineId::of_ptr(fb.raw_ptr());
+        ep.writes.insert(line);
+        ep.fb_line = Some(line);
+    }
+
+    /// Close the fallback episode: publish its section (virtual mode) so
+    /// overlapping transactions abort on the subscribed lock line.
+    pub(crate) fn fallback_publish(&mut self) {
         if self.rt.mode() == Mode::Virtual {
             let mut ep = self.ep.take().unwrap();
             self.rt.virt_commit(EpisodeRecord {
@@ -873,14 +758,6 @@ impl ThreadCtx {
             });
         } else {
             self.ep = None;
-        }
-        self.fb_release(fb);
-        self.stats.fallbacks += 1;
-        ExecOutcome {
-            value,
-            attempts,
-            conflict_aborts,
-            used_fallback: true,
         }
     }
 }
@@ -939,204 +816,5 @@ impl<'a> Tx<'a> {
     #[inline]
     pub fn ctx(&mut self) -> &mut ThreadCtx {
         self.ctx
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::policy::RetryPolicy;
-
-    fn vctx() -> (Arc<Runtime>, ThreadCtx) {
-        let rt = Runtime::new_virtual();
-        let ctx = rt.thread(1);
-        (rt, ctx)
-    }
-
-    #[test]
-    fn tx_read_write_commit_applies_buffer() {
-        let (_rt, mut ctx) = vctx();
-        let fb = TxCell::new(0u64);
-        let cell = TxCell::new(5u64);
-        let out = ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
-            let v = tx.read(&cell)?;
-            tx.write(&cell, v + 1)?;
-            // Not yet visible outside the buffer...
-            Ok(v)
-        });
-        assert_eq!(out.value, 5);
-        assert!(!out.used_fallback);
-        assert_eq!(out.attempts, 1);
-        assert_eq!(cell.load_plain(), 6);
-        assert_eq!(ctx.stats.commits, 1);
-    }
-
-    #[test]
-    fn read_your_own_writes() {
-        let (_rt, mut ctx) = vctx();
-        let fb = TxCell::new(0u64);
-        let cell = TxCell::new(1u64);
-        ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
-            tx.write(&cell, 10)?;
-            assert_eq!(tx.read(&cell)?, 10);
-            tx.write(&cell, 20)?;
-            assert_eq!(tx.read(&cell)?, 20);
-            Ok(())
-        });
-        assert_eq!(cell.load_plain(), 20);
-    }
-
-    #[test]
-    fn overlapping_footprints_conflict_in_virtual_time() {
-        let rt = Runtime::new_virtual();
-        let mut a = rt.thread(1);
-        let mut b = rt.thread(2);
-        let fb = TxCell::new(0u64);
-        let cell = TxCell::new(0u64);
-        let policy = RetryPolicy::default();
-
-        // Thread A commits a write covering virtual interval [0, ~small).
-        a.htm_execute(&fb, &policy, |tx| tx.write(&cell, 1));
-        // Thread B starts at virtual time 0 too (fresh clock) and touches
-        // the same line → must suffer at least one conflict abort.
-        let out = b.htm_execute(&fb, &policy, |tx| {
-            let v = tx.read(&cell)?;
-            tx.write(&cell, v + 1)
-        });
-        assert!(
-            out.attempts > 1 || out.used_fallback,
-            "expected a conflict abort, got {out:?}"
-        );
-        assert!(b.stats.aborts.total() >= 1);
-        assert_eq!(cell.load_plain(), 2);
-    }
-
-    #[test]
-    fn disjoint_lines_do_not_conflict() {
-        let rt = Runtime::new_virtual();
-        let mut a = rt.thread(1);
-        let mut b = rt.thread(2);
-        let fb = TxCell::new(0u64);
-        // Allocate on separate lines: boxes land far apart.
-        let x = Box::new(TxCell::new(0u64));
-        let y = Box::new(TxCell::new(0u64));
-        assert_ne!(x.line(), y.line());
-        let policy = RetryPolicy::default();
-        a.htm_execute(&fb, &policy, |tx| tx.write(&x, 1));
-        let out = b.htm_execute(&fb, &policy, |tx| tx.write(&y, 1));
-        assert_eq!(out.attempts, 1);
-        assert_eq!(b.stats.aborts.total(), 0);
-    }
-
-    #[test]
-    fn capacity_abort_falls_back() {
-        let rt = Runtime::new(
-            Mode::Virtual,
-            crate::cost::CostModel {
-                write_capacity_lines: 2,
-                ..Default::default()
-            },
-        );
-        let mut ctx = rt.thread(1);
-        let fb = TxCell::new(0u64);
-        let cells: Vec<Box<TxCell<u64>>> =
-            (0..64).map(|_| Box::new(TxCell::new(0u64))).collect();
-        let distinct: std::collections::HashSet<_> = cells.iter().map(|c| c.line()).collect();
-        assert!(distinct.len() > 2);
-        let out = ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
-            for c in &cells {
-                tx.write(c, 7)?;
-            }
-            Ok(())
-        });
-        assert!(out.used_fallback, "capacity overflow must reach fallback");
-        assert!(ctx.stats.aborts.capacity >= 1);
-        // Fallback applied the writes directly.
-        assert!(cells.iter().all(|c| c.load_plain() == 7));
-    }
-
-    #[test]
-    fn explicit_abort_reaches_fallback() {
-        let (_rt, mut ctx) = vctx();
-        let fb = TxCell::new(0u64);
-        let mut first = true;
-        let out = ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
-            if !tx.is_fallback() && first {
-                first = false;
-                return tx.explicit_abort(9);
-            }
-            Ok(42)
-        });
-        assert_eq!(out.value, 42);
-        assert_eq!(ctx.stats.aborts.explicit, 1);
-    }
-
-    #[test]
-    fn clock_advances_with_charges() {
-        let (_rt, mut ctx) = vctx();
-        let before = ctx.clock;
-        let fb = TxCell::new(0u64);
-        let cell = TxCell::new(0u64);
-        ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| tx.write(&cell, 1));
-        assert!(ctx.clock > before);
-        assert!(ctx.stats.mem_accesses > 0);
-    }
-
-    #[test]
-    fn concurrent_mode_commits_and_validates() {
-        let rt = Runtime::new_concurrent();
-        let fb = TxCell::new(0u64);
-        let cell = TxCell::new(0u64);
-        let n = 4u64;
-        let iters = 200u64;
-        std::thread::scope(|s| {
-            for t in 0..n {
-                let mut ctx = rt.thread(t);
-                let (fb, cell) = (&fb, &cell);
-                s.spawn(move || {
-                    for _ in 0..iters {
-                        ctx.htm_execute(fb, &RetryPolicy::default(), |tx| {
-                            let v = tx.read(cell)?;
-                            tx.write(cell, v + 1)
-                        });
-                    }
-                });
-            }
-        });
-        assert_eq!(
-            cell.load_plain(),
-            n * iters,
-            "increments must not be lost under real concurrency"
-        );
-    }
-
-    #[test]
-    fn fallback_serializes_and_still_updates() {
-        // Force every transaction to abort via a zero-retry policy and an
-        // always-explicit body on the HTM path.
-        let (_rt, mut ctx) = vctx();
-        let fb = TxCell::new(0u64);
-        let cell = TxCell::new(0u64);
-        let policy = RetryPolicy {
-            conflict_retries: 0,
-            capacity_retries: 0,
-            explicit_retries: 0,
-            spurious_retries: 0,
-            fallback_lock_retries: 0,
-            backoff: false,
-        };
-        let out = ctx.htm_execute(&fb, &policy, |tx| {
-            if tx.is_fallback() {
-                let v = tx.read(&cell)?;
-                tx.write(&cell, v + 1)?;
-                Ok(())
-            } else {
-                tx.explicit_abort(1)
-            }
-        });
-        assert!(out.used_fallback);
-        assert_eq!(cell.load_plain(), 1);
-        assert_eq!(ctx.stats.fallbacks, 1);
-        assert_eq!(fb.load_plain(), 0, "fallback lock must be released");
     }
 }

@@ -1,0 +1,822 @@
+//! The layered transaction executor: retry *policy* split from episode
+//! *mechanism*.
+//!
+//! [`ctx`](crate::ctx) owns the mechanism — episodes, footprints, commit
+//! and the fallback lock. This module owns everything above it, decomposed
+//! into the five stages every HTM region goes through:
+//!
+//! 1. **attempt** — open an episode, subscribe to the fallback lock, run
+//!    the body, try to commit;
+//! 2. **classify** — on abort: account the wasted cycles (with the eager
+//!    conflict-detection refund), charge the abort penalty, bump the
+//!    per-cause tallies;
+//! 3. **decide** — ask the [`RetryStrategy`] whether to retry, retry with
+//!    backoff, or give up;
+//! 4. **backoff** — charge the exponential backoff between retries;
+//! 5. **fallback** — serialize on the lock and run the body directly.
+//!
+//! [`ThreadCtx::htm_execute`] composes the stages; its behaviour is
+//! byte-for-byte the behaviour of the old monolithic loop. What the split
+//! buys is the two seams:
+//!
+//! * [`RetryStrategy`] makes the decide stage pluggable — the DBX-style
+//!   per-cause budgets ([`RetryPolicy`] itself implements the trait), an
+//!   [`AggressivePolicy`] that almost never falls back, and an
+//!   [`AdaptiveBudget`] that resizes the conflict budget from the observed
+//!   fallback rate.
+//! * [`ExecObserver`] makes the accounting pluggable — the default hooks
+//!   maintain the existing [`ThreadStats`] counters (figures 2 and 9 are
+//!   derived from them), and instrumentation can layer on top without
+//!   touching the executor.
+
+use std::sync::atomic::{AtomicI32, AtomicU32, Ordering};
+
+use crate::abort::{AbortCause, ConflictInfo, TxResult};
+use crate::ctx::{EpisodeKind, ThreadCtx, Tx};
+use crate::policy::{RetryCounts, RetryPolicy};
+use crate::runtime::Mode;
+use crate::stats::ThreadStats;
+use crate::word::TxCell;
+
+/// Result of executing one HTM region to completion.
+#[derive(Debug)]
+pub struct ExecOutcome<R> {
+    pub value: R,
+    /// Transaction attempts made (≥1).
+    pub attempts: u32,
+    /// Attempts that aborted due to a footprint conflict.
+    pub conflict_aborts: u32,
+    /// Whether the region ultimately ran on the serialized fallback path.
+    pub used_fallback: bool,
+}
+
+/// Verdict of the decide stage after a classified abort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Try the region again, optionally after exponential backoff.
+    Retry { backoff: bool },
+    /// Give up on speculation and take the serialized fallback path.
+    Fallback,
+}
+
+/// The decide stage: given the per-cause abort tallies of the current
+/// region and the cause that just fired, choose what to do next.
+///
+/// Strategies are shared across threads (trees hold them behind an `Arc`),
+/// so any adaptivity must go through interior mutability.
+pub trait RetryStrategy: Send + Sync {
+    /// Short stable name (CLI flags, figure labels).
+    fn name(&self) -> &'static str;
+
+    /// Called after every abort, *after* `counts` was bumped with `cause`.
+    fn decide(&self, counts: &RetryCounts, cause: AbortCause) -> Decision;
+
+    /// Post-region feedback for adaptive strategies: total attempts made
+    /// and whether the region ended on the fallback path.
+    fn observe_region(&self, _attempts: u32, _used_fallback: bool) {}
+}
+
+/// The DBX-style per-cause budgets are themselves a strategy — every
+/// pre-existing call site that passed `&RetryPolicy` keeps working.
+impl RetryStrategy for RetryPolicy {
+    fn name(&self) -> &'static str {
+        "budget"
+    }
+
+    fn decide(&self, counts: &RetryCounts, _cause: AbortCause) -> Decision {
+        if self.exhausted(counts) {
+            Decision::Fallback
+        } else {
+            Decision::Retry {
+                backoff: self.backoff,
+            }
+        }
+    }
+}
+
+/// The paper's default configuration (§4.2.1): DBX per-cause budgets with
+/// exponential backoff. Identical to `RetryPolicy::default()`, named so a
+/// workload spec can ask for it.
+#[derive(Clone, Debug, Default)]
+pub struct DbxPolicy {
+    pub budgets: RetryPolicy,
+}
+
+impl RetryStrategy for DbxPolicy {
+    fn name(&self) -> &'static str {
+        "dbx"
+    }
+
+    fn decide(&self, counts: &RetryCounts, cause: AbortCause) -> Decision {
+        self.budgets.decide(counts, cause)
+    }
+}
+
+/// Retry hard, fall back almost never (`RetryPolicy::persistent()`): used
+/// to isolate abort behaviour in the analysis experiments.
+#[derive(Clone, Debug)]
+pub struct AggressivePolicy {
+    pub budgets: RetryPolicy,
+}
+
+impl Default for AggressivePolicy {
+    fn default() -> Self {
+        AggressivePolicy {
+            budgets: RetryPolicy::persistent(),
+        }
+    }
+}
+
+impl RetryStrategy for AggressivePolicy {
+    fn name(&self) -> &'static str {
+        "aggressive"
+    }
+
+    fn decide(&self, counts: &RetryCounts, cause: AbortCause) -> Decision {
+        self.budgets.decide(counts, cause)
+    }
+}
+
+/// Widest the adaptive conflict budget is allowed to grow.
+const ADAPTIVE_MAX_CONFLICT_BUDGET: u32 = 64;
+
+/// An adaptive wrapper around the base budgets: the conflict budget is
+/// scaled by powers of two from the recent fallback rate. When regions
+/// keep exhausting their retries anyway (high fallback rate), retrying is
+/// wasted work — shrink the budget and serialize sooner. When fallbacks
+/// are rare, speculation is winning — let regions retry longer before
+/// giving up. Non-conflict budgets (capacity, explicit, …) are not
+/// adapted: their aborts are deterministic in the footprint, so more
+/// retries cannot help.
+#[derive(Debug)]
+pub struct AdaptiveBudget {
+    base: RetryPolicy,
+    /// Regions per adaptation window.
+    window: u32,
+    /// Right-shift applied to the base conflict budget (negative =
+    /// left-shift, i.e. a larger budget).
+    scale: AtomicI32,
+    regions: AtomicU32,
+    fallbacks: AtomicU32,
+}
+
+impl AdaptiveBudget {
+    pub fn new(base: RetryPolicy) -> Self {
+        AdaptiveBudget {
+            base,
+            window: 128,
+            scale: AtomicI32::new(0),
+            regions: AtomicU32::new(0),
+            fallbacks: AtomicU32::new(0),
+        }
+    }
+
+    /// Override the adaptation window (regions between re-evaluations).
+    pub fn with_window(mut self, window: u32) -> Self {
+        assert!(window > 0, "adaptation window must be positive");
+        self.window = window;
+        self
+    }
+
+    /// The conflict budget currently in force.
+    pub fn conflict_budget(&self) -> u32 {
+        let s = self.scale.load(Ordering::Relaxed);
+        let base = self.base.conflict_retries.max(1);
+        if s >= 0 {
+            (base >> s.min(31)).max(1)
+        } else {
+            (base << (-s).min(8) as u32).min(ADAPTIVE_MAX_CONFLICT_BUDGET)
+        }
+    }
+}
+
+impl Default for AdaptiveBudget {
+    fn default() -> Self {
+        AdaptiveBudget::new(RetryPolicy::default())
+    }
+}
+
+impl RetryStrategy for AdaptiveBudget {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn decide(&self, counts: &RetryCounts, _cause: AbortCause) -> Decision {
+        let mut budgets = self.base.clone();
+        budgets.conflict_retries = self.conflict_budget();
+        if budgets.exhausted(counts) {
+            Decision::Fallback
+        } else {
+            Decision::Retry {
+                backoff: budgets.backoff,
+            }
+        }
+    }
+
+    fn observe_region(&self, _attempts: u32, used_fallback: bool) {
+        if used_fallback {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        let n = self.regions.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(self.window) {
+            return;
+        }
+        // Window boundary: re-evaluate. The counters are only
+        // approximately windowed under real concurrency, which is fine —
+        // the controller needs a trend, not an exact rate.
+        let fb = self.fallbacks.swap(0, Ordering::Relaxed);
+        let scale = self.scale.load(Ordering::Relaxed);
+        let next = if fb * 4 > self.window {
+            // >25 % of regions serialized: retries are being wasted.
+            (scale + 1).min(3)
+        } else if fb * 20 < self.window {
+            // <5 %: speculation wins, grant a bigger budget.
+            (scale - 1).max(-2)
+        } else {
+            scale
+        };
+        self.scale.store(next, Ordering::Relaxed);
+    }
+}
+
+/// Hooks called at each executor stage transition. The default methods
+/// maintain the existing [`ThreadStats`] counters (attempts, commits,
+/// aborts, wasted cycles, fallbacks) — the figures are derived from them,
+/// so an observer that overrides a hook and still wants the figures to
+/// work must keep the counter updates.
+pub trait ExecObserver {
+    /// A transaction attempt is about to run (episode already open).
+    fn on_attempt(&mut self, stats: &mut ThreadStats) {
+        stats.attempts += 1;
+    }
+
+    /// An attempt aborted; `wasted_cycles` includes the abort penalty and
+    /// is net of the eager-detection refund.
+    fn on_abort(&mut self, stats: &mut ThreadStats, cause: AbortCause, wasted_cycles: u64) {
+        stats.cycles_wasted += wasted_cycles;
+        stats.aborts.record(cause);
+    }
+
+    /// The decide stage asked for backoff before the next attempt.
+    fn on_backoff(&mut self, stats: &mut ThreadStats, cycles: u64) {
+        stats.cycles_wasted += cycles;
+    }
+
+    /// An attempt committed; `attempts` counts all tries including this one.
+    fn on_commit(&mut self, stats: &mut ThreadStats, _attempts: u32) {
+        stats.commits += 1;
+    }
+
+    /// The region completed on the serialized fallback path.
+    fn on_fallback(&mut self, stats: &mut ThreadStats) {
+        stats.fallbacks += 1;
+    }
+}
+
+/// The default observer: exactly the [`ThreadStats`] counter updates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatsObserver;
+
+impl ExecObserver for StatsObserver {}
+
+/// One region execution in flight: the stage composition over a fallback
+/// cell, a retry strategy and an observer. [`ThreadCtx::htm_execute`] is
+/// the everyday entry point; build an `Executor` directly to attach a
+/// custom observer.
+pub struct Executor<'e> {
+    fb: &'e TxCell<u64>,
+    strategy: &'e dyn RetryStrategy,
+    observer: &'e mut dyn ExecObserver,
+    attempt_start: u64,
+}
+
+impl<'e> Executor<'e> {
+    pub fn new(
+        fb: &'e TxCell<u64>,
+        strategy: &'e dyn RetryStrategy,
+        observer: &'e mut dyn ExecObserver,
+    ) -> Self {
+        Executor {
+            fb,
+            strategy,
+            observer,
+            attempt_start: 0,
+        }
+    }
+
+    /// Drive `body` through the stage pipeline to completion.
+    pub fn run<R>(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        mut body: impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+    ) -> ExecOutcome<R> {
+        let mut counts = RetryCounts::default();
+        let mut attempts = 0u32;
+        let mut conflict_aborts = 0u32;
+
+        loop {
+            attempts += 1;
+            match self.attempt(ctx, &mut body) {
+                Ok(v) => {
+                    self.observer.on_commit(&mut ctx.stats, attempts);
+                    self.strategy.observe_region(attempts, false);
+                    return ExecOutcome {
+                        value: v,
+                        attempts,
+                        conflict_aborts,
+                        used_fallback: false,
+                    };
+                }
+                Err(cause) => {
+                    let wasted = self.classify(ctx, cause, &mut counts, &mut conflict_aborts);
+                    self.observer.on_abort(&mut ctx.stats, cause, wasted);
+                    match self.strategy.decide(&counts, cause) {
+                        Decision::Retry { backoff: true } => self.backoff(ctx, &counts),
+                        Decision::Retry { backoff: false } => {}
+                        Decision::Fallback => break,
+                    }
+                }
+            }
+        }
+
+        let value = self.fallback(ctx, &mut body);
+        self.observer.on_fallback(&mut ctx.stats);
+        self.strategy.observe_region(attempts, true);
+        ExecOutcome {
+            value,
+            attempts,
+            conflict_aborts,
+            used_fallback: true,
+        }
+    }
+
+    /// Stage 1: one speculative try — wait out the fallback lock, open an
+    /// HtmTx episode, subscribe to the lock word, run the body, commit.
+    fn attempt<R>(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+    ) -> Result<R, AbortCause> {
+        ctx.fb_wait_free(self.fb);
+        self.attempt_start = ctx.clock;
+        let xbegin = ctx.runtime().cost.xbegin;
+        ctx.charge(xbegin);
+        ctx.episode_begin(EpisodeKind::HtmTx);
+        self.observer.on_attempt(&mut ctx.stats);
+        ctx.fb_subscribe(self.fb)?;
+        let v = body(&mut Tx { ctx })?;
+        let xend = ctx.runtime().cost.xend;
+        ctx.charge(xend);
+        ctx.htm_commit()?;
+        Ok(v)
+    }
+
+    /// Stage 2: abort bookkeeping — keep the attempt's speculative writes
+    /// hot, close the episode, account wasted cycles (TSX detects
+    /// conflicts eagerly: refund half the attempt so retry density matches
+    /// mid-flight death), charge the abort penalty, tally the cause.
+    /// Returns the wasted cycles for the observer.
+    fn classify(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        cause: AbortCause,
+        counts: &mut RetryCounts,
+        conflict_aborts: &mut u32,
+    ) -> u64 {
+        ctx.note_attempt_writes();
+        ctx.episode_abort();
+        let mut wasted_attempt = ctx.clock - self.attempt_start;
+        if matches!(cause, AbortCause::Conflict(_)) && ctx.mode() == Mode::Virtual {
+            let refund = wasted_attempt / 2;
+            ctx.clock -= refund;
+            wasted_attempt -= refund;
+        }
+        let penalty = ctx.runtime().cost.abort_penalty;
+        ctx.charge(penalty);
+        if matches!(cause, AbortCause::Conflict(_)) {
+            *conflict_aborts += 1;
+        }
+        counts.bump(cause);
+        wasted_attempt + penalty
+    }
+
+    /// Stage 4: exponential backoff between retries.
+    fn backoff(&mut self, ctx: &mut ThreadCtx, counts: &RetryCounts) {
+        let b = ctx.runtime().cost.backoff(counts.total_attempted());
+        ctx.charge(b);
+        self.observer.on_backoff(&mut ctx.stats, b);
+    }
+
+    /// Stage 5: serialize on the fallback lock and run the body directly.
+    fn fallback<R>(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+    ) -> R {
+        ctx.fb_acquire(self.fb);
+        ctx.episode_begin(EpisodeKind::Fallback);
+        ctx.fallback_mark(self.fb);
+        let mut tries = 0;
+        let value = loop {
+            match body(&mut Tx { ctx }) {
+                Ok(v) => break v,
+                Err(e) => {
+                    tries += 1;
+                    assert!(
+                        tries < 16,
+                        "region body keeps failing on the serialized fallback path: {e:?}"
+                    );
+                }
+            }
+        };
+        ctx.fallback_publish();
+        ctx.fb_release(self.fb);
+        value
+    }
+}
+
+impl ThreadCtx {
+    /// Execute `body` as an HTM region under `strategy` with a global-lock
+    /// fallback (§2.1, §4.2.1).
+    ///
+    /// `body` may run many times: transactionally (reads validated, writes
+    /// buffered) and, after retry exhaustion, once more on the serialized
+    /// fallback path where reads/writes are direct. Bodies therefore must
+    /// be idempotent up to their tx reads/writes and must not return
+    /// `Err` on the fallback path.
+    pub fn htm_execute<R>(
+        &mut self,
+        fb: &TxCell<u64>,
+        strategy: &dyn RetryStrategy,
+        body: impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+    ) -> ExecOutcome<R> {
+        let mut observer = StatsObserver;
+        Executor::new(fb, strategy, &mut observer).run(self, body)
+    }
+
+    /// Run one optimistic-read section (Masstree-style before/after
+    /// validation) to completion: open an `OptimisticRead` episode, run
+    /// `body`, close the episode, and retry — counting
+    /// `optimistic_retries` and charging one backoff quantum — until
+    /// `body` succeeds and `invalidated` clears the episode's overlap.
+    ///
+    /// `body` returns `None` when its own validation (version words,
+    /// B-link fences) failed; `invalidated` judges the engine-level
+    /// overlap that virtual mode reports on episode end.
+    pub fn optimistic_execute<R>(
+        &mut self,
+        op_key: Option<u64>,
+        mut invalidated: impl FnMut(Option<ConflictInfo>) -> bool,
+        mut body: impl FnMut(&mut ThreadCtx) -> Option<R>,
+    ) -> R {
+        loop {
+            self.episode_begin(EpisodeKind::OptimisticRead);
+            if let Some(key) = op_key {
+                self.set_op_key(key);
+            }
+            let attempt = body(self);
+            let overlap = self.episode_end_optimistic();
+            match attempt {
+                Some(v) if !invalidated(overlap) => return v,
+                _ => {
+                    self.stats.optimistic_retries += 1;
+                    let b = self.runtime().cost.backoff_base;
+                    self.charge(b);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use std::sync::Arc;
+
+    fn vctx() -> (Arc<Runtime>, ThreadCtx) {
+        let rt = Runtime::new_virtual();
+        let ctx = rt.thread(1);
+        (rt, ctx)
+    }
+
+    #[test]
+    fn tx_read_write_commit_applies_buffer() {
+        let (_rt, mut ctx) = vctx();
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(5u64);
+        let out = ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
+            let v = tx.read(&cell)?;
+            tx.write(&cell, v + 1)?;
+            // Not yet visible outside the buffer...
+            Ok(v)
+        });
+        assert_eq!(out.value, 5);
+        assert!(!out.used_fallback);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(cell.load_plain(), 6);
+        assert_eq!(ctx.stats.commits, 1);
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let (_rt, mut ctx) = vctx();
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(1u64);
+        ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
+            tx.write(&cell, 10)?;
+            assert_eq!(tx.read(&cell)?, 10);
+            tx.write(&cell, 20)?;
+            assert_eq!(tx.read(&cell)?, 20);
+            Ok(())
+        });
+        assert_eq!(cell.load_plain(), 20);
+    }
+
+    #[test]
+    fn overlapping_footprints_conflict_in_virtual_time() {
+        let rt = Runtime::new_virtual();
+        let mut a = rt.thread(1);
+        let mut b = rt.thread(2);
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(0u64);
+        let policy = RetryPolicy::default();
+
+        // Thread A commits a write covering virtual interval [0, ~small).
+        a.htm_execute(&fb, &policy, |tx| tx.write(&cell, 1));
+        // Thread B starts at virtual time 0 too (fresh clock) and touches
+        // the same line → must suffer at least one conflict abort.
+        let out = b.htm_execute(&fb, &policy, |tx| {
+            let v = tx.read(&cell)?;
+            tx.write(&cell, v + 1)
+        });
+        assert!(
+            out.attempts > 1 || out.used_fallback,
+            "expected a conflict abort, got {out:?}"
+        );
+        assert!(b.stats.aborts.total() >= 1);
+        assert_eq!(cell.load_plain(), 2);
+    }
+
+    #[test]
+    fn disjoint_lines_do_not_conflict() {
+        let rt = Runtime::new_virtual();
+        let mut a = rt.thread(1);
+        let mut b = rt.thread(2);
+        let fb = TxCell::new(0u64);
+        // Allocate on separate lines: boxes land far apart.
+        let x = Box::new(TxCell::new(0u64));
+        let y = Box::new(TxCell::new(0u64));
+        assert_ne!(x.line(), y.line());
+        let policy = RetryPolicy::default();
+        a.htm_execute(&fb, &policy, |tx| tx.write(&x, 1));
+        let out = b.htm_execute(&fb, &policy, |tx| tx.write(&y, 1));
+        assert_eq!(out.attempts, 1);
+        assert_eq!(b.stats.aborts.total(), 0);
+    }
+
+    #[test]
+    fn capacity_abort_falls_back() {
+        let rt = Runtime::new(
+            Mode::Virtual,
+            crate::cost::CostModel {
+                write_capacity_lines: 2,
+                ..Default::default()
+            },
+        );
+        let mut ctx = rt.thread(1);
+        let fb = TxCell::new(0u64);
+        let cells: Vec<Box<TxCell<u64>>> = (0..64).map(|_| Box::new(TxCell::new(0u64))).collect();
+        let distinct: std::collections::HashSet<_> = cells.iter().map(|c| c.line()).collect();
+        assert!(distinct.len() > 2);
+        let out = ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
+            for c in &cells {
+                tx.write(c, 7)?;
+            }
+            Ok(())
+        });
+        assert!(out.used_fallback, "capacity overflow must reach fallback");
+        assert!(ctx.stats.aborts.capacity >= 1);
+        // Fallback applied the writes directly.
+        assert!(cells.iter().all(|c| c.load_plain() == 7));
+    }
+
+    #[test]
+    fn explicit_abort_reaches_fallback() {
+        let (_rt, mut ctx) = vctx();
+        let fb = TxCell::new(0u64);
+        let mut first = true;
+        let out = ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
+            if !tx.is_fallback() && first {
+                first = false;
+                return tx.explicit_abort(9);
+            }
+            Ok(42)
+        });
+        assert_eq!(out.value, 42);
+        assert_eq!(ctx.stats.aborts.explicit, 1);
+    }
+
+    #[test]
+    fn clock_advances_with_charges() {
+        let (_rt, mut ctx) = vctx();
+        let before = ctx.clock;
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(0u64);
+        ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| tx.write(&cell, 1));
+        assert!(ctx.clock > before);
+        assert!(ctx.stats.mem_accesses > 0);
+    }
+
+    #[test]
+    fn concurrent_mode_commits_and_validates() {
+        let rt = Runtime::new_concurrent();
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(0u64);
+        let n = 4u64;
+        let iters = 200u64;
+        std::thread::scope(|s| {
+            for t in 0..n {
+                let mut ctx = rt.thread(t);
+                let (fb, cell) = (&fb, &cell);
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        ctx.htm_execute(fb, &RetryPolicy::default(), |tx| {
+                            let v = tx.read(cell)?;
+                            tx.write(cell, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            cell.load_plain(),
+            n * iters,
+            "increments must not be lost under real concurrency"
+        );
+    }
+
+    #[test]
+    fn fallback_serializes_and_still_updates() {
+        // Force every transaction to abort via a zero-retry policy and an
+        // always-explicit body on the HTM path.
+        let (_rt, mut ctx) = vctx();
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(0u64);
+        let policy = RetryPolicy {
+            conflict_retries: 0,
+            capacity_retries: 0,
+            explicit_retries: 0,
+            spurious_retries: 0,
+            fallback_lock_retries: 0,
+            backoff: false,
+        };
+        let out = ctx.htm_execute(&fb, &policy, |tx| {
+            if tx.is_fallback() {
+                let v = tx.read(&cell)?;
+                tx.write(&cell, v + 1)?;
+                Ok(())
+            } else {
+                tx.explicit_abort(1)
+            }
+        });
+        assert!(out.used_fallback);
+        assert_eq!(cell.load_plain(), 1);
+        assert_eq!(ctx.stats.fallbacks, 1);
+        assert_eq!(fb.load_plain(), 0, "fallback lock must be released");
+    }
+
+    // ----- strategy-layer behaviour -----
+
+    #[test]
+    fn strategies_expose_stable_names() {
+        assert_eq!(RetryPolicy::default().name(), "budget");
+        assert_eq!(DbxPolicy::default().name(), "dbx");
+        assert_eq!(AggressivePolicy::default().name(), "aggressive");
+        assert_eq!(AdaptiveBudget::default().name(), "adaptive");
+    }
+
+    #[test]
+    fn aggressive_strategy_retries_where_default_falls_back() {
+        // Bump a conflict tally past the default budget but inside the
+        // persistent one: the two strategies must disagree.
+        let mut counts = RetryCounts::default();
+        let cause = AbortCause::Spurious;
+        for _ in 0..RetryPolicy::default().spurious_retries + 1 {
+            counts.bump(cause);
+        }
+        assert_eq!(
+            RetryPolicy::default().decide(&counts, cause),
+            Decision::Fallback
+        );
+        assert_eq!(
+            AggressivePolicy::default().decide(&counts, cause),
+            Decision::Retry { backoff: true }
+        );
+    }
+
+    #[test]
+    fn adaptive_budget_shrinks_under_fallback_storms() {
+        let strat = AdaptiveBudget::default().with_window(16);
+        let initial = strat.conflict_budget();
+        // A full window of fallbacks: the budget must shrink.
+        for _ in 0..16 {
+            strat.observe_region(11, true);
+        }
+        assert!(strat.conflict_budget() < initial);
+        // Windows of clean commits: the budget recovers and then grows.
+        for _ in 0..64 {
+            strat.observe_region(1, false);
+        }
+        assert!(strat.conflict_budget() > initial);
+        assert!(strat.conflict_budget() <= ADAPTIVE_MAX_CONFLICT_BUDGET);
+    }
+
+    #[test]
+    fn adaptive_budget_is_selectable_at_the_executor_seam() {
+        let (_rt, mut ctx) = vctx();
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(3u64);
+        let strat = AdaptiveBudget::default();
+        let out = ctx.htm_execute(&fb, &strat, |tx| {
+            let v = tx.read(&cell)?;
+            tx.write(&cell, v * 2)?;
+            Ok(v)
+        });
+        assert_eq!(out.value, 3);
+        assert_eq!(cell.load_plain(), 6);
+    }
+
+    #[test]
+    fn custom_observer_sees_stage_transitions() {
+        #[derive(Default)]
+        struct Recorder {
+            attempts: u32,
+            aborts: u32,
+            commits: u32,
+            fallbacks: u32,
+        }
+        impl ExecObserver for Recorder {
+            fn on_attempt(&mut self, stats: &mut ThreadStats) {
+                self.attempts += 1;
+                stats.attempts += 1;
+            }
+            fn on_abort(&mut self, stats: &mut ThreadStats, cause: AbortCause, wasted: u64) {
+                self.aborts += 1;
+                stats.cycles_wasted += wasted;
+                stats.aborts.record(cause);
+            }
+            fn on_commit(&mut self, stats: &mut ThreadStats, _attempts: u32) {
+                self.commits += 1;
+                stats.commits += 1;
+            }
+            fn on_fallback(&mut self, stats: &mut ThreadStats) {
+                self.fallbacks += 1;
+                stats.fallbacks += 1;
+            }
+        }
+
+        let (_rt, mut ctx) = vctx();
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(0u64);
+        let mut rec = Recorder::default();
+        let policy = RetryPolicy::default();
+        let mut first = true;
+        let out = Executor::new(&fb, &policy, &mut rec).run(&mut ctx, |tx| {
+            if first {
+                first = false;
+                return tx.explicit_abort(2);
+            }
+            let v = tx.read(&cell)?;
+            tx.write(&cell, v + 1)
+        });
+        // Explicit aborts have no budget: one abort, then fallback.
+        assert!(out.used_fallback);
+        assert_eq!(rec.attempts, 1);
+        assert_eq!(rec.aborts, 1);
+        assert_eq!(rec.commits, 0);
+        assert_eq!(rec.fallbacks, 1);
+        assert_eq!(ctx.stats.attempts, 1);
+        assert_eq!(ctx.stats.fallbacks, 1);
+    }
+
+    #[test]
+    fn optimistic_execute_counts_retries() {
+        let (_rt, mut ctx) = vctx();
+        let mut tries = 0;
+        let v = ctx.optimistic_execute(
+            Some(7),
+            |_| false,
+            |_ctx| {
+                tries += 1;
+                if tries < 3 {
+                    None
+                } else {
+                    Some(99u64)
+                }
+            },
+        );
+        assert_eq!(v, 99);
+        assert_eq!(ctx.stats.optimistic_retries, 2);
+    }
+}

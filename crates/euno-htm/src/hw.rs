@@ -173,10 +173,7 @@ impl<'a> HwRegion<'a> {
         }
         // Serialized fallback.
         loop {
-            if self
-                .fallback
-                .cas_direct_plain(0, 1)
-            {
+            if self.fallback.cas_direct_plain(0, 1) {
                 break;
             }
             std::hint::spin_loop();

@@ -43,6 +43,7 @@ pub mod abort;
 pub mod arena;
 pub mod cost;
 pub mod ctx;
+pub mod exec;
 #[cfg(all(feature = "hw-rtm", target_arch = "x86_64"))]
 pub mod hw;
 pub mod line;
@@ -56,7 +57,11 @@ pub mod word;
 pub use abort::{AbortCause, ConflictInfo, ConflictKind, TxResult};
 pub use arena::{Arena, TransientBytes};
 pub use cost::CostModel;
-pub use ctx::{EpisodeKind, ExecOutcome, ThreadCtx, Tx};
+pub use ctx::{EpisodeKind, ThreadCtx, Tx};
+pub use exec::{
+    AdaptiveBudget, AggressivePolicy, DbxPolicy, Decision, ExecObserver, ExecOutcome, Executor,
+    RetryStrategy, StatsObserver,
+};
 pub use line::{LineClass, LineId, LineSet, CACHE_LINE_BYTES};
 pub use lock::{AdvisoryLock, AtomicBitVector, BitLockVector, ControlBlock};
 pub use map::{ConcurrentMap, MemoryReport, KEY_SENTINEL, TOMBSTONE};

@@ -174,8 +174,7 @@ mod tests {
         // Two u64s 8 bytes apart land on the same line unless they straddle
         // a boundary — the root cause of the paper's false conflicts.
         let xs = [0u64; 8];
-        let distinct: std::collections::HashSet<_> =
-            xs.iter().map(|x| LineId::of_ptr(x)).collect();
+        let distinct: std::collections::HashSet<_> = xs.iter().map(|x| LineId::of_ptr(x)).collect();
         assert!(
             distinct.len() <= 2,
             "8 contiguous words span at most two lines, got {}",

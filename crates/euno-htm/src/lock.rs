@@ -146,7 +146,11 @@ impl BitLockVector {
         assert!(slot < self.bits, "slot {slot} out of range {}", self.bits);
         let word = &self.words[slot / 64];
         let bit = (slot % 64) as u32;
-        (word, 1u64 << bit, lock_key_for_bit(word.raw_ptr() as usize, bit))
+        (
+            word,
+            1u64 << bit,
+            lock_key_for_bit(word.raw_ptr() as usize, bit),
+        )
     }
 
     /// Blocking acquire of one slot's lock bit (Algorithm 2 lines 30-31).
@@ -249,6 +253,16 @@ impl AtomicBitVector {
     /// Bytes occupied by the vector's words.
     pub fn memory_bytes(&self) -> usize {
         self.words.len() * 8
+    }
+}
+
+// Test-support helper: acquire a lock and hold it for `work` cycles.
+#[cfg(test)]
+impl crate::ctx::ThreadCtx {
+    fn acquire_and_work(&mut self, l: &AdvisoryLock, work: u64) {
+        l.acquire(self);
+        self.charge(work);
+        l.release(self);
     }
 }
 
@@ -389,15 +403,5 @@ mod tests {
         let mut ctx = rt.thread(0);
         let v = AtomicBitVector::new(10);
         v.get(&mut ctx, 10);
-    }
-}
-
-// Test-support helper: acquire a lock and hold it for `work` cycles.
-#[cfg(test)]
-impl crate::ctx::ThreadCtx {
-    fn acquire_and_work(&mut self, l: &AdvisoryLock, work: u64) {
-        l.acquire(self);
-        self.charge(work);
-        l.release(self);
     }
 }

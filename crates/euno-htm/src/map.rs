@@ -26,8 +26,13 @@ pub trait ConcurrentMap: Send + Sync {
     /// Ordered range scan: append up to `count` live records with
     /// `key ≥ from` to `out`, in ascending key order. Returns the number
     /// appended.
-    fn scan(&self, ctx: &mut ThreadCtx, from: u64, count: usize, out: &mut Vec<(u64, u64)>)
-        -> usize;
+    fn scan(
+        &self,
+        ctx: &mut ThreadCtx,
+        from: u64,
+        count: usize,
+        out: &mut Vec<(u64, u64)>,
+    ) -> usize;
 
     /// Human-readable system name for benchmark tables.
     fn name(&self) -> &'static str;

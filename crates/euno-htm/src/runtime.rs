@@ -7,7 +7,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use std::sync::{Mutex, RwLock};
 
 use crate::abort::{ConflictInfo, ConflictKind};
 use crate::cost::CostModel;
@@ -134,7 +134,7 @@ impl Runtime {
         }
         let first = LineId::of_addr(addr).0;
         let last = LineId::of_addr(addr + bytes - 1).0;
-        let mut map = self.classes.write();
+        let mut map = self.classes.write().unwrap();
         for l in first..=last {
             map.insert(l, class);
         }
@@ -148,6 +148,7 @@ impl Runtime {
     pub fn class_of(&self, line: LineId) -> LineClass {
         self.classes
             .read()
+            .unwrap()
             .get(&line.0)
             .copied()
             .unwrap_or(LineClass::Unknown)
@@ -156,7 +157,7 @@ impl Runtime {
     /// Number of distinct registered lines (used to bound registry growth
     /// in tests).
     pub fn registered_lines(&self) -> usize {
-        self.classes.read().len()
+        self.classes.read().unwrap().len()
     }
 
     // ----- virtual-mode conflict window --------------------------------
@@ -173,7 +174,7 @@ impl Runtime {
         writes: Option<&LineSet>,
         my_key: Option<u64>,
     ) -> Option<ConflictInfo> {
-        let virt = self.virt.lock();
+        let virt = self.virt.lock().unwrap();
         for rec in virt.window.iter().rev() {
             if rec.end <= start {
                 // Window is start-ordered, not end-ordered, so we cannot
@@ -204,7 +205,7 @@ impl Runtime {
 
     /// Publish a committed episode and refresh the hot-line map.
     pub(crate) fn virt_commit(&self, rec: EpisodeRecord) {
-        let mut virt = self.virt.lock();
+        let mut virt = self.virt.lock().unwrap();
         for l in rec.writes.iter() {
             let heat = match virt.recent_writes.get(&l.0) {
                 Some(prev) => {
@@ -270,7 +271,7 @@ impl Runtime {
         me: u32,
         u: f64,
     ) -> Option<LineId> {
-        let virt = self.virt.lock();
+        let virt = self.virt.lock().unwrap();
         let l = duration.max(1) as f64;
         // Survival probability across all hot lines in the footprint: the
         // line's write process is modelled as Poisson with rate 1/EWMA-gap,
@@ -291,7 +292,7 @@ impl Runtime {
                         (l / gap) * (-since / (20.0 * gap)).exp()
                     };
                     log_survive -= lambda;
-                    if hottest.map_or(true, |(_, e)| heat.end > e) {
+                    if hottest.is_none_or(|(_, e)| heat.end > e) {
                         hottest = Some((line, heat.end));
                     }
                 }
@@ -323,7 +324,7 @@ impl Runtime {
         if writes.is_empty() {
             return;
         }
-        let mut virt = self.virt.lock();
+        let mut virt = self.virt.lock().unwrap();
         for l in writes.iter() {
             let heat = match virt.recent_writes.get(&l.0) {
                 Some(prev) => {
@@ -357,7 +358,7 @@ impl Runtime {
         now: u64,
         me: u32,
     ) -> u64 {
-        let virt = self.virt.lock();
+        let virt = self.virt.lock().unwrap();
         let mut hot = 0u64;
         for l in footprint {
             if let Some(heat) = virt.recent_writes.get(&l.0) {
@@ -373,7 +374,7 @@ impl Runtime {
     /// any episode starting at or after `before`. The scheduler calls this
     /// with the minimum pending start time.
     pub fn virt_prune(&self, before: u64) {
-        let mut virt = self.virt.lock();
+        let mut virt = self.virt.lock().unwrap();
         // Window is start-ordered; entries may have any end. Do a linear
         // retain occasionally — cheap because the window stays small.
         while let Some(front) = virt.window.front() {
@@ -397,7 +398,7 @@ impl Runtime {
 
     /// Current number of live window entries (observability/tests).
     pub fn virt_window_len(&self) -> usize {
-        self.virt.lock().window.len()
+        self.virt.lock().unwrap().window.len()
     }
 
     // ----- virtual-mode advisory locks ---------------------------------
@@ -406,12 +407,19 @@ impl Runtime {
     /// Public so downstream crates can build custom lock primitives (e.g.
     /// the CCM's single-word bit locks) with virtual-wait semantics.
     pub fn vlock_free_at(&self, key: u64, now: u64) -> u64 {
-        self.virt.lock().locks.get(&key).copied().unwrap_or(0).max(now)
+        self.virt
+            .lock()
+            .unwrap()
+            .locks
+            .get(&key)
+            .copied()
+            .unwrap_or(0)
+            .max(now)
     }
 
     /// Record that `key` is held until `until`.
     pub fn vlock_hold(&self, key: u64, until: u64) {
-        let mut virt = self.virt.lock();
+        let mut virt = self.virt.lock().unwrap();
         let slot = virt.locks.entry(key).or_insert(0);
         *slot = (*slot).max(until);
     }
@@ -419,7 +427,7 @@ impl Runtime {
     /// Reset all engine state between experiment phases (keeps the class
     /// registry — the tree nodes are still alive).
     pub fn reset_dynamics(&self) {
-        let mut virt = self.virt.lock();
+        let mut virt = self.virt.lock().unwrap();
         virt.window.clear();
         virt.locks.clear();
         virt.recent_writes.clear();

@@ -194,13 +194,17 @@ mod tests {
 
     #[test]
     fn merge_adds_counters() {
-        let mut a = ThreadStats::default();
-        a.ops = 10;
-        a.cycles_total = 1000;
-        a.cycles_wasted = 400;
-        let mut b = ThreadStats::default();
-        b.ops = 5;
-        b.cycles_total = 500;
+        let mut a = ThreadStats {
+            ops: 10,
+            cycles_total: 1000,
+            cycles_wasted: 400,
+            ..Default::default()
+        };
+        let mut b = ThreadStats {
+            ops: 5,
+            cycles_total: 500,
+            ..Default::default()
+        };
         b.aborts.record(AbortCause::Capacity);
         a.merge(&b);
         assert_eq!(a.ops, 15);
@@ -224,10 +228,14 @@ mod tests {
 
     #[test]
     fn aggregate_from_threads() {
-        let mut a = ThreadStats::default();
-        a.ops = 3;
-        let mut b = ThreadStats::default();
-        b.ops = 7;
+        let a = ThreadStats {
+            ops: 3,
+            ..Default::default()
+        };
+        let b = ThreadStats {
+            ops: 7,
+            ..Default::default()
+        };
         let agg = AggregateStats::from_threads([&a, &b]);
         assert_eq!(agg.threads, 2);
         assert_eq!(agg.per_run.ops, 10);

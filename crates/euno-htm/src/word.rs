@@ -191,8 +191,8 @@ mod tests {
         assert_eq!(u64::from_word(42u64.to_word()), 42);
         assert_eq!(u32::from_word(7u32.to_word()), 7);
         assert_eq!(i64::from_word((-3i64).to_word()), -3);
-        assert_eq!(bool::from_word(true.to_word()), true);
-        assert_eq!(bool::from_word(false.to_word()), false);
+        assert!(bool::from_word(true.to_word()));
+        assert!(!bool::from_word(false.to_word()));
     }
 
     #[test]
@@ -210,8 +210,7 @@ mod tests {
         // property the whole false-sharing analysis rests on.
         assert_eq!(std::mem::size_of::<TxCell<u64>>(), 8);
         let arr: [TxCell<u64>; 8] = Default::default();
-        let distinct: std::collections::HashSet<_> =
-            arr.iter().map(|c| c.line()).collect();
+        let distinct: std::collections::HashSet<_> = arr.iter().map(|c| c.line()).collect();
         assert!(distinct.len() <= 2);
     }
 

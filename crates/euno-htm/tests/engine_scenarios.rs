@@ -1,16 +1,11 @@
 //! Scenario tests for the HTM engine: TSX semantics the trees rely on.
 
-use std::sync::Arc;
-
 use euno_htm::{
-    AbortCause, AdvisoryLock, CostModel, EpisodeKind, Mode, RetryPolicy, Runtime, ThreadCtx,
-    TxCell,
+    AbortCause, AdvisoryLock, CostModel, EpisodeKind, Mode, RetryPolicy, Runtime, ThreadCtx, TxCell,
 };
 
 fn min_clock_step(ctxs: &mut [ThreadCtx], mut f: impl FnMut(usize, &mut ThreadCtx)) {
-    let idx = (0..ctxs.len())
-        .min_by_key(|&i| (ctxs[i].clock, i))
-        .unwrap();
+    let idx = (0..ctxs.len()).min_by_key(|&i| (ctxs[i].clock, i)).unwrap();
     let ctx = &mut ctxs[idx];
     f(idx, ctx);
 }
@@ -239,7 +234,7 @@ fn fresh_runtimes_are_reproducible() {
         let mut ctxs: Vec<ThreadCtx> = (0..5).map(|i| rt.thread(i * 31)).collect();
         for _ in 0..400 {
             min_clock_step(&mut ctxs, |_, ctx| {
-                let i = (rand::Rng::gen_range(ctx.rng(), 0..4usize)) % 4;
+                let i = (euno_rng::Rng::gen_range(ctx.rng(), 0..4usize)) % 4;
                 ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
                     let v = tx.read(&cells[i].0)?;
                     tx.write(&cells[i].0, v + 1)

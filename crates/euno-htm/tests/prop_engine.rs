@@ -1,83 +1,103 @@
-//! Property-based tests for the engine's core data structures and the
-//! transactional executor.
+//! Randomized property tests for the engine's core data structures and
+//! the transactional executor. Cases are generated from seeded `euno-rng`
+//! streams so every run explores the same (large) sample deterministically.
 
-use proptest::prelude::*;
+use euno_rng::{Rng, SmallRng};
 
 use euno_htm::{LineId, LineSet, RetryPolicy, Runtime, TxCell};
 
-proptest! {
-    /// LineSet behaves exactly like a BTreeSet of line ids.
-    #[test]
-    fn lineset_matches_btreeset(ops in prop::collection::vec(0u64..64, 0..200)) {
+/// LineSet behaves exactly like a BTreeSet of line ids.
+#[test]
+fn lineset_matches_btreeset() {
+    let mut rng = SmallRng::seed_from_u64(0x11e5e7);
+    for _ in 0..64 {
+        let n = rng.gen_range(0usize..200);
         let mut set = LineSet::new();
         let mut model = std::collections::BTreeSet::new();
-        for x in ops {
-            prop_assert_eq!(set.insert(LineId(x)), model.insert(x));
+        for _ in 0..n {
+            let x = rng.gen_range(0u64..64);
+            assert_eq!(set.insert(LineId(x)), model.insert(x));
         }
-        prop_assert_eq!(set.len(), model.len());
+        assert_eq!(set.len(), model.len());
         let got: Vec<u64> = set.iter().map(|l| l.0).collect();
         let expect: Vec<u64> = model.iter().copied().collect();
-        prop_assert_eq!(got, expect, "iteration order is sorted");
+        assert_eq!(got, expect, "iteration order is sorted");
         for x in 0..64u64 {
-            prop_assert_eq!(set.contains(LineId(x)), model.contains(&x));
+            assert_eq!(set.contains(LineId(x)), model.contains(&x));
         }
     }
+}
 
-    /// Intersection is symmetric and agrees with the model.
-    #[test]
-    fn lineset_intersection_symmetric(
-        a in prop::collection::btree_set(0u64..48, 0..32),
-        b in prop::collection::btree_set(0u64..48, 0..32),
-    ) {
+/// Intersection is symmetric and agrees with the model.
+#[test]
+fn lineset_intersection_symmetric() {
+    let mut rng = SmallRng::seed_from_u64(0x1256c7);
+    for _ in 0..128 {
+        let draw = |rng: &mut SmallRng| {
+            let n = rng.gen_range(0usize..32);
+            (0..n)
+                .map(|_| rng.gen_range(0u64..48))
+                .collect::<std::collections::BTreeSet<u64>>()
+        };
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
         let sa: LineSet = a.iter().map(|&x| LineId(x)).collect();
         let sb: LineSet = b.iter().map(|&x| LineId(x)).collect();
         let expect = a.intersection(&b).next().is_some();
-        prop_assert_eq!(sa.intersects(&sb), expect);
-        prop_assert_eq!(sb.intersects(&sa), expect);
+        assert_eq!(sa.intersects(&sb), expect);
+        assert_eq!(sb.intersects(&sa), expect);
         if let Some(l) = sa.first_intersection(&sb) {
-            prop_assert!(a.contains(&l.0) && b.contains(&l.0));
+            assert!(a.contains(&l.0) && b.contains(&l.0));
         }
     }
+}
 
-    /// A transactional read-modify-write sequence over arbitrary cells is
-    /// equivalent to executing it directly: no lost or phantom updates,
-    /// regardless of how the adds are interleaved across virtual threads.
-    #[test]
-    fn virtual_transactions_apply_exactly_once(
-        adds in prop::collection::vec((0usize..8, 1u64..100), 1..60),
-        threads in 1usize..6,
-    ) {
+/// A transactional read-modify-write sequence over arbitrary cells is
+/// equivalent to executing it directly: no lost or phantom updates,
+/// regardless of how the adds are interleaved across virtual threads.
+#[test]
+fn virtual_transactions_apply_exactly_once() {
+    let mut rng = SmallRng::seed_from_u64(0xa9911e);
+    for case in 0..32 {
+        let threads = rng.gen_range(1usize..6);
+        let n_adds = rng.gen_range(1usize..60);
+        let adds: Vec<(usize, u64)> = (0..n_adds)
+            .map(|_| (rng.gen_range(0usize..8), rng.gen_range(1u64..100)))
+            .collect();
         let rt = Runtime::new_virtual();
         let fb = TxCell::new(0u64);
         let cells: Vec<TxCell<u64>> = (0..8).map(|_| TxCell::new(0)).collect();
         let mut ctxs: Vec<_> = (0..threads).map(|i| rt.thread(i as u64)).collect();
         let mut expect = [0u64; 8];
-        for (i, (idx, n)) in adds.iter().enumerate() {
+        for (idx, n) in &adds {
             expect[*idx] += n;
             // Schedule by min virtual clock, like the simulator.
             let t = (0..threads).min_by_key(|&t| (ctxs[t].clock, t)).unwrap();
-            let _ = i;
             ctxs[t].htm_execute(&fb, &RetryPolicy::default(), |tx| {
                 let v = tx.read(&cells[*idx])?;
                 tx.write(&cells[*idx], v + n)
             });
         }
         for (cell, want) in cells.iter().zip(expect) {
-            prop_assert_eq!(cell.load_plain(), want);
+            assert_eq!(cell.load_plain(), want, "case {case}");
         }
     }
+}
 
-    /// Concurrent-mode transactions preserve a global invariant (sum of
-    /// two cells constant) under arbitrary transfer schedules.
-    #[test]
-    fn concurrent_transfers_preserve_sum(transfers in prop::collection::vec(1u64..10, 1..40)) {
+/// Concurrent-mode transactions preserve a global invariant (sum of two
+/// cells constant) under arbitrary transfer schedules.
+#[test]
+fn concurrent_transfers_preserve_sum() {
+    let mut rng = SmallRng::seed_from_u64(0x5c41e);
+    for _ in 0..8 {
+        let n = rng.gen_range(1usize..40);
+        let transfers: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..10)).collect();
         let rt = Runtime::new_concurrent();
         let fb = TxCell::new(0u64);
         let a = Box::new(TxCell::new(1_000u64));
         let b = Box::new(TxCell::new(1_000u64));
         std::thread::scope(|s| {
-            let chunks: Vec<Vec<u64>> =
-                transfers.chunks(10).map(|c| c.to_vec()).collect();
+            let chunks: Vec<Vec<u64>> = transfers.chunks(10).map(|c| c.to_vec()).collect();
             for (i, chunk) in chunks.into_iter().enumerate() {
                 let (a, b, fb, rt) = (&a, &b, &fb, &rt);
                 let mut ctx = rt.thread(i as u64);
@@ -94,6 +114,6 @@ proptest! {
                 });
             }
         });
-        prop_assert_eq!(a.load_plain() + b.load_plain(), 2_000);
+        assert_eq!(a.load_plain() + b.load_plain(), 2_000);
     }
 }

@@ -5,8 +5,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use euno_htm::{ConcurrentMap, Mode, Runtime, ThreadCtx, ThreadStats};
-use euno_workloads::{Op, OpStream, WorkloadSpec};
+use euno_htm::{
+    AdaptiveBudget, AggressivePolicy, ConcurrentMap, DbxPolicy, Mode, RetryPolicy, RetryStrategy,
+    Runtime, ThreadCtx, ThreadStats,
+};
+use euno_workloads::{Op, OpStream, PolicyChoice, WorkloadSpec};
 
 use crate::metrics::RunMetrics;
 use crate::sched::VirtualScheduler;
@@ -30,6 +33,17 @@ impl Default for RunConfig {
             seed: 0x00eu64 ^ 0x5eed,
             warmup_ops: 4_000,
         }
+    }
+}
+
+/// Materialize a workload's [`PolicyChoice`] as a live retry strategy for
+/// the transaction executor. The workload crate stays dependency-free
+/// (pure data); this is the single place the name is bound to behavior.
+pub fn strategy_for(choice: PolicyChoice) -> Arc<dyn RetryStrategy> {
+    match choice {
+        PolicyChoice::Dbx => Arc::new(DbxPolicy::default()),
+        PolicyChoice::Aggressive => Arc::new(AggressivePolicy::default()),
+        PolicyChoice::Adaptive => Arc::new(AdaptiveBudget::new(RetryPolicy::default())),
     }
 }
 
@@ -74,6 +88,21 @@ pub fn apply_op(
     ctx.stats.ops += 1;
 }
 
+/// Run one unmeasured warmup operation: the clock contribution is kept
+/// (it shapes the schedule) while ops/abort statistics are rolled back so
+/// the measured metrics only cover steady state.
+#[inline]
+pub fn apply_warmup_op(
+    map: &dyn ConcurrentMap,
+    ctx: &mut ThreadCtx,
+    op: Op,
+    scan_buf: &mut Vec<(u64, u64)>,
+) {
+    let saved = ctx.stats.clone();
+    apply_op(map, ctx, op, scan_buf);
+    ctx.stats = saved;
+}
+
 /// Run a workload in **virtual-time** mode and return the figure metrics.
 ///
 /// The tree must have been built against the same `rt`. Preloading happens
@@ -97,14 +126,8 @@ pub fn run_virtual(
             Box::new(move |ctx| {
                 if warmup_left > 0 {
                     warmup_left -= 1;
-                    // Warmup: run the op but roll back its statistics —
-                    // the clock contribution is kept (it shapes the
-                    // schedule) while ops/aborts are excluded from metrics.
-                    let saved = ctx.stats.clone();
-                    let mut buf = Vec::new();
                     let op = stream.next_op();
-                    apply_op(map_ref, ctx, op, &mut buf);
-                    ctx.stats = saved;
+                    apply_warmup_op(map_ref, ctx, op, &mut scan_buf);
                     if warmup_left == 0 {
                         ctx.stats.measure_start_cycles = ctx.clock;
                     }
@@ -136,7 +159,7 @@ pub fn run_concurrent(
     // All threads warm up, meet at a barrier, then the measured phase is
     // timed on its own.
     let barrier = std::sync::Barrier::new(cfg.threads + 1);
-    let start_cell = parking_lot::Mutex::new(Instant::now());
+    let start_cell = std::sync::Mutex::new(Instant::now());
     let per_thread: Vec<ThreadStats> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..cfg.threads {
@@ -151,9 +174,7 @@ pub fn run_concurrent(
                 let mut scan_buf = Vec::new();
                 for _ in 0..cfg.warmup_ops {
                     let op = stream.next_op();
-                    let saved = ctx.stats.clone();
-                    apply_op(map_ref, &mut ctx, op, &mut scan_buf);
-                    ctx.stats = saved;
+                    apply_warmup_op(map_ref, &mut ctx, op, &mut scan_buf);
                 }
                 barrier.wait();
                 for _ in 0..cfg.ops_per_thread {
@@ -165,9 +186,9 @@ pub fn run_concurrent(
             }));
         }
         barrier.wait();
-        *start_cell.lock() = Instant::now();
+        *start_cell.lock().unwrap() = Instant::now();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    let elapsed = start_cell.lock().elapsed().as_secs_f64();
+    let elapsed = start_cell.lock().unwrap().elapsed().as_secs_f64();
     RunMetrics::from_wall(per_thread, elapsed)
 }

@@ -165,8 +165,8 @@ mod tests {
         let p99 = h.quantile(0.99);
         assert!(p50 <= p90 && p90 <= p99);
         // Log-bucket resolution: within a factor of √2 of the true value.
-        assert!(p50 >= 2_900 && p50 <= 5_000, "p50 = {p50}");
-        assert!(p99 >= 6_000 && p99 <= 10_000, "p99 = {p99}");
+        assert!((2_900..=5_000).contains(&p50), "p50 = {p50}");
+        assert!((6_000..=10_000).contains(&p99), "p99 = {p99}");
     }
 
     #[test]

@@ -14,7 +14,9 @@ pub mod hist;
 pub mod metrics;
 pub mod sched;
 
-pub use harness::{apply_op, preload, run_concurrent, run_virtual, RunConfig};
+pub use harness::{
+    apply_op, apply_warmup_op, preload, run_concurrent, run_virtual, strategy_for, RunConfig,
+};
 pub use hist::LatencyHistogram;
 pub use metrics::RunMetrics;
 pub use sched::{Driver, VirtualScheduler};

@@ -36,7 +36,11 @@ pub struct RunMetrics {
 impl RunMetrics {
     /// Build from per-thread stats plus the makespan in cycles
     /// (virtual mode).
-    pub fn from_virtual(per_thread: Vec<ThreadStats>, makespan_cycles: u64, cost: &CostModel) -> Self {
+    pub fn from_virtual(
+        per_thread: Vec<ThreadStats>,
+        makespan_cycles: u64,
+        cost: &CostModel,
+    ) -> Self {
         Self::from_virtual_with_latency(per_thread, makespan_cycles, cost, LatencyHistogram::new())
     }
 
@@ -99,14 +103,18 @@ mod tests {
 
     #[test]
     fn metrics_aggregate_two_threads() {
-        let mut a = ThreadStats::default();
-        a.ops = 100;
-        a.cycles_total = 1000;
-        a.cycles_wasted = 100;
-        a.mem_accesses = 400;
-        let mut b = ThreadStats::default();
-        b.ops = 100;
-        b.cycles_total = 1000;
+        let a = ThreadStats {
+            ops: 100,
+            cycles_total: 1000,
+            cycles_wasted: 100,
+            mem_accesses: 400,
+            ..Default::default()
+        };
+        let mut b = ThreadStats {
+            ops: 100,
+            cycles_total: 1000,
+            ..Default::default()
+        };
         b.aborts.capacity = 10;
         let cost = CostModel::default();
         let m = RunMetrics::from_virtual(vec![a, b], 2_300_000, &cost);
@@ -129,8 +137,10 @@ mod tests {
 
     #[test]
     fn mops_unit() {
-        let mut a = ThreadStats::default();
-        a.ops = 5_000_000;
+        let a = ThreadStats {
+            ops: 5_000_000,
+            ..Default::default()
+        };
         let m = RunMetrics::from_wall(vec![a], 1.0);
         assert!((m.mops() - 5.0).abs() < 1e-9);
     }

@@ -73,7 +73,7 @@ impl<'a> VirtualScheduler<'a> {
         let mut latency = LatencyHistogram::new();
         while let Some(Reverse((start, i))) = heap.pop() {
             events += 1;
-            if events % self.prune_every == 0 {
+            if events.is_multiple_of(self.prune_every) {
                 // Nothing can start before `start` anymore: safe horizon.
                 self.rt.virt_prune(start);
             }
@@ -147,18 +147,21 @@ mod tests {
             let c = Arc::clone(&counters);
             let mut left = ops;
             let mut k = t;
-            sched.add_thread(seed + t as u64, Box::new(move |ctx| {
-                if left == 0 {
-                    return false;
-                }
-                left -= 1;
-                // hot: everyone hammers cell 0; cold: per-thread private cell
-                let i = if hot { 0 } else { t };
-                let _ = k;
-                k += 1;
-                c.bump(ctx, i);
-                true
-            }));
+            sched.add_thread(
+                seed + t as u64,
+                Box::new(move |ctx| {
+                    if left == 0 {
+                        return false;
+                    }
+                    left -= 1;
+                    // hot: everyone hammers cell 0; cold: per-thread private cell
+                    let i = if hot { 0 } else { t };
+                    let _ = k;
+                    k += 1;
+                    c.bump(ctx, i);
+                    true
+                }),
+            );
         }
         let m = sched.run();
         let values = counters.cells.iter().map(|c| c.0.load_plain()).collect();
@@ -208,15 +211,18 @@ mod tests {
             for t in 0..6 {
                 let c = Arc::clone(&counters);
                 let mut left = 200;
-                sched.add_thread(seed + t, Box::new(move |ctx| {
-                    if left == 0 {
-                        return false;
-                    }
-                    left -= 1;
-                    let i = (rand::Rng::gen_range(ctx.rng(), 0..8usize)) % 8;
-                    c.bump(ctx, i);
-                    true
-                }));
+                sched.add_thread(
+                    seed + t,
+                    Box::new(move |ctx| {
+                        if left == 0 {
+                            return false;
+                        }
+                        left -= 1;
+                        let i = (euno_rng::Rng::gen_range(ctx.rng(), 0..8usize)) % 8;
+                        c.bump(ctx, i);
+                        true
+                    }),
+                );
             }
             let m = sched.run();
             m.stats.cycles_total ^ m.aborts.total()

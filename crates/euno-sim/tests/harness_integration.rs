@@ -2,8 +2,6 @@
 //! metrics plumbing, latency collection and end-to-end determinism over a
 //! minimal `ConcurrentMap`.
 
-use std::sync::Arc;
-
 use euno_htm::{ConcurrentMap, RetryPolicy, Runtime, ThreadCtx, TxCell};
 use euno_sim::{preload, run_concurrent, run_virtual, RunConfig};
 use euno_workloads::{KeyDistribution, OpMix, Preload, WorkloadSpec};
@@ -55,21 +53,19 @@ impl ConcurrentMap for ToyMap {
 
     fn put(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Option<u64> {
         let mut i = self.slot_of(key);
-        ctx.htm_execute(&self.fb, &self.policy, |tx| {
-            loop {
-                let k = tx.read(&self.keys[i])?;
-                if k == key {
-                    let old = tx.read(&self.vals[i])?;
-                    tx.write(&self.vals[i], value)?;
-                    return Ok(Some(old));
-                }
-                if k == EMPTY {
-                    tx.write(&self.keys[i], key)?;
-                    tx.write(&self.vals[i], value)?;
-                    return Ok(None);
-                }
-                i = (i + 1) % self.keys.len();
+        ctx.htm_execute(&self.fb, &self.policy, |tx| loop {
+            let k = tx.read(&self.keys[i])?;
+            if k == key {
+                let old = tx.read(&self.vals[i])?;
+                tx.write(&self.vals[i], value)?;
+                return Ok(Some(old));
             }
+            if k == EMPTY {
+                tx.write(&self.keys[i], key)?;
+                tx.write(&self.vals[i], value)?;
+                return Ok(None);
+            }
+            i = (i + 1) % self.keys.len();
         })
         .value
     }
@@ -103,6 +99,7 @@ fn toy_spec() -> WorkloadSpec {
         mix: OpMix::get_put(0.5),
         scan_len: 4,
         preload: Preload::None,
+        policy: Default::default(),
     }
 }
 

@@ -14,7 +14,7 @@
 //! All samplers draw from a caller-supplied RNG so every thread has a
 //! private, deterministic stream (the paper's "intra-thread locality").
 
-use rand::Rng;
+use euno_rng::Rng;
 
 /// A key distribution over `0..n`.
 #[derive(Clone, Debug)]
@@ -236,8 +236,7 @@ fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use euno_rng::SmallRng;
 
     const N: u64 = 100_000;
     const SAMPLES: usize = 200_000;
@@ -443,8 +442,10 @@ mod tests {
     #[test]
     fn small_lambda_poisson_mean() {
         let mut rng = SmallRng::seed_from_u64(12);
-        let mean: f64 =
-            (0..50_000).map(|_| poisson(4.0, &mut rng) as f64).sum::<f64>() / 50_000.0;
+        let mean: f64 = (0..50_000)
+            .map(|_| poisson(4.0, &mut rng) as f64)
+            .sum::<f64>()
+            / 50_000.0;
         assert!((mean - 4.0).abs() < 0.1, "Poisson(4) sample mean = {mean}");
     }
 }

@@ -22,5 +22,5 @@ pub mod spec;
 pub mod ycsb;
 
 pub use dist::{KeyDistribution, KeySampler};
-pub use spec::{Op, OpMix, OpStream, Preload, WorkloadSpec};
+pub use spec::{Op, OpMix, OpStream, PolicyChoice, Preload, WorkloadSpec};
 pub use ycsb::{YcsbOp, YcsbSpec, YcsbStream, YcsbWorkload};

@@ -4,8 +4,7 @@
 //! a get/put mix (default 50 %/50 %), optional deletes and range scans,
 //! and one private deterministic stream per thread.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use euno_rng::{Rng, SmallRng};
 
 use crate::dist::{KeyDistribution, KeySampler};
 
@@ -43,10 +42,7 @@ impl OpMix {
 
     pub fn validate(&self) {
         let sum = self.get + self.put + self.delete + self.scan;
-        assert!(
-            (sum - 1.0).abs() < 1e-9,
-            "op mix must sum to 1, got {sum}"
-        );
+        assert!((sum - 1.0).abs() < 1e-9, "op mix must sum to 1, got {sum}");
         for p in [self.get, self.put, self.delete, self.scan] {
             assert!((0.0..=1.0).contains(&p));
         }
@@ -90,6 +86,53 @@ pub enum Preload {
     FractionPerMille(u32),
 }
 
+/// Which retry strategy the transaction executor should run HTM regions
+/// under. Pure data — this crate stays dependency-free; mapping a choice
+/// to a live `RetryStrategy` object happens in the harness (`euno-sim`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PolicyChoice {
+    /// DBX-style per-cause budgets (the default used by every figure).
+    #[default]
+    Dbx,
+    /// Persistent budgets: keep retrying in HTM far longer before taking
+    /// the serializing fallback.
+    Aggressive,
+    /// Runtime controller that widens/narrows the conflict budget from
+    /// observed fallback rates.
+    Adaptive,
+}
+
+impl PolicyChoice {
+    pub const ALL: [PolicyChoice; 3] = [
+        PolicyChoice::Dbx,
+        PolicyChoice::Aggressive,
+        PolicyChoice::Adaptive,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyChoice::Dbx => "dbx",
+            PolicyChoice::Aggressive => "aggressive",
+            PolicyChoice::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "dbx" | "default" | "budget" => Ok(PolicyChoice::Dbx),
+            "aggressive" | "persistent" => Ok(PolicyChoice::Aggressive),
+            "adaptive" => Ok(PolicyChoice::Adaptive),
+            other => Err(format!(
+                "unknown retry policy {other:?} (expected dbx|aggressive|adaptive)"
+            )),
+        }
+    }
+}
+
 /// Full workload description. Cheap to clone; build one [`KeySampler`]
 /// via [`WorkloadSpec::sampler`] and share it.
 #[derive(Clone, Debug)]
@@ -100,6 +143,8 @@ pub struct WorkloadSpec {
     /// Records returned per scan.
     pub scan_len: usize,
     pub preload: Preload,
+    /// Retry strategy the executor runs this workload's regions under.
+    pub policy: PolicyChoice,
 }
 
 impl WorkloadSpec {
@@ -115,7 +160,14 @@ impl WorkloadSpec {
             mix: OpMix::default_ycsb(),
             scan_len: 16,
             preload: Preload::EvenKeys,
+            policy: PolicyChoice::default(),
         }
+    }
+
+    /// The same spec under a different retry policy.
+    pub fn with_policy(mut self, policy: PolicyChoice) -> Self {
+        self.policy = policy;
+        self
     }
 
     pub fn sampler(&self) -> KeySampler {

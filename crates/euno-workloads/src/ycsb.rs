@@ -15,11 +15,10 @@
 //! | E (short ranges) | 95 % scan / 5 % insert  | zipfian |
 //! | F (read-modify-write) | 50 % read / 50 % RMW | zipfian |
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use euno_rng::{Rng, SmallRng};
 
 use crate::dist::{KeyDistribution, KeySampler};
-use crate::spec::{Op, OpMix, Preload, WorkloadSpec};
+use crate::spec::{Op, OpMix, PolicyChoice, Preload, WorkloadSpec};
 
 /// The YCSB core workload identifiers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,6 +93,7 @@ impl YcsbWorkload {
                 mix,
                 scan_len: 16,
                 preload: Preload::EvenKeys,
+                policy: PolicyChoice::default(),
             },
             read_modify_write: rmw,
         }
@@ -280,10 +280,7 @@ mod tests {
         // Reads skew to recent keys: the median read must sit in the upper
         // half of the inserted range once the frontier has moved.
         let frontier = *inserts.last().unwrap();
-        let recent = reads
-            .iter()
-            .filter(|&&k| k + (N / 10) >= frontier)
-            .count();
+        let recent = reads.iter().filter(|&&k| k + (N / 10) >= frontier).count();
         assert!(
             recent as f64 / reads.len() as f64 > 0.5,
             "latest reads must cluster near the frontier"
@@ -297,7 +294,7 @@ mod tests {
         let mut lens = std::collections::HashSet::new();
         for _ in 0..2_000 {
             if let YcsbOp::Simple(Op::Scan { len, .. }) = s.next_op() {
-                assert!(len >= 1 && len <= 32);
+                assert!((1..=32).contains(&len));
                 lens.insert(len);
             }
         }

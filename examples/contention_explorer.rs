@@ -84,18 +84,37 @@ fn main() {
     let m = run_virtual(map.as_ref(), &rt, &spec, &cfg);
 
     println!("\nsystem          {}", map.name());
-    println!("workload        zipfian θ={} | {:.0}% get | {} threads | {} ops/thread", a.theta, a.get * 100.0, a.threads, a.ops);
-    println!("throughput      {:.2} Mops/s (virtual 2.3 GHz × {} cores)", m.mops(), a.threads);
+    println!(
+        "workload        zipfian θ={} | {:.0}% get | {} threads | {} ops/thread",
+        a.theta,
+        a.get * 100.0,
+        a.threads,
+        a.ops
+    );
+    println!(
+        "throughput      {:.2} Mops/s (virtual 2.3 GHz × {} cores)",
+        m.mops(),
+        a.threads
+    );
     println!("aborts/op       {:.4}", m.aborts_per_op);
     println!("  true same-record    {:>10}", m.aborts.true_same_record);
-    println!("  false diff-record   {:>10}", m.aborts.false_different_record);
+    println!(
+        "  false diff-record   {:>10}",
+        m.aborts.false_different_record
+    );
     println!("  false metadata      {:>10}", m.aborts.false_metadata);
     println!("  false structure     {:>10}", m.aborts.false_structure);
-    println!("  capacity/spurious   {:>10}", m.aborts.capacity + m.aborts.spurious);
+    println!(
+        "  capacity/spurious   {:>10}",
+        m.aborts.capacity + m.aborts.spurious
+    );
     println!("  fallback-locked     {:>10}", m.aborts.fallback_locked);
     println!("wasted cycles   {:.1}%", 100.0 * m.wasted_cycle_fraction);
     println!("accesses/op     {:.1}", m.accesses_per_op);
     println!("fallbacks/op    {:.5}", m.fallbacks_per_op);
     println!("lock-wait       {} cycles total", m.stats.cycles_lock_wait);
-    println!("optimistic-retries/op {:.4}", m.stats.optimistic_retries as f64 / m.total_ops.max(1) as f64);
+    println!(
+        "optimistic-retries/op {:.4}",
+        m.stats.optimistic_retries as f64 / m.total_ops.max(1) as f64
+    );
 }

@@ -71,7 +71,10 @@ fn main() {
         }
         println!("{}", parts.join(" | "));
     }
-    assert_eq!(total, expected, "hardware transactions must not lose updates");
+    assert_eq!(
+        total, expected,
+        "hardware transactions must not lose updates"
+    );
     println!("\nhardware transactional execution verified ✓");
 }
 

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, then the tier-1 test suite.
+# Usage: scripts/check.sh [--fix]   (--fix runs `cargo fmt` instead of --check)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fix" ]]; then
+    cargo fmt --all
+else
+    cargo fmt --all -- --check
+fi
+
+cargo clippy --workspace --all-targets -- -D warnings
+
+cargo build --release
+cargo test -q

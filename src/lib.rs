@@ -33,6 +33,8 @@ pub mod prelude {
     pub use euno_baselines::{HtmBTree, HtmMasstree, Masstree};
     pub use euno_core::{EunoBTree, EunoBTreeDefault, EunoBTreeUnpartitioned, EunoConfig};
     pub use euno_htm::{ConcurrentMap, CostModel, Mode, Runtime, ThreadCtx};
-    pub use euno_sim::{preload, run_concurrent, run_virtual, RunConfig, RunMetrics, VirtualScheduler};
+    pub use euno_sim::{
+        preload, run_concurrent, run_virtual, RunConfig, RunMetrics, VirtualScheduler,
+    };
     pub use euno_workloads::{KeyDistribution, Op, OpMix, OpStream, Preload, WorkloadSpec};
 }

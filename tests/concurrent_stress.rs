@@ -74,7 +74,11 @@ fn hot_key_updates_converge_to_a_written_value() {
                 .get(&mut ctx, key)
                 .unwrap_or_else(|| panic!("{} missing hot key {key}", tree.name()));
             let (tid, i) = (v >> 32, v & 0xffff_ffff);
-            assert!(tid < threads && i < iters, "{} bogus value {v:#x}", tree.name());
+            assert!(
+                tid < threads && i < iters,
+                "{} bogus value {v:#x}",
+                tree.name()
+            );
             assert_eq!(i % 4, key, "{} value written for wrong key", tree.name());
         }
     }

@@ -69,11 +69,8 @@ fn all_systems_match_the_model() {
                 _ => {
                     let mut got = Vec::new();
                     map.scan(&mut ctx, key, 7, &mut got);
-                    let expect: Vec<(u64, u64)> = model
-                        .range(key..)
-                        .take(7)
-                        .map(|(&k, &v)| (k, v))
-                        .collect();
+                    let expect: Vec<(u64, u64)> =
+                        model.range(key..).take(7).map(|(&k, &v)| (k, v)).collect();
                     assert_eq!(got, expect, "{} scan {key} at step {step}", map.name());
                 }
             }
@@ -86,7 +83,9 @@ fn scans_agree_across_systems_after_identical_load() {
     let rt = Runtime::new_virtual();
     let maps = systems(&rt);
     let mut ctx = rt.thread(2);
-    let keys: Vec<u64> = (0..2_000u64).map(|i| (i * 2_654_435_761) % 100_000).collect();
+    let keys: Vec<u64> = (0..2_000u64)
+        .map(|i| (i * 2_654_435_761) % 100_000)
+        .collect();
     for map in &maps {
         for &k in &keys {
             map.put(&mut ctx, k, k + 1);
