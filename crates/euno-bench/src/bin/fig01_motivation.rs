@@ -5,7 +5,7 @@
 //! Paper shape: high, stable throughput for θ < 0.6; sharp collapse past
 //! θ ≈ 0.6; below 3 Mops/s at θ = 0.9.
 
-use euno_bench::common::{fig_config, measure, print_table, write_csv, Cli, Point, System};
+use euno_bench::common::{emit, fig_config, measure, print_table, Cli, Point, System};
 
 fn main() {
     let cli = Cli::parse();
@@ -23,11 +23,7 @@ fn main() {
             m.aborts_per_op,
             100.0 * m.wasted_cycle_fraction
         );
-        points.push(Point {
-            system: System::HtmBTree.label(),
-            x: format!("{theta}"),
-            metrics: m,
-        });
+        points.push(Point::new(System::HtmBTree, theta, &spec, &cfg, m));
     }
 
     print_table(
@@ -37,6 +33,12 @@ fn main() {
         |m| m.mops(),
     );
     if let Some(csv) = &cli.csv {
-        write_csv(csv, &points).unwrap();
+        emit(
+            "fig01",
+            "Figure 1: HTM-B+Tree throughput vs contention",
+            csv,
+            &points,
+        )
+        .unwrap();
     }
 }

@@ -9,7 +9,7 @@
 //! false sharing), 6-10 % from shared metadata, 9-12 % from true
 //! same-record conflicts.
 
-use euno_bench::common::{fig_config, measure, write_csv, Cli, Point, System};
+use euno_bench::common::{emit, fig_config, measure, Cli, Point, System};
 
 fn main() {
     let cli = Cli::parse();
@@ -36,11 +36,7 @@ fn main() {
             100.0 * m.aborts.leaf_level_conflicts() as f64 / conflicts,
             100.0 * m.wasted_cycle_fraction,
         );
-        points.push(Point {
-            system: System::HtmBTree.label(),
-            x: format!("{theta}"),
-            metrics: m,
-        });
+        points.push(Point::new(System::HtmBTree, theta, &spec, &cfg, m));
     }
 
     // Headline ratio of §2.3: abort rate at 0.9 vs 0.5 (paper: ~47×).
@@ -58,6 +54,12 @@ fn main() {
         );
     }
     if let Some(csv) = &cli.csv {
-        write_csv(csv, &points).unwrap();
+        emit(
+            "fig02",
+            "Figure 2: HTM-B+Tree abort breakdown vs contention",
+            csv,
+            &points,
+        )
+        .unwrap();
     }
 }

@@ -6,7 +6,7 @@
 //! HTM-B+Tree and 1.65× Masstree at θ = 0.99 (18.6 vs 1.7 vs ~11 Mops/s);
 //! HTM-Masstree trails everything.
 
-use euno_bench::common::{fig_config, measure, print_table, write_csv, Cli, Point, System};
+use euno_bench::common::{emit, fig_config, measure, print_table, Cli, Point, System};
 
 fn main() {
     let cli = Cli::parse();
@@ -24,11 +24,7 @@ fn main() {
                 system.label(),
                 m.mops()
             );
-            points.push(Point {
-                system: system.label(),
-                x: format!("{theta}"),
-                metrics: m,
-            });
+            points.push(Point::new(system, theta, &spec, &cfg, m));
         }
     }
 
@@ -60,6 +56,12 @@ fn main() {
         get("0.5", "Euno-B+Tree") / get("0.5", "Masstree")
     );
     if let Some(csv) = &cli.csv {
-        write_csv(csv, &points).unwrap();
+        emit(
+            "fig08",
+            "Figure 8: throughput vs contention, 16 threads",
+            csv,
+            &points,
+        )
+        .unwrap();
     }
 }

@@ -5,7 +5,7 @@
 //! Paper shape: Eunomia eliminates most aborts — 60.3 vs 1.9 aborts/op
 //! under extreme contention (θ = 0.99).
 
-use euno_bench::common::{fig_config, measure, print_table, write_csv, Cli, Point, System};
+use euno_bench::common::{emit, fig_config, measure, print_table, Cli, Point, System};
 
 fn main() {
     let cli = Cli::parse();
@@ -26,11 +26,7 @@ fn main() {
                 m.aborts.false_different_record as f64 / ops,
                 m.aborts.false_metadata as f64 / ops,
             );
-            points.push(Point {
-                system: system.label(),
-                x: format!("{theta}"),
-                metrics: m,
-            });
+            points.push(Point::new(system, theta, &spec, &cfg, m));
         }
     }
 
@@ -53,6 +49,12 @@ fn main() {
         get("0.99", "Euno-B+Tree")
     );
     if let Some(csv) = &cli.csv {
-        write_csv(csv, &points).unwrap();
+        emit(
+            "fig09",
+            "Figure 9: aborts per operation, HTM-B+Tree vs Euno-B+Tree",
+            csv,
+            &points,
+        )
+        .unwrap();
     }
 }

@@ -8,7 +8,7 @@
 //! at θ ≥ 0.9 Euno keeps scaling and beats Masstree (21.9 vs 13.1 Mops/s
 //! at 20 threads, θ = 0.99); HTM-Masstree stops scaling by ~8 threads.
 
-use euno_bench::common::{fig_config, measure, print_table, write_csv, Cli, Point, System};
+use euno_bench::common::{emit, fig_config, measure, print_table, Cli, Point, System};
 
 fn main() {
     let cli = Cli::parse();
@@ -36,11 +36,7 @@ fn main() {
                     system.label(),
                     m.mops()
                 );
-                points.push(Point {
-                    system: system.label(),
-                    x: format!("{threads}"),
-                    metrics: m,
-                });
+                points.push(Point::new(system, threads, &spec, &cfg, m));
             }
         }
         print_table(
@@ -64,6 +60,12 @@ fn main() {
     }
 
     if let Some(csv) = &cli.csv {
-        write_csv(csv, &all).unwrap();
+        emit(
+            "fig10",
+            "Figure 10: scalability across contention levels",
+            csv,
+            &all,
+        )
+        .unwrap();
     }
 }

@@ -6,7 +6,7 @@
 //! largest at 100 % puts; Masstree scales too but sits ~25 % below Euno
 //! on average; the HTM-B+Tree stays collapsed.
 
-use euno_bench::common::{fig_config, measure, print_table, write_csv, Cli, Point, System};
+use euno_bench::common::{emit, fig_config, measure, print_table, Cli, Point, System};
 use euno_workloads::{OpMix, WorkloadSpec};
 
 fn main() {
@@ -33,11 +33,7 @@ fn main() {
                     system.label(),
                     m.mops()
                 );
-                points.push(Point {
-                    system: system.label(),
-                    x: format!("{threads}"),
-                    metrics: m,
-                });
+                points.push(Point::new(system, threads, &spec, &cfg, m));
             }
         }
         print_table(
@@ -53,6 +49,12 @@ fn main() {
     }
 
     if let Some(csv) = &cli.csv {
-        write_csv(csv, &all).unwrap();
+        emit(
+            "fig11",
+            "Figure 11: scalability across get/put ratios, θ=0.9",
+            csv,
+            &all,
+        )
+        .unwrap();
     }
 }

@@ -7,7 +7,7 @@
 //! stays flat-low under Normal (densest hot set); Masstree is stable but
 //! 38–51 % (≈40 %) below Euno.
 
-use euno_bench::common::{fig_config, measure, print_table, write_csv, Cli, Point, System};
+use euno_bench::common::{emit, fig_config, measure, print_table, Cli, Point, System};
 use euno_workloads::{KeyDistribution, WorkloadSpec};
 
 fn main() {
@@ -46,11 +46,7 @@ fn main() {
                     system.label(),
                     m.mops()
                 );
-                points.push(Point {
-                    system: system.label(),
-                    x: format!("{threads}"),
-                    metrics: m,
-                });
+                points.push(Point::new(system, threads, &spec, &cfg, m));
             }
         }
         print_table(
@@ -66,6 +62,12 @@ fn main() {
     }
 
     if let Some(csv) = &cli.csv {
-        write_csv(csv, &all).unwrap();
+        emit(
+            "fig12",
+            "Figure 12: scalability across input distributions",
+            csv,
+            &all,
+        )
+        .unwrap();
     }
 }

@@ -7,7 +7,7 @@
 //! −3 % (split), −4 % (part leaf), −8 %/−2 % (CCM), recovered to −2 % by
 //! +Adaptive.
 
-use euno_bench::common::{fig_config, measure, write_csv, Cli, Point, System};
+use euno_bench::common::{emit, fig_config, measure, Cli, Point, System};
 
 fn main() {
     let cli = Cli::parse();
@@ -45,15 +45,19 @@ fn main() {
                 m.mops(),
                 m.mops() / baseline
             );
-            all.push(Point {
-                system: name,
-                x: format!("{theta}"),
-                metrics: m,
-            });
+            let mut p = Point::new(system, theta, &spec, &cfg, m);
+            p.system = name;
+            all.push(p);
         }
     }
 
     if let Some(csv) = &cli.csv {
-        write_csv(csv, &all).unwrap();
+        emit(
+            "fig13",
+            "Figure 13: design-choice ablation ladder, 20 threads",
+            csv,
+            &all,
+        )
+        .unwrap();
     }
 }

@@ -8,17 +8,17 @@
 //! because the reserved buffers are transient and the CCM is two words
 //! per leaf.
 
-use euno_bench::common::{fig_config, Cli, System};
+use euno_bench::common::{emit, fig_config, Cli, Point, System};
 use euno_htm::Runtime;
 use euno_sim::{preload, run_virtual, RunConfig};
 use euno_workloads::{KeyDistribution, OpMix, WorkloadSpec};
 
-fn run_one(label: &str, spec: &WorkloadSpec, cfg: &RunConfig) {
+fn run_one(label: &str, spec: &WorkloadSpec, cfg: &RunConfig) -> Point {
     let rt = Runtime::new_virtual();
     let map = System::EunoBTree.build(&rt);
     preload(map.as_ref(), &rt, spec);
     rt.reset_dynamics();
-    run_virtual(map.as_ref(), &rt, spec, cfg);
+    let metrics = run_virtual(map.as_ref(), &rt, spec, cfg);
     let m = map.memory();
     println!(
         "{label:<28} structural {:>9} B  ccm {:>8} B  reserved live/peak {:>8}/{:>8} B  overhead {:>5.2}%",
@@ -28,6 +28,12 @@ fn run_one(label: &str, spec: &WorkloadSpec, cfg: &RunConfig) {
         m.reserved_peak_bytes,
         100.0 * m.overhead_fraction()
     );
+    Point::new(System::EunoBTree, label, spec, cfg, metrics)
+        .with_extra("structural_bytes", m.structural_bytes as f64)
+        .with_extra("ccm_bytes", m.ccm_bytes as f64)
+        .with_extra("reserved_live_bytes", m.reserved_live_bytes as f64)
+        .with_extra("reserved_peak_bytes", m.reserved_peak_bytes as f64)
+        .with_extra("overhead_fraction", m.overhead_fraction())
 }
 
 fn main() {
@@ -35,11 +41,12 @@ fn main() {
     let mut cfg = fig_config(0x5E07, 20_000);
     cfg.warmup_ops = 0; // memory audit wants the whole run's allocations
     cli.apply(&mut cfg);
+    let mut points = Vec::new();
 
     println!("== §5.7a: memory overhead vs contention rate ==");
     for theta in [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.99] {
         let spec = cli.spec(theta);
-        run_one(&format!("zipfian θ={theta}"), &spec, &cfg);
+        points.push(run_one(&format!("zipfian θ={theta}"), &spec, &cfg));
     }
 
     println!("\n== §5.7b: memory overhead vs get/put ratio (θ=0.9) ==");
@@ -48,7 +55,7 @@ fn main() {
             mix: OpMix::get_put(g),
             ..cli.spec(0.9)
         };
-        run_one(&format!("get/put {g}/{p}"), &spec, &cfg);
+        points.push(run_one(&format!("get/put {g}/{p}"), &spec, &cfg));
     }
 
     println!("\n== §5.7c: memory overhead vs input distribution ==");
@@ -61,6 +68,10 @@ fn main() {
             dist,
             ..cli.spec(0.0)
         };
-        run_one(name, &spec, &cfg);
+        points.push(run_one(name, &spec, &cfg));
+    }
+
+    if let Some(csv) = &cli.csv {
+        emit("mem", "§5.7: Euno-B+Tree memory overhead", csv, &points).unwrap();
     }
 }

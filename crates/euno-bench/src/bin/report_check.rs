@@ -1,0 +1,51 @@
+//! Validate `BENCH_*.json` run reports against the DESIGN.md §11 schema.
+//!
+//! ```sh
+//! cargo run --release -p euno-bench --bin report_check -- results/BENCH_*.json
+//! ```
+//!
+//! Exits non-zero on the first malformed report; `scripts/bench.sh` and
+//! the `scripts/check.sh` smoke stage run this over everything they emit,
+//! so a schema drift fails CI instead of silently producing unreadable
+//! telemetry.
+
+use euno_sim::{validate_report, Json};
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: report_check <BENCH_*.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_report(&text) {
+            Ok(()) => {
+                // Headline line so bench.sh logs double as a summary.
+                let doc = Json::parse(&text).expect("validated implies parseable");
+                let runs = doc
+                    .get("runs")
+                    .and_then(Json::as_arr)
+                    .map_or(0, <[Json]>::len);
+                let figure = doc.get("figure").and_then(Json::as_str).unwrap_or("?");
+                let git = doc.get("git").and_then(Json::as_str).unwrap_or("?");
+                println!("ok   {path}: figure={figure} runs={runs} git={git}");
+            }
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

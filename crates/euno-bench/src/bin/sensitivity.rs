@@ -8,17 +8,22 @@
 //! survive every cell: **Euno-B+Tree > Masstree > monolithic HTM-B+Tree at
 //! θ = 0.9**, with Euno close to the baseline at θ = 0.2.
 
-use euno_bench::common::{fig_config, Cli, System};
+use euno_bench::common::{emit, fig_config, Cli, Point, System};
 use euno_htm::{CostModel, Mode, Runtime};
-use euno_sim::{preload, run_virtual, strategy_for, RunConfig};
+use euno_sim::{preload, run_virtual, strategy_for, RunConfig, RunMetrics};
 use euno_workloads::WorkloadSpec;
 
-fn measure_with(system: System, cost: CostModel, spec: &WorkloadSpec, cfg: &RunConfig) -> f64 {
+fn measure_with(
+    system: System,
+    cost: CostModel,
+    spec: &WorkloadSpec,
+    cfg: &RunConfig,
+) -> RunMetrics {
     let rt = Runtime::new(Mode::Virtual, cost);
     let map = system.build_with_strategy(&rt, strategy_for(spec.policy));
     preload(map.as_ref(), &rt, spec);
     rt.reset_dynamics();
-    run_virtual(map.as_ref(), &rt, spec, cfg).mops()
+    run_virtual(map.as_ref(), &rt, spec, cfg)
 }
 
 fn main() {
@@ -27,6 +32,18 @@ fn main() {
     let low = cli.spec(0.2);
     let mut cfg = fig_config(0x5E45, 10_000);
     cli.apply(&mut cfg);
+    let mut points: Vec<Point> = Vec::new();
+    // The swept knob rides along in each point's `extra` object; the
+    // report's top-level cost_model block stays the default constants.
+    let mut push = |system: System,
+                    x: String,
+                    knob: &str,
+                    value: f64,
+                    spec: &WorkloadSpec,
+                    cfg: &RunConfig,
+                    m: RunMetrics| {
+        points.push(Point::new(system, x, spec, cfg, m).with_extra(knob, value));
+    };
 
     println!("== Sensitivity: hot-line transfer charge (θ=0.9, 16 thr) ==");
     println!(
@@ -42,10 +59,44 @@ fn main() {
         let htm = measure_with(System::HtmBTree, cost.clone(), &high, &cfg);
         let mt = measure_with(System::Masstree, cost.clone(), &high, &cfg);
         println!(
-            "{transfer:>10} {euno:>12.2} {htm:>12.2} {mt:>12.2} {:>9.1}x",
-            euno / htm
+            "{transfer:>10} {:>12.2} {:>12.2} {:>12.2} {:>9.1}x",
+            euno.mops(),
+            htm.mops(),
+            mt.mops(),
+            euno.mops() / htm.mops()
         );
-        assert!(euno > htm, "ordering must hold at transfer={transfer}");
+        assert!(
+            euno.mops() > htm.mops(),
+            "ordering must hold at transfer={transfer}"
+        );
+        let x = format!("transfer={transfer}");
+        push(
+            System::EunoBTree,
+            x.clone(),
+            "line_transfer",
+            transfer as f64,
+            &high,
+            &cfg,
+            euno,
+        );
+        push(
+            System::HtmBTree,
+            x.clone(),
+            "line_transfer",
+            transfer as f64,
+            &high,
+            &cfg,
+            htm,
+        );
+        push(
+            System::Masstree,
+            x,
+            "line_transfer",
+            transfer as f64,
+            &high,
+            &cfg,
+            mt,
+        );
     }
 
     println!("\n== Sensitivity: retry backoff cap (θ=0.9, 16 thr) ==");
@@ -60,8 +111,35 @@ fn main() {
         };
         let euno = measure_with(System::EunoBTree, cost.clone(), &high, &cfg);
         let htm = measure_with(System::HtmBTree, cost.clone(), &high, &cfg);
-        println!("{cap:>10} {euno:>12.2} {htm:>12.2} {:>9.1}x", euno / htm);
-        assert!(euno > htm, "ordering must hold at backoff cap {cap}");
+        println!(
+            "{cap:>10} {:>12.2} {:>12.2} {:>9.1}x",
+            euno.mops(),
+            htm.mops(),
+            euno.mops() / htm.mops()
+        );
+        assert!(
+            euno.mops() > htm.mops(),
+            "ordering must hold at backoff cap {cap}"
+        );
+        let x = format!("cap={cap}");
+        push(
+            System::EunoBTree,
+            x.clone(),
+            "backoff_cap",
+            cap as f64,
+            &high,
+            &cfg,
+            euno,
+        );
+        push(
+            System::HtmBTree,
+            x,
+            "backoff_cap",
+            cap as f64,
+            &high,
+            &cfg,
+            htm,
+        );
     }
 
     println!("\n== Sensitivity: low-contention overhead (θ=0.2) ==");
@@ -73,9 +151,34 @@ fn main() {
         let euno = measure_with(System::EunoBTree, cost.clone(), &low, &cfg);
         let htm = measure_with(System::HtmBTree, cost.clone(), &low, &cfg);
         println!(
-            "transfer={transfer:<4} Euno {euno:>8.2} vs HTM {htm:>8.2}  ({:.0}% overhead)",
-            100.0 * (1.0 - euno / htm)
+            "transfer={transfer:<4} Euno {:>8.2} vs HTM {:>8.2}  ({:.0}% overhead)",
+            euno.mops(),
+            htm.mops(),
+            100.0 * (1.0 - euno.mops() / htm.mops())
+        );
+        let x = format!("low/transfer={transfer}");
+        push(
+            System::EunoBTree,
+            x.clone(),
+            "line_transfer",
+            transfer as f64,
+            &low,
+            &cfg,
+            euno,
+        );
+        push(
+            System::HtmBTree,
+            x,
+            "line_transfer",
+            transfer as f64,
+            &low,
+            &cfg,
+            htm,
         );
     }
     println!("\nordering robust across the sweep ✓");
+
+    if let Some(csv) = &cli.csv {
+        emit("sensitivity", "Cost-model sensitivity sweeps", csv, &points).unwrap();
+    }
 }

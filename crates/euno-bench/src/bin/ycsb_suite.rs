@@ -9,22 +9,24 @@
 
 use std::sync::Arc;
 
-use euno_bench::common::{fig_config, Cli, System};
+use euno_bench::common::{emit, fig_config, Cli, Point, System};
 use euno_htm::{ConcurrentMap, Runtime, ThreadCtx};
 use euno_sim::{preload, strategy_for, RunConfig, VirtualScheduler};
-use euno_workloads::{Op, PolicyChoice, YcsbOp, YcsbStream, YcsbWorkload};
+use euno_workloads::{Op, PolicyChoice, WorkloadSpec, YcsbOp, YcsbStream, YcsbWorkload};
 
 fn run_ycsb(
     system: System,
     workload: YcsbWorkload,
     theta: f64,
     policy: PolicyChoice,
+    cli: &Cli,
     cfg: &RunConfig,
-) -> euno_sim::RunMetrics {
+) -> (euno_sim::RunMetrics, WorkloadSpec) {
     let rt = Runtime::new_virtual();
     let map = system.build_with_strategy(&rt, strategy_for(policy));
     let mut spec = workload.spec(200_000, theta);
     spec.base.policy = policy;
+    cli.shrink(&mut spec.base);
     preload(map.as_ref(), &rt, &spec.base);
     rt.reset_dynamics();
 
@@ -42,7 +44,7 @@ fn run_ycsb(
                 if warmup > 0 {
                     warmup -= 1;
                     if warmup == 0 {
-                        ctx.stats.measure_start_cycles = ctx.clock;
+                        ctx.stats.measure_start_cycles = Some(ctx.clock);
                     }
                 } else if left == 0 {
                     return false;
@@ -80,7 +82,7 @@ fn run_ycsb(
             }),
         );
     }
-    sched.run()
+    (sched.run(), spec.base)
 }
 
 fn main() {
@@ -95,6 +97,7 @@ fn main() {
         policy.label(),
         cfg.threads
     );
+    let mut points = Vec::new();
     for workload in YcsbWorkload::ALL {
         println!("{}", workload.label());
         println!(
@@ -102,7 +105,7 @@ fn main() {
             "system", "Mops/s", "aborts/op", "p50", "p99", "p99.9"
         );
         for system in System::MAIN_FOUR {
-            let m = run_ycsb(system, workload, theta, policy, &cfg);
+            let (m, base) = run_ycsb(system, workload, theta, policy, &cli, &cfg);
             println!(
                 "  {:<14} {:>9.2} {:>11.4} {:>9} {:>9} {:>10}",
                 system.label(),
@@ -112,7 +115,11 @@ fn main() {
                 m.latency.quantile(0.99),
                 m.latency.quantile(0.999),
             );
+            points.push(Point::new(system, workload.label(), &base, &cfg, m));
         }
         println!();
+    }
+    if let Some(csv) = &cli.csv {
+        emit("ycsb", "YCSB core suite A-F, all systems", csv, &points).unwrap();
     }
 }

@@ -13,8 +13,10 @@ use std::sync::Arc;
 
 use euno_baselines::{HtmBTree, HtmMasstree, Masstree};
 use euno_core::{EunoBTree, EunoBTreeDefault, EunoBTreeUnpartitioned, EunoConfig};
-use euno_htm::{ConcurrentMap, RetryStrategy, Runtime};
-use euno_sim::{preload, run_virtual, strategy_for, RunConfig, RunMetrics};
+use euno_htm::{ConcurrentMap, CostModel, RetryStrategy, Runtime};
+use euno_sim::{
+    preload, report_path_for, run_virtual, strategy_for, RunConfig, RunEntry, RunMetrics, RunReport,
+};
 use euno_workloads::{PolicyChoice, WorkloadSpec};
 
 /// The four systems of §5.1, plus the ablation variants of Figure 13.
@@ -99,13 +101,43 @@ impl System {
     }
 }
 
-/// One measured data point.
+/// One measured data point, carrying the provenance (spec + config) the
+/// run report serializes next to the metrics.
 #[derive(Clone, Debug)]
 pub struct Point {
     pub system: &'static str,
     /// The x-axis value (θ, thread count, …) as a printable string.
     pub x: String,
+    pub spec: WorkloadSpec,
+    pub cfg: RunConfig,
     pub metrics: RunMetrics,
+    /// Figure-specific extras (memory accounting, swept cost constants…)
+    /// that land in the report's `extra` object.
+    pub extra: Vec<(String, f64)>,
+}
+
+impl Point {
+    pub fn new(
+        system: System,
+        x: impl ToString,
+        spec: &WorkloadSpec,
+        cfg: &RunConfig,
+        metrics: RunMetrics,
+    ) -> Point {
+        Point {
+            system: system.label(),
+            x: x.to_string(),
+            spec: spec.clone(),
+            cfg: cfg.clone(),
+            metrics,
+            extra: Vec::new(),
+        }
+    }
+
+    pub fn with_extra(mut self, key: impl Into<String>, value: f64) -> Point {
+        self.extra.push((key.into(), value));
+        self
+    }
 }
 
 /// Run one (system, workload, config) cell: fresh runtime, preload,
@@ -146,12 +178,15 @@ pub fn fig_config(seed: u64, ops_per_thread: u64) -> RunConfig {
 
 /// Parse the flags shared by every figure binary:
 /// `--csv <path>` / `--ops <n>` / `--threads <n>` / `--theta <f>` /
-/// `--policy dbx|aggressive|adaptive`.
+/// `--keys <n>` / `--policy dbx|aggressive|adaptive`.
 pub struct Cli {
     pub csv: Option<String>,
     pub ops_override: Option<u64>,
     pub threads_override: Option<usize>,
     pub theta_override: Option<f64>,
+    /// Key-range override: preload cost scales with the range, so smoke
+    /// runs (scripts/check.sh) pass a small `--keys` to stay cheap.
+    pub keys_override: Option<u64>,
     pub policy: Option<PolicyChoice>,
 }
 
@@ -163,6 +198,7 @@ impl Cli {
             ops_override: None,
             threads_override: None,
             theta_override: None,
+            keys_override: None,
             policy: None,
         };
         fn numeric<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
@@ -180,6 +216,7 @@ impl Cli {
                 "--ops" => cli.ops_override = Some(numeric("--ops", args.next())),
                 "--threads" => cli.threads_override = Some(numeric("--threads", args.next())),
                 "--theta" => cli.theta_override = Some(numeric("--theta", args.next())),
+                "--keys" => cli.keys_override = Some(numeric("--keys", args.next())),
                 "--policy" => match args.next().as_deref().map(str::parse::<PolicyChoice>) {
                     Some(Ok(p)) => cli.policy = Some(p),
                     Some(Err(e)) => {
@@ -194,7 +231,7 @@ impl Cli {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --csv <path>  --ops <per-thread>  --threads <n>\n\
-                         \x20      --theta <f64>  --policy dbx|aggressive|adaptive\n\
+                         \x20      --theta <f64>  --keys <range>  --policy dbx|aggressive|adaptive\n\
                          env:   EUNO_BENCH_SCALE=<f64> scales default op budgets"
                     );
                     std::process::exit(0);
@@ -227,7 +264,15 @@ impl Cli {
         if let Some(p) = self.policy {
             spec.policy = p;
         }
+        self.shrink(&mut spec);
         spec
+    }
+
+    /// Apply the `--keys` range override to a spec built elsewhere.
+    pub fn shrink(&self, spec: &mut WorkloadSpec) {
+        if let Some(k) = self.keys_override {
+            spec.key_range = k.max(16);
+        }
     }
 }
 
@@ -283,14 +328,15 @@ pub fn write_csv(path: &str, points: &[Point]) -> std::io::Result<()> {
         "system,x,threads,total_ops,elapsed_secs,throughput_mops,aborts_per_op,\
          true_conflicts,false_record,false_metadata,false_structure,capacity,spurious,\
          fallback_locked,wasted_cycle_fraction,accesses_per_op,fallbacks_per_op,\
-         optimistic_retries,lock_wait_cycles"
+         optimistic_retries,lock_wait_cycles,lat_p50,lat_p99,lat_p999,lat_max,\
+         backoff_cycles,fallback_wait_cycles,ccm_bypass_flips"
     )?;
     for p in points {
         let m = &p.metrics;
         let ops = m.total_ops.max(1) as f64;
         writeln!(
             f,
-            "{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.5},{:.4},{}",
+            "{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.5},{:.4},{},{},{},{},{},{},{},{}",
             p.system,
             p.x,
             m.threads,
@@ -310,8 +356,51 @@ pub fn write_csv(path: &str, points: &[Point]) -> std::io::Result<()> {
             m.fallbacks_per_op,
             m.stats.optimistic_retries as f64 / ops,
             m.stats.cycles_lock_wait,
+            m.latency.quantile(0.50),
+            m.latency.quantile(0.99),
+            m.latency.quantile(0.999),
+            m.latency.max(),
+            m.stats.cycles_backoff,
+            m.stats.cycles_fallback_wait,
+            m.stats.ccm_bypass_flips,
         )?;
     }
     eprintln!("wrote {path}");
     Ok(())
+}
+
+/// Write the structured JSON run report (`BENCH_<figure>.json`, next to
+/// the CSV): every point with its workload spec, run config, metrics and
+/// latency quantiles, under the default cost model's constants. The
+/// report self-validates against the DESIGN.md §11 schema before hitting
+/// disk.
+pub fn write_report(
+    figure: &str,
+    title: &str,
+    csv_path: &str,
+    points: &[Point],
+) -> std::io::Result<()> {
+    let mut report = RunReport::new(figure, title, CostModel::default());
+    report.runs = points
+        .iter()
+        .map(|p| RunEntry {
+            system: p.system.to_string(),
+            x: p.x.clone(),
+            spec: p.spec.clone(),
+            cfg: p.cfg.clone(),
+            metrics: p.metrics.clone(),
+            extra: p.extra.clone(),
+        })
+        .collect();
+    let path = report_path_for(csv_path, figure);
+    report.write(&path)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+/// What every figure binary calls for `--csv <path>`: the CSV series plus
+/// the structured report alongside it.
+pub fn emit(figure: &str, title: &str, csv_path: &str, points: &[Point]) -> std::io::Result<()> {
+    write_csv(csv_path, points)?;
+    write_report(figure, title, csv_path, points)
 }

@@ -28,19 +28,34 @@ use euno_htm::runtime::lock_key_for_bit;
 use euno_htm::{Mode, ThreadCtx, TxCell};
 
 /// Per-leaf conflict-control module. Fits one cache line.
+///
+/// The adaptive detector's counters are **monotone**: `ops` and
+/// `conflicts` only ever grow, and a window is the span between two
+/// multiples of the configured window size. The previous design reset
+/// both counters at each window boundary, which raced in concurrent
+/// mode — two threads crossing the boundary together could each
+/// read-then-reset, losing conflicts and double-deciding `bypass`.
+/// With monotone counters the closer is unique (exactly one
+/// `fetch_add` returns the crossing value) and claims the window by
+/// CAS on `epoch`; nothing is ever reset, so no increment can be lost.
 #[repr(C, align(64))]
 pub struct Ccm {
     /// Existence filter: bit per slot.
     marks: TxCell<u64>,
     /// Fine-grained advisory locks: bit per slot.
     locks: TxCell<u64>,
-    /// Adaptive detector: operations seen in the current window.
+    /// Adaptive detector: operations seen (monotone).
     ops: TxCell<u64>,
-    /// Adaptive detector: conflict aborts seen in the current window.
+    /// Adaptive detector: conflict aborts seen (monotone).
     conflicts: TxCell<u64>,
+    /// Snapshot of `conflicts` at the last window close; the next close
+    /// decides on the delta.
+    window_base: TxCell<u64>,
+    /// Closed-window counter; bumped by CAS by the unique closer.
+    epoch: TxCell<u64>,
     /// 1 ⇒ requests may bypass the CCM and leaf-lock pre-acquisition.
     bypass: TxCell<u64>,
-    _pad: [u64; 3],
+    _pad: [u64; 1],
 }
 
 impl Ccm {
@@ -54,8 +69,10 @@ impl Ccm {
             locks: TxCell::new(0),
             ops: TxCell::new(0),
             conflicts: TxCell::new(0),
+            window_base: TxCell::new(0),
+            epoch: TxCell::new(0),
             bypass: TxCell::new(1),
-            _pad: [0; 3],
+            _pad: [0; 1],
         }
     }
 
@@ -162,6 +179,12 @@ impl Ccm {
     /// conflict aborts its lower region suffered. Every
     /// `window` operations the bypass flag is re-decided: calm window ⇒
     /// bypass on, contended window ⇒ bypass off.
+    ///
+    /// Concurrency-safe: `ops`/`conflicts` are monotone, the thread whose
+    /// `fetch_add` crosses the window boundary is the unique closer, and
+    /// it claims the close by CAS on `epoch` — no counter is ever reset,
+    /// so concurrent recorders can neither lose conflicts nor decide the
+    /// same window twice.
     pub fn record_outcome(&self, ctx: &mut ThreadCtx, conflicts: u32, window: u64, max_rate: f64) {
         if conflicts > 0 {
             self.conflicts.fetch_add_direct(ctx, conflicts as u64);
@@ -169,16 +192,43 @@ impl Ccm {
             // aborting re-enables its CCM without waiting out the window.
             if self.bypass.load_direct(ctx) != 0 {
                 self.bypass.store_direct(ctx, 0);
+                ctx.stats.ccm_bypass_flips += 1;
             }
         }
         let ops = self.ops.fetch_add_direct(ctx, 1) + 1;
-        if ops >= window {
-            let confl = self.conflicts.load_direct(ctx);
-            let calm = (confl as f64) <= max_rate * (ops as f64);
-            self.bypass.store_direct(ctx, u64::from(calm));
-            self.ops.store_direct(ctx, 0);
-            self.conflicts.store_direct(ctx, 0);
+        if !ops.is_multiple_of(window) {
+            return;
         }
+        // Unique closer for this window (exactly one fetch_add returns the
+        // crossing value): claim it by CAS on the epoch word. Closers of
+        // *consecutive* windows can race on the word, so retry until our
+        // claim lands — each closer bumps the epoch exactly once.
+        let mut epoch = self.epoch.load_direct(ctx);
+        while !self.epoch.cas_direct(ctx, epoch, epoch + 1) {
+            epoch = self.epoch.load_direct(ctx);
+        }
+        let confl = self.conflicts.load_direct(ctx);
+        let in_window = confl.saturating_sub(self.window_base.load_direct(ctx));
+        // Conflicts recorded between our loads land in the next window's
+        // delta instead of vanishing.
+        self.window_base.store_direct(ctx, confl);
+        let calm = (in_window as f64) <= max_rate * (window as f64);
+        if self.bypass.load_direct(ctx) != u64::from(calm) {
+            self.bypass.store_direct(ctx, u64::from(calm));
+            ctx.stats.ccm_bypass_flips += 1;
+        }
+    }
+
+    /// Closed adaptive windows so far (diagnostics; exact even under
+    /// concurrent recording).
+    pub fn epoch_plain(&self) -> u64 {
+        self.epoch.load_plain()
+    }
+
+    /// Conflict aborts fed to the detector over the module's lifetime
+    /// (monotone; diagnostics).
+    pub fn conflicts_plain(&self) -> u64 {
+        self.conflicts.load_plain()
     }
 
     pub fn bypass_plain(&self) -> bool {
@@ -290,6 +340,44 @@ mod tests {
         });
         assert_eq!(shared.load(std::sync::atomic::Ordering::Relaxed), 1200);
         assert_eq!(ccm.locks_plain(), 0);
+    }
+
+    #[test]
+    fn adaptive_window_rolls_over_atomically_concurrent() {
+        // Regression: the reset-based window let two threads crossing the
+        // boundary together both read-then-reset `ops`/`conflicts`, losing
+        // conflicts and double-deciding `bypass`. With monotone counters
+        // and the epoch CAS, every conflict is counted and every window is
+        // closed exactly once.
+        let rt = Runtime::new_concurrent();
+        let ccm = Ccm::new();
+        let (threads, per_thread, window) = (4u64, 4_000u64, 64u64);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let mut ctx = rt.thread(t);
+                let ccm = &ccm;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        // Every op reports one conflict: the leaf must
+                        // never be judged calm.
+                        ccm.record_outcome(&mut ctx, 1, window, 0.05);
+                        std::hint::black_box(i);
+                    }
+                });
+            }
+        });
+        let total = threads * per_thread;
+        assert_eq!(
+            ccm.conflicts_plain(),
+            total,
+            "no conflict may be lost at window rollover"
+        );
+        assert_eq!(
+            ccm.epoch_plain(),
+            total / window,
+            "each window must be decided exactly once"
+        );
+        assert!(!ccm.bypass_plain(), "an all-conflict leaf stays protected");
     }
 
     #[test]

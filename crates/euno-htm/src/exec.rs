@@ -260,6 +260,16 @@ pub trait ExecObserver {
     /// The decide stage asked for backoff before the next attempt.
     fn on_backoff(&mut self, stats: &mut ThreadStats, cycles: u64) {
         stats.cycles_wasted += cycles;
+        stats.backoffs += 1;
+        stats.cycles_backoff += cycles;
+    }
+
+    /// The thread waited `cycles` on the fallback lock — either waiting it
+    /// out before a speculative attempt or acquiring it for a serialized
+    /// run. Brown's HTM-template analysis (and §4.2.1 here) makes this the
+    /// single most diagnostic stage count: fallback convoys live in it.
+    fn on_fallback_wait(&mut self, stats: &mut ThreadStats, cycles: u64) {
+        stats.cycles_fallback_wait += cycles;
     }
 
     /// An attempt committed; `attempts` counts all tries including this one.
@@ -357,7 +367,12 @@ impl<'e> Executor<'e> {
         ctx: &mut ThreadCtx,
         body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
     ) -> Result<R, AbortCause> {
+        let wait_before = ctx.stats.cycles_lock_wait;
         ctx.fb_wait_free(self.fb);
+        let waited = ctx.stats.cycles_lock_wait - wait_before;
+        if waited > 0 {
+            self.observer.on_fallback_wait(&mut ctx.stats, waited);
+        }
         self.attempt_start = ctx.clock;
         let xbegin = ctx.runtime().cost.xbegin;
         ctx.charge(xbegin);
@@ -413,7 +428,12 @@ impl<'e> Executor<'e> {
         ctx: &mut ThreadCtx,
         body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
     ) -> R {
+        let wait_before = ctx.stats.cycles_lock_wait;
         ctx.fb_acquire(self.fb);
+        let waited = ctx.stats.cycles_lock_wait - wait_before;
+        if waited > 0 {
+            self.observer.on_fallback_wait(&mut ctx.stats, waited);
+        }
         ctx.episode_begin(EpisodeKind::Fallback);
         ctx.fallback_mark(self.fb);
         let mut tries = 0;
@@ -798,6 +818,57 @@ mod tests {
         assert_eq!(rec.fallbacks, 1);
         assert_eq!(ctx.stats.attempts, 1);
         assert_eq!(ctx.stats.fallbacks, 1);
+    }
+
+    #[test]
+    fn stage_counters_track_backoff_and_fallback_wait() {
+        // Conflicting threads: the loser retries with exponential backoff,
+        // and the backoff stage counters must record it.
+        let rt = Runtime::new_virtual();
+        let mut a = rt.thread(1);
+        let mut b = rt.thread(2);
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(0u64);
+        let policy = RetryPolicy::default();
+        a.htm_execute(&fb, &policy, |tx| tx.write(&cell, 1));
+        b.htm_execute(&fb, &policy, |tx| {
+            let v = tx.read(&cell)?;
+            tx.write(&cell, v + 1)
+        });
+        assert!(b.stats.backoffs >= 1, "conflict retries must back off");
+        assert!(b.stats.cycles_backoff > 0);
+        assert!(b.stats.cycles_backoff <= b.stats.cycles_wasted);
+
+        // A fallback run holds the lock in virtual time; the next region
+        // on the same lock waits it out, and that wait is attributed to
+        // the fallback-wait stage.
+        let rt = Runtime::new_virtual();
+        let mut holder = rt.thread(3);
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(0u64);
+        let serialize = RetryPolicy {
+            conflict_retries: 0,
+            capacity_retries: 0,
+            explicit_retries: 0,
+            spurious_retries: 0,
+            fallback_lock_retries: 0,
+            backoff: false,
+        };
+        holder.htm_execute(&fb, &serialize, |tx| {
+            if tx.is_fallback() {
+                let v = tx.read(&cell)?;
+                tx.write(&cell, v + 1)
+            } else {
+                tx.explicit_abort(1)
+            }
+        });
+        let mut waiter = rt.thread(4);
+        waiter.htm_execute(&fb, &RetryPolicy::default(), |tx| tx.read(&cell));
+        assert!(
+            waiter.stats.cycles_fallback_wait > 0,
+            "waiting out the fallback lock must be attributed to the stage"
+        );
+        assert!(waiter.stats.cycles_fallback_wait <= waiter.stats.cycles_lock_wait);
     }
 
     #[test]

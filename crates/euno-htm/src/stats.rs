@@ -29,13 +29,27 @@ pub struct ThreadStats {
     pub cycles_total: u64,
     /// Thread clock at the moment measurement began (after warmup); the
     /// harness subtracts it from the makespan so warmup cycles don't
-    /// dilute throughput.
-    pub measure_start_cycles: u64,
+    /// dilute throughput. `None` until the thread finishes warmup — the
+    /// merge below must not treat "never warmed up" as "warmed up at
+    /// cycle 0", or merging into a default accumulator silently disables
+    /// the warmup subtraction.
+    pub measure_start_cycles: Option<u64>,
     /// Virtual cycles consumed inside attempts that later aborted, plus
     /// rollback penalties and backoff — the "wasted work" of §2.3.
     pub cycles_wasted: u64,
     /// Virtual cycles spent waiting for advisory locks and the fallback lock.
     pub cycles_lock_wait: u64,
+    /// Backoff pauses taken between transaction retries.
+    pub backoffs: u64,
+    /// Virtual cycles spent in retry backoff (also counted in
+    /// `cycles_wasted`).
+    pub cycles_backoff: u64,
+    /// Virtual cycles spent waiting to acquire (or waiting out) the
+    /// fallback lock specifically (also counted in `cycles_lock_wait`).
+    pub cycles_fallback_wait: u64,
+    /// Per-leaf adaptive-CCM `bypass` transitions this thread performed
+    /// (protect ↔ bypass, either direction).
+    pub ccm_bypass_flips: u64,
     /// Instrumented memory accesses (instruction-count proxy; used for the
     /// "Masstree executes ~2.1× the instructions" comparison in §5.2).
     pub mem_accesses: u64,
@@ -115,9 +129,19 @@ impl ThreadStats {
         self.aborts.merge(&other.aborts);
         self.optimistic_retries += other.optimistic_retries;
         self.cycles_total += other.cycles_total;
-        self.measure_start_cycles = self.measure_start_cycles.min(other.measure_start_cycles);
+        // Earliest measurement start among threads that *have* one. A bare
+        // `min` over plain u64s would let a `Default` accumulator (0) win
+        // and erase every real warmup mark.
+        self.measure_start_cycles = match (self.measure_start_cycles, other.measure_start_cycles) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         self.cycles_wasted += other.cycles_wasted;
         self.cycles_lock_wait += other.cycles_lock_wait;
+        self.backoffs += other.backoffs;
+        self.cycles_backoff += other.cycles_backoff;
+        self.cycles_fallback_wait += other.cycles_fallback_wait;
+        self.ccm_bypass_flips += other.ccm_bypass_flips;
         self.mem_accesses += other.mem_accesses;
         self.cas_ops += other.cas_ops;
     }
@@ -210,6 +234,49 @@ mod tests {
         assert_eq!(a.ops, 15);
         assert_eq!(a.cycles_total, 1500);
         assert_eq!(a.aborts.capacity, 1);
+    }
+
+    #[test]
+    fn merge_into_default_keeps_measure_start() {
+        // Regression: `min(0, t)` used to pin the merged measure start to
+        // the Default accumulator's 0, disabling warmup subtraction.
+        let warmed = ThreadStats {
+            measure_start_cycles: Some(12_345),
+            ..Default::default()
+        };
+        let mut acc = ThreadStats::default();
+        acc.merge(&warmed);
+        assert_eq!(acc.measure_start_cycles, Some(12_345));
+
+        // Two warmed threads: earliest start wins.
+        let earlier = ThreadStats {
+            measure_start_cycles: Some(7_000),
+            ..Default::default()
+        };
+        acc.merge(&earlier);
+        assert_eq!(acc.measure_start_cycles, Some(7_000));
+
+        // Merging an un-warmed thread must not erase the mark.
+        acc.merge(&ThreadStats::default());
+        assert_eq!(acc.measure_start_cycles, Some(7_000));
+    }
+
+    #[test]
+    fn merge_adds_stage_counters() {
+        let mut a = ThreadStats::default();
+        let b = ThreadStats {
+            backoffs: 3,
+            cycles_backoff: 120,
+            cycles_fallback_wait: 55,
+            ccm_bypass_flips: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.backoffs, 6);
+        assert_eq!(a.cycles_backoff, 240);
+        assert_eq!(a.cycles_fallback_wait, 110);
+        assert_eq!(a.ccm_bypass_flips, 4);
     }
 
     #[test]

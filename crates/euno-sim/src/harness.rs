@@ -11,6 +11,7 @@ use euno_htm::{
 };
 use euno_workloads::{Op, OpStream, PolicyChoice, WorkloadSpec};
 
+use crate::hist::LatencyHistogram;
 use crate::metrics::RunMetrics;
 use crate::sched::VirtualScheduler;
 
@@ -129,7 +130,7 @@ pub fn run_virtual(
                     let op = stream.next_op();
                     apply_warmup_op(map_ref, ctx, op, &mut scan_buf);
                     if warmup_left == 0 {
-                        ctx.stats.measure_start_cycles = ctx.clock;
+                        ctx.stats.measure_start_cycles = Some(ctx.clock);
                     }
                     return true;
                 }
@@ -149,6 +150,11 @@ pub fn run_virtual(
 /// Run a workload with **real OS threads** (concurrent mode) and wall-clock
 /// timing. Used by stress tests; on a many-core host this also gives
 /// native throughput numbers.
+///
+/// Each thread records a per-operation latency histogram over its
+/// cycle-charged clock (spins, retries and fallback serialization all
+/// charge cycles in concurrent mode too); the merged histogram lands in
+/// [`RunMetrics::latency`] exactly as in virtual mode.
 pub fn run_concurrent(
     map: &dyn ConcurrentMap,
     rt: &Arc<Runtime>,
@@ -160,7 +166,7 @@ pub fn run_concurrent(
     // timed on its own.
     let barrier = std::sync::Barrier::new(cfg.threads + 1);
     let start_cell = std::sync::Mutex::new(Instant::now());
-    let per_thread: Vec<ThreadStats> = std::thread::scope(|s| {
+    let results: Vec<(ThreadStats, LatencyHistogram)> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..cfg.threads {
             let rt = Arc::clone(rt);
@@ -172,17 +178,21 @@ pub fn run_concurrent(
                 let mut ctx = rt.thread(cfg.seed.wrapping_add(t as u64));
                 let mut stream = OpStream::new(&spec, t as u64, cfg.seed);
                 let mut scan_buf = Vec::new();
+                let mut latency = LatencyHistogram::new();
                 for _ in 0..cfg.warmup_ops {
                     let op = stream.next_op();
                     apply_warmup_op(map_ref, &mut ctx, op, &mut scan_buf);
                 }
                 barrier.wait();
+                ctx.stats.measure_start_cycles = Some(ctx.clock);
                 for _ in 0..cfg.ops_per_thread {
                     let op = stream.next_op();
+                    let before = ctx.clock;
                     apply_op(map_ref, &mut ctx, op, &mut scan_buf);
+                    latency.record(ctx.clock - before);
                 }
                 ctx.finish();
-                ctx.stats
+                (ctx.stats, latency)
             }));
         }
         barrier.wait();
@@ -190,5 +200,11 @@ pub fn run_concurrent(
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let elapsed = start_cell.lock().unwrap().elapsed().as_secs_f64();
-    RunMetrics::from_wall(per_thread, elapsed)
+    let mut latency = LatencyHistogram::new();
+    let mut per_thread = Vec::with_capacity(results.len());
+    for (stats, hist) in results {
+        latency.merge(&hist);
+        per_thread.push(stats);
+    }
+    RunMetrics::from_wall(per_thread, elapsed, latency)
 }

@@ -81,20 +81,42 @@ impl LatencyHistogram {
     }
 
     /// Approximate quantile (`q` in [0,1]): the floor of the bucket where
-    /// the cumulative count crosses `q·count`.
+    /// the cumulative count crosses `q·count` — except in the **terminal**
+    /// (highest non-empty) bucket, where the exact observed maximum is
+    /// returned. Without that, `quantile(1.0)` under-reported the max by
+    /// up to √2× (the bucket's width).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        let last = match self.buckets.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return 0,
+        };
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
         let mut acc = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             acc += c;
             if acc >= target {
-                return Self::bucket_floor(i);
+                return if i == last {
+                    self.max
+                } else {
+                    Self::bucket_floor(i)
+                };
             }
         }
         self.max
+    }
+
+    /// The non-empty buckets as `(floor, count)` pairs — the raw
+    /// distribution a run report serializes.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_floor(i), c))
+            .collect()
     }
 
     pub fn merge(&mut self, other: &LatencyHistogram) {
@@ -178,9 +200,41 @@ mod tests {
         h.record(1_000_000); // one convoy victim
         assert!(h.quantile(0.5) < 200);
         // With exactly 1000 samples the 0.999-quantile is the 999th value
-        // (still in the bulk); the convoy victim appears from 0.9995 up.
-        assert!(h.quantile(0.9995) >= 500_000);
-        assert!(h.quantile(1.0) >= 500_000);
+        // (still in the bulk); the convoy victim appears from 0.9995 up —
+        // and the terminal bucket reports the *exact* observed max, not
+        // its bucket floor (which would under-report by up to √2×).
+        assert_eq!(h.quantile(0.9995), 1_000_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn terminal_quantile_is_exact_max() {
+        // Regression: quantile(1.0) used to return the last bucket's
+        // floor. 1000 is in bucket [768, 1024) → floor 768 ≠ max.
+        let mut h = LatencyHistogram::new();
+        h.record(1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.quantile(0.5), 1000);
+        // With bulk below, sub-terminal quantiles still use bucket floors
+        // (approximate), but the terminal one stays exact.
+        for _ in 0..99 {
+            h.record(10);
+        }
+        assert!(h.quantile(0.5) < 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(1.0) >= h.quantile(0.999));
+    }
+
+    #[test]
+    fn nonzero_buckets_expose_distribution() {
+        let mut h = LatencyHistogram::new();
+        h.record(1);
+        h.record(1);
+        h.record(1_000_000);
+        let b = h.nonzero_buckets();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0], (1, 2));
+        assert_eq!(b.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
     }
 
     #[test]

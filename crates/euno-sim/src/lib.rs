@@ -12,6 +12,7 @@
 pub mod harness;
 pub mod hist;
 pub mod metrics;
+pub mod report;
 pub mod sched;
 
 pub use harness::{
@@ -19,4 +20,5 @@ pub use harness::{
 };
 pub use hist::LatencyHistogram;
 pub use metrics::RunMetrics;
+pub use report::{report_path_for, validate_report, Json, RunEntry, RunReport};
 pub use sched::{Driver, VirtualScheduler};

@@ -53,9 +53,10 @@ impl RunMetrics {
         cost: &CostModel,
         latency: LatencyHistogram,
     ) -> Self {
+        // Threads that never finished warmup (None) measured from cycle 0.
         let measure_start = per_thread
             .iter()
-            .map(|s| s.measure_start_cycles)
+            .map(|s| s.measure_start_cycles.unwrap_or(0))
             .min()
             .unwrap_or(0);
         let span = makespan_cycles.saturating_sub(measure_start).max(1);
@@ -63,10 +64,16 @@ impl RunMetrics {
         Self::build(per_thread, elapsed, latency)
     }
 
-    /// Build from per-thread stats plus measured wall time
-    /// (concurrent mode).
-    pub fn from_wall(per_thread: Vec<ThreadStats>, elapsed_secs: f64) -> Self {
-        Self::build(per_thread, elapsed_secs.max(1e-9), LatencyHistogram::new())
+    /// Build from per-thread stats plus measured wall time and the merged
+    /// per-operation latency histogram (concurrent mode). Pass
+    /// `LatencyHistogram::new()` only when the harness genuinely recorded
+    /// no latencies — reports distinguish "no samples" from "not wired".
+    pub fn from_wall(
+        per_thread: Vec<ThreadStats>,
+        elapsed_secs: f64,
+        latency: LatencyHistogram,
+    ) -> Self {
+        Self::build(per_thread, elapsed_secs.max(1e-9), latency)
     }
 
     fn build(per_thread: Vec<ThreadStats>, elapsed_secs: f64, latency: LatencyHistogram) -> Self {
@@ -129,7 +136,7 @@ mod tests {
 
     #[test]
     fn zero_ops_does_not_divide_by_zero() {
-        let m = RunMetrics::from_wall(vec![ThreadStats::default()], 0.0);
+        let m = RunMetrics::from_wall(vec![ThreadStats::default()], 0.0, LatencyHistogram::new());
         assert_eq!(m.total_ops, 0);
         assert!(m.throughput.is_finite());
         assert_eq!(m.aborts_per_op, 0.0);
@@ -141,7 +148,64 @@ mod tests {
             ops: 5_000_000,
             ..Default::default()
         };
-        let m = RunMetrics::from_wall(vec![a], 1.0);
+        let m = RunMetrics::from_wall(vec![a], 1.0, LatencyHistogram::new());
         assert!((m.mops() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_wall_carries_latency_histogram() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 200, 400, 100_000] {
+            h.record(v);
+        }
+        let a = ThreadStats {
+            ops: 4,
+            ..Default::default()
+        };
+        let m = RunMetrics::from_wall(vec![a], 0.5, h);
+        assert_eq!(m.latency.count(), 4);
+        let (p50, p99, p999) = (
+            m.latency.quantile(0.5),
+            m.latency.quantile(0.99),
+            m.latency.quantile(0.999),
+        );
+        assert!(p50 <= p99 && p99 <= p999);
+        assert_eq!(m.latency.max(), 100_000);
+    }
+
+    #[test]
+    fn warmup_subtraction_uses_earliest_real_mark() {
+        // Two warmed threads plus the makespan: the measured span is
+        // makespan − min(measure_start), so throughput must be strictly
+        // higher than the naive makespan-only number.
+        let cost = CostModel::default();
+        let mk = |start: u64| ThreadStats {
+            ops: 1_000,
+            measure_start_cycles: Some(start),
+            ..Default::default()
+        };
+        let warmed = RunMetrics::from_virtual(vec![mk(400_000), mk(500_000)], 2_300_000, &cost);
+        let naive = RunMetrics::from_virtual(
+            vec![
+                ThreadStats {
+                    ops: 1_000,
+                    ..Default::default()
+                };
+                2
+            ],
+            2_300_000,
+            &cost,
+        );
+        assert_eq!(
+            warmed.stats.measure_start_cycles,
+            Some(400_000),
+            "merged stats must keep the warmup mark (regression: min-with-0 pinned it to 0)"
+        );
+        assert!(
+            warmed.throughput > naive.throughput * 1.15,
+            "warmup subtraction must change the throughput: {} vs {}",
+            warmed.throughput,
+            naive.throughput
+        );
     }
 }

@@ -1,0 +1,923 @@
+//! Structured run reports: one JSON document per figure regeneration.
+//!
+//! CSVs are fine for plotting one series, but they drop everything a
+//! later perf PR needs to argue against: the abort breakdown, the latency
+//! tail, the fallback/bypass behaviour Brown's HTM-template work shows
+//! dominates HTM performance, and — crucially — the provenance (workload
+//! spec, θ, seed, retry policy, cost-model constants, git revision) that
+//! makes a number reproducible. Every `euno-bench` binary therefore
+//! writes a `BENCH_<fig>.json` next to its CSV through this module.
+//!
+//! The JSON value type, writer and parser are in-tree: the container's
+//! crate registry is unreachable (DESIGN.md §6), so no serde. The format
+//! is documented in DESIGN.md §11 and checked by [`validate_report`],
+//! which `scripts/bench.sh` and the `report_check` binary run over every
+//! emitted report.
+
+use std::path::{Path, PathBuf};
+
+use euno_htm::{AbortCounts, CostModel};
+use euno_workloads::{KeyDistribution, WorkloadSpec};
+
+use crate::harness::RunConfig;
+use crate::metrics::RunMetrics;
+
+/// Bumped whenever a required key is added, removed or renamed.
+pub const SCHEMA_VERSION: u64 = 1;
+
+// ====================== JSON value, writer, parser ======================
+
+/// A minimal JSON document tree. Numbers are `f64` (every counter this
+/// repo emits fits 2^53 with room to spare); integral values are written
+/// without a fractional part.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn u64(v: u64) -> Json {
+        debug_assert!(v < (1u64 << 53), "u64 {v} exceeds exact f64 range");
+        Json::Num(v as f64)
+    }
+
+    /// Object-field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Serialize with 2-space indentation (human-diffable reports).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                } else if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = std::fmt::Write::write_fmt(out, format_args!("{}", *n as i64));
+                } else {
+                    let _ = std::fmt::Write::write_fmt(out, format_args!("{n}"));
+                }
+            }
+            Json::Str(s) => Self::write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Arrays of scalars stay on one line; nested structures
+                // get one element per line.
+                let scalar = items
+                    .iter()
+                    .all(|i| !matches!(i, Json::Obj(_) | Json::Arr(_)));
+                out.push('[');
+                for (n, item) in items.iter().enumerate() {
+                    if n > 0 {
+                        out.push(',');
+                    }
+                    if !scalar {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(indent + 1));
+                    } else if n > 0 {
+                        out.push(' ');
+                    }
+                    item.write(out, indent + 1);
+                }
+                if !scalar {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (n, (k, v)) in fields.iter().enumerate() {
+                    if n > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    Self::write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Parse a JSON document (strict enough for round-tripping our own
+    /// reports and validating them in CI).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((k, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+// ============================ report model ============================
+
+/// One measured run inside a report: the full provenance needed to
+/// reproduce it plus the metrics it produced.
+#[derive(Clone, Debug)]
+pub struct RunEntry {
+    /// System label ("Euno-B+Tree", "+Split HTM", …).
+    pub system: String,
+    /// The figure's x-axis value as a printable string (θ, threads, …).
+    pub x: String,
+    pub spec: WorkloadSpec,
+    pub cfg: RunConfig,
+    pub metrics: RunMetrics,
+    /// Figure-specific extras (memory accounting, swept cost constants…).
+    pub extra: Vec<(String, f64)>,
+}
+
+/// A full figure regeneration: provenance + every run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Stable figure id ("fig01", "ycsb", …) — names the output file.
+    pub figure: String,
+    /// Human title ("Figure 1: HTM-B+Tree throughput vs contention").
+    pub title: String,
+    /// Cost-model constants the runs were charged under.
+    pub cost: CostModel,
+    pub runs: Vec<RunEntry>,
+}
+
+fn dist_json(dist: &KeyDistribution) -> Json {
+    let (name, param): (&str, Json) = match dist {
+        KeyDistribution::Uniform => ("uniform", Json::Null),
+        KeyDistribution::Zipfian { theta, scramble } => (
+            "zipfian",
+            Json::Obj(vec![
+                ("theta".into(), Json::Num(*theta)),
+                ("scramble".into(), Json::Bool(*scramble)),
+            ]),
+        ),
+        KeyDistribution::SelfSimilar { h } => ("self_similar", Json::Num(*h)),
+        KeyDistribution::Normal { sd_fraction } => ("normal", Json::Num(*sd_fraction)),
+        KeyDistribution::Poisson { lambda } => ("poisson", Json::Num(*lambda)),
+    };
+    Json::Obj(vec![
+        ("name".into(), Json::str(name)),
+        ("param".into(), param),
+    ])
+}
+
+fn spec_json(spec: &WorkloadSpec) -> Json {
+    Json::Obj(vec![
+        ("key_range".into(), Json::u64(spec.key_range)),
+        ("dist".into(), dist_json(&spec.dist)),
+        (
+            "mix".into(),
+            Json::Obj(vec![
+                ("get".into(), Json::Num(spec.mix.get)),
+                ("put".into(), Json::Num(spec.mix.put)),
+                ("delete".into(), Json::Num(spec.mix.delete)),
+                ("scan".into(), Json::Num(spec.mix.scan)),
+            ]),
+        ),
+        ("scan_len".into(), Json::u64(spec.scan_len as u64)),
+        ("preload".into(), Json::str(format!("{:?}", spec.preload))),
+        ("policy".into(), Json::str(spec.policy.label())),
+    ])
+}
+
+fn cost_json(c: &CostModel) -> Json {
+    Json::Obj(vec![
+        ("freq_hz".into(), Json::Num(c.freq_hz)),
+        ("access_hit".into(), Json::u64(c.access_hit)),
+        ("line_first_touch".into(), Json::u64(c.line_first_touch)),
+        ("line_transfer".into(), Json::u64(c.line_transfer)),
+        ("cas".into(), Json::u64(c.cas)),
+        ("xbegin".into(), Json::u64(c.xbegin)),
+        ("xend".into(), Json::u64(c.xend)),
+        ("abort_penalty".into(), Json::u64(c.abort_penalty)),
+        ("backoff_base".into(), Json::u64(c.backoff_base)),
+        ("backoff_cap".into(), Json::u64(c.backoff_cap)),
+        ("op_overhead".into(), Json::u64(c.op_overhead)),
+        ("alu".into(), Json::u64(c.alu)),
+        ("lock_acquire".into(), Json::u64(c.lock_acquire)),
+        ("lock_release".into(), Json::u64(c.lock_release)),
+        ("spin_iter".into(), Json::u64(c.spin_iter)),
+        (
+            "write_capacity_lines".into(),
+            Json::u64(c.write_capacity_lines as u64),
+        ),
+        (
+            "read_capacity_lines".into(),
+            Json::u64(c.read_capacity_lines as u64),
+        ),
+        (
+            "spurious_abort_per_cycle".into(),
+            Json::Num(c.spurious_abort_per_cycle),
+        ),
+    ])
+}
+
+fn aborts_json(a: &AbortCounts, ops: u64) -> Json {
+    let ops = ops.max(1) as f64;
+    Json::Obj(vec![
+        ("true_same_record".into(), Json::u64(a.true_same_record)),
+        (
+            "false_different_record".into(),
+            Json::u64(a.false_different_record),
+        ),
+        ("false_metadata".into(), Json::u64(a.false_metadata)),
+        ("false_structure".into(), Json::u64(a.false_structure)),
+        (
+            "unclassified_conflict".into(),
+            Json::u64(a.unclassified_conflict),
+        ),
+        ("capacity".into(), Json::u64(a.capacity)),
+        ("explicit".into(), Json::u64(a.explicit)),
+        ("spurious".into(), Json::u64(a.spurious)),
+        ("fallback_locked".into(), Json::u64(a.fallback_locked)),
+        ("total".into(), Json::u64(a.total())),
+        ("per_op".into(), Json::Num(a.total() as f64 / ops)),
+        (
+            "leaf_level_conflicts".into(),
+            Json::u64(a.leaf_level_conflicts()),
+        ),
+    ])
+}
+
+/// The metrics block of one run entry. Public so bespoke binaries (e.g.
+/// the memory audit) can embed metrics into their own documents.
+pub fn metrics_json(m: &RunMetrics) -> Json {
+    let s = &m.stats;
+    let lat = &m.latency;
+    let attempts = s.attempts.max(1) as f64;
+    Json::Obj(vec![
+        ("threads".into(), Json::u64(m.threads as u64)),
+        ("total_ops".into(), Json::u64(m.total_ops)),
+        ("elapsed_secs".into(), Json::Num(m.elapsed_secs)),
+        ("throughput".into(), Json::Num(m.throughput)),
+        ("throughput_mops".into(), Json::Num(m.mops())),
+        ("aborts".into(), aborts_json(&m.aborts, m.total_ops)),
+        ("aborts_per_op".into(), Json::Num(m.aborts_per_op)),
+        (
+            "wasted_cycle_fraction".into(),
+            Json::Num(m.wasted_cycle_fraction),
+        ),
+        ("accesses_per_op".into(), Json::Num(m.accesses_per_op)),
+        ("fallbacks_per_op".into(), Json::Num(m.fallbacks_per_op)),
+        (
+            "fallback_rate".into(),
+            Json::Num(s.fallbacks as f64 / attempts),
+        ),
+        (
+            "stages".into(),
+            Json::Obj(vec![
+                ("attempts".into(), Json::u64(s.attempts)),
+                ("commits".into(), Json::u64(s.commits)),
+                ("fallbacks".into(), Json::u64(s.fallbacks)),
+                ("backoffs".into(), Json::u64(s.backoffs)),
+                ("cycles_backoff".into(), Json::u64(s.cycles_backoff)),
+                ("cycles_lock_wait".into(), Json::u64(s.cycles_lock_wait)),
+                (
+                    "cycles_fallback_wait".into(),
+                    Json::u64(s.cycles_fallback_wait),
+                ),
+                ("ccm_bypass_flips".into(), Json::u64(s.ccm_bypass_flips)),
+                ("optimistic_retries".into(), Json::u64(s.optimistic_retries)),
+                ("cycles_total".into(), Json::u64(s.cycles_total)),
+                ("cycles_wasted".into(), Json::u64(s.cycles_wasted)),
+                (
+                    "measure_start_cycles".into(),
+                    match s.measure_start_cycles {
+                        Some(v) => Json::u64(v),
+                        None => Json::Null,
+                    },
+                ),
+                ("mem_accesses".into(), Json::u64(s.mem_accesses)),
+                ("cas_ops".into(), Json::u64(s.cas_ops)),
+            ]),
+        ),
+        (
+            "latency".into(),
+            Json::Obj(vec![
+                ("count".into(), Json::u64(lat.count())),
+                ("mean".into(), Json::Num(lat.mean())),
+                ("p50".into(), Json::u64(lat.quantile(0.50))),
+                ("p90".into(), Json::u64(lat.quantile(0.90))),
+                ("p99".into(), Json::u64(lat.quantile(0.99))),
+                ("p999".into(), Json::u64(lat.quantile(0.999))),
+                ("max".into(), Json::u64(lat.max())),
+                (
+                    "buckets".into(),
+                    Json::Arr(
+                        lat.nonzero_buckets()
+                            .into_iter()
+                            .map(|(floor, count)| {
+                                Json::Arr(vec![Json::u64(floor), Json::u64(count)])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn entry_json(e: &RunEntry) -> Json {
+    let mut fields = vec![
+        ("system".into(), Json::str(&e.system)),
+        ("x".into(), Json::str(&e.x)),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("threads".into(), Json::u64(e.cfg.threads as u64)),
+                ("ops_per_thread".into(), Json::u64(e.cfg.ops_per_thread)),
+                ("warmup_ops".into(), Json::u64(e.cfg.warmup_ops)),
+                ("seed".into(), Json::u64(e.cfg.seed)),
+                ("policy".into(), Json::str(e.spec.policy.label())),
+            ]),
+        ),
+        ("spec".into(), spec_json(&e.spec)),
+        ("metrics".into(), metrics_json(&e.metrics)),
+    ];
+    if !e.extra.is_empty() {
+        fields.push((
+            "extra".into(),
+            Json::Obj(
+                e.extra
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// outside a git checkout.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+impl RunReport {
+    pub fn new(figure: impl Into<String>, title: impl Into<String>, cost: CostModel) -> Self {
+        RunReport {
+            figure: figure.into(),
+            title: title.into(),
+            cost,
+            runs: Vec::new(),
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::u64(SCHEMA_VERSION)),
+            ("figure".into(), Json::str(&self.figure)),
+            ("title".into(), Json::str(&self.title)),
+            ("git".into(), Json::str(git_describe())),
+            (
+                "bench_scale".into(),
+                Json::Num(
+                    std::env::var("EUNO_BENCH_SCALE")
+                        .ok()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(1.0),
+                ),
+            ),
+            ("cost_model".into(), cost_json(&self.cost)),
+            (
+                "runs".into(),
+                Json::Arr(self.runs.iter().map(entry_json).collect()),
+            ),
+        ])
+    }
+
+    /// Serialize, self-validate, and write to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let text = self.to_json().to_pretty();
+        validate_report(&text).map_err(std::io::Error::other)?;
+        std::fs::write(path, text)
+    }
+}
+
+/// The report file that belongs next to a figure's CSV:
+/// `<csv dir>/BENCH_<figure>.json`.
+pub fn report_path_for(csv_path: &str, figure: &str) -> PathBuf {
+    let dir = Path::new(csv_path).parent().unwrap_or(Path::new("."));
+    dir.join(format!("BENCH_{figure}.json"))
+}
+
+// ============================ schema check ============================
+
+const RUN_METRIC_KEYS: &[&str] = &[
+    "threads",
+    "total_ops",
+    "elapsed_secs",
+    "throughput",
+    "throughput_mops",
+    "aborts",
+    "aborts_per_op",
+    "wasted_cycle_fraction",
+    "fallbacks_per_op",
+    "stages",
+    "latency",
+];
+
+const ABORT_KEYS: &[&str] = &[
+    "true_same_record",
+    "false_different_record",
+    "false_metadata",
+    "false_structure",
+    "capacity",
+    "explicit",
+    "spurious",
+    "fallback_locked",
+    "total",
+    "per_op",
+];
+
+const STAGE_KEYS: &[&str] = &[
+    "attempts",
+    "commits",
+    "fallbacks",
+    "backoffs",
+    "cycles_backoff",
+    "cycles_lock_wait",
+    "cycles_fallback_wait",
+    "ccm_bypass_flips",
+];
+
+const LATENCY_KEYS: &[&str] = &["count", "mean", "p50", "p99", "p999", "max"];
+
+fn require<'j>(obj: &'j Json, key: &str, at: &str) -> Result<&'j Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{at}: missing key {key:?}"))
+}
+
+fn require_keys(obj: &Json, keys: &[&str], at: &str) -> Result<(), String> {
+    for k in keys {
+        require(obj, k, at)?;
+    }
+    Ok(())
+}
+
+/// Parse `text` as JSON and check it against the run-report schema
+/// (DESIGN.md §11): provenance at the top, and per run a config, a spec,
+/// per-cause aborts, stage counts and latency quantiles.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    let at = "report";
+    require(&doc, "schema_version", at)?
+        .as_f64()
+        .filter(|&v| v == SCHEMA_VERSION as f64)
+        .ok_or(format!("report: schema_version must be {SCHEMA_VERSION}"))?;
+    require(&doc, "figure", at)?
+        .as_str()
+        .ok_or("report: figure must be a string")?;
+    require(&doc, "git", at)?
+        .as_str()
+        .ok_or("report: git must be a string")?;
+    let cost = require(&doc, "cost_model", at)?;
+    require_keys(
+        cost,
+        &["freq_hz", "line_transfer", "abort_penalty", "op_overhead"],
+        "cost_model",
+    )?;
+    let runs = require(&doc, "runs", at)?
+        .as_arr()
+        .ok_or("report: runs must be an array")?;
+    if runs.is_empty() {
+        return Err("report: runs is empty".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        let at = format!("runs[{i}]");
+        require(run, "system", &at)?
+            .as_str()
+            .ok_or(format!("{at}: system must be a string"))?;
+        require(run, "x", &at)?;
+        let config = require(run, "config", &at)?;
+        require_keys(
+            config,
+            &["threads", "ops_per_thread", "warmup_ops", "seed", "policy"],
+            &format!("{at}.config"),
+        )?;
+        let spec = require(run, "spec", &at)?;
+        require_keys(
+            spec,
+            &["key_range", "dist", "mix", "policy"],
+            &format!("{at}.spec"),
+        )?;
+        let metrics = require(run, "metrics", &at)?;
+        require_keys(metrics, RUN_METRIC_KEYS, &format!("{at}.metrics"))?;
+        require_keys(
+            require(metrics, "aborts", &at)?,
+            ABORT_KEYS,
+            &format!("{at}.metrics.aborts"),
+        )?;
+        require_keys(
+            require(metrics, "stages", &at)?,
+            STAGE_KEYS,
+            &format!("{at}.metrics.stages"),
+        )?;
+        require_keys(
+            require(metrics, "latency", &at)?,
+            LATENCY_KEYS,
+            &format!("{at}.metrics.latency"),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+    use euno_htm::ThreadStats;
+
+    fn sample_metrics() -> RunMetrics {
+        let mut hist = LatencyHistogram::new();
+        for v in [900u64, 1_200, 2_000, 40_000] {
+            hist.record(v);
+        }
+        let t = ThreadStats {
+            ops: 4,
+            commits: 4,
+            attempts: 6,
+            backoffs: 2,
+            cycles_backoff: 80,
+            cycles_total: 50_000,
+            measure_start_cycles: Some(1_000),
+            ..Default::default()
+        };
+        RunMetrics::from_wall(vec![t], 0.001, hist)
+    }
+
+    fn sample_report() -> RunReport {
+        let mut r = RunReport::new("figtest", "test figure", CostModel::default());
+        r.runs.push(RunEntry {
+            system: "Euno-B+Tree".into(),
+            x: "0.9".into(),
+            spec: WorkloadSpec::paper_default(0.9),
+            cfg: RunConfig::default(),
+            metrics: sample_metrics(),
+            extra: vec![("structural_bytes".into(), 4096.0)],
+        });
+        r
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let doc = Json::Obj(vec![
+            ("a".into(), Json::Num(1.5)),
+            ("b".into(), Json::Arr(vec![Json::u64(7), Json::Null])),
+            ("c \"quoted\"\n".into(), Json::str("näïve\tstring")),
+            ("d".into(), Json::Bool(false)),
+            ("e".into(), Json::Obj(vec![])),
+        ]);
+        let text = doc.to_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn parser_rejects_malformed() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, 2,,]").is_err());
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn integers_serialize_exactly() {
+        let text = Json::u64(9_007_199_254_740_992 >> 1).to_pretty();
+        assert_eq!(text.trim(), "4503599627370496");
+        // Non-finite values degrade to null instead of emitting invalid JSON.
+        assert_eq!(Json::Num(f64::NAN).to_pretty().trim(), "null");
+    }
+
+    #[test]
+    fn report_serializes_and_validates() {
+        let text = sample_report().to_json().to_pretty();
+        validate_report(&text).unwrap();
+        // And the document carries the headline telemetry.
+        let doc = Json::parse(&text).unwrap();
+        let run = &doc.get("runs").unwrap().as_arr().unwrap()[0];
+        let lat = run.get("metrics").unwrap().get("latency").unwrap();
+        assert_eq!(lat.get("max").unwrap().as_f64(), Some(40_000.0));
+        assert_eq!(
+            run.get("extra")
+                .unwrap()
+                .get("structural_bytes")
+                .unwrap()
+                .as_f64(),
+            Some(4096.0)
+        );
+        assert_eq!(
+            run.get("config").unwrap().get("policy").unwrap().as_str(),
+            Some("dbx")
+        );
+    }
+
+    #[test]
+    fn validation_catches_missing_keys() {
+        let mut doc = sample_report().to_json();
+        // Drop a latency quantile from the only run.
+        if let Json::Obj(fields) = &mut doc {
+            let runs = fields.iter_mut().find(|(k, _)| k == "runs").unwrap();
+            if let Json::Arr(runs) = &mut runs.1 {
+                if let Json::Obj(run) = &mut runs[0] {
+                    let m = run.iter_mut().find(|(k, _)| k == "metrics").unwrap();
+                    if let Json::Obj(metrics) = &mut m.1 {
+                        let l = metrics.iter_mut().find(|(k, _)| k == "latency").unwrap();
+                        if let Json::Obj(lat) = &mut l.1 {
+                            lat.retain(|(k, _)| k != "p999");
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_report(&doc.to_pretty()).unwrap_err();
+        assert!(err.contains("p999"), "unexpected error: {err}");
+        assert!(validate_report("{}").is_err());
+        assert!(validate_report("not json").is_err());
+    }
+
+    #[test]
+    fn report_path_lands_next_to_csv() {
+        assert_eq!(
+            report_path_for("results/fig01.csv", "fig01"),
+            PathBuf::from("results/BENCH_fig01.json")
+        );
+        assert_eq!(
+            report_path_for("lone.csv", "x"),
+            PathBuf::from("BENCH_x.json")
+        );
+    }
+
+    #[test]
+    fn write_creates_validated_file() {
+        let dir = std::env::temp_dir().join("euno_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_figtest.json");
+        sample_report().write(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        validate_report(&text).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -6,12 +6,22 @@ use euno_htm::{ConcurrentMap, RetryPolicy, Runtime, ThreadCtx, TxCell};
 use euno_sim::{preload, run_concurrent, run_virtual, RunConfig};
 use euno_workloads::{KeyDistribution, OpMix, Preload, WorkloadSpec};
 
+/// One cache line of slots. Conflict footprints derive from *real heap
+/// addresses* (LineId = addr/64), so which slots false-share depends on
+/// where the allocator placed the storage — unless the storage is
+/// line-aligned, like every real tree node in this repo (`repr(C,
+/// align(64))`). Aligning makes the abort pattern a pure function of slot
+/// indices, which the end-to-end determinism test below relies on.
+#[repr(align(64))]
+struct SlotLine([TxCell<u64>; 8]);
+
 /// A deliberately naive HTM-protected open-addressing table: enough map to
 /// exercise the harness without pulling in the tree crates.
 struct ToyMap {
     fb: TxCell<u64>,
-    keys: Vec<TxCell<u64>>,
-    vals: Vec<TxCell<u64>>,
+    keys: Vec<SlotLine>,
+    vals: Vec<SlotLine>,
+    capacity: usize,
     policy: RetryPolicy,
 }
 
@@ -19,16 +29,27 @@ const EMPTY: u64 = u64::MAX;
 
 impl ToyMap {
     fn new(capacity: usize) -> Self {
+        assert_eq!(capacity % 8, 0);
+        let line = |v: u64| SlotLine(std::array::from_fn(|_| TxCell::new(v)));
         ToyMap {
             fb: TxCell::new(0),
-            keys: (0..capacity).map(|_| TxCell::new(EMPTY)).collect(),
-            vals: (0..capacity).map(|_| TxCell::new(0)).collect(),
+            keys: (0..capacity / 8).map(|_| line(EMPTY)).collect(),
+            vals: (0..capacity / 8).map(|_| line(0)).collect(),
+            capacity,
             policy: RetryPolicy::default(),
         }
     }
 
+    fn key_at(&self, i: usize) -> &TxCell<u64> {
+        &self.keys[i / 8].0[i % 8]
+    }
+
+    fn val_at(&self, i: usize) -> &TxCell<u64> {
+        &self.vals[i / 8].0[i % 8]
+    }
+
     fn slot_of(&self, key: u64) -> usize {
-        (key.wrapping_mul(0x9E3779B97F4A7C15) % self.keys.len() as u64) as usize
+        (key.wrapping_mul(0x9E3779B97F4A7C15) % self.capacity as u64) as usize
     }
 }
 
@@ -36,15 +57,15 @@ impl ConcurrentMap for ToyMap {
     fn get(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
         let mut i = self.slot_of(key);
         ctx.htm_execute(&self.fb, &self.policy, |tx| {
-            for _ in 0..self.keys.len() {
-                let k = tx.read(&self.keys[i])?;
+            for _ in 0..self.capacity {
+                let k = tx.read(self.key_at(i))?;
                 if k == key {
-                    return Ok(Some(tx.read(&self.vals[i])?));
+                    return Ok(Some(tx.read(self.val_at(i))?));
                 }
                 if k == EMPTY {
                     return Ok(None);
                 }
-                i = (i + 1) % self.keys.len();
+                i = (i + 1) % self.capacity;
             }
             Ok(None)
         })
@@ -54,18 +75,18 @@ impl ConcurrentMap for ToyMap {
     fn put(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Option<u64> {
         let mut i = self.slot_of(key);
         ctx.htm_execute(&self.fb, &self.policy, |tx| loop {
-            let k = tx.read(&self.keys[i])?;
+            let k = tx.read(self.key_at(i))?;
             if k == key {
-                let old = tx.read(&self.vals[i])?;
-                tx.write(&self.vals[i], value)?;
+                let old = tx.read(self.val_at(i))?;
+                tx.write(self.val_at(i), value)?;
                 return Ok(Some(old));
             }
             if k == EMPTY {
-                tx.write(&self.keys[i], key)?;
-                tx.write(&self.vals[i], value)?;
+                tx.write(self.key_at(i), key)?;
+                tx.write(self.val_at(i), value)?;
                 return Ok(None);
             }
-            i = (i + 1) % self.keys.len();
+            i = (i + 1) % self.capacity;
         })
         .value
     }
@@ -187,6 +208,22 @@ fn concurrent_harness_executes_all_ops() {
     let m = run_concurrent(&map, &rt, &toy_spec(), &cfg);
     assert_eq!(m.total_ops, 4_000);
     assert!(m.elapsed_secs > 0.0);
+    // Wall-clock runs must carry a real latency histogram — one sample
+    // per measured op, monotone quantiles, non-degenerate tail.
+    // (Regression: from_wall used to fabricate an empty histogram.)
+    assert_eq!(m.latency.count(), 4_000);
+    assert!(m.latency.quantile(0.5) > 0);
+    let (p50, p99, p999) = (
+        m.latency.quantile(0.50),
+        m.latency.quantile(0.99),
+        m.latency.quantile(0.999),
+    );
+    assert!(p50 <= p99 && p99 <= p999);
+    assert!(m.latency.max() >= p999);
+    assert!(m.latency.mean() > 0.0);
+    // All threads passed the post-warmup barrier, so the merged stats
+    // must carry a real (non-None) measure mark.
+    assert!(m.stats.measure_start_cycles.is_some());
     // Spot-check the map still answers (no corruption under threads).
     let mut ctx = rt.thread(77);
     for k in 0..50u64 {

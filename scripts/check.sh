@@ -14,3 +14,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 cargo build --release
 cargo test -q
+
+# Smoke-bench: one tiny figure run covering all four trees, then validate
+# the emitted run report against the DESIGN.md §11 schema.  Catches a
+# broken measurement pipeline (empty latency, missing report keys) that
+# unit tests alone would miss.
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+cargo run --release -q -p euno-bench --bin fig08_throughput -- \
+    --csv "$SMOKE/fig08.csv" --ops 300 --keys 20000 --threads 8 >/dev/null
+cargo run --release -q -p euno-bench --bin report_check -- \
+    "$SMOKE/BENCH_fig08.json"
+echo "smoke-bench report OK"
