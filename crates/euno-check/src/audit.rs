@@ -1,0 +1,78 @@
+//! Cross-time structural audits.
+//!
+//! [`SeqnoWatch`] consumes address-keyed leaf seqno snapshots (from
+//! `EunoBTree::leaf_seqnos_plain`) taken before, during, and after a
+//! stress run and verifies monotonicity: a leaf's seqno is the version
+//! glue between the two-step traversal's upper and lower HTM regions, so
+//! any observed decrease means a traversal could validate against a
+//! version that never supersedes the one it cached. Arena nodes are only
+//! reclaimed when the tree drops, so an address is a stable leaf
+//! identity for the whole run — including leaves that merges have
+//! unlinked (their final bump must still be visible).
+
+use std::collections::HashMap;
+
+/// Accumulates seqno snapshots and records monotonicity violations.
+#[derive(Default)]
+pub struct SeqnoWatch {
+    high_water: HashMap<usize, u64>,
+    violations: Vec<String>,
+}
+
+impl SeqnoWatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one snapshot (any subset of leaves; order irrelevant).
+    pub fn observe(&mut self, snapshot: &[(usize, u64)]) {
+        for &(addr, seq) in snapshot {
+            match self.high_water.get_mut(&addr) {
+                Some(hw) => {
+                    if seq < *hw {
+                        self.violations
+                            .push(format!("leaf {addr:#x} seqno went backwards: {hw} → {seq}"));
+                    } else {
+                        *hw = seq;
+                    }
+                }
+                None => {
+                    self.high_water.insert(addr, seq);
+                }
+            }
+        }
+    }
+
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Number of distinct leaves ever observed.
+    pub fn leaves_seen(&self) -> usize {
+        self.high_water.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_snapshots_are_clean() {
+        let mut w = SeqnoWatch::new();
+        w.observe(&[(0x1000, 0), (0x2000, 3)]);
+        w.observe(&[(0x1000, 2), (0x2000, 3), (0x3000, 0)]);
+        w.observe(&[(0x1000, 2), (0x3000, 5)]);
+        assert!(w.violations().is_empty());
+        assert_eq!(w.leaves_seen(), 3);
+    }
+
+    #[test]
+    fn backwards_seqno_is_flagged() {
+        let mut w = SeqnoWatch::new();
+        w.observe(&[(0x1000, 4)]);
+        w.observe(&[(0x1000, 3)]);
+        assert_eq!(w.violations().len(), 1);
+        assert!(w.violations()[0].contains("seqno went backwards"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Stress-and-check driver: real threads, recorded histories, the
+//! linearizability oracle, and structural audits over every tree.
+//!
+//! ```text
+//! stress [--threads N] [--ops N] [--seed N] [--keys N] [--scan-len N]
+//!        [--preload N] [--duration SECS] [--no-maintain] [--tree SUBSTR]
+//! ```
+//!
+//! Exits nonzero on any violation and prints the exact command line that
+//! reproduces it.
+
+use euno_check::{run_all, StressConfig, Verdict};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stress [--threads N] [--ops N] [--seed N] [--keys N] \
+         [--scan-len N] [--preload N] [--duration SECS] [--no-maintain] \
+         [--tree SUBSTR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = StressConfig::default();
+    let mut filter: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--threads" => cfg.threads = num(&mut args) as u32,
+            "--ops" => cfg.ops_per_thread = num(&mut args),
+            "--seed" => cfg.seed = num(&mut args),
+            "--keys" => cfg.key_range = num(&mut args).max(1),
+            "--scan-len" => cfg.scan_len = num(&mut args),
+            "--preload" => cfg.preload = num(&mut args),
+            "--duration" => cfg.duration_ms = num(&mut args) * 1_000,
+            "--no-maintain" => cfg.maintain_thread = false,
+            "--tree" => filter = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+
+    println!(
+        "stress: {} threads × {} ops, seed {}, keys 0..{}, maintain {}",
+        cfg.threads,
+        cfg.ops_per_thread,
+        cfg.seed,
+        cfg.key_range,
+        if cfg.maintain_thread { "on" } else { "off" }
+    );
+
+    let reports = run_all(&cfg, filter.as_deref());
+    if reports.is_empty() {
+        eprintln!("no tree matches --tree filter");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for r in &reports {
+        let verdict = match &r.verdict {
+            Verdict::Linearizable { states_explored } => {
+                format!("linearizable ({states_explored} states)")
+            }
+            Verdict::Inconclusive { states_explored } => {
+                format!("INCONCLUSIVE after {states_explored} states (raise budget)")
+            }
+            Verdict::Violation { detail } => format!("VIOLATION: {detail}"),
+        };
+        println!(
+            "  {:<14} {:>7} ops in {:>5} ms | lin: {} | invariants: {}",
+            r.tree,
+            r.history_len,
+            r.elapsed_ms,
+            verdict,
+            if r.invariant_violations.is_empty() {
+                "clean".to_string()
+            } else {
+                format!("{} VIOLATED", r.invariant_violations.len())
+            }
+        );
+        for v in &r.invariant_violations {
+            println!("      invariant: {v}");
+        }
+        if !r.passed() {
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "\nFAILED — reproduce with:\n  cargo run --release -p euno-check --bin stress -- \
+             --threads {} --ops {} --seed {} --keys {}{}",
+            cfg.threads,
+            cfg.ops_per_thread,
+            cfg.seed,
+            cfg.key_range,
+            if cfg.maintain_thread {
+                ""
+            } else {
+                " --no-maintain"
+            }
+        );
+        std::process::exit(1);
+    }
+    println!("all trees clean");
+}

@@ -1,0 +1,28 @@
+//! # euno-check — the correctness subsystem
+//!
+//! Virtual-time runs are deterministic, so the figure pipeline never sees
+//! a racy interleaving; real-thread (`Mode::Concurrent`) runs do, and
+//! until this crate nothing *checked* them beyond spot assertions. This
+//! crate closes that gap:
+//!
+//! * [`history`] — per-thread invocation/response recording via the
+//!   engine's `OpObserver` hook (zero cost when not installed);
+//! * [`lin`] — a Wing–Gong-style linearizability oracle with interval
+//!   pruning and memoization, plus relaxed validation for the
+//!   deliberately non-atomic chained scans;
+//! * [`audit`] — cross-time structural checks (leaf seqno monotonicity);
+//!   the quiescent-state audit itself lives in `euno-core::inspect`;
+//! * [`stress`] — the trait-driven multi-threaded driver tying it all
+//!   together, also available as the `stress` binary
+//!   (`cargo run -p euno-check --bin stress -- --threads 8 --ops 20000
+//!   --seed 1`).
+
+pub mod audit;
+pub mod history;
+pub mod lin;
+pub mod stress;
+
+pub use audit::SeqnoWatch;
+pub use history::{new_sink, CompletedOp, HistorySink, Recorder};
+pub use lin::{check_history, Verdict, DEFAULT_BUDGET};
+pub use stress::{run_all, run_stress, AuditHooks, StressConfig, StressReport};

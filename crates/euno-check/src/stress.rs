@@ -1,0 +1,402 @@
+//! Multi-threaded stress runs with full history capture.
+//!
+//! The driver is trait-driven: anything implementing `ConcurrentMap`
+//! (Euno-B+Tree and all three baselines) gets the same treatment —
+//! preload, a mixed get/put/delete/scan workload from real threads with
+//! every operation recorded, an optional concurrent maintenance thread,
+//! post-quiescence verification reads, then the linearizability oracle
+//! plus whatever structural audits the tree exposes via [`AuditHooks`].
+//!
+//! Every run is reproducible from `(threads, ops, seed)`: per-thread RNG
+//! streams derive from the seed, and the report carries everything needed
+//! to re-run a failure.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use euno_baselines::{HtmBTree, HtmMasstree, Masstree};
+use euno_core::EunoBTreeDefault;
+use euno_htm::{ConcurrentMap, OpKind, OpOutput, Runtime};
+use euno_rng::{Rng, SmallRng};
+
+use crate::audit::SeqnoWatch;
+use crate::history::{new_sink, Recorder};
+use crate::lin::{check_history, Verdict, DEFAULT_BUDGET};
+
+/// Knobs for one stress run (one tree).
+#[derive(Clone, Debug)]
+pub struct StressConfig {
+    pub threads: u32,
+    pub ops_per_thread: u64,
+    pub seed: u64,
+    /// Keys are drawn uniformly from `0..key_range`.
+    pub key_range: u64,
+    /// Max records per worker scan.
+    pub scan_len: u64,
+    /// Records inserted (keys `0..preload`) before the clock starts.
+    pub preload: u64,
+    /// Wall-clock cap in milliseconds; 0 = run all ops.
+    pub duration_ms: u64,
+    /// Run a concurrent maintenance thread alongside the workers.
+    pub maintain_thread: bool,
+    /// Step budget for the linearizability search.
+    pub lin_budget: u64,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            threads: 4,
+            ops_per_thread: 5_000,
+            seed: 1,
+            key_range: 512,
+            scan_len: 16,
+            preload: 256,
+            duration_ms: 0,
+            maintain_thread: true,
+            lin_budget: DEFAULT_BUDGET,
+        }
+    }
+}
+
+/// A concurrently-sampleable leaf seqno snapshot source.
+pub type SeqnoSnapshotFn<'a> = Box<dyn Fn() -> Vec<(usize, u64)> + Sync + 'a>;
+
+/// Structure-specific audits a tree can contribute to the run.
+#[derive(Default)]
+pub struct AuditHooks<'a> {
+    /// Sampled concurrently by a watcher thread; fed to [`SeqnoWatch`].
+    pub seqno_snapshot: Option<SeqnoSnapshotFn<'a>>,
+    /// Run once at quiescence; returns invariant violations.
+    pub quiescent: Option<Box<dyn Fn() -> Vec<String> + 'a>>,
+}
+
+/// Outcome of one tree's stress run.
+#[derive(Debug)]
+pub struct StressReport {
+    pub tree: &'static str,
+    pub threads: u32,
+    pub seed: u64,
+    /// Completed client operations in the history (including verification
+    /// reads, excluding nothing).
+    pub history_len: usize,
+    pub verdict: Verdict,
+    /// Structural audit findings (empty = clean).
+    pub invariant_violations: Vec<String>,
+    pub elapsed_ms: u64,
+}
+
+impl StressReport {
+    /// A run passes unless the oracle proves a violation or an audit
+    /// fails. `Inconclusive` passes (it is surfaced, not hidden).
+    pub fn passed(&self) -> bool {
+        !matches!(self.verdict, Verdict::Violation { .. }) && self.invariant_violations.is_empty()
+    }
+}
+
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x = (x ^ (x >> 33)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+/// Stress one tree and check everything. `atomic_scans` declares whether
+/// the tree's scan has a single linearization point (see `lin`).
+pub fn run_stress(
+    tree: &dyn ConcurrentMap,
+    rt: &Arc<Runtime>,
+    cfg: &StressConfig,
+    atomic_scans: bool,
+    hooks: AuditHooks<'_>,
+) -> StressReport {
+    // ---- Preload (before the history clock starts). ---------------
+    let mut preload_model = BTreeMap::new();
+    {
+        let mut ctx = rt.thread(cfg.seed);
+        for key in 0..cfg.preload.min(cfg.key_range) {
+            let value = key.wrapping_mul(31) + 7;
+            tree.put(&mut ctx, key, value);
+            preload_model.insert(key, value);
+        }
+    }
+
+    let (sink, clock) = new_sink();
+    let mut seq_watch = SeqnoWatch::new();
+    if let Some(f) = &hooks.seqno_snapshot {
+        seq_watch.observe(&f());
+    }
+
+    let start = Instant::now();
+    let deadline = (cfg.duration_ms > 0).then(|| start + Duration::from_millis(cfg.duration_ms));
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for w in 0..cfg.threads {
+            let (clock, sink) = (Arc::clone(&clock), Arc::clone(&sink));
+            let rt = Arc::clone(rt);
+            let cfg = cfg.clone();
+            workers.push(s.spawn(move || {
+                let mut ctx = rt.thread(cfg.seed ^ u64::from(w));
+                ctx.set_op_observer(Box::new(Recorder::new(clock, sink)));
+                let mut rng = SmallRng::seed_from_u64(mix64(cfg.seed) ^ mix64(u64::from(w) + 1));
+                let mut out = Vec::new();
+                for i in 0..cfg.ops_per_thread {
+                    if i % 64 == 0 {
+                        if let Some(d) = deadline {
+                            if Instant::now() >= d {
+                                break;
+                            }
+                        }
+                    }
+                    let key = rng.gen_range(0..cfg.key_range);
+                    match rng.gen_range(0..100u32) {
+                        0..=39 => {
+                            ctx.observe_invoke(OpKind::Get, key, 0);
+                            let v = tree.get(&mut ctx, key);
+                            ctx.observe_response(OpOutput::Value(v));
+                        }
+                        40..=69 => {
+                            // Values are unique per (worker, op) and
+                            // disjoint from preload values, so every
+                            // observed record has one possible writer.
+                            let value = (u64::from(w) + 1) << 40 | i;
+                            ctx.observe_invoke(OpKind::Put, key, value);
+                            let prev = tree.put(&mut ctx, key, value);
+                            ctx.observe_response(OpOutput::Value(prev));
+                        }
+                        70..=84 => {
+                            ctx.observe_invoke(OpKind::Delete, key, 0);
+                            let prev = tree.delete(&mut ctx, key);
+                            ctx.observe_response(OpOutput::Value(prev));
+                        }
+                        _ => {
+                            out.clear();
+                            ctx.observe_invoke(OpKind::Scan, key, cfg.scan_len);
+                            tree.scan(&mut ctx, key, cfg.scan_len as usize, &mut out);
+                            ctx.observe_response(OpOutput::Scan(out.clone()));
+                        }
+                    }
+                }
+                drop(ctx.take_op_observer()); // flush this thread's ops
+            }));
+        }
+
+        let maintainer = cfg.maintain_thread.then(|| {
+            let (clock, sink) = (Arc::clone(&clock), Arc::clone(&sink));
+            let rt = Arc::clone(rt);
+            let stop = &stop;
+            s.spawn(move || {
+                let mut ctx = rt.thread(cfg.seed ^ 0xAAAA);
+                ctx.set_op_observer(Box::new(Recorder::new(clock, sink)));
+                while !stop.load(Ordering::Relaxed) {
+                    ctx.observe_invoke(OpKind::Maintain, 0, 0);
+                    let n = tree.maintain(&mut ctx);
+                    ctx.observe_response(OpOutput::Count(n));
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                drop(ctx.take_op_observer());
+            })
+        });
+
+        let watcher = hooks.seqno_snapshot.as_ref().map(|f| {
+            let stop = &stop;
+            s.spawn(move || {
+                let mut snaps = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    snaps.push(f());
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                snaps
+            })
+        });
+
+        for h in workers {
+            h.join().expect("stress worker panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+        if let Some(h) = maintainer {
+            h.join().expect("maintenance thread panicked");
+        }
+        if let Some(h) = watcher {
+            for snap in h.join().expect("seqno watcher panicked") {
+                seq_watch.observe(&snap);
+            }
+        }
+    });
+    if let Some(f) = &hooks.seqno_snapshot {
+        seq_watch.observe(&f());
+    }
+
+    // ---- Post-quiescence verification reads, recorded too. --------
+    // These are strictly after every worker op, so the oracle is forced
+    // to linearize them last: the final tree state is checked against
+    // the model for free, and the full scan runs with no concurrency —
+    // exact checking even on trees with non-atomic scans.
+    {
+        let mut ctx = rt.thread(cfg.seed ^ 0xBBBB);
+        ctx.set_op_observer(Box::new(Recorder::new(
+            Arc::clone(&clock),
+            Arc::clone(&sink),
+        )));
+        let mut out = Vec::new();
+        ctx.observe_invoke(OpKind::Scan, 0, u64::MAX);
+        tree.scan(&mut ctx, 0, usize::MAX, &mut out);
+        ctx.observe_response(OpOutput::Scan(out));
+        let step = (cfg.key_range / 256).max(1);
+        let mut key = 0;
+        while key < cfg.key_range {
+            ctx.observe_invoke(OpKind::Get, key, 0);
+            let v = tree.get(&mut ctx, key);
+            ctx.observe_response(OpOutput::Value(v));
+            key += step;
+        }
+        drop(ctx.take_op_observer());
+    }
+
+    let history = std::mem::take(&mut *sink.lock().unwrap());
+    let verdict = check_history(&history, &preload_model, atomic_scans, cfg.lin_budget);
+
+    let mut invariant_violations: Vec<String> = seq_watch.violations().to_vec();
+    if let Some(f) = &hooks.quiescent {
+        invariant_violations.extend(f());
+    }
+
+    StressReport {
+        tree: tree.name(),
+        threads: cfg.threads,
+        seed: cfg.seed,
+        history_len: history.len(),
+        verdict,
+        invariant_violations,
+        elapsed_ms: start.elapsed().as_millis() as u64,
+    }
+}
+
+/// Stress every tree in the workspace (optionally filtered by a
+/// case-insensitive substring of the tree name). Euno-B+Tree additionally
+/// gets the structural audits; scan atomicity is declared per tree.
+pub fn run_all(cfg: &StressConfig, filter: Option<&str>) -> Vec<StressReport> {
+    let wants = |name: &str| {
+        filter.is_none_or(|f| name.to_ascii_lowercase().contains(&f.to_ascii_lowercase()))
+    };
+    let mut reports = Vec::new();
+
+    if wants("Euno-B+Tree") {
+        let rt = Runtime::new_concurrent();
+        let tree = EunoBTreeDefault::new(Arc::clone(&rt));
+        let hooks = AuditHooks {
+            seqno_snapshot: Some(Box::new(|| tree.leaf_seqnos_plain())),
+            quiescent: Some(Box::new(|| tree.audit_quiescent())),
+        };
+        reports.push(run_stress(&tree, &rt, cfg, false, hooks));
+    }
+    if wants("HTM-B+Tree") {
+        let rt = Runtime::new_concurrent();
+        let tree = HtmBTree::<16>::new(Arc::clone(&rt));
+        reports.push(run_stress(&tree, &rt, cfg, true, AuditHooks::default()));
+    }
+    if wants("Masstree") {
+        let rt = Runtime::new_concurrent();
+        let tree = Masstree::new(Arc::clone(&rt));
+        reports.push(run_stress(&tree, &rt, cfg, false, AuditHooks::default()));
+    }
+    if wants("HTM-Masstree") {
+        let rt = Runtime::new_concurrent();
+        let tree = HtmMasstree::new(Arc::clone(&rt));
+        reports.push(run_stress(&tree, &rt, cfg, true, AuditHooks::default()));
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_stress_run_is_clean_on_every_tree() {
+        let cfg = StressConfig {
+            threads: 3,
+            ops_per_thread: 400,
+            seed: 42,
+            key_range: 128,
+            preload: 64,
+            ..StressConfig::default()
+        };
+        let reports = run_all(&cfg, None);
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert!(
+                r.passed(),
+                "{}: verdict {:?}, invariants {:?}",
+                r.tree,
+                r.verdict,
+                r.invariant_violations
+            );
+            assert!(matches!(r.verdict, Verdict::Linearizable { .. }), "{r:?}");
+            assert!(r.history_len > 0);
+        }
+    }
+
+    #[test]
+    fn oracle_catches_a_buggy_map_end_to_end() {
+        // A map that drops every fourth put must be caught by the oracle
+        // via the recorded history — this is the pre-fix failure shape
+        // (lost updates) the subsystem exists to flush out.
+        struct Lossy {
+            inner: EunoBTreeDefault,
+            calls: std::sync::atomic::AtomicU64,
+        }
+        impl ConcurrentMap for Lossy {
+            fn get(&self, ctx: &mut euno_htm::ThreadCtx, key: u64) -> Option<u64> {
+                self.inner.get(ctx, key)
+            }
+            fn put(&self, ctx: &mut euno_htm::ThreadCtx, key: u64, value: u64) -> Option<u64> {
+                let n = self.calls.fetch_add(1, Ordering::Relaxed);
+                if n % 4 == 3 {
+                    // Swallow the write but report a plausible answer.
+                    self.inner.get(ctx, key)
+                } else {
+                    self.inner.put(ctx, key, value)
+                }
+            }
+            fn delete(&self, ctx: &mut euno_htm::ThreadCtx, key: u64) -> Option<u64> {
+                self.inner.delete(ctx, key)
+            }
+            fn scan(
+                &self,
+                ctx: &mut euno_htm::ThreadCtx,
+                from: u64,
+                count: usize,
+                out: &mut Vec<(u64, u64)>,
+            ) -> usize {
+                self.inner.scan(ctx, from, count, out)
+            }
+            fn name(&self) -> &'static str {
+                "Lossy"
+            }
+        }
+        let rt = Runtime::new_concurrent();
+        let tree = Lossy {
+            inner: EunoBTreeDefault::new(Arc::clone(&rt)),
+            calls: std::sync::atomic::AtomicU64::new(0),
+        };
+        let cfg = StressConfig {
+            threads: 2,
+            ops_per_thread: 300,
+            seed: 7,
+            key_range: 32,
+            preload: 16,
+            maintain_thread: false,
+            ..StressConfig::default()
+        };
+        let r = run_stress(&tree, &rt, &cfg, false, AuditHooks::default());
+        assert!(
+            matches!(r.verdict, Verdict::Violation { .. }),
+            "lost updates must be detected: {:?}",
+            r.verdict
+        );
+    }
+}

@@ -99,23 +99,29 @@ impl Ccm {
         let mask = 1u64 << slot;
         match ctx.mode() {
             Mode::Concurrent => {
-                let spin = ctx.runtime().cost.spin_iter;
+                // Test-and-test-and-set with bounded exponential backoff:
+                // the lock bits share one word (and one line) with 63
+                // other locks, so a convoying fetch_or loop here would
+                // starve every operation on the leaf, not just this slot.
+                let mut backoff = euno_htm::SpinBackoff::new();
                 loop {
-                    let prev = self.locks.fetch_or_direct(ctx, mask);
-                    if prev & mask == 0 {
-                        return;
+                    if self.locks.load_direct(ctx) & mask == 0 {
+                        let prev = self.locks.fetch_or_direct(ctx, mask);
+                        if prev & mask == 0 {
+                            return;
+                        }
                     }
-                    ctx.charge(spin);
-                    ctx.stats.cycles_lock_wait += spin;
-                    std::hint::spin_loop();
+                    backoff.pause(ctx);
                 }
             }
             Mode::Virtual => {
                 let key = lock_key_for_bit(self.locks.raw_addr(), slot);
                 let free_at = ctx.runtime().vlock_free_at(key, ctx.clock);
                 if free_at > ctx.clock {
-                    ctx.stats.cycles_lock_wait += free_at - ctx.clock;
-                    ctx.clock = free_at;
+                    ctx.charge_cas_miss();
+                    let wait = free_at.saturating_sub(ctx.clock);
+                    ctx.stats.cycles_lock_wait += wait;
+                    ctx.clock += wait;
                 }
                 let prev = self.locks.fetch_or_direct(ctx, mask);
                 debug_assert_eq!(prev & mask, 0, "virtual lock bit must be free");

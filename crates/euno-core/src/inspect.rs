@@ -1,9 +1,14 @@
 //! Tree introspection: structural statistics for experiments and
 //! diagnostics (uninstrumented; intended for quiesced trees).
 
-use crate::node::{EunoLeaf, NodeRef};
+use crate::ccm::Ccm;
+use crate::node::{EunoLeaf, NodeRef, INTERNAL_FANOUT};
 use crate::tree::EunoBTree;
 use euno_htm::{TxWord, TOMBSTONE};
+
+/// Stop collecting violations past this many — one is already a failed
+/// audit, and a structurally broken big tree could otherwise flood.
+const MAX_VIOLATIONS: usize = 64;
 
 /// A structural snapshot of an [`EunoBTree`].
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -91,6 +96,236 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         }
         s
     }
+
+    /// Per-leaf `(address, seqno)` snapshot of the live chain. Arena nodes
+    /// are reclaimed only when the tree drops, so addresses are stable
+    /// identities across snapshots — a later snapshot with a *smaller*
+    /// seqno at the same address is a monotonicity violation.
+    pub fn leaf_seqnos_plain(&self) -> Vec<(usize, u64)> {
+        let mut out = Vec::new();
+        let mut cur = NodeRef::from_word(self.root_bits());
+        while !cur.is_leaf() {
+            cur = NodeRef::from_word(unsafe { cur.as_internal() }.child0.load_plain());
+        }
+        while !cur.is_null() {
+            let leaf = unsafe { cur.as_leaf::<SEGS, K>() };
+            out.push((leaf as *const _ as usize, leaf.seqno.load_plain()));
+            cur = NodeRef::from_word(leaf.next.load_plain());
+        }
+        out
+    }
+
+    /// Plain (uninstrumented) root-to-leaf descent, mirroring
+    /// `traverse::descend`'s separator arithmetic.
+    fn plain_descend(&self, key: u64) -> NodeRef {
+        let mut cur = NodeRef::from_word(self.root_bits());
+        while !cur.is_leaf() {
+            let node = unsafe { cur.as_internal() };
+            let cnt = (node.count.load_plain() as usize).min(INTERNAL_FANOUT);
+            let mut lo = 0usize;
+            let mut hi = cnt;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if node.keys[mid].load_plain() <= key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let next = if lo == 0 {
+                node.child0.load_plain()
+            } else {
+                node.children[lo - 1].load_plain()
+            };
+            cur = NodeRef::from_word(next);
+        }
+        cur
+    }
+
+    /// Live `(key, value)` records of one leaf, sorted, via plain loads.
+    fn leaf_live_plain(leaf: &EunoLeaf<SEGS, K>) -> Vec<(u64, u64)> {
+        let mut recs = Vec::new();
+        for seg in &leaf.segs {
+            let cnt = seg.count_plain();
+            for i in 0..cnt {
+                let v = seg.val_cell(i).load_plain();
+                if v != TOMBSTONE {
+                    recs.push((seg.key_cell(i).load_plain(), v));
+                }
+            }
+        }
+        recs.sort_unstable_by_key(|&(k, _)| k);
+        recs
+    }
+
+    /// Audit the structural invariants of a **quiescent** tree (no
+    /// concurrent operations in flight). Returns human-readable violation
+    /// descriptions; an empty vector is a clean bill of health. Checked:
+    ///
+    /// * no lock is left held: fallback word, root lock, every leaf's
+    ///   split lock, every CCM lock-bit vector;
+    /// * the index-reachable leaf sequence (in-order walk) is exactly the
+    ///   `next`-chain sequence, with no cycle;
+    /// * every node's children point back at it (`parent` consistency)
+    ///   and the root's parent is null;
+    /// * separator keys within each internal node are strictly ascending;
+    /// * live keys are strictly ascending along the whole chain (no
+    ///   duplicates within or across leaves);
+    /// * if mark bits are enabled, each leaf's CCM marks are a superset of
+    ///   its live keys' slots (a get must never miss a present key);
+    /// * a root descent for every live key lands on the leaf that holds it
+    ///   (separator arithmetic agrees with record placement).
+    pub fn audit_quiescent(&self) -> Vec<String> {
+        let mut viol = Vec::new();
+        macro_rules! report {
+            ($($arg:tt)*) => {
+                if viol.len() < MAX_VIOLATIONS {
+                    viol.push(format!($($arg)*));
+                } else {
+                    return viol;
+                }
+            };
+        }
+        let root = NodeRef::from_word(self.root_bits());
+
+        if self.fallback_cell().load_plain() != 0 {
+            report!("fallback lock held at quiescence");
+        }
+        if self.ctrl.root_lock.is_locked_plain() {
+            report!("root lock held at quiescence");
+        }
+        if unsafe { root.parent_cell::<SEGS, K>() }.load_plain() != 0 {
+            report!("root has a non-null parent pointer");
+        }
+
+        // In-order walk of the index. Children pop in left-to-right order.
+        let mut index_leaves: Vec<NodeRef> = Vec::new();
+        let mut stack = vec![root];
+        while let Some(nref) = stack.pop() {
+            if nref.is_null() {
+                report!("null child reachable from the index");
+                continue;
+            }
+            if nref.is_leaf() {
+                index_leaves.push(nref);
+                continue;
+            }
+            let node = unsafe { nref.as_internal() };
+            let cnt = node.count.load_plain() as usize;
+            if cnt > INTERNAL_FANOUT {
+                report!("internal {:#x} count {cnt} exceeds fanout", nref.to_word());
+                continue;
+            }
+            for j in 1..cnt {
+                let (a, b) = (node.keys[j - 1].load_plain(), node.keys[j].load_plain());
+                if a >= b {
+                    report!(
+                        "internal {:#x} separators not ascending at {j}: {a} ≥ {b}",
+                        nref.to_word()
+                    );
+                }
+            }
+            let me = NodeRef::of_internal(node).to_word();
+            let mut kids = vec![NodeRef::from_word(node.child0.load_plain())];
+            for j in 0..cnt {
+                kids.push(NodeRef::from_word(node.children[j].load_plain()));
+            }
+            for &kid in &kids {
+                if kid.is_null() {
+                    report!("internal {:#x} has a null child", me);
+                    continue;
+                }
+                let back = unsafe { kid.parent_cell::<SEGS, K>() }.load_plain();
+                if back != me {
+                    report!(
+                        "child {:#x} of internal {:#x} has parent {:#x}",
+                        kid.to_word(),
+                        me,
+                        back
+                    );
+                }
+            }
+            for &kid in kids.iter().rev() {
+                if !kid.is_null() {
+                    stack.push(kid);
+                }
+            }
+        }
+
+        // Leaf chain, with cycle detection bounded by the index count.
+        let mut chain_leaves: Vec<NodeRef> = Vec::new();
+        let mut cur = root;
+        while !cur.is_leaf() {
+            cur = NodeRef::from_word(unsafe { cur.as_internal() }.child0.load_plain());
+        }
+        while !cur.is_null() {
+            if chain_leaves.len() > index_leaves.len() {
+                report!("leaf chain longer than the index: cycle or leaked leaf");
+                break;
+            }
+            chain_leaves.push(cur);
+            cur = NodeRef::from_word(unsafe { cur.as_leaf::<SEGS, K>() }.next.load_plain());
+        }
+        if chain_leaves != index_leaves {
+            report!(
+                "index-reachable leaves ≠ chain sequence ({} vs {} leaves)",
+                index_leaves.len(),
+                chain_leaves.len()
+            );
+        }
+
+        // Per-leaf content invariants along the chain.
+        let mut prev_key: Option<u64> = None;
+        for &lref in &chain_leaves {
+            let leaf = unsafe { lref.as_leaf::<SEGS, K>() };
+            let addr = lref.to_word();
+            if leaf.split_lock.is_locked_plain() {
+                report!("leaf {addr:#x} split lock held at quiescence");
+            }
+            if leaf.ccm.locks_plain() != 0 {
+                report!(
+                    "leaf {addr:#x} CCM lock bits {:#b} held at quiescence",
+                    leaf.ccm.locks_plain()
+                );
+            }
+            let recs = Self::leaf_live_plain(leaf);
+            for w in recs.windows(2) {
+                if w[0].0 >= w[1].0 {
+                    report!(
+                        "leaf {addr:#x} keys not strictly ascending: {} ≥ {}",
+                        w[0].0,
+                        w[1].0
+                    );
+                }
+            }
+            let marks = leaf.ccm.marks_plain();
+            for &(k, _) in &recs {
+                if let Some(p) = prev_key {
+                    if k <= p {
+                        report!("chain order violated: key {k} after {p}");
+                    }
+                }
+                prev_key = Some(k);
+                if self.cfg.ccm_mark_bits {
+                    let slot = Ccm::slot(k, Self::ccm_bits());
+                    if marks & (1u64 << slot) == 0 {
+                        report!("leaf {addr:#x} mark bits miss live key {k} (slot {slot})");
+                    }
+                }
+                let found = self.plain_descend(k);
+                if found != lref {
+                    report!(
+                        "descent for key {k} lands on leaf {:#x}, but it lives in {addr:#x}",
+                        found.to_word()
+                    );
+                }
+            }
+            if viol.len() >= MAX_VIOLATIONS {
+                return viol;
+            }
+        }
+        viol
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +379,76 @@ mod tests {
         assert_eq!(s2.live_records, 2_000);
         assert!(s2.tombstones < 1_000);
         assert!(s2.leaves <= s.leaves);
+    }
+
+    #[test]
+    fn audit_clean_after_churn_and_maintain() {
+        let rt = Runtime::new_virtual();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        let mut ctx = rt.thread(1);
+        for k in 0..2_000u64 {
+            t.put(&mut ctx, k * 3, k);
+        }
+        for k in 0..2_000u64 {
+            if k % 3 != 0 {
+                t.delete(&mut ctx, k * 3);
+            }
+        }
+        t.maintain(&mut ctx);
+        let mut out = Vec::new();
+        t.scan(&mut ctx, 0, 100, &mut out);
+        assert_eq!(t.audit_quiescent(), Vec::<String>::new());
+        let seqnos = t.leaf_seqnos_plain();
+        assert_eq!(seqnos.len(), t.leaf_count_plain());
+    }
+
+    #[test]
+    fn audit_flags_forged_violations() {
+        use crate::node::NodeRef;
+        use euno_htm::TxWord;
+        let rt = Runtime::new_virtual();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        let mut ctx = rt.thread(1);
+        for k in 0..200u64 {
+            t.put(&mut ctx, k, k);
+        }
+        assert!(t.audit_quiescent().is_empty());
+
+        // A leaked split lock is reported.
+        let mut cur = NodeRef::from_word(t.root_bits());
+        while !cur.is_leaf() {
+            cur = NodeRef::from_word(unsafe { cur.as_internal() }.child0.load_plain());
+        }
+        let leaf = unsafe { cur.as_leaf::<4, 4>() };
+        leaf.split_lock.acquire(&mut ctx);
+        let viol = t.audit_quiescent();
+        assert!(
+            viol.iter().any(|v| v.contains("split lock held")),
+            "{viol:?}"
+        );
+        leaf.split_lock.release(&mut ctx);
+
+        // Dropping a mark bit under a live key breaks the superset rule.
+        let saved = leaf.ccm.marks_plain();
+        leaf.ccm.install_marks_prepublication(0);
+        let viol = t.audit_quiescent();
+        assert!(
+            viol.iter().any(|v| v.contains("mark bits miss live key")),
+            "{viol:?}"
+        );
+        leaf.ccm.install_marks_prepublication(saved);
+
+        // Unlinking a leaf from the chain desynchronizes it from the index.
+        let saved_next = leaf.next.load_plain();
+        let skip = unsafe { NodeRef::from_word(saved_next).as_leaf::<4, 4>() };
+        leaf.next.store_plain(skip.next.load_plain());
+        let viol = t.audit_quiescent();
+        assert!(
+            viol.iter().any(|v| v.contains("chain sequence")),
+            "{viol:?}"
+        );
+        leaf.next.store_plain(saved_next);
+        assert!(t.audit_quiescent().is_empty());
     }
 
     #[test]

@@ -112,11 +112,24 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
             let parent = unsafe { NodeRef::from_word(parent_bits).as_internal() };
             let pcnt = tx.read(&parent.count)? as usize;
             let mut slot = None;
+            let mut left_linked =
+                NodeRef::from_word(tx.read(&parent.child0)?) == NodeRef::of_leaf(left);
             for j in 0..pcnt {
-                if NodeRef::from_word(tx.read(&parent.children[j])?) == NodeRef::of_leaf(right) {
+                let child = NodeRef::from_word(tx.read(&parent.children[j])?);
+                if child == NodeRef::of_leaf(right) {
                     slot = Some(j);
-                    break;
                 }
+                if child == NodeRef::of_leaf(left) {
+                    left_linked = true;
+                }
+            }
+            // The left leaf must itself still be reachable from the
+            // parent: a racing merge may have unlinked it after our chain
+            // walk found it (its `next` still points into the live chain,
+            // so the adjacency check alone cannot tell). Merging into an
+            // unlinked leaf would silently drop every adopted record.
+            if !left_linked {
+                return Ok(false);
             }
             let Some(j) = slot else {
                 return Ok(false); // right is the parent's child0
@@ -130,6 +143,16 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
             if records.len() > Self::capacity() - Self::capacity() / 4 {
                 return Ok(false);
             }
+
+            // Invalidate two-step traversals (and plain chain walkers)
+            // holding the right leaf BEFORE any structural edit. Writes
+            // become visible in program order on the fallback path and in
+            // buffer order at commit, so the seqno bump must be first: a
+            // walker that hops through the right leaf after the unlink
+            // must already see the bumped seqno, or it would trust a leaf
+            // whose records have moved left.
+            let rseq = tx.read(&right.seqno)?;
+            tx.write(&right.seqno, rseq + 1)?;
 
             // Deal into the left leaf; empty the right one.
             self.redistribute_for_merge(tx, left, &records)?;
@@ -148,10 +171,6 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
             }
             tx.write(&parent.count, (pcnt - 1) as u64)?;
 
-            // Invalidate two-step traversals holding the right leaf.
-            let rseq = tx.read(&right.seqno)?;
-            tx.write(&right.seqno, rseq + 1)?;
-
             Ok(true)
         });
         out.value
@@ -163,7 +182,7 @@ mod tests {
     use std::collections::BTreeMap;
     use std::sync::Arc;
 
-    use euno_htm::{ConcurrentMap, Runtime};
+    use euno_htm::{ConcurrentMap, Runtime, TxWord};
 
     use crate::tree::EunoBTreeDefault;
 
@@ -246,6 +265,109 @@ mod tests {
             }
         }
         assert_eq!(t.collect_all_plain(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_refuses_unlinked_left() {
+        // Regression: maintain's chain walk is uninstrumented, so a racing
+        // merge can unlink a leaf between the walk finding it and try_merge
+        // locking it — the dead leaf's `next` still points into the live
+        // chain, so the in-transaction adjacency re-check passes. Pre-fix,
+        // merging into the dead leaf moved the successor's records into an
+        // unreachable node, silently dropping them. Reproduce the race
+        // deterministically: merge A←B (unlinking B), then ask for B←C.
+        use crate::node::NodeRef;
+        let rt = Runtime::new_virtual();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        let mut ctx = rt.thread(1);
+        for k in 0..200u64 {
+            t.put(&mut ctx, k, k);
+        }
+        for k in 0..200u64 {
+            if k % 20 != 0 {
+                t.delete(&mut ctx, k);
+            }
+        }
+        let expected = t.collect_all_plain();
+        assert_eq!(expected.len(), 10);
+        // Three adjacent leaves under the (single) internal root.
+        let mut cur = NodeRef::from_word(t.root_bits());
+        while !cur.is_leaf() {
+            cur = NodeRef::from_word(unsafe { cur.as_internal() }.child0.load_plain());
+        }
+        let a = unsafe { cur.as_leaf::<4, 4>() };
+        let b = unsafe { NodeRef::from_word(a.next.load_plain()).as_leaf::<4, 4>() };
+        let c = unsafe { NodeRef::from_word(b.next.load_plain()).as_leaf::<4, 4>() };
+        assert_eq!(a.parent.load_plain(), b.parent.load_plain());
+        assert_eq!(b.parent.load_plain(), c.parent.load_plain());
+
+        assert!(t.try_merge(&mut ctx, a, b), "setup merge must succeed");
+        // B is now unlinked, but B.next still points at C and B.parent is
+        // stale-valid: exactly what the racing walker would hold.
+        assert!(
+            !t.try_merge(&mut ctx, b, c),
+            "must refuse to merge into an unlinked leaf"
+        );
+        assert_eq!(
+            t.collect_all_plain(),
+            expected,
+            "no records may vanish from the live chain"
+        );
+        for &(k, v) in &expected {
+            assert_eq!(t.get(&mut ctx, k), Some(v), "key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_maintainers_do_not_lose_keys() {
+        // Two maintenance threads sweep the same delete-heavy chain while a
+        // mutator inserts fresh keys: every merge decision races another
+        // walker's stale leaf pointers. No key may vanish.
+        let rt = Runtime::new_concurrent();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        {
+            let mut ctx = rt.thread(0);
+            for k in 0..3_000u64 {
+                t.put(&mut ctx, k, k);
+            }
+            for k in 0..3_000u64 {
+                if k % 10 != 0 {
+                    t.delete(&mut ctx, k);
+                }
+            }
+        }
+        std::thread::scope(|s| {
+            for m in 0..2u64 {
+                let t = &t;
+                let mut ctx = rt.thread(50 + m);
+                s.spawn(move || {
+                    for _ in 0..4 {
+                        t.maintain(&mut ctx);
+                    }
+                });
+            }
+            {
+                let t = &t;
+                let mut ctx = rt.thread(60);
+                s.spawn(move || {
+                    for i in 0..600u64 {
+                        let key = 100_000 + i;
+                        t.put(&mut ctx, key, key);
+                    }
+                });
+            }
+        });
+        let mut ctx = rt.thread(70);
+        for k in (0..3_000u64).step_by(10) {
+            assert_eq!(t.get(&mut ctx, k), Some(k), "surviving preload {k}");
+        }
+        for i in 0..600u64 {
+            let key = 100_000 + i;
+            assert_eq!(t.get(&mut ctx, key), Some(key), "fresh {key}");
+        }
+        let audit = t.collect_all_plain();
+        assert_eq!(audit.len(), 300 + 600);
+        assert!(audit.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

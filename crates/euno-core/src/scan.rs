@@ -64,7 +64,17 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
                         }
                         out.push((k, v));
                         collected += 1;
-                        cursor = k.saturating_add(1);
+                        // Advance past the delivered key. At the top of
+                        // the keyspace there is no "past": a saturating
+                        // add would pin the cursor on the delivered key,
+                        // and any retry or revisit (seqno mismatch, a
+                        // chain hop into a leaf whose records moved left)
+                        // would deliver it again — or loop forever. The
+                        // keyspace is exhausted; stop here.
+                        match k.checked_add(1) {
+                            Some(c) => cursor = c,
+                            None => return collected,
+                        }
                     }
                     if collected == count || next.is_null() {
                         return collected;
@@ -74,5 +84,114 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use euno_htm::{ConcurrentMap, Runtime, TxWord};
+
+    use crate::node::NodeRef;
+    use crate::tree::EunoBTreeDefault;
+
+    #[test]
+    fn cursor_guarantees_progress_at_top_of_keyspace() {
+        // Regression for the saturating_add cursor: a record at u64::MAX
+        // (forged here — the public API caps keys below the sentinel, but
+        // corrupted input must degrade to a bounded scan, not a livelock)
+        // pinned the cursor, so any revisit of a leaf after the top key
+        // was delivered re-delivered it forever. Simulate the adversarial
+        // revisit by making the leaf its own chain successor: pre-fix the
+        // scan loops re-delivering u64::MAX; post-fix it terminates after
+        // delivering each record exactly once.
+        let rt = Runtime::new_virtual();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        let mut ctx = rt.thread(1);
+        t.put(&mut ctx, 10, 100);
+        let leaf = unsafe { NodeRef::from_word(t.root_bits()).as_leaf::<4, 4>() };
+        // Forge a record at the top of the keyspace and a self-loop hop.
+        ctx.htm_execute(t.fallback_cell(), t.strategy(), |tx| {
+            leaf.segs[1].insert(tx, u64::MAX, 7)?;
+            Ok(())
+        });
+        leaf.next.store_plain(NodeRef::of_leaf(leaf).to_word());
+        let mut out = Vec::new();
+        let n = t.scan_chain(&mut ctx, 0, usize::MAX, &mut out);
+        assert_eq!(n, 2, "each record delivered exactly once: {out:?}");
+        assert_eq!(out, vec![(10, 100), (u64::MAX, 7)]);
+        // Un-forge the chain so drop-time audits see a sane tree.
+        leaf.next.store_plain(0);
+    }
+
+    #[test]
+    fn scan_from_top_of_keyspace_is_empty() {
+        let rt = Runtime::new_virtual();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        let mut ctx = rt.thread(1);
+        for k in 0..200u64 {
+            t.put(&mut ctx, k, k);
+        }
+        let mut out = Vec::new();
+        assert_eq!(t.scan(&mut ctx, u64::MAX, 10, &mut out), 0);
+        assert!(out.is_empty());
+        // The topmost insertable key is still delivered, once.
+        t.put(&mut ctx, u64::MAX - 1, 42);
+        assert_eq!(t.scan(&mut ctx, u64::MAX - 1, 10, &mut out), 1);
+        assert_eq!(out, vec![(u64::MAX - 1, 42)]);
+    }
+
+    #[test]
+    fn split_during_scan_stays_sorted_and_duplicate_free() {
+        // Concurrent splits force the seqno-mismatch retry path mid-scan;
+        // the cursor must make every emitted run strictly ascending (no
+        // re-delivery after a re-find) with values from the writers' set.
+        let rt = Runtime::new_concurrent();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        {
+            let mut ctx = rt.thread(0);
+            for k in (0..4_000u64).step_by(4) {
+                t.put(&mut ctx, k, k);
+            }
+        }
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for w in 0..2u64 {
+                let (t, stop) = (&t, &stop);
+                let rt = Arc::clone(&rt);
+                s.spawn(move || {
+                    let mut ctx = rt.thread(10 + w);
+                    let mut k = w + 1;
+                    // Dense inserts into the gaps keep splitting leaves
+                    // under the scanners.
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        t.put(&mut ctx, k % 4_000, k);
+                        k += if k % 4 == 3 { 2 } else { 1 };
+                    }
+                });
+            }
+            for r in 0..2u64 {
+                let t = &t;
+                let rt = Arc::clone(&rt);
+                s.spawn(move || {
+                    let mut ctx = rt.thread(20 + r);
+                    let mut out = Vec::new();
+                    for i in 0..200u64 {
+                        out.clear();
+                        let from = (i * 37) % 3_000;
+                        let n = t.scan(&mut ctx, from, 64, &mut out);
+                        assert_eq!(n, out.len());
+                        assert!(
+                            out.windows(2).all(|w| w[0].0 < w[1].0),
+                            "scan output must be strictly ascending"
+                        );
+                        assert!(out.iter().all(|&(k, _)| k >= from));
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
     }
 }

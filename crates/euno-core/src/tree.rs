@@ -239,6 +239,12 @@ impl<const SEGS: usize, const K: usize> ConcurrentMap for EunoBTree<SEGS, K> {
         self.scan_chain(ctx, from, count, out)
     }
 
+    fn maintain(&self, ctx: &mut ThreadCtx) -> u64 {
+        // The inherent method (crate::rebalance) takes precedence in
+        // method resolution, so this is not a recursive call.
+        self.maintain(ctx) as u64
+    }
+
     fn name(&self) -> &'static str {
         "Euno-B+Tree"
     }

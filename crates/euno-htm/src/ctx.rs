@@ -21,6 +21,7 @@ use euno_rng::{Rng, SmallRng};
 
 use crate::abort::{AbortCause, ConflictInfo, ConflictKind, TxResult};
 use crate::line::{LineId, LineSet};
+use crate::obs::{OpKind, OpObserver, OpOutput};
 use crate::runtime::{EpisodeRecord, Mode, Runtime};
 use crate::stats::ThreadStats;
 use crate::word::{TxCell, TxWord};
@@ -93,6 +94,8 @@ pub struct ThreadCtx {
     pub stats: ThreadStats,
     pub(crate) rng: SmallRng,
     ep: Option<Box<EpisodeState>>,
+    /// Optional operation-history observer (see [`crate::obs`]).
+    obs: Option<Box<dyn OpObserver>>,
 }
 
 impl ThreadCtx {
@@ -104,6 +107,34 @@ impl ThreadCtx {
             stats: ThreadStats::default(),
             rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             ep: None,
+            obs: None,
+        }
+    }
+
+    /// Install an operation-history observer (replacing any previous one).
+    pub fn set_op_observer(&mut self, obs: Box<dyn OpObserver>) {
+        self.obs = Some(obs);
+    }
+
+    /// Remove and return the installed observer, if any. Dropping the
+    /// context also drops (and thereby flushes) the observer.
+    pub fn take_op_observer(&mut self) -> Option<Box<dyn OpObserver>> {
+        self.obs.take()
+    }
+
+    /// Announce an operation invocation to the observer, if installed.
+    #[inline]
+    pub fn observe_invoke(&mut self, kind: OpKind, key: u64, arg: u64) {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.on_invoke(self.id, kind, key, arg);
+        }
+    }
+
+    /// Announce the last invoked operation's response to the observer.
+    #[inline]
+    pub fn observe_response(&mut self, output: OpOutput) {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.on_response(self.id, output);
         }
     }
 
@@ -121,6 +152,17 @@ impl ThreadCtx {
     #[inline]
     pub fn charge(&mut self, cycles: u64) {
         self.clock += cycles;
+    }
+
+    /// Account one *failed* CAS attempt without touching memory: the
+    /// virtual-time lock paths never execute the losing CASes a concurrent
+    /// spinner issues (the hold-time model skips straight to the release
+    /// point), so they charge the attempt explicitly to keep `cas_ops` and
+    /// cycle accounting symmetric across modes.
+    #[inline]
+    pub fn charge_cas_miss(&mut self) {
+        self.stats.cas_ops += 1;
+        self.clock += self.rt.cost.cas;
     }
 
     /// Deterministic per-thread random source (write scheduler, backoff
@@ -623,11 +665,9 @@ impl ThreadCtx {
     pub(crate) fn fb_wait_free(&mut self, fb: &TxCell<u64>) {
         match self.rt.mode() {
             Mode::Concurrent => {
-                let spin = self.rt.cost.spin_iter;
+                let mut backoff = crate::lock::SpinBackoff::new();
                 while fb.raw().load(Ordering::Acquire) != 0 {
-                    self.clock += spin;
-                    self.stats.cycles_lock_wait += spin;
-                    std::hint::spin_loop();
+                    backoff.pause(self);
                 }
             }
             Mode::Virtual => {
@@ -668,18 +708,17 @@ impl ThreadCtx {
     pub(crate) fn fb_acquire(&mut self, fb: &TxCell<u64>) {
         match self.rt.mode() {
             Mode::Concurrent => {
-                let spin = self.rt.cost.spin_iter;
+                let mut backoff = crate::lock::SpinBackoff::new();
                 loop {
-                    if fb
-                        .raw()
-                        .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
+                    if fb.raw().load(Ordering::Acquire) == 0
+                        && fb
+                            .raw()
+                            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
                     {
                         break;
                     }
-                    self.clock += spin;
-                    self.stats.cycles_lock_wait += spin;
-                    std::hint::spin_loop();
+                    backoff.pause(self);
                 }
                 // Quiesce in-flight commits: any committer that validated
                 // before our CAS may still be applying its write buffer;
@@ -697,6 +736,8 @@ impl ThreadCtx {
                     self.stats.cycles_lock_wait += free_at - self.clock;
                     self.clock = free_at;
                 }
+                // The winning CAS a concurrent acquirer would issue.
+                self.stats.cas_ops += 1;
                 self.charge(self.rt.cost.lock_acquire);
                 fb.raw().store(1, Ordering::Release);
             }

@@ -49,6 +49,7 @@ pub mod hw;
 pub mod line;
 pub mod lock;
 pub mod map;
+pub mod obs;
 pub mod policy;
 pub mod runtime;
 pub mod stats;
@@ -63,8 +64,9 @@ pub use exec::{
     RetryStrategy, StatsObserver,
 };
 pub use line::{LineClass, LineId, LineSet, CACHE_LINE_BYTES};
-pub use lock::{AdvisoryLock, AtomicBitVector, BitLockVector, ControlBlock};
+pub use lock::{AdvisoryLock, AtomicBitVector, BitLockVector, ControlBlock, SpinBackoff};
 pub use map::{ConcurrentMap, MemoryReport, KEY_SENTINEL, TOMBSTONE};
+pub use obs::{OpKind, OpObserver, OpOutput};
 pub use policy::{RetryCounts, RetryPolicy};
 pub use runtime::{Mode, Runtime};
 pub use stats::{AbortCounts, AggregateStats, ThreadStats};

@@ -11,6 +11,56 @@ use crate::ctx::ThreadCtx;
 use crate::runtime::{lock_key_for_bit, Mode};
 use crate::word::TxCell;
 
+/// Bounded exponential backoff for concurrent-mode spin loops.
+///
+/// Unbounded tight spinning is the software edition of the paper's §3
+/// *lemming effect*: every waiter hammers the lock line, the holder's
+/// release gets starved of coherence bandwidth, and the convoy feeds
+/// itself. Each [`pause`](SpinBackoff::pause) doubles the wait up to
+/// `spin_iter · 2^MAX_EXPONENT` cycles; once capped, the waiter also
+/// yields the OS thread so an unscheduled holder can run. All waited
+/// cycles are charged to the thread clock and `cycles_lock_wait`, exactly
+/// like the virtual-mode hold-time model.
+pub struct SpinBackoff {
+    exponent: u32,
+}
+
+impl SpinBackoff {
+    /// Backoff doubling stops at `spin_iter << MAX_EXPONENT` cycles.
+    pub const MAX_EXPONENT: u32 = 6;
+
+    pub fn new() -> Self {
+        SpinBackoff { exponent: 0 }
+    }
+
+    /// Current doubling level (diagnostics/tests).
+    pub fn exponent(&self) -> u32 {
+        self.exponent
+    }
+
+    /// Wait one backoff step, charging the cycles to `ctx`.
+    pub fn pause(&mut self, ctx: &mut ThreadCtx) {
+        let unit = ctx.runtime().cost.spin_iter.max(1);
+        let iters = unit << self.exponent;
+        ctx.charge(iters);
+        ctx.stats.cycles_lock_wait += iters;
+        for _ in 0..iters {
+            std::hint::spin_loop();
+        }
+        if self.exponent < Self::MAX_EXPONENT {
+            self.exponent += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Default for SpinBackoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A word-sized advisory spinlock (the paper's per-leaf "split lock").
 pub struct AdvisoryLock {
     cell: TxCell<u64>,
@@ -34,22 +84,31 @@ impl AdvisoryLock {
         self.cell.raw_ptr() as u64
     }
 
-    /// Blocking acquire.
+    /// Blocking acquire. Concurrent mode test-and-test-and-sets with
+    /// bounded exponential backoff ([`SpinBackoff`]); virtual mode charges
+    /// the wait until the holder's modeled release time plus one losing
+    /// CAS observation, so both modes account a contended acquisition the
+    /// same way.
     pub fn acquire(&self, ctx: &mut ThreadCtx) {
         match ctx.mode() {
             Mode::Concurrent => {
-                let spin = ctx.runtime().cost.spin_iter;
-                while !self.cell.cas_direct(ctx, 0, 1) {
-                    ctx.charge(spin);
-                    ctx.stats.cycles_lock_wait += spin;
-                    std::hint::spin_loop();
+                let mut backoff = SpinBackoff::new();
+                loop {
+                    if self.cell.load_direct(ctx) == 0 && self.cell.cas_direct(ctx, 0, 1) {
+                        return;
+                    }
+                    backoff.pause(ctx);
                 }
             }
             Mode::Virtual => {
                 let free_at = ctx.runtime().vlock_free_at(self.key(), ctx.clock);
                 if free_at > ctx.clock {
-                    ctx.stats.cycles_lock_wait += free_at - ctx.clock;
-                    ctx.clock = free_at;
+                    // The losing CAS advances the clock too; only the
+                    // residual gap to the release time is spent waiting.
+                    ctx.charge_cas_miss();
+                    let wait = free_at.saturating_sub(ctx.clock);
+                    ctx.stats.cycles_lock_wait += wait;
+                    ctx.clock += wait;
                 }
                 let ok = self.cell.cas_direct(ctx, 0, 1);
                 debug_assert!(ok, "virtual lock must be free after its hold time");
@@ -57,14 +116,16 @@ impl AdvisoryLock {
         }
     }
 
-    /// Non-blocking acquire; returns whether the lock was taken.
+    /// Non-blocking acquire; returns whether the lock was taken. Both the
+    /// success and the failure path cost exactly one CAS in both modes.
     pub fn try_acquire(&self, ctx: &mut ThreadCtx) -> bool {
         match ctx.mode() {
             Mode::Concurrent => self.cell.cas_direct(ctx, 0, 1),
             Mode::Virtual => {
                 let free_at = ctx.runtime().vlock_free_at(self.key(), ctx.clock);
                 if free_at > ctx.clock {
-                    ctx.charge(ctx.runtime().cost.cas);
+                    // The CAS a concurrent acquirer would lose.
+                    ctx.charge_cas_miss();
                     false
                 } else {
                     self.cell.cas_direct(ctx, 0, 1)
@@ -154,26 +215,31 @@ impl BitLockVector {
     }
 
     /// Blocking acquire of one slot's lock bit (Algorithm 2 lines 30-31).
+    /// Contended concurrent acquisitions back off like [`AdvisoryLock`]:
+    /// the word is re-tested before each `fetch_or` so waiters don't keep
+    /// dirtying a line shared by up to 64 independent locks.
     pub fn acquire(&self, ctx: &mut ThreadCtx, slot: usize) {
         let (word, mask, key) = self.locate(slot);
         match ctx.mode() {
             Mode::Concurrent => {
-                let spin = ctx.runtime().cost.spin_iter;
+                let mut backoff = SpinBackoff::new();
                 loop {
-                    let prev = word.fetch_or_direct(ctx, mask);
-                    if prev & mask == 0 {
-                        return;
+                    if word.load_direct(ctx) & mask == 0 {
+                        let prev = word.fetch_or_direct(ctx, mask);
+                        if prev & mask == 0 {
+                            return;
+                        }
                     }
-                    ctx.charge(spin);
-                    ctx.stats.cycles_lock_wait += spin;
-                    std::hint::spin_loop();
+                    backoff.pause(ctx);
                 }
             }
             Mode::Virtual => {
                 let free_at = ctx.runtime().vlock_free_at(key, ctx.clock);
                 if free_at > ctx.clock {
-                    ctx.stats.cycles_lock_wait += free_at - ctx.clock;
-                    ctx.clock = free_at;
+                    ctx.charge_cas_miss();
+                    let wait = free_at.saturating_sub(ctx.clock);
+                    ctx.stats.cycles_lock_wait += wait;
+                    ctx.clock += wait;
                 }
                 let prev = word.fetch_or_direct(ctx, mask);
                 debug_assert_eq!(prev & mask, 0, "virtual bit lock must be free");
@@ -403,5 +469,100 @@ mod tests {
         let mut ctx = rt.thread(0);
         let v = AtomicBitVector::new(10);
         v.get(&mut ctx, 10);
+    }
+
+    #[test]
+    fn spin_backoff_is_bounded_and_charged() {
+        let rt = Runtime::new_concurrent();
+        let mut ctx = rt.thread(0);
+        let unit = rt.cost.spin_iter.max(1);
+        let mut b = SpinBackoff::new();
+        let mut expected = 0u64;
+        // Doubling stops at MAX_EXPONENT; pausing beyond it stays capped.
+        for i in 0..(SpinBackoff::MAX_EXPONENT + 4) {
+            let before = ctx.clock;
+            b.pause(&mut ctx);
+            let step = ctx.clock - before;
+            expected += step;
+            assert_eq!(step, unit << i.min(SpinBackoff::MAX_EXPONENT));
+            assert!(b.exponent() <= SpinBackoff::MAX_EXPONENT);
+        }
+        assert_eq!(ctx.stats.cycles_lock_wait, expected);
+    }
+
+    #[test]
+    fn contended_concurrent_acquire_backs_off_not_convoys() {
+        // A long-held lock must not cost the waiter one CAS per spin
+        // iteration: with test-and-test-and-set + backoff the number of
+        // CAS attempts stays tiny while the waited cycles accumulate in
+        // cycles_lock_wait.
+        let rt = Runtime::new_concurrent();
+        let l = AdvisoryLock::new();
+        std::thread::scope(|s| {
+            let mut holder = rt.thread(0);
+            l.acquire(&mut holder);
+            let l = &l;
+            let rt2 = std::sync::Arc::clone(&rt);
+            let waiter = s.spawn(move || {
+                let mut ctx = rt2.thread(1);
+                l.acquire(&mut ctx);
+                l.release(&mut ctx);
+                ctx.stats
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            l.release(&mut holder);
+            let stats = waiter.join().unwrap();
+            assert!(stats.cycles_lock_wait > 0, "wait cycles accounted");
+            // 20 ms of tight CAS spinning would be millions of attempts;
+            // backoff keeps it to one per pause, and the pause lengths
+            // double, so the count stays small relative to the wait.
+            assert!(
+                stats.cas_ops < 1 + stats.cycles_lock_wait / rt.cost.spin_iter.max(1),
+                "cas_ops = {}, cycles_lock_wait = {}",
+                stats.cas_ops,
+                stats.cycles_lock_wait
+            );
+        });
+    }
+
+    #[test]
+    fn cas_charging_symmetric_across_paths() {
+        // Regression: the virtual failure path of try_acquire charged
+        // cycles without counting the CAS, and contended virtual acquires
+        // skipped the losing CAS entirely, so policy figures undercounted
+        // CAS traffic relative to concurrent mode.
+        let rt = Runtime::new_virtual();
+        let mut a = rt.thread(0);
+        let mut b = rt.thread(1);
+        let l = AdvisoryLock::new();
+
+        // Uncontended try_acquire: exactly one CAS.
+        assert!(l.try_acquire(&mut a));
+        assert_eq!(a.stats.cas_ops, 1);
+        a.charge(5_000);
+        l.release(&mut a);
+
+        // Failing try_acquire while virtually held: also exactly one CAS.
+        let before = b.stats.cas_ops;
+        assert!(!l.try_acquire(&mut b));
+        assert_eq!(b.stats.cas_ops, before + 1, "failed CAS must be counted");
+
+        // Contended blocking acquire: one losing + one winning CAS.
+        let before = b.stats.cas_ops;
+        l.acquire(&mut b);
+        assert_eq!(b.stats.cas_ops, before + 2);
+        l.release(&mut b);
+
+        // Bit locks follow the same rule.
+        let v = BitLockVector::new(8);
+        let mut c = rt.thread(2);
+        v.acquire(&mut a, 3);
+        a.charge(5_000);
+        v.release(&mut a, 3);
+        let before = c.stats.cas_ops;
+        v.acquire(&mut c, 3); // must wait out the virtual hold
+        assert!(c.stats.cycles_lock_wait > 0);
+        assert_eq!(c.stats.cas_ops, before + 2, "losing + winning CAS");
+        v.release(&mut c, 3);
     }
 }

@@ -34,6 +34,14 @@ pub trait ConcurrentMap: Send + Sync {
         out: &mut Vec<(u64, u64)>,
     ) -> usize;
 
+    /// Run one structural-maintenance pass (deferred rebalancing, garbage
+    /// sweeps) and return how many structural changes it made. Maintenance
+    /// must be a no-op on the abstract map contents. Trees without a
+    /// maintenance concept keep the default.
+    fn maintain(&self, _ctx: &mut ThreadCtx) -> u64 {
+        0
+    }
+
     /// Human-readable system name for benchmark tables.
     fn name(&self) -> &'static str;
 

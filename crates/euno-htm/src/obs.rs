@@ -1,0 +1,50 @@
+//! Operation-history observer hooks.
+//!
+//! The correctness subsystem (`euno-check`) validates real-thread runs by
+//! recording every client-level operation as an *invocation/response* pair
+//! and replaying the history against a sequential model. The engine knows
+//! nothing about trees or checkers — it only offers a per-thread hook:
+//! a driver installs an [`OpObserver`] on its [`ThreadCtx`](crate::ThreadCtx)
+//! and brackets each map operation with
+//! [`observe_invoke`](crate::ThreadCtx::observe_invoke) /
+//! [`observe_response`](crate::ThreadCtx::observe_response). With no
+//! observer installed both calls are a branch and a return, so the hooks
+//! can stay in harness code permanently.
+
+/// The client-level operation kinds a history can contain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    Get,
+    Put,
+    Delete,
+    Scan,
+    /// A deferred-rebalance sweep — structurally significant but a no-op
+    /// on the abstract map (checkers verify it *preserves* the state).
+    Maintain,
+}
+
+/// The value an operation returned to the client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpOutput {
+    /// `get`/`put`/`delete`: the (previous) value, if any.
+    Value(Option<u64>),
+    /// `scan`: the records delivered, in delivery order.
+    Scan(Vec<(u64, u64)>),
+    /// `maintain` and other counters (merges performed).
+    Count(u64),
+}
+
+/// Receives invocation/response events for one thread's operations.
+///
+/// Implementations are installed per [`ThreadCtx`](crate::ThreadCtx), so
+/// they need no internal synchronization beyond what their own storage
+/// requires; `Send` is required because contexts move onto OS threads.
+pub trait OpObserver: Send {
+    /// An operation is about to start. `key` is its target key (for scans,
+    /// the range start) and `arg` its second argument (put value / scan
+    /// count), 0 otherwise.
+    fn on_invoke(&mut self, thread: u32, kind: OpKind, key: u64, arg: u64);
+
+    /// The operation that the last `on_invoke` announced has returned.
+    fn on_response(&mut self, thread: u32, output: OpOutput);
+}

@@ -26,3 +26,12 @@ cargo run --release -q -p euno-bench --bin fig08_throughput -- \
 cargo run --release -q -p euno-bench --bin report_check -- \
     "$SMOKE/BENCH_fig08.json"
 echo "smoke-bench report OK"
+
+# Concurrent-correctness stage: real threads, recorded histories, the
+# linearizability oracle, and structural audits over all four trees.
+# Fixed seed for reproducibility; the wall-clock cap keeps the stage
+# time-boxed (~5 s of traffic) on slow machines.  On violation the stress
+# binary exits nonzero and prints the reproducing command line.
+cargo run --release -q -p euno-check --bin stress -- \
+    --threads 4 --ops 8000 --seed 20170204 --keys 512 --duration 5
+echo "stress + linearizability check OK"

@@ -9,7 +9,9 @@
 //! * [`tree`] — Euno-B+Tree, the paper's contribution,
 //! * [`baselines`] — HTM-B+Tree, Masstree, HTM-Masstree comparators,
 //! * [`workloads`] — YCSB-style key distributions and op mixes,
-//! * [`sim`] — the virtual-time experiment harness.
+//! * [`sim`] — the virtual-time experiment harness,
+//! * [`check`] — history recording, the linearizability oracle, and the
+//!   real-thread stress harness.
 //!
 //! ```
 //! use eunomia::prelude::*;
@@ -23,6 +25,7 @@
 //! ```
 
 pub use euno_baselines as baselines;
+pub use euno_check as check;
 pub use euno_core as tree;
 pub use euno_htm as htm;
 pub use euno_sim as sim;
@@ -31,6 +34,7 @@ pub use euno_workloads as workloads;
 /// The names almost every user of this workspace needs.
 pub mod prelude {
     pub use euno_baselines::{HtmBTree, HtmMasstree, Masstree};
+    pub use euno_check::{StressConfig, StressReport, Verdict};
     pub use euno_core::{EunoBTree, EunoBTreeDefault, EunoBTreeUnpartitioned, EunoConfig};
     pub use euno_htm::{ConcurrentMap, CostModel, Mode, Runtime, ThreadCtx};
     pub use euno_sim::{

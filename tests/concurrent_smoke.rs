@@ -1,0 +1,127 @@
+//! Repo-level `Mode::Concurrent` smoke: every tree runs all five client
+//! operations under real threads *with the full correctness subsystem
+//! attached* — recorded histories through the linearizability oracle and
+//! (for Euno) the structural audits. This is the cheap always-on version
+//! of `scripts/check.sh`'s stress stage.
+
+use std::sync::Arc;
+
+use eunomia::check::{run_all, SeqnoWatch, StressConfig};
+use eunomia::prelude::*;
+
+#[test]
+fn checked_stress_smoke_every_tree() {
+    let cfg = StressConfig {
+        threads: 4,
+        ops_per_thread: 600,
+        seed: 0xC0FFEE,
+        key_range: 256,
+        preload: 128,
+        ..StressConfig::default()
+    };
+    let reports = run_all(&cfg, None);
+    assert_eq!(reports.len(), 4, "all four trees must run");
+    for r in &reports {
+        assert!(
+            r.passed(),
+            "{} failed: {:?} / invariants {:?}",
+            r.tree,
+            r.verdict,
+            r.invariant_violations
+        );
+        assert!(
+            matches!(r.verdict, Verdict::Linearizable { .. }),
+            "{}: {:?}",
+            r.tree,
+            r.verdict
+        );
+    }
+}
+
+#[test]
+fn euno_audits_hold_under_heavy_delete_maintain_race() {
+    // Delete-heavy traffic plus two maintenance threads: merges race
+    // client ops and each other for the whole run — the exact shape that
+    // flushed out the dead-leaf merge bug. Seqno monotonicity and the
+    // quiescent structural audit must stay clean.
+    let rt = Runtime::new_concurrent();
+    let tree = EunoBTreeDefault::new(Arc::clone(&rt));
+    {
+        let mut ctx = rt.thread(0);
+        for k in 0..3_000u64 {
+            tree.put(&mut ctx, k, k + 5);
+        }
+        for k in 0..3_000u64 {
+            if k % 4 != 0 {
+                tree.delete(&mut ctx, k);
+            }
+        }
+    }
+    let mut watch = SeqnoWatch::new();
+    watch.observe(&tree.leaf_seqnos_plain());
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for tid in 0..3u64 {
+            let tree = &tree;
+            let mut ctx = rt.thread(10 + tid);
+            workers.push(s.spawn(move || {
+                for i in 0..1_500u64 {
+                    let key = (i * 11 + tid * 401) % 3_000;
+                    match i % 3 {
+                        0 => {
+                            tree.delete(&mut ctx, key);
+                        }
+                        1 => {
+                            tree.put(&mut ctx, key, (tid << 40) | i);
+                        }
+                        _ => {
+                            tree.get(&mut ctx, key);
+                        }
+                    }
+                }
+            }));
+        }
+        for m in 0..2u64 {
+            let tree = &tree;
+            let stop = &stop;
+            let mut ctx = rt.thread(20 + m);
+            s.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    tree.maintain(&mut ctx);
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            });
+        }
+        let watcher = {
+            let tree = &tree;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut snaps = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    snaps.push(tree.leaf_seqnos_plain());
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                snaps
+            })
+        };
+        for w in workers {
+            w.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for snap in watcher.join().unwrap() {
+            watch.observe(&snap);
+        }
+    });
+    watch.observe(&tree.leaf_seqnos_plain());
+    assert!(
+        watch.violations().is_empty(),
+        "seqno monotonicity violated: {:?}",
+        watch.violations()
+    );
+    assert_eq!(
+        tree.audit_quiescent(),
+        Vec::<String>::new(),
+        "structural audit failed after delete/maintain race"
+    );
+}
