@@ -16,7 +16,8 @@ fn main() {
     let mut points = Vec::new();
     for &theta in &thetas {
         let spec = cli.spec(theta);
-        let m = measure(System::HtmBTree, &spec, &cfg);
+        let mut m = measure(System::HtmBTree, &spec, &cfg);
+        cli.post_cell(&mut m);
         eprintln!(
             "θ={theta:<4}  {:>8.2} Mops/s  {:>7.2} aborts/op  {:>5.1}% cycles wasted",
             m.mops(),

@@ -23,7 +23,8 @@ fn main() {
     let mut points = Vec::new();
     for theta in [0.5, 0.6, 0.7, 0.8, 0.9, 0.99] {
         let spec = cli.spec(theta);
-        let m = measure(System::HtmBTree, &spec, &cfg);
+        let mut m = measure(System::HtmBTree, &spec, &cfg);
+        cli.post_cell(&mut m);
         let conflicts = m.aborts.conflicts().max(1) as f64;
         let pct = |n: u64| 100.0 * n as f64 / conflicts;
         println!(

@@ -18,7 +18,8 @@ fn main() {
     for &theta in &thetas {
         let spec = cli.spec(theta);
         for system in System::MAIN_FOUR {
-            let m = measure(system, &spec, &cfg);
+            let mut m = measure(system, &spec, &cfg);
+            cli.post_cell(&mut m);
             eprintln!(
                 "θ={theta:<4} {:<14} {:>8.2} Mops/s",
                 system.label(),

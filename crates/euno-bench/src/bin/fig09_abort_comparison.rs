@@ -16,7 +16,8 @@ fn main() {
     for theta in [0.5, 0.6, 0.7, 0.8, 0.9, 0.99] {
         let spec = cli.spec(theta);
         for system in [System::HtmBTree, System::EunoBTree] {
-            let m = measure(system, &spec, &cfg);
+            let mut m = measure(system, &spec, &cfg);
+            cli.post_cell(&mut m);
             let ops = m.total_ops.max(1) as f64;
             eprintln!(
                 "θ={theta:<4} {:<12} {:>7.2} aborts/op (true {:>5.2}, falseRec {:>5.2}, meta {:>5.2})",

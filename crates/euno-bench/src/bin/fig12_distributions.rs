@@ -40,7 +40,8 @@ fn main() {
                 cfg.ops_per_thread = ops;
             }
             for system in System::MAIN_FOUR {
-                let m = measure(system, &spec, &cfg);
+                let mut m = measure(system, &spec, &cfg);
+                cli.post_cell(&mut m);
                 eprintln!(
                     "{name:<13} threads={threads:<2} {:<14} {:>8.2} Mops/s",
                     system.label(),

@@ -31,7 +31,8 @@ fn main() {
         println!("{:<16} {:>10} {:>10}", "variant", "Mops/s", "relative");
         let mut baseline = f64::NAN;
         for system in ladder {
-            let m = measure(system, &spec, &cfg);
+            let mut m = measure(system, &spec, &cfg);
+            cli.post_cell(&mut m);
             if system == System::HtmBTree {
                 baseline = m.mops();
             }

@@ -13,12 +13,13 @@ use euno_htm::Runtime;
 use euno_sim::{preload, run_virtual, RunConfig};
 use euno_workloads::{KeyDistribution, OpMix, WorkloadSpec};
 
-fn run_one(label: &str, spec: &WorkloadSpec, cfg: &RunConfig) -> Point {
+fn run_one(cli: &Cli, label: &str, spec: &WorkloadSpec, cfg: &RunConfig) -> Point {
     let rt = Runtime::new_virtual();
     let map = System::EunoBTree.build(&rt);
     preload(map.as_ref(), &rt, spec);
     rt.reset_dynamics();
-    let metrics = run_virtual(map.as_ref(), &rt, spec, cfg);
+    let mut metrics = run_virtual(map.as_ref(), &rt, spec, cfg);
+    cli.post_cell(&mut metrics);
     let m = map.memory();
     println!(
         "{label:<28} structural {:>9} B  ccm {:>8} B  reserved live/peak {:>8}/{:>8} B  overhead {:>5.2}%",
@@ -46,7 +47,7 @@ fn main() {
     println!("== §5.7a: memory overhead vs contention rate ==");
     for theta in [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.99] {
         let spec = cli.spec(theta);
-        points.push(run_one(&format!("zipfian θ={theta}"), &spec, &cfg));
+        points.push(run_one(&cli, &format!("zipfian θ={theta}"), &spec, &cfg));
     }
 
     println!("\n== §5.7b: memory overhead vs get/put ratio (θ=0.9) ==");
@@ -55,7 +56,7 @@ fn main() {
             mix: OpMix::get_put(g),
             ..cli.spec(0.9)
         };
-        points.push(run_one(&format!("get/put {g}/{p}"), &spec, &cfg));
+        points.push(run_one(&cli, &format!("get/put {g}/{p}"), &spec, &cfg));
     }
 
     println!("\n== §5.7c: memory overhead vs input distribution ==");
@@ -68,7 +69,7 @@ fn main() {
             dist,
             ..cli.spec(0.0)
         };
-        points.push(run_one(name, &spec, &cfg));
+        points.push(run_one(&cli, name, &spec, &cfg));
     }
 
     if let Some(csv) = &cli.csv {

@@ -1,20 +1,30 @@
-//! Validate `BENCH_*.json` run reports against the DESIGN.md §11 schema.
+//! Validate `BENCH_*.json` run reports against the DESIGN.md §11 schema,
+//! and (with `--trace`) Chrome trace-event exports against the DESIGN.md
+//! §13 contract.
 //!
 //! ```sh
 //! cargo run --release -p euno-bench --bin report_check -- results/BENCH_*.json
+//! cargo run --release -p euno-bench --bin report_check -- --trace results/trace.json
 //! ```
 //!
-//! Exits non-zero on the first malformed report; `scripts/bench.sh` and
+//! Exits non-zero on the first malformed file; `scripts/bench.sh` and
 //! the `scripts/check.sh` smoke stage run this over everything they emit,
 //! so a schema drift fails CI instead of silently producing unreadable
 //! telemetry.
 
-use euno_sim::{validate_report, Json};
+use euno_sim::{validate_chrome_trace, validate_report, Json};
 
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_mode = false;
+    let mut paths: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--trace" => trace_mode = true,
+            _ => paths.push(a),
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: report_check <BENCH_*.json>...");
+        eprintln!("usage: report_check [--trace] <file.json>...");
         std::process::exit(2);
     }
     let mut failed = false;
@@ -27,6 +37,23 @@ fn main() {
                 continue;
             }
         };
+        if trace_mode {
+            match validate_chrome_trace(&text) {
+                Ok(()) => {
+                    let doc = Json::parse(&text).expect("validated implies parseable");
+                    let events = doc
+                        .get("traceEvents")
+                        .and_then(Json::as_arr)
+                        .map_or(0, <[Json]>::len);
+                    println!("ok   {path}: chrome trace, {events} events");
+                }
+                Err(e) => {
+                    eprintln!("FAIL {path}: {e}");
+                    failed = true;
+                }
+            }
+            continue;
+        }
         match validate_report(&text) {
             Ok(()) => {
                 // Headline line so bench.sh logs double as a summary.
@@ -35,9 +62,12 @@ fn main() {
                     .get("runs")
                     .and_then(Json::as_arr)
                     .map_or(0, <[Json]>::len);
+                let profiled = doc.get("runs").and_then(Json::as_arr).map_or(0, |rs| {
+                    rs.iter().filter(|r| r.get("profile").is_some()).count()
+                });
                 let figure = doc.get("figure").and_then(Json::as_str).unwrap_or("?");
                 let git = doc.get("git").and_then(Json::as_str).unwrap_or("?");
-                println!("ok   {path}: figure={figure} runs={runs} git={git}");
+                println!("ok   {path}: figure={figure} runs={runs} profiled={profiled} git={git}");
             }
             Err(e) => {
                 eprintln!("FAIL {path}: {e}");

@@ -18,12 +18,15 @@ fn measure_with(
     cost: CostModel,
     spec: &WorkloadSpec,
     cfg: &RunConfig,
+    cli: &Cli,
 ) -> RunMetrics {
     let rt = Runtime::new(Mode::Virtual, cost);
     let map = system.build_with_strategy(&rt, strategy_for(spec.policy));
     preload(map.as_ref(), &rt, spec);
     rt.reset_dynamics();
-    run_virtual(map.as_ref(), &rt, spec, cfg)
+    let mut m = run_virtual(map.as_ref(), &rt, spec, cfg);
+    cli.post_cell(&mut m);
+    m
 }
 
 fn main() {
@@ -55,9 +58,9 @@ fn main() {
             line_transfer: transfer,
             ..CostModel::default()
         };
-        let euno = measure_with(System::EunoBTree, cost.clone(), &high, &cfg);
-        let htm = measure_with(System::HtmBTree, cost.clone(), &high, &cfg);
-        let mt = measure_with(System::Masstree, cost.clone(), &high, &cfg);
+        let euno = measure_with(System::EunoBTree, cost.clone(), &high, &cfg, &cli);
+        let htm = measure_with(System::HtmBTree, cost.clone(), &high, &cfg, &cli);
+        let mt = measure_with(System::Masstree, cost.clone(), &high, &cfg, &cli);
         println!(
             "{transfer:>10} {:>12.2} {:>12.2} {:>12.2} {:>9.1}x",
             euno.mops(),
@@ -109,8 +112,8 @@ fn main() {
             backoff_cap: cap,
             ..CostModel::default()
         };
-        let euno = measure_with(System::EunoBTree, cost.clone(), &high, &cfg);
-        let htm = measure_with(System::HtmBTree, cost.clone(), &high, &cfg);
+        let euno = measure_with(System::EunoBTree, cost.clone(), &high, &cfg, &cli);
+        let htm = measure_with(System::HtmBTree, cost.clone(), &high, &cfg, &cli);
         println!(
             "{cap:>10} {:>12.2} {:>12.2} {:>9.1}x",
             euno.mops(),
@@ -148,8 +151,8 @@ fn main() {
             line_transfer: transfer,
             ..CostModel::default()
         };
-        let euno = measure_with(System::EunoBTree, cost.clone(), &low, &cfg);
-        let htm = measure_with(System::HtmBTree, cost.clone(), &low, &cfg);
+        let euno = measure_with(System::EunoBTree, cost.clone(), &low, &cfg, &cli);
+        let htm = measure_with(System::HtmBTree, cost.clone(), &low, &cfg, &cli);
         println!(
             "transfer={transfer:<4} Euno {:>8.2} vs HTM {:>8.2}  ({:.0}% overhead)",
             euno.mops(),

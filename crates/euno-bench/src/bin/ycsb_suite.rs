@@ -31,6 +31,9 @@ fn run_ycsb(
     rt.reset_dynamics();
 
     let mut sched = VirtualScheduler::new(Arc::clone(&rt));
+    if let Some(cap) = cfg.effective_trace_capacity() {
+        sched.set_trace_capacity(cap);
+    }
     for t in 0..cfg.threads {
         let mut stream = YcsbStream::new(&spec, t as u64, cfg.threads as u64, cfg.seed);
         let mut warmup = cfg.warmup_ops;
@@ -82,7 +85,10 @@ fn run_ycsb(
             }),
         );
     }
-    (sched.run(), spec.base)
+    let mut m = sched.run();
+    euno_sim::attach_profile(&mut m, &rt, cfg);
+    cli.post_cell(&mut m);
+    (m, spec.base)
 }
 
 fn main() {

@@ -15,7 +15,8 @@ use euno_baselines::{HtmBTree, HtmMasstree, Masstree};
 use euno_core::{EunoBTree, EunoBTreeDefault, EunoBTreeUnpartitioned, EunoConfig};
 use euno_htm::{ConcurrentMap, CostModel, RetryStrategy, Runtime};
 use euno_sim::{
-    preload, report_path_for, run_virtual, strategy_for, RunConfig, RunEntry, RunMetrics, RunReport,
+    chrome_trace, folded_rollup, preload, report_path_for, run_virtual, strategy_for, RunConfig,
+    RunEntry, RunMetrics, RunReport, DEFAULT_TRACE_CAPACITY,
 };
 use euno_workloads::{PolicyChoice, WorkloadSpec};
 
@@ -173,12 +174,14 @@ pub fn fig_config(seed: u64, ops_per_thread: u64) -> RunConfig {
         ops_per_thread: scaled(ops_per_thread),
         seed,
         warmup_ops: scaled(1_000).max(4_000),
+        ..RunConfig::default()
     }
 }
 
 /// Parse the flags shared by every figure binary:
 /// `--csv <path>` / `--ops <n>` / `--threads <n>` / `--theta <f>` /
-/// `--keys <n>` / `--policy dbx|aggressive|adaptive`.
+/// `--keys <n>` / `--policy dbx|aggressive|adaptive` /
+/// `--trace <path>` / `--profile`.
 pub struct Cli {
     pub csv: Option<String>,
     pub ops_override: Option<u64>,
@@ -188,6 +191,17 @@ pub struct Cli {
     /// runs (scripts/check.sh) pass a small `--keys` to stay cheap.
     pub keys_override: Option<u64>,
     pub policy: Option<PolicyChoice>,
+    /// Export the first measured cell's event trace as Chrome trace-event
+    /// JSON to this path (plus a `<path>.folded` flamegraph rollup).
+    pub trace: Option<String>,
+    /// Build hot-leaf contention profiles; they land in the run report's
+    /// per-run `profile` sections.
+    pub profile: bool,
+    /// Per-thread ring capacity override for `--trace` runs (events).
+    /// Smoke runs pass a small value to keep the export cheap.
+    pub trace_capacity: Option<usize>,
+    /// Whether the `--trace` file has been written (first traced cell).
+    trace_exported: std::cell::Cell<bool>,
 }
 
 impl Cli {
@@ -200,6 +214,10 @@ impl Cli {
             theta_override: None,
             keys_override: None,
             policy: None,
+            trace: None,
+            profile: false,
+            trace_capacity: None,
+            trace_exported: std::cell::Cell::new(false),
         };
         fn numeric<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
             match v.as_deref().map(str::parse) {
@@ -217,6 +235,17 @@ impl Cli {
                 "--threads" => cli.threads_override = Some(numeric("--threads", args.next())),
                 "--theta" => cli.theta_override = Some(numeric("--theta", args.next())),
                 "--keys" => cli.keys_override = Some(numeric("--keys", args.next())),
+                "--trace" => match args.next() {
+                    Some(p) => cli.trace = Some(p),
+                    None => {
+                        eprintln!("--trace needs an output path");
+                        std::process::exit(2);
+                    }
+                },
+                "--profile" => cli.profile = true,
+                "--trace-capacity" => {
+                    cli.trace_capacity = Some(numeric("--trace-capacity", args.next()));
+                }
                 "--policy" => match args.next().as_deref().map(str::parse::<PolicyChoice>) {
                     Some(Ok(p)) => cli.policy = Some(p),
                     Some(Err(e)) => {
@@ -232,6 +261,9 @@ impl Cli {
                     eprintln!(
                         "flags: --csv <path>  --ops <per-thread>  --threads <n>\n\
                          \x20      --theta <f64>  --keys <range>  --policy dbx|aggressive|adaptive\n\
+                         \x20      --trace <path> (Chrome trace JSON of the first cell, + <path>.folded)\n\
+                         \x20      --trace-capacity <events> (per-thread ring size for --trace)\n\
+                         \x20      --profile (hot-leaf contention table in the run report)\n\
                          env:   EUNO_BENCH_SCALE=<f64> scales default op budgets"
                     );
                     std::process::exit(0);
@@ -248,6 +280,39 @@ impl Cli {
         }
         if let Some(t) = self.threads_override {
             cfg.threads = t;
+        }
+        cfg.profile = self.profile;
+        if self.trace.is_some() {
+            cfg.trace_capacity = self.trace_capacity.unwrap_or(DEFAULT_TRACE_CAPACITY);
+        } else if let Some(cap) = self.trace_capacity {
+            cfg.trace_capacity = cap;
+        }
+    }
+
+    /// Post-process one measured cell. The first traced cell is exported
+    /// to the `--trace` path (Chrome trace-event JSON, Perfetto-loadable)
+    /// with a `<path>.folded` flamegraph rollup next to it; then the raw
+    /// trace is dropped from the metrics so a multi-cell sweep does not
+    /// retain every cell's rings in memory. The (small) hot-leaf profile
+    /// stays on the metrics for the run report.
+    pub fn post_cell(&self, m: &mut RunMetrics) {
+        let Some(traces) = m.trace.take() else {
+            return;
+        };
+        if self.trace_exported.replace(true) {
+            return;
+        }
+        if let Some(path) = &self.trace {
+            if let Err(e) = std::fs::write(path, chrome_trace(&traces).to_pretty()) {
+                eprintln!("FAIL writing {path}: {e}");
+                std::process::exit(1);
+            }
+            let folded = format!("{path}.folded");
+            if let Err(e) = std::fs::write(&folded, folded_rollup(&traces)) {
+                eprintln!("FAIL writing {folded}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path} and {folded}");
         }
     }
 

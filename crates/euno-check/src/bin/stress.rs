@@ -4,18 +4,26 @@
 //! ```text
 //! stress [--threads N] [--ops N] [--seed N] [--keys N] [--scan-len N]
 //!        [--preload N] [--duration SECS] [--no-maintain] [--tree SUBSTR]
+//!        [--trace PATH] [--profile] [--dump-events N]
 //! ```
 //!
 //! Exits nonzero on any violation and prints the exact command line that
-//! reproduces it.
+//! reproduces it, the seqno-watch and quiescent-audit summaries, and the
+//! tail of every thread's event ring (the last `--dump-events` events,
+//! default 32) so the failing interleaving's final moments are on record.
+//!
+//! `--trace PATH` additionally exports the first run's rings as a Chrome
+//! trace-event file (plus `PATH.folded` flamegraph rollup); `--profile`
+//! prints the hot-leaf contention table per tree.
 
 use euno_check::{run_all, StressConfig, Verdict};
+use euno_trace::{chrome_trace, folded_rollup};
 
 fn usage() -> ! {
     eprintln!(
         "usage: stress [--threads N] [--ops N] [--seed N] [--keys N] \
          [--scan-len N] [--preload N] [--duration SECS] [--no-maintain] \
-         [--tree SUBSTR]"
+         [--tree SUBSTR] [--trace PATH] [--profile] [--dump-events N]"
     );
     std::process::exit(2);
 }
@@ -23,6 +31,8 @@ fn usage() -> ! {
 fn main() {
     let mut cfg = StressConfig::default();
     let mut filter: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut dump_events: usize = 32;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let num = |args: &mut dyn Iterator<Item = String>| -> u64 {
@@ -40,12 +50,20 @@ fn main() {
             "--duration" => cfg.duration_ms = num(&mut args) * 1_000,
             "--no-maintain" => cfg.maintain_thread = false,
             "--tree" => filter = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--profile" => cfg.profile = true,
+            "--dump-events" => dump_events = num(&mut args) as usize,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
                 usage();
             }
         }
+    }
+    if trace_path.is_some() || cfg.profile {
+        // A failure dump only needs the tail; exporting or profiling
+        // wants the whole run, so widen the ring.
+        cfg.trace_capacity = cfg.trace_capacity.max(euno_trace::DEFAULT_CAPACITY);
     }
 
     println!(
@@ -61,6 +79,20 @@ fn main() {
     if reports.is_empty() {
         eprintln!("no tree matches --tree filter");
         std::process::exit(2);
+    }
+
+    if let Some(path) = &trace_path {
+        let r = &reports[0];
+        if let Err(e) = std::fs::write(path, chrome_trace(&r.traces).to_pretty()) {
+            eprintln!("FAIL writing {path}: {e}");
+            std::process::exit(1);
+        }
+        let folded = format!("{path}.folded");
+        if let Err(e) = std::fs::write(&folded, folded_rollup(&r.traces)) {
+            eprintln!("FAIL writing {folded}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path} and {folded} ({} run)", r.tree);
     }
 
     let mut failed = false;
@@ -89,8 +121,33 @@ fn main() {
         for v in &r.invariant_violations {
             println!("      invariant: {v}");
         }
+        if cfg.profile {
+            if let Some(p) = &r.profile {
+                for line in p.render(16).lines() {
+                    println!("      {line}");
+                }
+            }
+        }
         if !r.passed() {
             failed = true;
+            println!(
+                "      seqno watch: {} leaves observed, {} violations",
+                r.seqno_leaves_seen, r.seqno_violations
+            );
+            println!("      quiescent audit: {} findings", r.quiescent_findings);
+            if !r.traces.is_empty() && dump_events > 0 {
+                println!("      last {dump_events} events per thread:");
+                for t in &r.traces {
+                    println!(
+                        "        thread {} ({} events, {} dropped):",
+                        t.thread, t.total, t.dropped
+                    );
+                    let skip = t.events.len().saturating_sub(dump_events);
+                    for e in &t.events[skip..] {
+                        println!("          {e}");
+                    }
+                }
+            }
         }
     }
 

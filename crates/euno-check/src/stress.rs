@@ -20,6 +20,7 @@ use euno_baselines::{HtmBTree, HtmMasstree, Masstree};
 use euno_core::EunoBTreeDefault;
 use euno_htm::{ConcurrentMap, OpKind, OpOutput, Runtime};
 use euno_rng::{Rng, SmallRng};
+use euno_trace::{build_profile, LeafProfile, ThreadTrace, TraceBuf};
 
 use crate::audit::SeqnoWatch;
 use crate::history::{new_sink, Recorder};
@@ -43,6 +44,12 @@ pub struct StressConfig {
     pub maintain_thread: bool,
     /// Step budget for the linearizability search.
     pub lin_budget: u64,
+    /// Per-thread trace-ring capacity in events. Stress runs keep a small
+    /// ring on by default so a linearizability failure can dump the last
+    /// events each thread saw; 0 disables tracing entirely.
+    pub trace_capacity: usize,
+    /// Build a hot-leaf contention profile from the collected traces.
+    pub profile: bool,
 }
 
 impl Default for StressConfig {
@@ -57,6 +64,8 @@ impl Default for StressConfig {
             duration_ms: 0,
             maintain_thread: true,
             lin_budget: DEFAULT_BUDGET,
+            trace_capacity: 512,
+            profile: false,
         }
     }
 }
@@ -86,6 +95,18 @@ pub struct StressReport {
     /// Structural audit findings (empty = clean).
     pub invariant_violations: Vec<String>,
     pub elapsed_ms: u64,
+    /// Distinct leaves the seqno watcher observed across its snapshots.
+    pub seqno_leaves_seen: usize,
+    /// How many of `invariant_violations` came from the seqno watcher.
+    pub seqno_violations: usize,
+    /// How many of `invariant_violations` came from the quiescent audit.
+    pub quiescent_findings: usize,
+    /// Per-thread event rings (workers, maintainer, verifier), collected
+    /// when `trace_capacity > 0`. On a failure the binary dumps the tail
+    /// of each ring next to the reproducing command line.
+    pub traces: Vec<ThreadTrace>,
+    /// Hot-leaf contention profile, when `StressConfig::profile` is set.
+    pub profile: Option<LeafProfile>,
 }
 
 impl StressReport {
@@ -131,6 +152,7 @@ pub fn run_stress(
     let start = Instant::now();
     let deadline = (cfg.duration_ms > 0).then(|| start + Duration::from_millis(cfg.duration_ms));
     let stop = AtomicBool::new(false);
+    let mut traces: Vec<ThreadTrace> = Vec::new();
 
     std::thread::scope(|s| {
         let mut workers = Vec::new();
@@ -141,6 +163,9 @@ pub fn run_stress(
             workers.push(s.spawn(move || {
                 let mut ctx = rt.thread(cfg.seed ^ u64::from(w));
                 ctx.set_op_observer(Box::new(Recorder::new(clock, sink)));
+                if cfg.trace_capacity > 0 {
+                    ctx.set_tracer(Box::new(TraceBuf::new(ctx.id, cfg.trace_capacity)));
+                }
                 let mut rng = SmallRng::seed_from_u64(mix64(cfg.seed) ^ mix64(u64::from(w) + 1));
                 let mut out = Vec::new();
                 for i in 0..cfg.ops_per_thread {
@@ -181,6 +206,7 @@ pub fn run_stress(
                     }
                 }
                 drop(ctx.take_op_observer()); // flush this thread's ops
+                ctx.take_tracer().map(|b| b.into_thread_trace())
             }));
         }
 
@@ -191,6 +217,9 @@ pub fn run_stress(
             s.spawn(move || {
                 let mut ctx = rt.thread(cfg.seed ^ 0xAAAA);
                 ctx.set_op_observer(Box::new(Recorder::new(clock, sink)));
+                if cfg.trace_capacity > 0 {
+                    ctx.set_tracer(Box::new(TraceBuf::new(ctx.id, cfg.trace_capacity)));
+                }
                 while !stop.load(Ordering::Relaxed) {
                     ctx.observe_invoke(OpKind::Maintain, 0, 0);
                     let n = tree.maintain(&mut ctx);
@@ -198,6 +227,7 @@ pub fn run_stress(
                     std::thread::sleep(Duration::from_micros(500));
                 }
                 drop(ctx.take_op_observer());
+                ctx.take_tracer().map(|b| b.into_thread_trace())
             })
         });
 
@@ -214,11 +244,11 @@ pub fn run_stress(
         });
 
         for h in workers {
-            h.join().expect("stress worker panicked");
+            traces.extend(h.join().expect("stress worker panicked"));
         }
         stop.store(true, Ordering::Relaxed);
         if let Some(h) = maintainer {
-            h.join().expect("maintenance thread panicked");
+            traces.extend(h.join().expect("maintenance thread panicked"));
         }
         if let Some(h) = watcher {
             for snap in h.join().expect("seqno watcher panicked") {
@@ -241,6 +271,9 @@ pub fn run_stress(
             Arc::clone(&clock),
             Arc::clone(&sink),
         )));
+        if cfg.trace_capacity > 0 {
+            ctx.set_tracer(Box::new(TraceBuf::new(ctx.id, cfg.trace_capacity)));
+        }
         let mut out = Vec::new();
         ctx.observe_invoke(OpKind::Scan, 0, u64::MAX);
         tree.scan(&mut ctx, 0, usize::MAX, &mut out);
@@ -254,15 +287,22 @@ pub fn run_stress(
             key += step;
         }
         drop(ctx.take_op_observer());
+        traces.extend(ctx.take_tracer().map(|b| b.into_thread_trace()));
     }
 
     let history = std::mem::take(&mut *sink.lock().unwrap());
     let verdict = check_history(&history, &preload_model, atomic_scans, cfg.lin_budget);
 
     let mut invariant_violations: Vec<String> = seq_watch.violations().to_vec();
+    let seqno_violations = invariant_violations.len();
     if let Some(f) = &hooks.quiescent {
         invariant_violations.extend(f());
     }
+    let quiescent_findings = invariant_violations.len() - seqno_violations;
+
+    let profile = cfg
+        .profile
+        .then(|| build_profile(&traces, |addr| rt.object_base_of(addr)));
 
     StressReport {
         tree: tree.name(),
@@ -272,6 +312,11 @@ pub fn run_stress(
         verdict,
         invariant_violations,
         elapsed_ms: start.elapsed().as_millis() as u64,
+        seqno_leaves_seen: seq_watch.leaves_seen(),
+        seqno_violations,
+        quiescent_findings,
+        traces,
+        profile,
     }
 }
 
@@ -390,6 +435,7 @@ mod tests {
             key_range: 32,
             preload: 16,
             maintain_thread: false,
+            profile: true,
             ..StressConfig::default()
         };
         let r = run_stress(&tree, &rt, &cfg, false, AuditHooks::default());
@@ -398,5 +444,12 @@ mod tests {
             "lost updates must be detected: {:?}",
             r.verdict
         );
+        // The failure dump has material to work with: every thread kept
+        // its event ring, and the profile resolved engine addresses to
+        // registered leaves.
+        assert!(r.traces.len() >= 3, "workers + verifier rings expected");
+        assert!(r.traces.iter().all(|t| t.total > 0));
+        let p = r.profile.expect("profile requested");
+        assert!(p.events_seen > 0);
     }
 }

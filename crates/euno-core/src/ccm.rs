@@ -25,7 +25,7 @@
 //! computed vector, so staleness decays at reorganization.
 
 use euno_htm::runtime::lock_key_for_bit;
-use euno_htm::{Mode, ThreadCtx, TxCell};
+use euno_htm::{EventKind, Mode, ThreadCtx, TxCell};
 
 /// Per-leaf conflict-control module. Fits one cache line.
 ///
@@ -97,6 +97,7 @@ impl Ccm {
     /// concurrent mode, virtual-wait in virtual mode.
     pub fn lock_slot(&self, ctx: &mut ThreadCtx, slot: u32) {
         let mask = 1u64 << slot;
+        let wait_before = ctx.stats.cycles_lock_wait;
         match ctx.mode() {
             Mode::Concurrent => {
                 // Test-and-test-and-set with bounded exponential backoff:
@@ -108,7 +109,7 @@ impl Ccm {
                     if self.locks.load_direct(ctx) & mask == 0 {
                         let prev = self.locks.fetch_or_direct(ctx, mask);
                         if prev & mask == 0 {
-                            return;
+                            break;
                         }
                     }
                     backoff.pause(ctx);
@@ -127,6 +128,10 @@ impl Ccm {
                 debug_assert_eq!(prev & mask, 0, "virtual lock bit must be free");
             }
         }
+        ctx.trace(EventKind::LockAcquire {
+            addr: self.locks.raw_addr() as u64,
+            wait_cycles: ctx.stats.cycles_lock_wait - wait_before,
+        });
     }
 
     pub fn unlock_slot(&self, ctx: &mut ThreadCtx, slot: u32) {
@@ -136,6 +141,9 @@ impl Ccm {
             ctx.runtime().vlock_hold(key, ctx.clock);
         }
         self.locks.fetch_and_direct(ctx, !mask);
+        ctx.trace(EventKind::LockRelease {
+            addr: self.locks.raw_addr() as u64,
+        });
     }
 
     // ----- mark bits -----
@@ -199,6 +207,10 @@ impl Ccm {
             if self.bypass.load_direct(ctx) != 0 {
                 self.bypass.store_direct(ctx, 0);
                 ctx.stats.ccm_bypass_flips += 1;
+                ctx.trace(EventKind::CcmFlip {
+                    addr: self as *const Self as u64,
+                    bypass: false,
+                });
             }
         }
         let ops = self.ops.fetch_add_direct(ctx, 1) + 1;
@@ -222,6 +234,10 @@ impl Ccm {
         if self.bypass.load_direct(ctx) != u64::from(calm) {
             self.bypass.store_direct(ctx, u64::from(calm));
             ctx.stats.ccm_bypass_flips += 1;
+            ctx.trace(EventKind::CcmFlip {
+                addr: self as *const Self as u64,
+                bypass: calm,
+            });
         }
     }
 

@@ -8,7 +8,7 @@
 //! records stay on different cache lines — and split only when genuinely
 //! full (the split itself lives in [`crate::structural`]).
 
-use euno_htm::{Tx, TxCell, TxResult, TOMBSTONE};
+use euno_htm::{EventKind, Tx, TxCell, TxResult, TOMBSTONE};
 use euno_rng::Rng;
 
 use crate::node::EunoLeaf;
@@ -124,6 +124,9 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
             //     key-adjacent records land on different cache lines, then
             //     place the new key in the emptiest segment.
             self.redistribute(tx, leaf, &records)?;
+            tx.ctx().trace(EventKind::Reorg {
+                leaf: leaf as *const EunoLeaf<SEGS, K> as u64,
+            });
             let seg = self.emptiest_segment(tx, leaf)?;
             leaf.segs[seg].insert(tx, key, newval)?;
             Ok(Lower::Done(None))

@@ -103,6 +103,10 @@ impl<const SEGS: usize, const K: usize> EunoLeaf<SEGS, K> {
         let base = self as *const Self as usize;
         let segs_off = std::mem::offset_of!(Self, segs);
         let ccm_off = std::mem::offset_of!(Self, ccm);
+        // Whole-leaf range for the contention profiler: address-carrying
+        // trace events (conflict lines, lock cells, CCM words) inside the
+        // leaf attribute to this base.
+        rt.register_object(base, std::mem::size_of::<Self>());
         // Header + split-lock lines.
         rt.register_region(base, segs_off, LineClass::Metadata);
         // Segments: record storage (their count words live amid the

@@ -23,7 +23,7 @@
 //! leftmost child; boundary pairs are simply skipped (they become
 //! mergeable after their parents themselves drain).
 
-use euno_htm::{TxWord, TOMBSTONE};
+use euno_htm::{EventKind, TxWord, TOMBSTONE};
 
 use crate::node::{EunoLeaf, NodeRef};
 use crate::tree::EunoBTree;
@@ -54,6 +54,9 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
             }
             cur = next;
         }
+        ctx.trace(EventKind::Maintain {
+            merges: merges as u64,
+        });
         merges
     }
 
@@ -80,6 +83,10 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         left.split_lock.release(ctx);
         if merged {
             self.arenas().leaves.retire_one();
+            ctx.trace(EventKind::Merge {
+                left: left as *const EunoLeaf<SEGS, K> as u64,
+                right: right as *const EunoLeaf<SEGS, K> as u64,
+            });
         }
         merged
     }

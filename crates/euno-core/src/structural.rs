@@ -11,7 +11,7 @@
 use crate::ccm::Ccm;
 use crate::node::{EunoInternal, EunoLeaf, NodeRef, INTERNAL_FANOUT};
 use crate::tree::EunoBTree;
-use euno_htm::{Tx, TxResult, TxWord};
+use euno_htm::{EventKind, Tx, TxResult, TxWord};
 
 impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
     /// §4.2.3: sort → split → reorganize. `records` holds the full sorted
@@ -62,6 +62,10 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         tx.write(&leaf.seqno, seq + 1)?;
 
         self.insert_into_parent(tx, NodeRef::of_leaf(leaf), sep, NodeRef::of_leaf(right))?;
+        tx.ctx().trace(EventKind::Split {
+            left: leaf as *const EunoLeaf<SEGS, K> as u64,
+            right: right as *const EunoLeaf<SEGS, K> as u64,
+        });
         Ok(if key < sep { leaf } else { right })
     }
 

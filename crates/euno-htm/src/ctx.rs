@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use euno_rng::{Rng, SmallRng};
+use euno_trace::{codes, EventKind, TraceBuf};
 
 use crate::abort::{AbortCause, ConflictInfo, ConflictKind, TxResult};
 use crate::line::{LineId, LineSet};
@@ -96,6 +97,44 @@ pub struct ThreadCtx {
     ep: Option<Box<EpisodeState>>,
     /// Optional operation-history observer (see [`crate::obs`]).
     obs: Option<Box<dyn OpObserver>>,
+    /// Optional trace ring buffer (see `euno-trace`). Like `obs`, the
+    /// hot-path cost with no buffer installed is one branch.
+    tracer: Option<Box<TraceBuf>>,
+}
+
+/// Map an [`EpisodeKind`] to its `euno-trace` code point.
+#[inline]
+pub(crate) fn trace_episode_code(kind: EpisodeKind) -> u8 {
+    match kind {
+        EpisodeKind::HtmTx => codes::EP_HTM_TX,
+        EpisodeKind::Fallback => codes::EP_FALLBACK,
+        EpisodeKind::OptimisticRead => codes::EP_OPTIMISTIC_READ,
+        EpisodeKind::LockedWrite => codes::EP_LOCKED_WRITE,
+    }
+}
+
+/// Map a [`ConflictKind`] to its `euno-trace` abort-cause code point.
+#[inline]
+pub(crate) fn trace_conflict_code(kind: ConflictKind) -> u8 {
+    match kind {
+        ConflictKind::TrueSameRecord => codes::AB_CONFLICT_TRUE,
+        ConflictKind::FalseDifferentRecord => codes::AB_CONFLICT_FALSE_RECORD,
+        ConflictKind::FalseMetadata => codes::AB_CONFLICT_FALSE_METADATA,
+        ConflictKind::FalseStructure => codes::AB_CONFLICT_FALSE_STRUCTURE,
+        ConflictKind::Unclassified => codes::AB_CONFLICT_UNCLASSIFIED,
+    }
+}
+
+/// Map an [`AbortCause`] to its `euno-trace` code point plus the
+/// conflicting line's base address (0 when the cause carries none).
+pub(crate) fn trace_abort_code(cause: &AbortCause) -> (u8, u64) {
+    match cause {
+        AbortCause::Conflict(ci) => (trace_conflict_code(ci.kind), ci.line.base_addr()),
+        AbortCause::Capacity => (codes::AB_CAPACITY, 0),
+        AbortCause::Explicit(_) => (codes::AB_EXPLICIT, 0),
+        AbortCause::Spurious => (codes::AB_SPURIOUS, 0),
+        AbortCause::FallbackLocked => (codes::AB_FALLBACK_LOCKED, 0),
+    }
 }
 
 impl ThreadCtx {
@@ -108,6 +147,7 @@ impl ThreadCtx {
             rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             ep: None,
             obs: None,
+            tracer: None,
         }
     }
 
@@ -120,6 +160,35 @@ impl ThreadCtx {
     /// context also drops (and thereby flushes) the observer.
     pub fn take_op_observer(&mut self) -> Option<Box<dyn OpObserver>> {
         self.obs.take()
+    }
+
+    /// Install a trace ring buffer (replacing any previous one). Events
+    /// are recorded with this thread's clock as the timestamp; emission
+    /// never charges cycles or touches the RNG, so installing a tracer
+    /// does not perturb the deterministic virtual-time schedule.
+    pub fn set_tracer(&mut self, buf: Box<TraceBuf>) {
+        self.tracer = Some(buf);
+    }
+
+    /// Remove and return the trace buffer for collection, if any.
+    pub fn take_tracer(&mut self) -> Option<Box<TraceBuf>> {
+        self.tracer.take()
+    }
+
+    /// Whether a trace buffer is installed.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Record one trace event. With no buffer installed this is a single
+    /// branch — the instrumentation points stay in the hot paths
+    /// permanently, matching the `OpObserver` contract.
+    #[inline]
+    pub fn trace(&mut self, kind: EventKind) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.push(self.clock, self.id, kind);
+        }
     }
 
     /// Announce an operation invocation to the observer, if installed.
@@ -344,6 +413,9 @@ impl ThreadCtx {
             0
         };
         self.ep = Some(EpisodeState::new(kind, self.clock, rv));
+        self.trace(EventKind::EpisodeBegin {
+            kind: trace_episode_code(kind),
+        });
     }
 
     /// Tag the current episode with the operation's target key (true- vs
@@ -376,6 +448,21 @@ impl ThreadCtx {
     /// a Masstree reader would observe); in concurrent mode the caller's
     /// own version protocol detects staleness and this returns `None`.
     pub fn episode_end_optimistic(&mut self) -> Option<ConflictInfo> {
+        let out = self.episode_end_optimistic_inner();
+        match &out {
+            None => self.trace(EventKind::EpisodeCommit {
+                kind: codes::EP_OPTIMISTIC_READ,
+            }),
+            Some(ci) => self.trace(EventKind::EpisodeAbort {
+                kind: codes::EP_OPTIMISTIC_READ,
+                cause: trace_conflict_code(ci.kind),
+                line_addr: ci.line.base_addr(),
+            }),
+        }
+        out
+    }
+
+    fn episode_end_optimistic_inner(&mut self) -> Option<ConflictInfo> {
         let ep = self.ep.take().expect("no open episode");
         debug_assert_eq!(ep.kind, EpisodeKind::OptimisticRead);
         if self.rt.mode() != Mode::Virtual {
@@ -411,6 +498,9 @@ impl ThreadCtx {
     pub fn episode_end_locked_write(&mut self) {
         let mut ep = self.ep.take().expect("no open episode");
         debug_assert_eq!(ep.kind, EpisodeKind::LockedWrite);
+        self.trace(EventKind::EpisodeCommit {
+            kind: codes::EP_LOCKED_WRITE,
+        });
         if self.rt.mode() != Mode::Virtual {
             return;
         }
@@ -551,6 +641,9 @@ impl ThreadCtx {
             // NOrec read-only transactions are valid as of their last
             // validated read; nothing to publish.
             self.finish_episode_concurrent();
+            self.trace(EventKind::EpisodeCommit {
+                kind: codes::EP_HTM_TX,
+            });
             return Ok(());
         }
         let guard = self.rt.commit_lock.lock();
@@ -569,6 +662,9 @@ impl ThreadCtx {
         self.rt.seq.store(s + 2, Ordering::Release);
         drop(guard);
         self.finish_episode_concurrent();
+        self.trace(EventKind::EpisodeCommit {
+            kind: codes::EP_HTM_TX,
+        });
         Ok(())
     }
 
@@ -657,6 +753,9 @@ impl ThreadCtx {
             reads: std::mem::take(&mut ep.reads),
             writes: std::mem::take(&mut ep.writes),
         });
+        self.trace(EventKind::EpisodeCommit {
+            kind: codes::EP_HTM_TX,
+        });
         Ok(())
     }
 
@@ -706,6 +805,7 @@ impl ThreadCtx {
     }
 
     pub(crate) fn fb_acquire(&mut self, fb: &TxCell<u64>) {
+        let addr = fb.raw_ptr() as u64;
         match self.rt.mode() {
             Mode::Concurrent => {
                 let mut backoff = crate::lock::SpinBackoff::new();
@@ -728,10 +828,14 @@ impl ThreadCtx {
                 drop(self.rt.commit_lock.lock());
                 self.stats.cas_ops += 1;
                 self.charge(self.rt.cost.lock_acquire);
+                self.trace(EventKind::LockAcquire {
+                    addr,
+                    wait_cycles: 0,
+                });
             }
             Mode::Virtual => {
-                let key = fb.raw_ptr() as u64;
-                let free_at = self.rt.vlock_free_at(key, self.clock);
+                let free_at = self.rt.vlock_free_at(addr, self.clock);
+                let waited = free_at.saturating_sub(self.clock);
                 if free_at > self.clock {
                     self.stats.cycles_lock_wait += free_at - self.clock;
                     self.clock = free_at;
@@ -740,6 +844,10 @@ impl ThreadCtx {
                 self.stats.cas_ops += 1;
                 self.charge(self.rt.cost.lock_acquire);
                 fb.raw().store(1, Ordering::Release);
+                self.trace(EventKind::LockAcquire {
+                    addr,
+                    wait_cycles: waited,
+                });
             }
         }
     }
@@ -753,6 +861,9 @@ impl ThreadCtx {
                 fb.raw().store(0, Ordering::Release);
             }
         }
+        self.trace(EventKind::LockRelease {
+            addr: fb.raw_ptr() as u64,
+        });
     }
 
     // ============ mechanism hooks for the layered executor ============
@@ -800,6 +911,9 @@ impl ThreadCtx {
         } else {
             self.ep = None;
         }
+        self.trace(EventKind::EpisodeCommit {
+            kind: codes::EP_FALLBACK,
+        });
     }
 }
 

@@ -31,8 +31,10 @@
 
 use std::sync::atomic::{AtomicI32, AtomicU32, Ordering};
 
+use euno_trace::{codes, EventKind};
+
 use crate::abort::{AbortCause, ConflictInfo, TxResult};
-use crate::ctx::{EpisodeKind, ThreadCtx, Tx};
+use crate::ctx::{trace_abort_code, EpisodeKind, ThreadCtx, Tx};
 use crate::policy::{RetryCounts, RetryPolicy};
 use crate::runtime::Mode;
 use crate::stats::ThreadStats;
@@ -372,6 +374,7 @@ impl<'e> Executor<'e> {
         let waited = ctx.stats.cycles_lock_wait - wait_before;
         if waited > 0 {
             self.observer.on_fallback_wait(&mut ctx.stats, waited);
+            ctx.trace(EventKind::FallbackWait { cycles: waited });
         }
         self.attempt_start = ctx.clock;
         let xbegin = ctx.runtime().cost.xbegin;
@@ -398,6 +401,12 @@ impl<'e> Executor<'e> {
         counts: &mut RetryCounts,
         conflict_aborts: &mut u32,
     ) -> u64 {
+        let (code, line_addr) = trace_abort_code(&cause);
+        ctx.trace(EventKind::EpisodeAbort {
+            kind: codes::EP_HTM_TX,
+            cause: code,
+            line_addr,
+        });
         ctx.note_attempt_writes();
         ctx.episode_abort();
         let mut wasted_attempt = ctx.clock - self.attempt_start;
@@ -420,6 +429,7 @@ impl<'e> Executor<'e> {
         let b = ctx.runtime().cost.backoff(counts.total_attempted());
         ctx.charge(b);
         self.observer.on_backoff(&mut ctx.stats, b);
+        ctx.trace(EventKind::Backoff { cycles: b });
     }
 
     /// Stage 5: serialize on the fallback lock and run the body directly.
@@ -433,6 +443,7 @@ impl<'e> Executor<'e> {
         let waited = ctx.stats.cycles_lock_wait - wait_before;
         if waited > 0 {
             self.observer.on_fallback_wait(&mut ctx.stats, waited);
+            ctx.trace(EventKind::FallbackWait { cycles: waited });
         }
         ctx.episode_begin(EpisodeKind::Fallback);
         ctx.fallback_mark(self.fb);
@@ -869,6 +880,112 @@ mod tests {
             "waiting out the fallback lock must be attributed to the stage"
         );
         assert!(waiter.stats.cycles_fallback_wait <= waiter.stats.cycles_lock_wait);
+    }
+
+    /// Satellite audit: every [`ExecObserver`] hook must land in exactly
+    /// one `ThreadStats` counter family via the default [`StatsObserver`],
+    /// and each hook invocation must increment its counter exactly once.
+    #[test]
+    fn stats_observer_covers_every_hook_exactly_once() {
+        let mut stats = ThreadStats::default();
+        let mut obs = StatsObserver;
+
+        obs.on_attempt(&mut stats);
+        assert_eq!(stats.attempts, 1);
+
+        obs.on_abort(&mut stats, AbortCause::Spurious, 7);
+        assert_eq!(stats.aborts.total(), 1);
+        assert_eq!(stats.cycles_wasted, 7);
+
+        obs.on_backoff(&mut stats, 5);
+        assert_eq!(stats.backoffs, 1);
+        assert_eq!(stats.cycles_backoff, 5);
+        assert_eq!(stats.cycles_wasted, 12, "backoff also counts as waste");
+
+        obs.on_fallback_wait(&mut stats, 9);
+        assert_eq!(stats.cycles_fallback_wait, 9);
+
+        obs.on_commit(&mut stats, 3);
+        assert_eq!(stats.commits, 1);
+
+        obs.on_fallback(&mut stats);
+        assert_eq!(stats.fallbacks, 1);
+
+        // Second round: each hook must add exactly one more unit — no
+        // hook is a no-op and none double-counts.
+        obs.on_attempt(&mut stats);
+        obs.on_abort(&mut stats, AbortCause::Capacity, 1);
+        obs.on_backoff(&mut stats, 1);
+        obs.on_fallback_wait(&mut stats, 1);
+        obs.on_commit(&mut stats, 1);
+        obs.on_fallback(&mut stats);
+        assert_eq!(stats.attempts, 2);
+        assert_eq!(stats.aborts.total(), 2);
+        assert_eq!(stats.backoffs, 2);
+        assert_eq!(stats.cycles_backoff, 6);
+        assert_eq!(stats.cycles_fallback_wait, 10);
+        assert_eq!(stats.commits, 2);
+        assert_eq!(stats.fallbacks, 2);
+        assert_eq!(stats.cycles_wasted, 14);
+    }
+
+    /// The executor's trace stream must pair every `EpisodeBegin` with a
+    /// commit or an abort, and record the abort's cause taxonomy.
+    #[test]
+    fn executor_emits_paired_episode_events() {
+        let (_rt, mut ctx) = vctx();
+        ctx.set_tracer(Box::new(euno_trace::TraceBuf::with_default_capacity(
+            ctx.id,
+        )));
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(0u64);
+        let mut first = true;
+        let out = ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
+            if !tx.is_fallback() && first {
+                first = false;
+                return tx.explicit_abort(3);
+            }
+            let v = tx.read(&cell)?;
+            tx.write(&cell, v + 1)
+        });
+        assert!(out.used_fallback);
+
+        let trace = ctx.take_tracer().unwrap().into_thread_trace();
+        let mut begins = 0u32;
+        let mut ends = 0u32;
+        let mut explicit_aborts = 0u32;
+        let mut fallback_commits = 0u32;
+        for ev in &trace.events {
+            match ev.kind {
+                EventKind::EpisodeBegin { .. } => begins += 1,
+                EventKind::EpisodeCommit { kind } => {
+                    ends += 1;
+                    if kind == codes::EP_FALLBACK {
+                        fallback_commits += 1;
+                    }
+                }
+                EventKind::EpisodeAbort { cause, .. } => {
+                    ends += 1;
+                    if cause == codes::AB_EXPLICIT {
+                        explicit_aborts += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(begins, 2, "one HTM attempt + one fallback episode");
+        assert_eq!(begins, ends, "every begin pairs with a commit or abort");
+        assert_eq!(explicit_aborts, 1);
+        assert_eq!(fallback_commits, 1);
+        // The fallback path also records its lock acquire/release.
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::LockAcquire { .. })));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::LockRelease { .. })));
     }
 
     #[test]

@@ -71,3 +71,7 @@ pub use policy::{RetryCounts, RetryPolicy};
 pub use runtime::{Mode, Runtime};
 pub use stats::{AbortCounts, AggregateStats, ThreadStats};
 pub use word::{TxCell, TxWord};
+
+// Trace-layer types, re-exported so downstream crates can install ring
+// buffers and build profiles without depending on euno-trace directly.
+pub use euno_trace::{codes as trace_codes, Event, EventKind, ThreadTrace, TraceBuf};

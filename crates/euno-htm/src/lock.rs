@@ -7,6 +7,8 @@
 //! the lock is virtually held is charged the wait until the holder's
 //! release time, which is how lock convoys show up in the figures.
 
+use euno_trace::EventKind;
+
 use crate::ctx::ThreadCtx;
 use crate::runtime::{lock_key_for_bit, Mode};
 use crate::word::TxCell;
@@ -90,12 +92,13 @@ impl AdvisoryLock {
     /// CAS observation, so both modes account a contended acquisition the
     /// same way.
     pub fn acquire(&self, ctx: &mut ThreadCtx) {
+        let wait_before = ctx.stats.cycles_lock_wait;
         match ctx.mode() {
             Mode::Concurrent => {
                 let mut backoff = SpinBackoff::new();
                 loop {
                     if self.cell.load_direct(ctx) == 0 && self.cell.cas_direct(ctx, 0, 1) {
-                        return;
+                        break;
                     }
                     backoff.pause(ctx);
                 }
@@ -114,12 +117,16 @@ impl AdvisoryLock {
                 debug_assert!(ok, "virtual lock must be free after its hold time");
             }
         }
+        ctx.trace(EventKind::LockAcquire {
+            addr: self.key(),
+            wait_cycles: ctx.stats.cycles_lock_wait - wait_before,
+        });
     }
 
     /// Non-blocking acquire; returns whether the lock was taken. Both the
     /// success and the failure path cost exactly one CAS in both modes.
     pub fn try_acquire(&self, ctx: &mut ThreadCtx) -> bool {
-        match ctx.mode() {
+        let taken = match ctx.mode() {
             Mode::Concurrent => self.cell.cas_direct(ctx, 0, 1),
             Mode::Virtual => {
                 let free_at = ctx.runtime().vlock_free_at(self.key(), ctx.clock);
@@ -131,7 +138,14 @@ impl AdvisoryLock {
                     self.cell.cas_direct(ctx, 0, 1)
                 }
             }
+        };
+        if taken {
+            ctx.trace(EventKind::LockAcquire {
+                addr: self.key(),
+                wait_cycles: 0,
+            });
         }
+        taken
     }
 
     pub fn release(&self, ctx: &mut ThreadCtx) {
@@ -139,6 +153,7 @@ impl AdvisoryLock {
             ctx.runtime().vlock_hold(self.key(), ctx.clock);
         }
         self.cell.store_direct(ctx, 0);
+        ctx.trace(EventKind::LockRelease { addr: self.key() });
     }
 
     /// Instrumented check (Algorithm 2 line 52: `leaf.isLocked()`).
@@ -220,6 +235,8 @@ impl BitLockVector {
     /// dirtying a line shared by up to 64 independent locks.
     pub fn acquire(&self, ctx: &mut ThreadCtx, slot: usize) {
         let (word, mask, key) = self.locate(slot);
+        let addr = word.raw_ptr() as u64;
+        let wait_before = ctx.stats.cycles_lock_wait;
         match ctx.mode() {
             Mode::Concurrent => {
                 let mut backoff = SpinBackoff::new();
@@ -227,7 +244,7 @@ impl BitLockVector {
                     if word.load_direct(ctx) & mask == 0 {
                         let prev = word.fetch_or_direct(ctx, mask);
                         if prev & mask == 0 {
-                            return;
+                            break;
                         }
                     }
                     backoff.pause(ctx);
@@ -245,6 +262,10 @@ impl BitLockVector {
                 debug_assert_eq!(prev & mask, 0, "virtual bit lock must be free");
             }
         }
+        ctx.trace(EventKind::LockAcquire {
+            addr,
+            wait_cycles: ctx.stats.cycles_lock_wait - wait_before,
+        });
     }
 
     pub fn release(&self, ctx: &mut ThreadCtx, slot: usize) {
@@ -253,6 +274,9 @@ impl BitLockVector {
             ctx.runtime().vlock_hold(key, ctx.clock);
         }
         word.fetch_and_direct(ctx, !mask);
+        ctx.trace(EventKind::LockRelease {
+            addr: word.raw_ptr() as u64,
+        });
     }
 
     pub fn is_locked(&self, ctx: &mut ThreadCtx, slot: usize) -> bool {

@@ -80,6 +80,9 @@ pub struct Runtime {
     pub(crate) virt: Mutex<VirtState>,
     /// Line → data class, populated by trees at node allocation.
     classes: RwLock<HashMap<u64, LineClass>>,
+    /// Object registry for trace attribution: `(base, len)` of registered
+    /// objects (tree leaves), kept sorted by base for binary search.
+    objects: RwLock<Vec<(u64, u64)>>,
     /// Monotonic source for thread ids handed out by [`Runtime::thread`].
     next_thread: AtomicU64,
 }
@@ -96,6 +99,7 @@ impl Runtime {
                 ..VirtState::default()
             }),
             classes: RwLock::new(HashMap::new()),
+            objects: RwLock::new(Vec::new()),
             next_thread: AtomicU64::new(0),
         })
     }
@@ -158,6 +162,41 @@ impl Runtime {
     /// in tests).
     pub fn registered_lines(&self) -> usize {
         self.classes.read().unwrap().len()
+    }
+
+    // ----- object registry (trace attribution) -------------------------
+
+    /// Register an object's memory range so the contention profiler can
+    /// attribute address-carrying trace events (conflict lines, lock
+    /// cells, CCM words) to it. Trees call this for each leaf alongside
+    /// [`Runtime::register_region`].
+    pub fn register_object(&self, base: usize, bytes: usize) {
+        if bytes == 0 {
+            return;
+        }
+        let mut objs = self.objects.write().unwrap();
+        let entry = (base as u64, bytes as u64);
+        match objs.binary_search_by_key(&entry.0, |&(b, _)| b) {
+            Ok(i) => objs[i] = entry, // re-registration (reused allocation)
+            Err(i) => objs.insert(i, entry),
+        }
+    }
+
+    /// Base address of the registered object containing `addr`, if any.
+    pub fn object_base_of(&self, addr: u64) -> Option<u64> {
+        let objs = self.objects.read().unwrap();
+        let i = match objs.binary_search_by_key(&addr, |&(b, _)| b) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let (base, len) = objs[i];
+        (addr < base + len).then_some(base)
+    }
+
+    /// Number of registered objects (observability/tests).
+    pub fn registered_objects(&self) -> usize {
+        self.objects.read().unwrap().len()
     }
 
     // ----- virtual-mode conflict window --------------------------------
@@ -465,6 +504,23 @@ mod tests {
         assert_eq!(rt.class_of(l), LineClass::Record);
         let unrelated = LineId(0xdead_beef);
         assert_eq!(rt.class_of(unrelated), LineClass::Unknown);
+    }
+
+    #[test]
+    fn object_registry_resolves_containing_object() {
+        let rt = Runtime::new_virtual();
+        rt.register_object(0x1000, 256);
+        rt.register_object(0x3000, 64);
+        assert_eq!(rt.registered_objects(), 2);
+        assert_eq!(rt.object_base_of(0x1000), Some(0x1000));
+        assert_eq!(rt.object_base_of(0x10ff), Some(0x1000));
+        assert_eq!(rt.object_base_of(0x1100), None);
+        assert_eq!(rt.object_base_of(0x3020), Some(0x3000));
+        assert_eq!(rt.object_base_of(0x0fff), None);
+        // Re-registering a reused base replaces the entry.
+        rt.register_object(0x1000, 64);
+        assert_eq!(rt.registered_objects(), 2);
+        assert_eq!(rt.object_base_of(0x10ff), None);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use euno_htm::{
     AdaptiveBudget, AggressivePolicy, ConcurrentMap, DbxPolicy, Mode, RetryPolicy, RetryStrategy,
     Runtime, ThreadCtx, ThreadStats,
 };
+use euno_trace::{build_profile, codes, EventKind, ThreadTrace, TraceBuf};
 use euno_workloads::{Op, OpStream, PolicyChoice, WorkloadSpec};
 
 use crate::hist::LatencyHistogram;
@@ -24,6 +25,13 @@ pub struct RunConfig {
     /// Unmeasured operations each thread executes first to reach steady
     /// state (populating caches, splitting hot leaves).
     pub warmup_ops: u64,
+    /// Per-thread trace-ring capacity in events; 0 = tracing off (the
+    /// engine's emission points stay one never-taken branch each).
+    pub trace_capacity: usize,
+    /// Build the hot-leaf contention profile ([`RunMetrics::profile`])
+    /// from the collected trace. Implies tracing at the default ring
+    /// capacity when `trace_capacity` is 0.
+    pub profile: bool,
 }
 
 impl Default for RunConfig {
@@ -33,6 +41,20 @@ impl Default for RunConfig {
             ops_per_thread: 20_000,
             seed: 0x00eu64 ^ 0x5eed,
             warmup_ops: 4_000,
+            trace_capacity: 0,
+            profile: false,
+        }
+    }
+}
+
+impl RunConfig {
+    /// The ring capacity to install, or `None` when the run traces
+    /// nothing at all.
+    pub fn effective_trace_capacity(&self) -> Option<usize> {
+        match (self.trace_capacity, self.profile) {
+            (0, false) => None,
+            (0, true) => Some(euno_trace::DEFAULT_CAPACITY),
+            (cap, _) => Some(cap),
         }
     }
 }
@@ -71,6 +93,15 @@ pub fn apply_op(
 ) {
     let overhead = ctx.runtime().cost.op_overhead;
     ctx.charge(overhead);
+    if ctx.tracing() {
+        let (kind, key) = match op {
+            Op::Get { key } => (codes::OP_GET, key),
+            Op::Put { key, .. } => (codes::OP_PUT, key),
+            Op::Delete { key } => (codes::OP_DELETE, key),
+            Op::Scan { from, .. } => (codes::OP_SCAN, from),
+        };
+        ctx.trace(EventKind::OpBegin { kind, key });
+    }
     match op {
         Op::Get { key } => {
             map.get(ctx, key);
@@ -86,6 +117,7 @@ pub fn apply_op(
             map.scan(ctx, from, len, scan_buf);
         }
     }
+    ctx.trace(EventKind::OpEnd);
     ctx.stats.ops += 1;
 }
 
@@ -116,6 +148,9 @@ pub fn run_virtual(
 ) -> RunMetrics {
     assert_eq!(rt.mode(), Mode::Virtual);
     let mut sched = VirtualScheduler::new(Arc::clone(rt));
+    if let Some(cap) = cfg.effective_trace_capacity() {
+        sched.set_trace_capacity(cap);
+    }
     for t in 0..cfg.threads {
         let mut stream = OpStream::new(spec, t as u64, cfg.seed);
         let mut scan_buf: Vec<(u64, u64)> = Vec::new();
@@ -144,7 +179,22 @@ pub fn run_virtual(
             }),
         );
     }
-    sched.run()
+    let mut m = sched.run();
+    attach_profile(&mut m, rt, cfg);
+    m
+}
+
+/// Build the hot-leaf profile from a run's collected traces, resolving
+/// event addresses through the runtime's object registry (populated by
+/// `EunoLeaf::register`). Public for harnesses that drive a
+/// [`VirtualScheduler`] directly instead of going through [`run_virtual`].
+pub fn attach_profile(m: &mut RunMetrics, rt: &Arc<Runtime>, cfg: &RunConfig) {
+    if !cfg.profile {
+        return;
+    }
+    if let Some(traces) = &m.trace {
+        m.profile = Some(build_profile(traces, |addr| rt.object_base_of(addr)));
+    }
 }
 
 /// Run a workload with **real OS threads** (concurrent mode) and wall-clock
@@ -166,45 +216,58 @@ pub fn run_concurrent(
     // timed on its own.
     let barrier = std::sync::Barrier::new(cfg.threads + 1);
     let start_cell = std::sync::Mutex::new(Instant::now());
-    let results: Vec<(ThreadStats, LatencyHistogram)> = std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for t in 0..cfg.threads {
-            let rt = Arc::clone(rt);
-            let spec = spec.clone();
-            let cfg = cfg.clone();
-            let map_ref: &dyn ConcurrentMap = map;
-            let barrier = &barrier;
-            handles.push(s.spawn(move || {
-                let mut ctx = rt.thread(cfg.seed.wrapping_add(t as u64));
-                let mut stream = OpStream::new(&spec, t as u64, cfg.seed);
-                let mut scan_buf = Vec::new();
-                let mut latency = LatencyHistogram::new();
-                for _ in 0..cfg.warmup_ops {
-                    let op = stream.next_op();
-                    apply_warmup_op(map_ref, &mut ctx, op, &mut scan_buf);
-                }
-                barrier.wait();
-                ctx.stats.measure_start_cycles = Some(ctx.clock);
-                for _ in 0..cfg.ops_per_thread {
-                    let op = stream.next_op();
-                    let before = ctx.clock;
-                    apply_op(map_ref, &mut ctx, op, &mut scan_buf);
-                    latency.record(ctx.clock - before);
-                }
-                ctx.finish();
-                (ctx.stats, latency)
-            }));
-        }
-        barrier.wait();
-        *start_cell.lock().unwrap() = Instant::now();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+    let trace_cap = cfg.effective_trace_capacity();
+    let results: Vec<(ThreadStats, LatencyHistogram, Option<ThreadTrace>)> =
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..cfg.threads {
+                let rt = Arc::clone(rt);
+                let spec = spec.clone();
+                let cfg = cfg.clone();
+                let map_ref: &dyn ConcurrentMap = map;
+                let barrier = &barrier;
+                handles.push(s.spawn(move || {
+                    let mut ctx = rt.thread(cfg.seed.wrapping_add(t as u64));
+                    if let Some(cap) = trace_cap {
+                        ctx.set_tracer(Box::new(TraceBuf::new(ctx.id, cap)));
+                    }
+                    let mut stream = OpStream::new(&spec, t as u64, cfg.seed);
+                    let mut scan_buf = Vec::new();
+                    let mut latency = LatencyHistogram::new();
+                    for _ in 0..cfg.warmup_ops {
+                        let op = stream.next_op();
+                        apply_warmup_op(map_ref, &mut ctx, op, &mut scan_buf);
+                    }
+                    barrier.wait();
+                    ctx.stats.measure_start_cycles = Some(ctx.clock);
+                    for _ in 0..cfg.ops_per_thread {
+                        let op = stream.next_op();
+                        let before = ctx.clock;
+                        apply_op(map_ref, &mut ctx, op, &mut scan_buf);
+                        latency.record(ctx.clock - before);
+                    }
+                    ctx.finish();
+                    let trace = ctx.take_tracer().map(|b| b.into_thread_trace());
+                    (ctx.stats, latency, trace)
+                }));
+            }
+            barrier.wait();
+            *start_cell.lock().unwrap() = Instant::now();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
     let elapsed = start_cell.lock().unwrap().elapsed().as_secs_f64();
     let mut latency = LatencyHistogram::new();
     let mut per_thread = Vec::with_capacity(results.len());
-    for (stats, hist) in results {
+    let mut traces = Vec::new();
+    for (stats, hist, trace) in results {
         latency.merge(&hist);
         per_thread.push(stats);
+        traces.extend(trace);
     }
-    RunMetrics::from_wall(per_thread, elapsed, latency)
+    let mut m = RunMetrics::from_wall(per_thread, elapsed, latency);
+    if trace_cap.is_some() {
+        m.trace = Some(traces);
+    }
+    attach_profile(&mut m, rt, cfg);
+    m
 }

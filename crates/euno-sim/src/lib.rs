@@ -16,9 +16,17 @@ pub mod report;
 pub mod sched;
 
 pub use harness::{
-    apply_op, apply_warmup_op, preload, run_concurrent, run_virtual, strategy_for, RunConfig,
+    apply_op, apply_warmup_op, attach_profile, preload, run_concurrent, run_virtual, strategy_for,
+    RunConfig,
 };
 pub use hist::LatencyHistogram;
 pub use metrics::RunMetrics;
-pub use report::{report_path_for, validate_report, Json, RunEntry, RunReport};
+pub use report::{profile_json, report_path_for, validate_report, Json, RunEntry, RunReport};
 pub use sched::{Driver, VirtualScheduler};
+
+// The trace toolkit, re-exported so bench binaries can export traces
+// without a separate dependency edge.
+pub use euno_trace::{
+    build_profile, chrome_trace, folded_rollup, validate_chrome_trace, LeafProfile, ThreadTrace,
+    TraceBuf, DEFAULT_CAPACITY as DEFAULT_TRACE_CAPACITY,
+};

@@ -1,6 +1,7 @@
 //! Run-level metrics: what each paper figure plots.
 
 use euno_htm::{AbortCounts, CostModel, ThreadStats};
+use euno_trace::{LeafProfile, ThreadTrace};
 
 use crate::hist::LatencyHistogram;
 
@@ -31,6 +32,12 @@ pub struct RunMetrics {
     pub per_thread: Vec<ThreadStats>,
     /// Per-operation virtual-cycle latency distribution (merged).
     pub latency: LatencyHistogram,
+    /// Collected per-thread event traces, when the run had tracing on
+    /// ([`crate::harness::RunConfig::trace_capacity`]).
+    pub trace: Option<Vec<ThreadTrace>>,
+    /// The hot-leaf contention profile, when the run asked for one
+    /// ([`crate::harness::RunConfig::profile`]).
+    pub profile: Option<LeafProfile>,
 }
 
 impl RunMetrics {
@@ -95,6 +102,8 @@ impl RunMetrics {
             stats: merged,
             per_thread,
             latency,
+            trace: None,
+            profile: None,
         }
     }
 

@@ -9,361 +9,30 @@
 //! writes a `BENCH_<fig>.json` next to its CSV through this module.
 //!
 //! The JSON value type, writer and parser are in-tree: the container's
-//! crate registry is unreachable (DESIGN.md §6), so no serde. The format
-//! is documented in DESIGN.md §11 and checked by [`validate_report`],
-//! which `scripts/bench.sh` and the `report_check` binary run over every
+//! crate registry is unreachable (DESIGN.md §6), so no serde — the
+//! implementation lives in `euno-trace` (shared with the Chrome trace
+//! exporter) and is re-exported here as [`Json`]. The format is
+//! documented in DESIGN.md §11 and checked by [`validate_report`], which
+//! `scripts/bench.sh` and the `report_check` binary run over every
 //! emitted report.
 
 use std::path::{Path, PathBuf};
 
 use euno_htm::{AbortCounts, CostModel};
+use euno_trace::{LeafCounters, LeafProfile};
 use euno_workloads::{KeyDistribution, WorkloadSpec};
 
 use crate::harness::RunConfig;
 use crate::metrics::RunMetrics;
 
+pub use euno_trace::Json;
+
 /// Bumped whenever a required key is added, removed or renamed.
 pub const SCHEMA_VERSION: u64 = 1;
 
-// ====================== JSON value, writer, parser ======================
-
-/// A minimal JSON document tree. Numbers are `f64` (every counter this
-/// repo emits fits 2^53 with room to spare); integral values are written
-/// without a fractional part.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    pub fn u64(v: u64) -> Json {
-        debug_assert!(v < (1u64 << 53), "u64 {v} exceeds exact f64 range");
-        Json::Num(v as f64)
-    }
-
-    /// Object-field lookup (first match).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(a) => Some(a),
-            _ => None,
-        }
-    }
-
-    /// Serialize with 2-space indentation (human-diffable reports).
-    pub fn to_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if !n.is_finite() {
-                    out.push_str("null"); // JSON has no NaN/Inf
-                } else if n.fract() == 0.0 && n.abs() < 9e15 {
-                    let _ = std::fmt::Write::write_fmt(out, format_args!("{}", *n as i64));
-                } else {
-                    let _ = std::fmt::Write::write_fmt(out, format_args!("{n}"));
-                }
-            }
-            Json::Str(s) => Self::write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                // Arrays of scalars stay on one line; nested structures
-                // get one element per line.
-                let scalar = items
-                    .iter()
-                    .all(|i| !matches!(i, Json::Obj(_) | Json::Arr(_)));
-                out.push('[');
-                for (n, item) in items.iter().enumerate() {
-                    if n > 0 {
-                        out.push(',');
-                    }
-                    if !scalar {
-                        out.push('\n');
-                        out.push_str(&"  ".repeat(indent + 1));
-                    } else if n > 0 {
-                        out.push(' ');
-                    }
-                    item.write(out, indent + 1);
-                }
-                if !scalar {
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(indent));
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (n, (k, v)) in fields.iter().enumerate() {
-                    if n > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(indent + 1));
-                    Self::write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(indent));
-                out.push('}');
-            }
-        }
-    }
-
-    fn write_escaped(out: &mut String, s: &str) {
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => {
-                    let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
-                }
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-    }
-
-    /// Parse a JSON document (strict enough for round-tripping our own
-    /// reports and validating them in CI).
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing garbage at byte {}", p.pos));
-        }
-        Ok(v)
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected {:?} at byte {}, found {:?}",
-                b as char,
-                self.pos,
-                self.peek().map(|c| c as char)
-            ))
-        }
-    }
-
-    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(format!("invalid literal at byte {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|c| c as char),
-                self.pos
-            )),
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => s.push('"'),
-                        Some(b'\\') => s.push('\\'),
-                        Some(b'/') => s.push('/'),
-                        Some(b'n') => s.push('\n'),
-                        Some(b'r') => s.push('\r'),
-                        Some(b't') => s.push('\t'),
-                        Some(b'b') => s.push('\u{8}'),
-                        Some(b'f') => s.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = std::str::from_utf8(hex)
-                                .ok()
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or("bad \\u escape")?;
-                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("bad escape {other:?}")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // byte stream is valid UTF-8 by construction).
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().unwrap();
-                    s.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => return Err(format!("expected ',' or ']', found {other:?}")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let k = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let v = self.value()?;
-            fields.push((k, v));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                other => return Err(format!("expected ',' or '}}', found {other:?}")),
-            }
-        }
-    }
-}
+/// Hot-leaf rows kept in a report's `profile` section (the full table
+/// stays available in-process via [`RunMetrics::profile`]).
+pub const PROFILE_TOP_N: usize = 32;
 
 // ============================ report model ============================
 
@@ -570,6 +239,42 @@ pub fn metrics_json(m: &RunMetrics) -> Json {
     ])
 }
 
+fn profile_counters_json(c: &LeafCounters) -> Vec<(String, Json)> {
+    vec![
+        ("aborts".into(), Json::u64(c.aborts)),
+        ("lock_wait_cycles".into(), Json::u64(c.lock_wait_cycles)),
+        ("lock_acquires".into(), Json::u64(c.lock_acquires)),
+        ("ccm_flips".into(), Json::u64(c.ccm_flips)),
+        ("splits".into(), Json::u64(c.splits)),
+        ("merges".into(), Json::u64(c.merges)),
+    ]
+}
+
+/// The `profile` section: the ranked hot-leaf table (top
+/// [`PROFILE_TOP_N`] rows), the unattributed pool, and the event-stream
+/// accounting. Leaf addresses are hex strings — raw pointers can exceed
+/// the exact-f64 range that `Json::u64` guarantees.
+pub fn profile_json(p: &LeafProfile) -> Json {
+    let rows = p
+        .top(PROFILE_TOP_N)
+        .iter()
+        .map(|(addr, c)| {
+            let mut fields = vec![("addr".into(), Json::str(format!("{addr:#x}")))];
+            fields.extend(profile_counters_json(c));
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("leaves".into(), Json::Arr(rows)),
+        (
+            "unattributed".into(),
+            Json::Obj(profile_counters_json(&p.unattributed)),
+        ),
+        ("events_seen".into(), Json::u64(p.events_seen)),
+        ("events_dropped".into(), Json::u64(p.events_dropped)),
+    ])
+}
+
 fn entry_json(e: &RunEntry) -> Json {
     let mut fields = vec![
         ("system".into(), Json::str(&e.system)),
@@ -587,6 +292,9 @@ fn entry_json(e: &RunEntry) -> Json {
         ("spec".into(), spec_json(&e.spec)),
         ("metrics".into(), metrics_json(&e.metrics)),
     ];
+    if let Some(p) = &e.metrics.profile {
+        fields.push(("profile".into(), profile_json(p)));
+    }
     if !e.extra.is_empty() {
         fields.push((
             "extra".into(),
@@ -705,6 +413,15 @@ const STAGE_KEYS: &[&str] = &[
 
 const LATENCY_KEYS: &[&str] = &["count", "mean", "p50", "p99", "p999", "max"];
 
+const PROFILE_COUNTER_KEYS: &[&str] = &[
+    "aborts",
+    "lock_wait_cycles",
+    "lock_acquires",
+    "ccm_flips",
+    "splits",
+    "merges",
+];
+
 fn require<'j>(obj: &'j Json, key: &str, at: &str) -> Result<&'j Json, String> {
     obj.get(key)
         .ok_or_else(|| format!("{at}: missing key {key:?}"))
@@ -780,6 +497,41 @@ pub fn validate_report(text: &str) -> Result<(), String> {
             LATENCY_KEYS,
             &format!("{at}.metrics.latency"),
         )?;
+        if let Some(profile) = run.get("profile") {
+            validate_profile(profile, &format!("{at}.profile"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Check a run's optional `profile` section: stream accounting, the
+/// unattributed pool, and a leaves table whose rows carry every counter
+/// and stay ranked hottest-first (non-increasing abort counts).
+fn validate_profile(profile: &Json, at: &str) -> Result<(), String> {
+    require_keys(profile, &["events_seen", "events_dropped"], at)?;
+    require_keys(
+        require(profile, "unattributed", at)?,
+        PROFILE_COUNTER_KEYS,
+        &format!("{at}.unattributed"),
+    )?;
+    let leaves = require(profile, "leaves", at)?
+        .as_arr()
+        .ok_or(format!("{at}: leaves must be an array"))?;
+    let mut prev_aborts = f64::INFINITY;
+    for (i, row) in leaves.iter().enumerate() {
+        let at = format!("{at}.leaves[{i}]");
+        require(row, "addr", &at)?
+            .as_str()
+            .filter(|s| s.starts_with("0x"))
+            .ok_or(format!("{at}: addr must be a hex string"))?;
+        require_keys(row, PROFILE_COUNTER_KEYS, &at)?;
+        let aborts = require(row, "aborts", &at)?
+            .as_f64()
+            .ok_or(format!("{at}: aborts must be a number"))?;
+        if aborts > prev_aborts {
+            return Err(format!("{at}: table not ranked (aborts increase)"));
+        }
+        prev_aborts = aborts;
     }
     Ok(())
 }
@@ -822,33 +574,64 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrip() {
-        let doc = Json::Obj(vec![
-            ("a".into(), Json::Num(1.5)),
-            ("b".into(), Json::Arr(vec![Json::u64(7), Json::Null])),
-            ("c \"quoted\"\n".into(), Json::str("näïve\tstring")),
-            ("d".into(), Json::Bool(false)),
-            ("e".into(), Json::Obj(vec![])),
-        ]);
-        let text = doc.to_pretty();
-        assert_eq!(Json::parse(&text).unwrap(), doc);
+    fn profile_section_serializes_and_validates() {
+        let mut report = sample_report();
+        let hot = LeafCounters {
+            aborts: 10,
+            lock_wait_cycles: 900,
+            lock_acquires: 4,
+            ccm_flips: 1,
+            splits: 1,
+            merges: 0,
+        };
+        let warm = LeafCounters {
+            aborts: 3,
+            ..Default::default()
+        };
+        report.runs[0].metrics.profile = Some(LeafProfile {
+            leaves: vec![(0x7f00_0000_1000, hot), (0x7f00_0000_2000, warm)],
+            unattributed: LeafCounters {
+                aborts: 2,
+                ..Default::default()
+            },
+            events_seen: 20,
+            events_dropped: 1,
+        });
+        let text = report.to_json().to_pretty();
+        validate_report(&text).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        let profile = doc.get("runs").unwrap().as_arr().unwrap()[0]
+            .get("profile")
+            .unwrap();
+        let rows = profile.get("leaves").unwrap().as_arr().unwrap();
+        assert_eq!(
+            rows[0].get("addr").unwrap().as_str(),
+            Some("0x7f0000001000")
+        );
+        assert_eq!(rows[0].get("aborts").unwrap().as_f64(), Some(10.0));
+        assert_eq!(profile.get("events_dropped").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]
-    fn parser_rejects_malformed() {
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1, 2,,]").is_err());
-        assert!(Json::parse("{\"a\": 1} trailing").is_err());
-        assert!(Json::parse("\"unterminated").is_err());
-        assert!(Json::parse("nul").is_err());
-    }
-
-    #[test]
-    fn integers_serialize_exactly() {
-        let text = Json::u64(9_007_199_254_740_992 >> 1).to_pretty();
-        assert_eq!(text.trim(), "4503599627370496");
-        // Non-finite values degrade to null instead of emitting invalid JSON.
-        assert_eq!(Json::Num(f64::NAN).to_pretty().trim(), "null");
+    fn unranked_profile_table_is_rejected() {
+        let mut report = sample_report();
+        let cold = LeafCounters {
+            aborts: 1,
+            ..Default::default()
+        };
+        let hot = LeafCounters {
+            aborts: 5,
+            ..Default::default()
+        };
+        // Deliberately out of order: validation must catch it.
+        report.runs[0].metrics.profile = Some(LeafProfile {
+            leaves: vec![(0x1000, cold), (0x2000, hot)],
+            unattributed: LeafCounters::default(),
+            events_seen: 6,
+            events_dropped: 0,
+        });
+        let err = validate_report(&report.to_json().to_pretty()).unwrap_err();
+        assert!(err.contains("not ranked"), "unexpected error: {err}");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use euno_htm::{Mode, Runtime, ThreadCtx, ThreadStats};
+use euno_trace::{EventKind, ThreadTrace, TraceBuf};
 
 use crate::hist::LatencyHistogram;
 use crate::metrics::RunMetrics;
@@ -33,6 +34,10 @@ pub struct VirtualScheduler<'a> {
     threads: Vec<(ThreadCtx, Driver<'a>)>,
     /// Prune the engine's conflict window every this many events.
     prune_every: u64,
+    /// When set, every thread gets a trace ring of this capacity and the
+    /// scheduler emits a [`EventKind::SchedStep`] per dispatch; collected
+    /// traces land in [`RunMetrics::trace`].
+    trace_capacity: Option<usize>,
 }
 
 impl<'a> VirtualScheduler<'a> {
@@ -46,7 +51,15 @@ impl<'a> VirtualScheduler<'a> {
             rt,
             threads: Vec::new(),
             prune_every: 64,
+            trace_capacity: None,
         }
+    }
+
+    /// Give every thread a trace ring of `capacity` events (installed at
+    /// the start of [`VirtualScheduler::run`], so it covers threads added
+    /// before or after this call).
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace_capacity = Some(capacity);
     }
 
     /// Register a logical thread with its own deterministic seed.
@@ -61,6 +74,11 @@ impl<'a> VirtualScheduler<'a> {
 
     /// Run every thread to completion; returns aggregated metrics.
     pub fn run(mut self) -> RunMetrics {
+        if let Some(cap) = self.trace_capacity {
+            for (ctx, _) in self.threads.iter_mut() {
+                ctx.set_tracer(Box::new(TraceBuf::new(ctx.id, cap)));
+            }
+        }
         // Min-heap on (clock, index): equal clocks resolve by thread index,
         // keeping the schedule total-ordered and deterministic.
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
@@ -79,6 +97,7 @@ impl<'a> VirtualScheduler<'a> {
             }
             let (ctx, driver) = &mut self.threads[i];
             debug_assert_eq!(ctx.clock, start);
+            ctx.trace(EventKind::SchedStep { clock: start });
             let ops_before = ctx.stats.ops;
             let more = driver(ctx);
             if ctx.stats.ops > ops_before {
@@ -94,15 +113,24 @@ impl<'a> VirtualScheduler<'a> {
             }
         }
 
+        let mut traces: Vec<ThreadTrace> = Vec::new();
         let per_thread: Vec<ThreadStats> = self
             .threads
             .iter_mut()
             .map(|(ctx, _)| {
                 ctx.finish();
+                if let Some(buf) = ctx.take_tracer() {
+                    traces.push(buf.into_thread_trace());
+                }
                 ctx.stats.clone()
             })
             .collect();
-        RunMetrics::from_virtual_with_latency(per_thread, makespan, &self.rt.cost, latency)
+        let mut m =
+            RunMetrics::from_virtual_with_latency(per_thread, makespan, &self.rt.cost, latency);
+        if self.trace_capacity.is_some() {
+            m.trace = Some(traces);
+        }
+        m
     }
 }
 

@@ -135,6 +135,7 @@ fn virtual_harness_runs_and_fills_metrics() {
         ops_per_thread: 1_000,
         seed: 3,
         warmup_ops: 100,
+        ..RunConfig::default()
     };
     let m = run_virtual(&map, &rt, &toy_spec(), &cfg);
     assert_eq!(m.threads, 8);
@@ -160,6 +161,7 @@ fn virtual_harness_is_deterministic_end_to_end() {
             ops_per_thread: 800,
             seed: 11,
             warmup_ops: 50,
+            ..RunConfig::default()
         };
         let m = run_virtual(&map, &rt, &toy_spec(), &cfg);
         (
@@ -184,6 +186,7 @@ fn hot_zipfian_produces_contention_in_the_toy() {
         ops_per_thread: 1_500,
         seed: 4,
         warmup_ops: 200,
+        ..RunConfig::default()
     };
     let m = run_virtual(&map, &rt, &toy_spec(), &cfg);
     assert!(
@@ -204,6 +207,7 @@ fn concurrent_harness_executes_all_ops() {
         ops_per_thread: 1_000,
         seed: 9,
         warmup_ops: 100,
+        ..RunConfig::default()
     };
     let m = run_concurrent(&map, &rt, &toy_spec(), &cfg);
     assert_eq!(m.total_ops, 4_000);
@@ -228,5 +232,74 @@ fn concurrent_harness_executes_all_ops() {
     let mut ctx = rt.thread(77);
     for k in 0..50u64 {
         let _ = map.get(&mut ctx, k);
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_virtual_schedule() {
+    // The zero-overhead contract (DESIGN.md §13): installing a trace sink
+    // must not change a single measured number — emission never charges
+    // cycles or touches the RNG, so the deterministic schedule, the abort
+    // pattern, and every counter stay bit-identical.
+    let run = |trace_capacity: usize| {
+        let rt = Runtime::new_virtual();
+        let map = ToyMap::new(4096);
+        preload(&map, &rt, &toy_spec());
+        rt.reset_dynamics();
+        let cfg = RunConfig {
+            threads: 8,
+            ops_per_thread: 600,
+            seed: 21,
+            warmup_ops: 50,
+            trace_capacity,
+            ..RunConfig::default()
+        };
+        run_virtual(&map, &rt, &toy_spec(), &cfg)
+    };
+    let plain = run(0);
+    let traced = run(4096);
+    assert_eq!(plain.total_ops, traced.total_ops);
+    assert_eq!(plain.stats.cycles_total, traced.stats.cycles_total);
+    assert_eq!(plain.aborts.total(), traced.aborts.total());
+    assert_eq!(plain.elapsed_secs.to_bits(), traced.elapsed_secs.to_bits());
+    assert_eq!(
+        plain.latency.quantile(0.999),
+        traced.latency.quantile(0.999)
+    );
+    // And the traced run actually recorded the run: every thread has a
+    // buffer with episode + op + scheduler events in it.
+    assert!(plain.trace.is_none());
+    let traces = traced.trace.as_ref().unwrap();
+    assert_eq!(traces.len(), 8);
+    for t in traces {
+        assert!(t.total > 0, "thread {} traced nothing", t.thread);
+    }
+    let all: usize = traces.iter().map(|t| t.events.len()).sum();
+    assert!(all > 1_000, "only {all} events for 8×600 ops");
+}
+
+#[test]
+fn concurrent_tracing_collects_per_thread_rings() {
+    let rt = Runtime::new_concurrent();
+    let map = ToyMap::new(8192);
+    preload(&map, &rt, &toy_spec());
+    let cfg = RunConfig {
+        threads: 4,
+        ops_per_thread: 500,
+        seed: 13,
+        warmup_ops: 50,
+        trace_capacity: 1024,
+        ..RunConfig::default()
+    };
+    let m = run_concurrent(&map, &rt, &toy_spec(), &cfg);
+    let traces = m.trace.as_ref().unwrap();
+    assert_eq!(traces.len(), 4);
+    for t in traces {
+        assert!(t.total > 0);
+        assert!(t.events.len() <= 1024);
+        // Per-thread streams are timestamp-ordered.
+        for w in t.events.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
     }
 }

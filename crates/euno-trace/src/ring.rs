@@ -1,0 +1,204 @@
+//! The per-thread trace ring buffer.
+//!
+//! One [`TraceBuf`] is owned by exactly one thread's context and written
+//! through `&mut`, so a push is two plain stores and a wrapping index
+//! bump — no atomics, no locks, no allocation after the first lap. When
+//! the buffer is full the oldest event is overwritten; `total` keeps
+//! counting, so consumers can report exactly how many events were
+//! dropped. Capacity is fixed at construction: the hot path never
+//! reallocates, and a run's memory bill is `threads × capacity ×
+//! size_of::<Event>()`.
+
+use crate::event::{Event, EventKind};
+
+/// Default ring capacity (events per thread) when the caller does not
+/// choose one: big enough to hold the full measured phase of a smoke
+/// run, small enough (~1.25 MiB at 32-byte events) to install on every
+/// thread of a 16-thread figure run without noticing.
+pub const DEFAULT_CAPACITY: usize = 1 << 15;
+
+/// Fixed-capacity, overwrite-oldest event ring for one thread.
+#[derive(Debug)]
+pub struct TraceBuf {
+    thread: u32,
+    cap: usize,
+    events: Vec<Event>,
+    /// Events ever pushed; `total % cap` is the next write slot once the
+    /// ring has filled.
+    total: u64,
+}
+
+impl TraceBuf {
+    pub fn new(thread: u32, capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        TraceBuf {
+            thread,
+            cap,
+            events: Vec::with_capacity(cap),
+            total: 0,
+        }
+    }
+
+    pub fn with_default_capacity(thread: u32) -> Self {
+        Self::new(thread, DEFAULT_CAPACITY)
+    }
+
+    pub fn thread(&self) -> u32 {
+        self.thread
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events ever pushed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to overwrites.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.events.len() as u64
+    }
+
+    /// Record one event. O(1), allocation-free once the ring is full.
+    #[inline]
+    pub fn push(&mut self, ts: u64, thread: u32, kind: EventKind) {
+        let ev = Event { ts, thread, kind };
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            let slot = (self.total % self.cap as u64) as usize;
+            self.events[slot] = ev;
+        }
+        self.total += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn drain_ordered(&self) -> Vec<Event> {
+        if self.total <= self.cap as u64 {
+            return self.events.clone();
+        }
+        let split = (self.total % self.cap as u64) as usize;
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[split..]);
+        out.extend_from_slice(&self.events[..split]);
+        out
+    }
+
+    /// The last `n` retained events, oldest first (for failure dumps).
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let all = self.drain_ordered();
+        let skip = all.len().saturating_sub(n);
+        all[skip..].to_vec()
+    }
+
+    /// Finalize into an owned, ordered snapshot.
+    pub fn into_thread_trace(self) -> ThreadTrace {
+        ThreadTrace {
+            thread: self.thread,
+            dropped: self.dropped(),
+            total: self.total,
+            events: self.drain_ordered(),
+        }
+    }
+}
+
+/// One thread's finished trace: ordered events plus drop accounting.
+#[derive(Clone, Debug)]
+pub struct ThreadTrace {
+    pub thread: u32,
+    pub events: Vec<Event>,
+    /// Events overwritten before collection.
+    pub dropped: u64,
+    /// Events ever emitted (`events.len() + dropped`).
+    pub total: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> EventKind {
+        EventKind::Backoff { cycles: i }
+    }
+
+    #[test]
+    fn fills_then_wraps_keeping_newest() {
+        let mut b = TraceBuf::new(7, 4);
+        for i in 0..10u64 {
+            b.push(i, 7, ev(i));
+        }
+        assert_eq!(b.total(), 10);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.dropped(), 6);
+        let got: Vec<u64> = b.drain_ordered().iter().map(|e| e.ts).collect();
+        // The newest four, oldest first.
+        assert_eq!(got, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ordering_preserved_before_wrap() {
+        let mut b = TraceBuf::new(1, 16);
+        for i in 0..5u64 {
+            b.push(100 + i, 1, ev(i));
+        }
+        assert_eq!(b.dropped(), 0);
+        let ts: Vec<u64> = b.drain_ordered().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn wrap_boundary_is_exact() {
+        // Exactly capacity pushes: nothing dropped, order intact.
+        let mut b = TraceBuf::new(0, 3);
+        for i in 0..3u64 {
+            b.push(i, 0, ev(i));
+        }
+        assert_eq!(b.dropped(), 0);
+        assert_eq!(
+            b.drain_ordered().iter().map(|e| e.ts).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // One more: the oldest goes.
+        b.push(3, 0, ev(3));
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(
+            b.drain_ordered().iter().map(|e| e.ts).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn tail_returns_last_n() {
+        let mut b = TraceBuf::new(2, 8);
+        for i in 0..6u64 {
+            b.push(i, 2, ev(i));
+        }
+        let t: Vec<u64> = b.tail(2).iter().map(|e| e.ts).collect();
+        assert_eq!(t, vec![4, 5]);
+        assert_eq!(b.tail(100).len(), 6);
+    }
+
+    #[test]
+    fn into_thread_trace_accounts_drops() {
+        let mut b = TraceBuf::new(9, 2);
+        for i in 0..5u64 {
+            b.push(i, 9, ev(i));
+        }
+        let t = b.into_thread_trace();
+        assert_eq!(t.thread, 9);
+        assert_eq!(t.total, 5);
+        assert_eq!(t.dropped, 3);
+        assert_eq!(t.events.iter().map(|e| e.ts).collect::<Vec<_>>(), [3, 4]);
+    }
+}

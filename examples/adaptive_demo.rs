@@ -27,6 +27,7 @@ fn phase(
         ops_per_thread: 5_000,
         seed: 99,
         warmup_ops: 500,
+        ..RunConfig::default()
     };
     let m = run_virtual(tree, rt, spec, &cfg);
     println!(

@@ -80,6 +80,7 @@ fn main() {
         ops_per_thread: a.ops,
         seed: 7,
         warmup_ops: (a.ops / 5).max(4_000),
+        ..RunConfig::default()
     };
     let m = run_virtual(map.as_ref(), &rt, &spec, &cfg);
 

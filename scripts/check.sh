@@ -27,6 +27,20 @@ cargo run --release -q -p euno-bench --bin report_check -- \
     "$SMOKE/BENCH_fig08.json"
 echo "smoke-bench report OK"
 
+# Trace smoke: the same figure with tracing + profiling on.  The report
+# must re-validate with its new per-run `profile` sections, and the
+# Chrome trace export must round-trip through the in-tree JSON parser
+# (DESIGN.md §13).  A small ring keeps the export cheap.
+cargo run --release -q -p euno-bench --bin fig08_throughput -- \
+    --csv "$SMOKE/fig08t.csv" --ops 300 --keys 20000 --threads 8 \
+    --profile --trace "$SMOKE/trace.json" --trace-capacity 2048 >/dev/null
+cargo run --release -q -p euno-bench --bin report_check -- \
+    "$SMOKE/BENCH_fig08.json" | grep -E "profiled=[1-9]"
+cargo run --release -q -p euno-bench --bin report_check -- \
+    --trace "$SMOKE/trace.json"
+test -s "$SMOKE/trace.json.folded"
+echo "smoke-trace report + export OK"
+
 # Concurrent-correctness stage: real threads, recorded histories, the
 # linearizability oracle, and structural audits over all four trees.
 # Fixed seed for reproducibility; the wall-clock cap keeps the stage

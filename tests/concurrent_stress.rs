@@ -154,6 +154,7 @@ fn workload_harness_runs_concurrently() {
         ops_per_thread: 2_000,
         seed: 5,
         warmup_ops: 100,
+        ..RunConfig::default()
     };
     let m = run_concurrent(&tree, &rt, &spec, &cfg);
     assert_eq!(m.total_ops, 8_000);

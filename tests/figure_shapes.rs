@@ -20,6 +20,7 @@ fn measure(map: &dyn ConcurrentMap, rt: &Arc<Runtime>, theta: f64, threads: usiz
         ops_per_thread: 4_000,
         seed: 0x5EED,
         warmup_ops: 400,
+        ..RunConfig::default()
     };
     run_virtual(map, rt, &spec, &cfg)
 }
