@@ -190,6 +190,10 @@ pub struct Cli {
     /// Key-range override: preload cost scales with the range, so smoke
     /// runs (scripts/check.sh) pass a small `--keys` to stay cheap.
     pub keys_override: Option<u64>,
+    /// Row filter: only run measurement points whose x-label contains this
+    /// substring (engine_bench honours it; handy for profiling one
+    /// scenario without a rebuild).
+    pub only: Option<String>,
     pub policy: Option<PolicyChoice>,
     /// Export the first measured cell's event trace as Chrome trace-event
     /// JSON to this path (plus a `<path>.folded` flamegraph rollup).
@@ -213,6 +217,7 @@ impl Cli {
             threads_override: None,
             theta_override: None,
             keys_override: None,
+            only: None,
             policy: None,
             trace: None,
             profile: false,
@@ -235,6 +240,7 @@ impl Cli {
                 "--threads" => cli.threads_override = Some(numeric("--threads", args.next())),
                 "--theta" => cli.theta_override = Some(numeric("--theta", args.next())),
                 "--keys" => cli.keys_override = Some(numeric("--keys", args.next())),
+                "--only" => cli.only = args.next(),
                 "--trace" => match args.next() {
                     Some(p) => cli.trace = Some(p),
                     None => {
@@ -261,6 +267,7 @@ impl Cli {
                     eprintln!(
                         "flags: --csv <path>  --ops <per-thread>  --threads <n>\n\
                          \x20      --theta <f64>  --keys <range>  --policy dbx|aggressive|adaptive\n\
+                         \x20      --only <substr> (run only rows whose label contains it)\n\
                          \x20      --trace <path> (Chrome trace JSON of the first cell, + <path>.folded)\n\
                          \x20      --trace-capacity <events> (per-thread ring size for --trace)\n\
                          \x20      --profile (hot-leaf contention table in the run report)\n\

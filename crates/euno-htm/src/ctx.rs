@@ -82,6 +82,18 @@ impl EpisodeState {
             serialized: false,
         })
     }
+
+    /// Re-arm a recycled episode. The footprints and logs were cleared by
+    /// [`ThreadCtx::recycle`]; only the header fields need stamping.
+    fn reset(&mut self, kind: EpisodeKind, start: u64, rv: u64) {
+        self.kind = kind;
+        self.start = start;
+        self.rv = rv;
+        self.op_key = None;
+        self.fb_line = None;
+        self.fb_ptr = None;
+        self.serialized = false;
+    }
 }
 
 /// Per-thread execution handle. Create via [`Runtime::thread`].
@@ -95,6 +107,11 @@ pub struct ThreadCtx {
     pub stats: ThreadStats,
     pub(crate) rng: SmallRng,
     ep: Option<Box<EpisodeState>>,
+    /// Scratch pool: the one recycled episode box. Episodes are strictly
+    /// non-nested, so a single slot makes every steady-state
+    /// `episode_begin` allocation-free (the box, its footprint sets and
+    /// its logs are all reused with their capacities intact).
+    spare: Option<Box<EpisodeState>>,
     /// Optional operation-history observer (see [`crate::obs`]).
     obs: Option<Box<dyn OpObserver>>,
     /// Optional trace ring buffer (see `euno-trace`). Like `obs`, the
@@ -146,6 +163,7 @@ impl ThreadCtx {
             stats: ThreadStats::default(),
             rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             ep: None,
+            spare: None,
             obs: None,
             tracer: None,
         }
@@ -412,10 +430,29 @@ impl ThreadCtx {
         } else {
             0
         };
-        self.ep = Some(EpisodeState::new(kind, self.clock, rv));
+        self.ep = Some(match self.spare.take() {
+            Some(mut ep) => {
+                ep.reset(kind, self.clock, rv);
+                ep
+            }
+            None => {
+                self.stats.episode_pool_allocs += 1;
+                EpisodeState::new(kind, self.clock, rv)
+            }
+        });
         self.trace(EventKind::EpisodeBegin {
             kind: trace_episode_code(kind),
         });
+    }
+
+    /// Return a closed episode's scratch buffers to the per-thread pool so
+    /// the next [`ThreadCtx::episode_begin`] is allocation-free.
+    fn recycle(&mut self, mut ep: Box<EpisodeState>) {
+        ep.reads.clear();
+        ep.writes.clear();
+        ep.read_log.clear();
+        ep.write_buf.clear();
+        self.spare = Some(ep);
     }
 
     /// Tag the current episode with the operation's target key (true- vs
@@ -440,7 +477,9 @@ impl ThreadCtx {
 
     /// Discard the current episode (abort / retry path).
     pub fn episode_abort(&mut self) {
-        self.ep = None;
+        if let Some(ep) = self.ep.take() {
+            self.recycle(ep);
+        }
     }
 
     /// Close an [`EpisodeKind::OptimisticRead`]: in virtual mode, report a
@@ -463,54 +502,78 @@ impl ThreadCtx {
     }
 
     fn episode_end_optimistic_inner(&mut self) -> Option<ConflictInfo> {
+        let rt = Arc::clone(&self.rt);
         let ep = self.ep.take().expect("no open episode");
         debug_assert_eq!(ep.kind, EpisodeKind::OptimisticRead);
-        if self.rt.mode() != Mode::Virtual {
+        if rt.mode() != Mode::Virtual {
+            self.recycle(ep);
             return None;
         }
-        let transfer = self
-            .rt
-            .virt_transfer_charge(ep.reads.iter(), ep.start, self.id);
+        // One `virt` acquisition covers the transfer charge, the window
+        // check and the storm draw (the episode-closing hot path used to
+        // take the mutex once per step).
+        let virt = rt.virt.lock().unwrap();
+        let transfer =
+            virt.transfer_charge(ep.reads.iter(), ep.start, self.id, rt.cost.line_transfer);
         self.clock += transfer;
-        if let Some(ci) = self.rt.virt_check(ep.start, &ep.reads, None, ep.op_key) {
-            return Some(ci);
-        }
-        let u: f64 = self.rng.gen();
-        let line = self.rt.virt_storm_check(
-            &ep.reads,
-            None,
-            ep.start,
-            self.clock.saturating_sub(ep.start),
-            self.id,
-            u,
-        )?;
-        let kind = ConflictKind::classify(self.rt.class_of(line), ep.op_key, None);
-        Some(ConflictInfo {
-            line,
-            kind,
-            other_thread: None,
-        })
+        let out = if let Some((line, other_key, other_thread)) =
+            virt.check(ep.start, &ep.reads, None, &rt.classes)
+        {
+            drop(virt);
+            let kind = ConflictKind::classify(rt.class_of(line), ep.op_key, other_key);
+            Some(ConflictInfo {
+                line,
+                kind,
+                other_thread: Some(other_thread),
+            })
+        } else {
+            let u: f64 = self.rng.gen();
+            let storm = virt.storm_check(
+                &ep.reads,
+                None,
+                ep.start,
+                self.clock.saturating_sub(ep.start),
+                self.id,
+                u,
+                &rt.classes,
+            );
+            drop(virt);
+            storm.map(|line| {
+                let kind = ConflictKind::classify(rt.class_of(line), ep.op_key, None);
+                ConflictInfo {
+                    line,
+                    kind,
+                    other_thread: None,
+                }
+            })
+        };
+        self.recycle(ep);
+        out
     }
 
     /// Close an [`EpisodeKind::LockedWrite`]: publish the writes so
     /// overlapping optimistic readers (and transactions — strong atomicity)
     /// observe them.
     pub fn episode_end_locked_write(&mut self) {
+        let rt = Arc::clone(&self.rt);
         let mut ep = self.ep.take().expect("no open episode");
         debug_assert_eq!(ep.kind, EpisodeKind::LockedWrite);
         self.trace(EventKind::EpisodeCommit {
             kind: codes::EP_LOCKED_WRITE,
         });
-        if self.rt.mode() != Mode::Virtual {
+        if rt.mode() != Mode::Virtual {
+            self.recycle(ep);
             return;
         }
-        let transfer = self.rt.virt_transfer_charge(
+        let mut virt = rt.virt.lock().unwrap();
+        let transfer = virt.transfer_charge(
             ep.reads.iter().chain(ep.writes.iter()),
             ep.start,
             self.id,
+            rt.cost.line_transfer,
         );
         self.clock += transfer;
-        self.rt.virt_commit(EpisodeRecord {
+        virt.commit(EpisodeRecord {
             start: ep.start,
             end: self.clock,
             thread: self.id,
@@ -518,6 +581,8 @@ impl ThreadCtx {
             reads: std::mem::take(&mut ep.reads),
             writes: std::mem::take(&mut ep.writes),
         });
+        drop(virt);
+        self.recycle(ep);
     }
 
     // ================= transactional accesses =================
@@ -669,83 +734,94 @@ impl ThreadCtx {
     }
 
     fn finish_episode_concurrent(&mut self) {
-        self.ep = None;
+        if let Some(ep) = self.ep.take() {
+            self.recycle(ep);
+        }
     }
 
     fn commit_virtual(&mut self) -> Result<(), AbortCause> {
+        let rt = Arc::clone(&self.rt);
+        let mut ep = self.ep.take().unwrap();
+        // One `virt` acquisition covers the transfer charge, the window
+        // check, the storm draw and the commit publish — the commit hot
+        // path used to take the mutex once per step. On every abort path
+        // the episode goes back into `self.ep`: the executor's classify
+        // stage still needs its footprint (note_attempt_writes) before
+        // discarding it.
+        let mut virt = rt.virt.lock().unwrap();
+
         // Cache-coherence charges for hot lines extend the interval first.
-        let (transfer, start) = {
-            let ep = self.ep.as_ref().unwrap();
-            (
-                self.rt.virt_transfer_charge(
-                    ep.reads.iter().chain(ep.writes.iter()),
-                    ep.start,
-                    self.id,
-                ),
-                ep.start,
-            )
-        };
+        let transfer = virt.transfer_charge(
+            ep.reads.iter().chain(ep.writes.iter()),
+            ep.start,
+            self.id,
+            rt.cost.line_transfer,
+        );
         self.clock += transfer;
+        let start = ep.start;
         let end = self.clock;
 
-        let conflict = {
-            let ep = self.ep.as_ref().unwrap();
-            self.rt
-                .virt_check(start, &ep.reads, Some(&ep.writes), ep.op_key)
-        };
-        if let Some(ci) = conflict {
-            let fb_line = self.ep.as_ref().unwrap().fb_line;
-            return Err(if Some(ci.line) == fb_line {
+        if let Some((line, other_key, other_thread)) =
+            virt.check(start, &ep.reads, Some(&ep.writes), &rt.classes)
+        {
+            drop(virt);
+            let cause = if Some(line) == ep.fb_line {
                 AbortCause::FallbackLocked
             } else {
-                AbortCause::Conflict(ci)
-            });
+                let kind = ConflictKind::classify(rt.class_of(line), ep.op_key, other_key);
+                AbortCause::Conflict(ConflictInfo {
+                    line,
+                    kind,
+                    other_thread: Some(other_thread),
+                })
+            };
+            self.ep = Some(ep);
+            return Err(cause);
         }
 
         // Statistical collision with wall-clock-concurrent writers the
-        // serial order hides (see Runtime::virt_storm_check). Episodes
+        // serial order hides (see VirtState::storm_check). Episodes
         // running under a contender-serializing advisory lock are exempt:
         // the threads that generated the line heat are waiting behind the
         // lock, so the Poisson-arrival assumption does not apply (the
         // deterministic interval-overlap check above still catches every
         // genuinely concurrent writer).
-        let storm = {
-            let ep = self.ep.as_ref().unwrap();
-            if ep.serialized {
-                None
-            } else {
-                let u: f64 = self.rng.gen();
-                self.rt.virt_storm_check(
-                    &ep.reads,
-                    Some(&ep.writes),
-                    start,
-                    end.saturating_sub(start),
-                    self.id,
-                    u,
-                )
+        if !ep.serialized {
+            let u: f64 = self.rng.gen();
+            if let Some(line) = virt.storm_check(
+                &ep.reads,
+                Some(&ep.writes),
+                start,
+                end.saturating_sub(start),
+                self.id,
+                u,
+                &rt.classes,
+            ) {
+                drop(virt);
+                let kind = ConflictKind::classify(rt.class_of(line), ep.op_key, None);
+                self.ep = Some(ep);
+                return Err(AbortCause::Conflict(ConflictInfo {
+                    line,
+                    kind,
+                    other_thread: None,
+                }));
             }
-        };
-        if let Some(line) = storm {
-            let my_key = self.ep.as_ref().unwrap().op_key;
-            let kind = ConflictKind::classify(self.rt.class_of(line), my_key, None);
-            return Err(AbortCause::Conflict(ConflictInfo {
-                line,
-                kind,
-                other_thread: None,
-            }));
         }
 
-        let p = self.rt.cost.spurious_probability(end.saturating_sub(start));
+        let p = rt.cost.spurious_probability(end.saturating_sub(start));
         if p > 0.0 && self.rng.gen_bool(p.min(1.0)) {
+            drop(virt);
+            self.ep = Some(ep);
             return Err(AbortCause::Spurious);
         }
 
-        // Commit: apply the buffer, publish the footprint.
-        let mut ep = self.ep.take().unwrap();
+        // Commit: apply the buffer, publish the footprint. `mem::take` of
+        // an inline LineSet is a memcpy — the committed record borrows no
+        // heap unless the footprint spilled past the inline capacity.
         for (p, v) in &ep.write_buf {
             unsafe { (*p.0).store(*v, Ordering::Relaxed) };
         }
-        self.rt.virt_commit(EpisodeRecord {
+        virt.commit(EpisodeRecord {
             start,
             end,
             thread: self.id,
@@ -753,6 +829,8 @@ impl ThreadCtx {
             reads: std::mem::take(&mut ep.reads),
             writes: std::mem::take(&mut ep.writes),
         });
+        drop(virt);
+        self.recycle(ep);
         self.trace(EventKind::EpisodeCommit {
             kind: codes::EP_HTM_TX,
         });
@@ -880,9 +958,8 @@ impl ThreadCtx {
             return;
         }
         if let Some(ep) = self.ep.as_ref() {
-            let writes = ep.writes.clone();
             self.rt
-                .virt_note_attempt_writes(&writes, self.clock, self.id);
+                .virt_note_attempt_writes(&ep.writes, self.clock, self.id);
         }
     }
 
@@ -898,8 +975,8 @@ impl ThreadCtx {
     /// Close the fallback episode: publish its section (virtual mode) so
     /// overlapping transactions abort on the subscribed lock line.
     pub(crate) fn fallback_publish(&mut self) {
+        let mut ep = self.ep.take().unwrap();
         if self.rt.mode() == Mode::Virtual {
-            let mut ep = self.ep.take().unwrap();
             self.rt.virt_commit(EpisodeRecord {
                 start: ep.start,
                 end: self.clock,
@@ -908,9 +985,8 @@ impl ThreadCtx {
                 reads: std::mem::take(&mut ep.reads),
                 writes: std::mem::take(&mut ep.writes),
             });
-        } else {
-            self.ep = None;
         }
+        self.recycle(ep);
         self.trace(EventKind::EpisodeCommit {
             kind: codes::EP_FALLBACK,
         });

@@ -595,13 +595,17 @@ mod tests {
         let mut a = rt.thread(1);
         let mut b = rt.thread(2);
         let fb = TxCell::new(0u64);
-        // Allocate on separate lines: boxes land far apart.
-        let x = Box::new(TxCell::new(0u64));
-        let y = Box::new(TxCell::new(0u64));
-        assert_ne!(x.line(), y.line());
+        // Line-aligned allocations: two distinct 64-byte-aligned boxes can
+        // never share a cache line (unaligned small boxes can, depending on
+        // allocator state).
+        #[repr(align(64))]
+        struct Padded(TxCell<u64>);
+        let x = Box::new(Padded(TxCell::new(0u64)));
+        let y = Box::new(Padded(TxCell::new(0u64)));
+        assert_ne!(x.0.line(), y.0.line());
         let policy = RetryPolicy::default();
-        a.htm_execute(&fb, &policy, |tx| tx.write(&x, 1));
-        let out = b.htm_execute(&fb, &policy, |tx| tx.write(&y, 1));
+        a.htm_execute(&fb, &policy, |tx| tx.write(&x.0, 1));
+        let out = b.htm_execute(&fb, &policy, |tx| tx.write(&y.0, 1));
         assert_eq!(out.attempts, 1);
         assert_eq!(b.stats.aborts.total(), 0);
     }

@@ -51,6 +51,7 @@ pub mod lock;
 pub mod map;
 pub mod obs;
 pub mod policy;
+pub(crate) mod registry;
 pub mod runtime;
 pub mod stats;
 pub mod word;

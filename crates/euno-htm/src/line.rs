@@ -64,72 +64,127 @@ pub enum LineClass {
     Unknown,
 }
 
-/// A small, allocation-friendly set of cache lines.
+/// Lines stored inline before a [`LineSet`] spills to the heap. Sixteen
+/// covers a deep tree traversal (root→leaf reads, the fallback-lock line,
+/// a couple of metadata words) with room to spare; node splits and long
+/// scans are the rare episodes that spill.
+const INLINE_LINES: usize = 16;
+
+/// A small, allocation-free set of cache lines.
 ///
 /// Transactional footprints are tiny (a handful of lines for a tree
-/// traversal, a few dozen for a node split), so a sorted `Vec` with linear
-/// insert beats a hash set by a wide margin and keeps iteration ordered and
-/// deterministic — determinism matters because the virtual-time simulator
-/// must be bit-for-bit reproducible for a given seed.
-#[derive(Clone, Default, Debug)]
+/// traversal, a few dozen for a node split), so the set keeps up to
+/// [`INLINE_LINES`] entries in a sorted inline array — zero heap traffic
+/// on the episode hot path — and spills to a sorted `Vec` only above
+/// that. Either representation keeps iteration ordered and deterministic,
+/// which matters because the virtual-time simulator must be bit-for-bit
+/// reproducible for a given seed.
+///
+/// Invariant: elements live in `spill` iff `spill` is non-empty (a spilled
+/// set that is `clear()`ed returns to the inline representation, keeping
+/// the spill buffer's capacity for reuse).
+#[derive(Clone)]
 pub struct LineSet {
-    lines: Vec<LineId>,
+    inline_len: u8,
+    inline: [LineId; INLINE_LINES],
+    spill: Vec<LineId>,
 }
 
 impl LineSet {
     pub fn new() -> Self {
-        LineSet { lines: Vec::new() }
+        LineSet {
+            inline_len: 0,
+            inline: [LineId(0); INLINE_LINES],
+            spill: Vec::new(),
+        }
     }
 
+    /// A set that can hold `cap` lines before (re)allocating. Capacities
+    /// up to [`INLINE_LINES`] cost nothing.
     pub fn with_capacity(cap: usize) -> Self {
-        LineSet {
-            lines: Vec::with_capacity(cap),
+        let mut s = Self::new();
+        if cap > INLINE_LINES {
+            s.spill.reserve(cap);
         }
+        s
     }
 
     /// Insert a line; returns `true` if it was not present before.
     #[inline]
     pub fn insert(&mut self, line: LineId) -> bool {
-        match self.lines.binary_search(&line) {
-            Ok(_) => false,
-            Err(pos) => {
-                self.lines.insert(pos, line);
-                true
+        if self.spill.is_empty() {
+            let n = self.inline_len as usize;
+            match self.inline[..n].binary_search(&line) {
+                Ok(_) => false,
+                Err(pos) => {
+                    if n < INLINE_LINES {
+                        self.inline.copy_within(pos..n, pos + 1);
+                        self.inline[pos] = line;
+                        self.inline_len += 1;
+                    } else {
+                        // Spill: move the inline elements (still sorted)
+                        // plus the newcomer into the vector.
+                        self.spill.reserve(INLINE_LINES + 1);
+                        self.spill.extend_from_slice(&self.inline[..pos]);
+                        self.spill.push(line);
+                        self.spill.extend_from_slice(&self.inline[pos..]);
+                        self.inline_len = 0;
+                    }
+                    true
+                }
+            }
+        } else {
+            match self.spill.binary_search(&line) {
+                Ok(_) => false,
+                Err(pos) => {
+                    self.spill.insert(pos, line);
+                    true
+                }
             }
         }
     }
 
     #[inline]
     pub fn contains(&self, line: LineId) -> bool {
-        self.lines.binary_search(&line).is_ok()
+        self.as_slice().binary_search(&line).is_ok()
     }
 
     #[inline]
     pub fn len(&self) -> usize {
-        self.lines.len()
+        if self.spill.is_empty() {
+            self.inline_len as usize
+        } else {
+            self.spill.len()
+        }
     }
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.lines.is_empty()
+        self.len() == 0
     }
 
     pub fn clear(&mut self) {
-        self.lines.clear();
+        self.inline_len = 0;
+        self.spill.clear();
     }
 
     pub fn iter(&self) -> impl Iterator<Item = LineId> + '_ {
-        self.lines.iter().copied()
+        self.as_slice().iter().copied()
     }
 
+    #[inline]
     pub fn as_slice(&self) -> &[LineId] {
-        &self.lines
+        if self.spill.is_empty() {
+            &self.inline[..self.inline_len as usize]
+        } else {
+            &self.spill
+        }
     }
 
     /// First line present in both sets, if any. O(n + m) merge walk.
     pub fn first_intersection(&self, other: &LineSet) -> Option<LineId> {
         let (mut i, mut j) = (0, 0);
-        let (a, b) = (&self.lines, &other.lines);
+        let (a, b) = (self.as_slice(), other.as_slice());
         while i < a.len() && j < b.len() {
             match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => i += 1,
@@ -144,6 +199,40 @@ impl LineSet {
     #[inline]
     pub fn intersects(&self, other: &LineSet) -> bool {
         self.first_intersection(other).is_some()
+    }
+
+    /// All lines present in both sets, in line order. O(n + m) merge walk,
+    /// no allocation.
+    pub fn common_iter<'a>(&'a self, other: &'a LineSet) -> impl Iterator<Item = LineId> + 'a {
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let (mut i, mut j) = (0, 0);
+        std::iter::from_fn(move || {
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let l = a[i];
+                        i += 1;
+                        j += 1;
+                        return Some(l);
+                    }
+                }
+            }
+            None
+        })
+    }
+}
+
+impl Default for LineSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for LineSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
     }
 }
 
@@ -206,6 +295,43 @@ mod tests {
         assert!(a.intersects(&b));
         assert!(!a.intersects(&c));
         assert!(!c.intersects(&a));
+    }
+
+    #[test]
+    fn lineset_spills_and_returns_inline_after_clear() {
+        let mut s = LineSet::new();
+        // Descending inserts exercise the shift path; cross the inline
+        // boundary by a few elements.
+        let n = INLINE_LINES + 5;
+        for i in (0..n).rev() {
+            assert!(s.insert(LineId(i as u64 * 3)));
+        }
+        assert_eq!(s.len(), n);
+        let v: Vec<_> = s.iter().collect();
+        assert!(v.windows(2).all(|w| w[0] < w[1]), "iteration stays sorted");
+        for i in 0..n {
+            assert!(s.contains(LineId(i as u64 * 3)));
+            assert!(!s.insert(LineId(i as u64 * 3)), "dedup across the spill");
+        }
+        assert!(!s.contains(LineId(1)));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.as_slice(), &[] as &[LineId]);
+        // Refills inline after the clear.
+        assert!(s.insert(LineId(7)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.as_slice(), &[LineId(7)]);
+    }
+
+    #[test]
+    fn lineset_intersection_across_representations() {
+        // One spilled set, one inline set, intersecting in the middle.
+        let big: LineSet = (0..INLINE_LINES as u64 + 8)
+            .map(|x| LineId(x * 2))
+            .collect();
+        let small: LineSet = [LineId(9), LineId(20), LineId(33)].into_iter().collect();
+        assert_eq!(big.first_intersection(&small), Some(LineId(20)));
+        assert_eq!(small.first_intersection(&big), Some(LineId(20)));
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Read-mostly snapshot registries for line classes and object ranges.
+//!
+//! Both registries share an access pattern the engine's hot path cares
+//! about: trees register regions in bursts (build, preload, node splits)
+//! and the engine looks them up constantly (conflict classification,
+//! trace attribution). The old implementations guarded a per-line
+//! `HashMap` and a sorted `Vec` with `RwLock`s, so every lookup paid a
+//! lock acquisition even though the data is effectively immutable between
+//! bursts.
+//!
+//! [`SnapshotVec`] replaces the locks with an atomic-pointer-swapped
+//! immutable snapshot: writers mutate a master copy under a mutex and
+//! set a dirty flag; the next reader republishes (clone + pointer swap)
+//! once, and every reader after that binary-searches the snapshot with
+//! no lock at all. Retired snapshots are kept until the registry drops —
+//! a reader may still hold a reference into one — which leaks at most
+//! one superseded vector per registration *burst*, not per registration.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::line::{LineClass, LineId, LineSet};
+
+struct Master<T> {
+    items: Vec<T>,
+    /// Superseded snapshots. Readers may still hold references into
+    /// them, so they are only freed when the registry itself drops.
+    retired: Vec<*mut Vec<T>>,
+}
+
+// Safety: the raw pointers in `retired` are uniquely owned boxed vectors
+// (shared only as immutable snapshots), so the container is as Send/Sync
+// as the element type.
+unsafe impl<T: Send> Send for Master<T> {}
+unsafe impl<T: Send + Sync> Sync for Master<T> {}
+
+/// A sorted vector with lock-free reads and lazily republished writes.
+pub(crate) struct SnapshotVec<T: Clone> {
+    snap: AtomicPtr<Vec<T>>,
+    dirty: AtomicBool,
+    master: Mutex<Master<T>>,
+}
+
+impl<T: Clone> SnapshotVec<T> {
+    pub(crate) fn new() -> Self {
+        SnapshotVec {
+            snap: AtomicPtr::new(Box::into_raw(Box::new(Vec::new()))),
+            dirty: AtomicBool::new(false),
+            master: Mutex::new(Master {
+                items: Vec::new(),
+                retired: Vec::new(),
+            }),
+        }
+    }
+
+    /// Mutate the master copy under the lock. Readers observe the change
+    /// on their next [`SnapshotVec::read`] via the dirty flag.
+    pub(crate) fn update(&self, f: impl FnOnce(&mut Vec<T>)) {
+        let mut m = self.master.lock().unwrap();
+        f(&mut m.items);
+        self.dirty.store(true, Ordering::Release);
+    }
+
+    /// Read the master copy under the lock (cold observability paths).
+    pub(crate) fn with_master<R>(&self, f: impl FnOnce(&[T]) -> R) -> R {
+        f(&self.master.lock().unwrap().items)
+    }
+
+    /// Current snapshot. Lock-free unless a registration happened since
+    /// the last read, which triggers one clone-and-swap under the lock.
+    #[inline]
+    pub(crate) fn read(&self) -> &[T] {
+        if self.dirty.load(Ordering::Acquire) {
+            self.publish();
+        }
+        // Safety: snapshot vectors are retired, never freed, until `self`
+        // drops, so the borrow is valid for the lifetime of `&self`.
+        unsafe { &*self.snap.load(Ordering::Acquire) }
+    }
+
+    #[cold]
+    fn publish(&self) {
+        let mut m = self.master.lock().unwrap();
+        // Re-check under the lock: a concurrent reader may have already
+        // republished while we waited.
+        if !self.dirty.load(Ordering::Acquire) {
+            return;
+        }
+        let fresh = Box::into_raw(Box::new(m.items.clone()));
+        let old = self.snap.swap(fresh, Ordering::AcqRel);
+        m.retired.push(old);
+        self.dirty.store(false, Ordering::Release);
+    }
+}
+
+impl<T: Clone> Drop for SnapshotVec<T> {
+    fn drop(&mut self) {
+        let m = self.master.get_mut().unwrap();
+        for p in m.retired.drain(..) {
+            drop(unsafe { Box::from_raw(p) });
+        }
+        drop(unsafe { Box::from_raw(*self.snap.get_mut()) });
+    }
+}
+
+/// One registered line range: `[start, end)` with its class, plus the
+/// registration sequence number and the *original* range start it was
+/// registered with. The latter two give every registered line a
+/// deterministic rank (see [`ClassRegistry::rank_of`]) that survives
+/// trim-insert splitting.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ClassRange {
+    start: u64,
+    end: u64,
+    class: LineClass,
+    reg_id: u64,
+    orig_start: u64,
+}
+
+/// A line's deterministic identity: `(registration sequence number,
+/// offset within the registered range)`. Registration order and in-node
+/// offsets are functions of the program's deterministic behaviour, not of
+/// where the allocator placed a node — so ordering lines by rank is
+/// stable across heap layouts, ASLR, and allocation-pattern changes,
+/// where ordering by raw line id (address) is not. Unregistered lines
+/// fall back to address order in the `u64::MAX` bucket.
+pub(crate) type LineRank = (u64, u64);
+
+/// Line-class registry: sorted, non-overlapping `[start, end)` line
+/// ranges, newest registration winning on overlap — range-compressed
+/// compared to the old per-line hash map (one entry per allocation
+/// instead of one per 64-byte line).
+pub(crate) struct ClassRegistry {
+    ranges: SnapshotVec<ClassRange>,
+    next_reg_id: AtomicU64,
+}
+
+impl ClassRegistry {
+    pub(crate) fn new() -> Self {
+        ClassRegistry {
+            ranges: SnapshotVec::new(),
+            next_reg_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Tag lines `[first, last]` with `class`, splitting or replacing any
+    /// previously registered overlapping ranges (trim-insert). Survivors
+    /// of a split keep their original registration id and base, so their
+    /// lines' ranks don't shift.
+    pub(crate) fn register(&self, first: u64, last: u64, class: LineClass) {
+        let (s, e) = (first, last + 1);
+        let reg_id = self.next_reg_id.fetch_add(1, Ordering::Relaxed);
+        let fresh = ClassRange {
+            start: s,
+            end: e,
+            class,
+            reg_id,
+            orig_start: s,
+        };
+        self.ranges.update(|v| {
+            // First range ending after `s` — the earliest possible overlap.
+            let i = v.partition_point(|r| r.end <= s);
+            let mut j = i;
+            let mut left = None;
+            let mut right = None;
+            while j < v.len() && v[j].start < e {
+                if v[j].start < s {
+                    left = Some(ClassRange { end: s, ..v[j] });
+                }
+                if v[j].end > e {
+                    right = Some(ClassRange { start: e, ..v[j] });
+                }
+                j += 1;
+            }
+            let repl = left.into_iter().chain(std::iter::once(fresh)).chain(right);
+            v.splice(i..j, repl);
+        });
+    }
+
+    #[inline]
+    fn lookup(snap: &[ClassRange], line: LineId) -> Option<&ClassRange> {
+        let i = snap.partition_point(|r| r.start <= line.0);
+        if i > 0 {
+            let r = &snap[i - 1];
+            if line.0 < r.end {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    #[inline]
+    pub(crate) fn class_of(&self, line: LineId) -> LineClass {
+        Self::lookup(self.ranges.read(), line).map_or(LineClass::Unknown, |r| r.class)
+    }
+
+    /// Deterministic rank of a line (see [`LineRank`]).
+    #[inline]
+    pub(crate) fn rank_of(&self, line: LineId) -> LineRank {
+        match Self::lookup(self.ranges.read(), line) {
+            Some(r) => (r.reg_id, line.0 - r.orig_start),
+            None => (u64::MAX, line.0),
+        }
+    }
+
+    /// The common line of `a` and `b` with the smallest [`LineRank`], if
+    /// the sets intersect. This is the engine's canonical "which line do I
+    /// report for this conflict" rule: unlike *smallest line id* (heap
+    /// address order — sensitive to allocator placement), the answer is a
+    /// deterministic function of the simulated schedule.
+    pub(crate) fn best_common_line(&self, a: &LineSet, b: &LineSet) -> Option<LineId> {
+        let snap = self.ranges.read();
+        let mut best: Option<(LineRank, LineId)> = None;
+        for line in a.common_iter(b) {
+            let rank = match Self::lookup(snap, line) {
+                Some(r) => (r.reg_id, line.0 - r.orig_start),
+                None => (u64::MAX, line.0),
+            };
+            if best.is_none_or(|(r, _)| rank < r) {
+                best = Some((rank, line));
+            }
+        }
+        best.map(|(_, line)| line)
+    }
+
+    /// Number of distinct registered lines (ranges are non-overlapping,
+    /// so widths sum exactly).
+    pub(crate) fn registered_lines(&self) -> usize {
+        self.ranges
+            .with_master(|v| v.iter().map(|r| (r.end - r.start) as usize).sum())
+    }
+}
+
+/// Object registry for trace attribution: `(base, len)` pairs sorted by
+/// base. Re-registering an exact base replaces the entry (reused
+/// allocation), including shrinking its length.
+pub(crate) struct ObjectRegistry {
+    objects: SnapshotVec<(u64, u64)>,
+}
+
+impl ObjectRegistry {
+    pub(crate) fn new() -> Self {
+        ObjectRegistry {
+            objects: SnapshotVec::new(),
+        }
+    }
+
+    pub(crate) fn register(&self, base: u64, len: u64) {
+        self.objects
+            .update(|v| match v.binary_search_by_key(&base, |&(b, _)| b) {
+                Ok(i) => v[i] = (base, len),
+                Err(i) => v.insert(i, (base, len)),
+            });
+    }
+
+    /// Base address of the registered object containing `addr`, if any.
+    pub(crate) fn base_of(&self, addr: u64) -> Option<u64> {
+        let snap = self.objects.read();
+        let i = match snap.binary_search_by_key(&addr, |&(b, _)| b) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let (base, len) = snap[i];
+        (addr < base + len).then_some(base)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.objects.with_master(|v| v.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_see_prior_updates() {
+        let s: SnapshotVec<u64> = SnapshotVec::new();
+        assert!(s.read().is_empty());
+        s.update(|v| v.push(3));
+        assert_eq!(s.read(), &[3]);
+        // A second read without intervening updates takes the lock-free
+        // path and sees the same snapshot.
+        assert_eq!(s.read(), &[3]);
+        s.update(|v| v.push(9));
+        assert_eq!(s.read(), &[3, 9]);
+    }
+
+    #[test]
+    fn class_trim_insert_splits_overlaps() {
+        let reg = ClassRegistry::new();
+        reg.register(10, 19, LineClass::Record);
+        // Overwrite the middle: the Record range must split around it.
+        reg.register(14, 15, LineClass::Metadata);
+        assert_eq!(reg.class_of(LineId(10)), LineClass::Record);
+        assert_eq!(reg.class_of(LineId(13)), LineClass::Record);
+        assert_eq!(reg.class_of(LineId(14)), LineClass::Metadata);
+        assert_eq!(reg.class_of(LineId(15)), LineClass::Metadata);
+        assert_eq!(reg.class_of(LineId(16)), LineClass::Record);
+        assert_eq!(reg.class_of(LineId(19)), LineClass::Record);
+        assert_eq!(reg.class_of(LineId(20)), LineClass::Unknown);
+        assert_eq!(reg.class_of(LineId(9)), LineClass::Unknown);
+        assert_eq!(reg.registered_lines(), 10);
+
+        // Overwrite spanning several existing ranges collapses them.
+        reg.register(12, 17, LineClass::Structure);
+        assert_eq!(reg.class_of(LineId(11)), LineClass::Record);
+        assert_eq!(reg.class_of(LineId(12)), LineClass::Structure);
+        assert_eq!(reg.class_of(LineId(17)), LineClass::Structure);
+        assert_eq!(reg.class_of(LineId(18)), LineClass::Record);
+        assert_eq!(reg.registered_lines(), 10);
+    }
+
+    #[test]
+    fn class_exact_overwrite_and_disjoint_ranges() {
+        let reg = ClassRegistry::new();
+        reg.register(5, 7, LineClass::Metadata);
+        reg.register(5, 7, LineClass::Record); // same range, new class
+        assert_eq!(reg.class_of(LineId(5)), LineClass::Record);
+        assert_eq!(reg.class_of(LineId(7)), LineClass::Record);
+        assert_eq!(reg.registered_lines(), 3);
+        reg.register(100, 100, LineClass::Structure);
+        assert_eq!(reg.class_of(LineId(100)), LineClass::Structure);
+        assert_eq!(reg.registered_lines(), 4);
+    }
+
+    #[test]
+    fn object_boundary_addresses() {
+        let reg = ObjectRegistry::new();
+        reg.register(0x1000, 256);
+        reg.register(0x2000, 64);
+        // First and last byte of each range resolve; one past does not.
+        assert_eq!(reg.base_of(0x1000), Some(0x1000));
+        assert_eq!(reg.base_of(0x10ff), Some(0x1000));
+        assert_eq!(reg.base_of(0x1100), None);
+        assert_eq!(reg.base_of(0x0fff), None);
+        assert_eq!(reg.base_of(0x2000), Some(0x2000));
+        assert_eq!(reg.base_of(0x203f), Some(0x2000));
+        assert_eq!(reg.base_of(0x2040), None);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn object_reregistration_shrinks() {
+        let reg = ObjectRegistry::new();
+        reg.register(0x1000, 256);
+        assert_eq!(reg.base_of(0x10ff), Some(0x1000));
+        // Reused allocation: same base, smaller object. The old tail must
+        // stop resolving even though an older snapshot said otherwise.
+        reg.register(0x1000, 64);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.base_of(0x103f), Some(0x1000));
+        assert_eq!(reg.base_of(0x1040), None);
+        assert_eq!(reg.base_of(0x10ff), None);
+    }
+
+    #[test]
+    fn concurrent_register_and_classify() {
+        // Hammer registrations from one thread while another classifies;
+        // every lookup must see either Unknown or a class registered for
+        // that exact line — never torn or stale-beyond-retirement data.
+        let reg = std::sync::Arc::new(ClassRegistry::new());
+        let w = {
+            let reg = std::sync::Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    let class = if i % 2 == 0 {
+                        LineClass::Record
+                    } else {
+                        LineClass::Metadata
+                    };
+                    reg.register(i % 64, i % 64, class);
+                }
+            })
+        };
+        for _ in 0..10_000 {
+            let c = reg.class_of(LineId(7));
+            assert!(
+                matches!(
+                    c,
+                    LineClass::Unknown | LineClass::Record | LineClass::Metadata
+                ),
+                "unexpected class {c:?}"
+            );
+        }
+        w.join().unwrap();
+        // After the writer finishes, line 7 was last registered on
+        // iteration 967 (odd → Metadata).
+        assert_eq!(reg.class_of(LineId(7)), LineClass::Metadata);
+    }
+}

@@ -3,15 +3,53 @@
 //! (committed-episode window, virtual lock table, hot-line map, line-class
 //! registry).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
-use std::sync::{Mutex, RwLock};
+use std::sync::Mutex;
 
+/// Multiply-based hasher for the engine's `u64`-keyed maps (line ids,
+/// lock keys). The default SipHash costs more than the lookups it guards
+/// on the episode hot path — several line-keyed probes per commit — and
+/// HashDoS resistance buys nothing against keys derived from our own
+/// allocations. One odd-constant multiply (Fibonacci hashing) spreads
+/// sequential line ids across the high bits hashbrown uses for its
+/// control tags. Deterministic, so map *behaviour* is reproducible — and
+/// nothing schedule-visible iterates these maps, so bucket order never
+/// reaches the run report either way.
+#[derive(Default)]
+struct FibHasher(u64);
+
+impl Hasher for FibHasher {
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // 2^64 / phi, forced odd — the classic Fibonacci multiplier.
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Not reached by u64 keys; fold bytes so any other key type still
+        // hashes sanely.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type HashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FibHasher>>;
+
+#[cfg(test)]
 use crate::abort::{ConflictInfo, ConflictKind};
 use crate::cost::CostModel;
 use crate::line::{LineClass, LineId, LineSet, CACHE_LINE_BYTES};
+use crate::registry::{ClassRegistry, ObjectRegistry};
 
 /// How transactions execute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,13 +87,158 @@ pub(crate) struct LineHeat {
     pub gap_ewma: u64,
 }
 
+/// A committed episode in the window, stamped with its commit sequence
+/// number (the key the line index refers to).
+struct WindowRec {
+    seq: u64,
+    rec: EpisodeRecord,
+}
+
+/// One committed access to a line: the episode's commit sequence number,
+/// its end time, and the running maximum end over this entry and every
+/// older one in the same list. Commit order is *not* end order (a
+/// later-committing episode can end earlier), so a backward walk cannot
+/// stop at the first `end <= start` — but it *can* stop once the prefix
+/// maximum is `<= start`, because then no older access can overlap
+/// either. That early exit is what keeps the no-conflict case O(1) even
+/// while stale entries (records already pruned from the window) await the
+/// amortized sweep.
+#[derive(Clone, Copy)]
+struct LineAccess {
+    seq: u64,
+    end: u64,
+    max_end: u64,
+}
+
+/// Accesses kept inline before an [`AccessList`] spills to the heap. A
+/// skewed workload touches a long tail of lines once or twice per window;
+/// two inline slots mean those lines never allocate, while the few hot
+/// lines (root, fallback word) spill once and then reuse the buffer.
+const INLINE_ACCESSES: usize = 2;
+
+/// Access history of one line, in ascending-seq order (commit order), so
+/// a backward walk visits newest-first. Same inline/spill design as
+/// [`LineSet`]: elements live in `spill` iff it is non-empty.
+struct AccessList {
+    inline_len: u8,
+    inline: [LineAccess; INLINE_ACCESSES],
+    spill: Vec<LineAccess>,
+}
+
+impl Default for AccessList {
+    fn default() -> Self {
+        AccessList {
+            inline_len: 0,
+            inline: [LineAccess {
+                seq: 0,
+                end: 0,
+                max_end: 0,
+            }; INLINE_ACCESSES],
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl AccessList {
+    #[inline]
+    fn as_slice(&self) -> &[LineAccess] {
+        if self.spill.is_empty() {
+            &self.inline[..self.inline_len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.inline_len == 0 && self.spill.is_empty()
+    }
+
+    /// Append one access, maintaining the prefix-maximum end.
+    fn push(&mut self, seq: u64, end: u64) {
+        let max_end = self.as_slice().last().map_or(end, |a| a.max_end.max(end));
+        let a = LineAccess { seq, end, max_end };
+        if self.spill.is_empty() {
+            let n = self.inline_len as usize;
+            if n < INLINE_ACCESSES {
+                self.inline[n] = a;
+                self.inline_len += 1;
+                return;
+            }
+            self.spill.reserve(INLINE_ACCESSES + 1);
+            self.spill.extend_from_slice(&self.inline);
+            self.inline_len = 0;
+        }
+        self.spill.push(a);
+    }
+
+    /// Drop accesses older than `min_seq`, rebuilding the prefix maxima
+    /// (the retained suffix's stored maxima still cover removed entries —
+    /// correct but loose, and tight maxima are what make the early exit
+    /// bite). Keeps the spill buffer's capacity for reuse.
+    fn sweep(&mut self, min_seq: u64) {
+        if self.spill.is_empty() {
+            let mut k = 0usize;
+            for i in 0..self.inline_len as usize {
+                if self.inline[i].seq >= min_seq {
+                    self.inline[k] = self.inline[i];
+                    k += 1;
+                }
+            }
+            self.inline_len = k as u8;
+            let mut running = 0u64;
+            for a in &mut self.inline[..k] {
+                running = running.max(a.end);
+                a.max_end = running;
+            }
+        } else {
+            self.spill.retain(|a| a.seq >= min_seq);
+            let mut running = 0u64;
+            for a in self.spill.iter_mut() {
+                running = running.max(a.end);
+                a.max_end = running;
+            }
+        }
+    }
+}
+
+/// Inverted-index entry for one cache line: which committed episodes
+/// wrote / read it.
+#[derive(Default)]
+struct LineIndexEntry {
+    writers: AccessList,
+    readers: AccessList,
+}
+
+/// Sweep the line index once this many entries refer to records already
+/// removed from the window. Amortizes the O(index) sweep across at least
+/// as many removals.
+const INDEX_SWEEP_STALE: usize = 4096;
+
 /// Virtual-mode shared state. Guarded by a mutex for `Send`/`Sync`, but in
 /// virtual mode all access is from the single scheduler thread, so the lock
 /// is never contended.
+///
+/// The conflict/storm/transfer logic lives in methods on this struct (not
+/// on [`Runtime`]) so the episode-closing paths in `ctx.rs` can take the
+/// mutex **once** per episode and run every check under the same guard —
+/// the per-episode lock traffic used to be 3-4 acquisitions. The
+/// `Runtime::virt_*` wrappers below keep the one-call-one-lock API for
+/// tests and single-shot callers.
 #[derive(Default)]
 pub(crate) struct VirtState {
-    /// Recently committed episodes, ordered by start time (execution order).
-    window: VecDeque<EpisodeRecord>,
+    /// Recently committed episodes, ordered by commit sequence number
+    /// (which is also start-time order under min-clock scheduling).
+    window: VecDeque<WindowRec>,
+    /// Next commit sequence number.
+    next_seq: u64,
+    /// line → committed episodes touching it. Commit-time conflict
+    /// detection probes only the episode's own footprint lines here —
+    /// O(footprint × per-line history) instead of O(window) per check.
+    line_index: HashMap<u64, LineIndexEntry>,
+    /// Upper bound on index entries referring to removed records; a sweep
+    /// runs once it passes [`INDEX_SWEEP_STALE`].
+    index_stale: usize,
     /// Advisory-lock table: lock key → virtual time it is held until.
     locks: HashMap<u64, u64>,
     /// Per-line write heat: last writer end/thread plus an EWMA of the
@@ -64,6 +247,323 @@ pub(crate) struct VirtState {
     recent_writes: HashMap<u64, LineHeat>,
     /// Cycles of history to keep in `recent_writes` for hot-line charging.
     transfer_horizon: u64,
+}
+
+impl LineHeat {
+    /// Fold one write at `end` by `thread` into the line's heat record.
+    #[inline]
+    fn update(prev: Option<LineHeat>, end: u64, thread: u32) -> LineHeat {
+        match prev {
+            Some(prev) => {
+                let gap = end.saturating_sub(prev.end).max(1);
+                let ewma = if prev.gap_ewma == u64::MAX {
+                    gap
+                } else {
+                    (3 * prev.gap_ewma + gap) / 4
+                };
+                LineHeat {
+                    end,
+                    thread,
+                    gap_ewma: ewma,
+                }
+            }
+            None => LineHeat {
+                end,
+                thread,
+                gap_ewma: u64::MAX,
+            },
+        }
+    }
+}
+
+impl VirtState {
+    /// Check an episode's footprint against committed overlapping
+    /// episodes — `reads` against their writes only (optimistic reads)
+    /// when `writes` is `None`, the full TSX rules otherwise. Returns the
+    /// colliding line plus the other side's op key and thread —
+    /// classification (which needs the class registry) stays with the
+    /// caller.
+    ///
+    /// The conflicting record is the *newest* (largest-seq) overlapping
+    /// record whose footprint intersects — exactly what the old
+    /// newest-first window scan returned — found here by probing the line
+    /// index with only the episode's own lines. The reported line within
+    /// that record follows the priority order my W ∩ their W, then
+    /// my W ∩ their R, then my R ∩ their W; within one priority level the
+    /// lowest-[`LineRank`](crate::registry::LineRank) common line wins, so
+    /// the report does not depend on heap addresses (see
+    /// [`ClassRegistry::best_common_line`]).
+    pub(crate) fn check(
+        &self,
+        start: u64,
+        reads: &LineSet,
+        writes: Option<&LineSet>,
+        reg: &ClassRegistry,
+    ) -> Option<(LineId, Option<u64>, u32)> {
+        // `below` excludes candidates already found to be stale (their
+        // record was pruned while its index entries survive) — a case the
+        // scheduler's prune invariant (`start` never precedes the cutoff)
+        // makes unreachable, but ad-hoc drivers can construct.
+        let mut below = u64::MAX;
+        loop {
+            let mut best: Option<u64> = None;
+            {
+                // Newest overlapping entry in one per-line history list.
+                let mut consider = |list: &[LineAccess]| {
+                    for a in list.iter().rev() {
+                        if a.max_end <= start {
+                            break; // nothing here or older can overlap
+                        }
+                        if a.seq >= below {
+                            continue;
+                        }
+                        if best.is_some_and(|b| a.seq <= b) {
+                            break; // walking descending seq: no improvement left
+                        }
+                        if a.end > start {
+                            best = Some(a.seq);
+                            break;
+                        }
+                    }
+                };
+                // Collision rules (TSX): my W ∩ their (R ∪ W), my R ∩ their W.
+                if let Some(w) = writes {
+                    for l in w.iter() {
+                        if let Some(e) = self.line_index.get(&l.0) {
+                            consider(e.writers.as_slice());
+                            consider(e.readers.as_slice());
+                        }
+                    }
+                }
+                for l in reads.iter() {
+                    if let Some(e) = self.line_index.get(&l.0) {
+                        consider(e.writers.as_slice());
+                    }
+                }
+            }
+            let cand = best?;
+            match self.window.binary_search_by_key(&cand, |wr| wr.seq) {
+                Ok(i) => {
+                    let rec = &self.window[i].rec;
+                    let line = if let Some(w) = writes {
+                        reg.best_common_line(w, &rec.writes)
+                            .or_else(|| reg.best_common_line(w, &rec.reads))
+                            .or_else(|| reg.best_common_line(reads, &rec.writes))
+                    } else {
+                        reg.best_common_line(reads, &rec.writes)
+                    };
+                    let line = line.expect("indexed record must intersect the footprint");
+                    return Some((line, rec.op_key, rec.thread));
+                }
+                // Stale index entry: the record was pruned. Skip it and
+                // look for the next-newest candidate.
+                Err(_) => below = cand,
+            }
+        }
+    }
+
+    /// Publish a committed episode and refresh the hot-line map; see
+    /// [`Runtime::virt_commit`].
+    pub(crate) fn commit(&mut self, rec: EpisodeRecord) {
+        for l in rec.writes.iter() {
+            let heat = LineHeat::update(self.recent_writes.get(&l.0).copied(), rec.end, rec.thread);
+            self.recent_writes.insert(l.0, heat);
+        }
+        // Opportunistic backstop pruning for drivers that never call
+        // [`Runtime::virt_prune`] (ad-hoc tests, hand-rolled loops): any
+        // future episode in a min-clock-ordered schedule starts no earlier
+        // than this commit's start, so records ending a full safety margin
+        // before it can never collide again. The scheduler still performs
+        // exact pruning.
+        if self.window.len() >= 256 {
+            let cutoff = rec.start.saturating_sub(200_000);
+            self.drop_window_prefix(cutoff);
+            if self.window.len() >= 4096 {
+                self.drop_window_all(cutoff);
+            }
+            self.maybe_sweep_index();
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        for l in rec.writes.iter() {
+            self.line_index
+                .entry(l.0)
+                .or_default()
+                .writers
+                .push(seq, rec.end);
+        }
+        for l in rec.reads.iter() {
+            self.line_index
+                .entry(l.0)
+                .or_default()
+                .readers
+                .push(seq, rec.end);
+        }
+        self.window.push_back(WindowRec { seq, rec });
+    }
+
+    /// Pop window records (oldest-first) whose end is at or before
+    /// `cutoff`, stopping at the first survivor.
+    fn drop_window_prefix(&mut self, cutoff: u64) {
+        while let Some(front) = self.window.front() {
+            if front.rec.end <= cutoff {
+                let wr = self.window.pop_front().unwrap();
+                self.index_stale += wr.rec.writes.len() + wr.rec.reads.len();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drop *every* window record ending at or before `cutoff` (the rare
+    /// linear pass — pop_front alone can strand long-lived records behind
+    /// a long-running front entry).
+    fn drop_window_all(&mut self, cutoff: u64) {
+        let stale = &mut self.index_stale;
+        self.window.retain(|wr| {
+            if wr.rec.end > cutoff {
+                true
+            } else {
+                *stale += wr.rec.writes.len() + wr.rec.reads.len();
+                false
+            }
+        });
+    }
+
+    /// Drop index entries whose records left the window, once enough have
+    /// accumulated. Entries are in ascending-seq order, so everything
+    /// before the oldest live seq is a removable prefix; entries for
+    /// records removed out of the middle (by [`VirtState::drop_window_all`])
+    /// linger until the live horizon passes them, which is harmless — the
+    /// checker skips candidates it cannot resolve.
+    fn maybe_sweep_index(&mut self) {
+        if self.index_stale < INDEX_SWEEP_STALE {
+            return;
+        }
+        let min_seq = self.window.front().map_or(self.next_seq, |wr| wr.seq);
+        self.line_index.retain(|_, e| {
+            e.writers.sweep(min_seq);
+            e.readers.sweep(min_seq);
+            !e.writers.is_empty() || !e.readers.is_empty()
+        });
+        self.index_stale = 0;
+    }
+
+    /// Exact pruning driven by the scheduler: drop everything that cannot
+    /// affect any episode starting at or after `before`.
+    pub(crate) fn prune(&mut self, before: u64) {
+        self.drop_window_prefix(before);
+        if self.window.len() > 4096 {
+            self.drop_window_all(before);
+        }
+        self.maybe_sweep_index();
+        if self.recent_writes.len() > 1 << 16 {
+            self.recent_writes
+                .retain(|_, heat| heat.end + 1_000_000 > before);
+        }
+        if self.locks.len() > 1 << 14 {
+            self.locks.retain(|_, &mut until| until > before);
+        }
+    }
+
+    /// Storm extrapolation: serial virtual execution can only see
+    /// conflicts with *already committed* episodes, but on real hardware a
+    /// transaction also races writers that are wall-clock concurrent yet
+    /// execute later in the serial order. Model them statistically: if a
+    /// line in the footprint was last written by another thread Δ cycles
+    /// before this episode started, treat writes to it as a Poisson stream
+    /// of rate 1/Δ, so an episode of duration L collides with probability
+    /// `1 − exp(−L/Δ)`. Under a genuine storm Δ collapses and retries keep
+    /// failing — reproducing TSX's retry livelock and the fallback convoy
+    /// that drives the paper's throughput collapse; under low contention Δ
+    /// is huge and the correction vanishes.
+    #[allow(clippy::too_many_arguments)] // episode scalars, not a config bag
+    pub(crate) fn storm_check(
+        &self,
+        reads: &LineSet,
+        writes: Option<&LineSet>,
+        start: u64,
+        duration: u64,
+        me: u32,
+        u: f64,
+        reg: &ClassRegistry,
+    ) -> Option<LineId> {
+        let l = duration.max(1) as f64;
+        // Survival probability across all hot lines in the footprint: the
+        // line's write process is modelled as Poisson with rate
+        // 1/EWMA-gap, damped exponentially with the time since the last
+        // write so a storm that has genuinely ended stops biting. A line
+        // with no rate estimate yet falls back to the single-observation
+        // estimate (gap ≈ time since that write).
+        let mut log_survive = 0.0f64;
+        // Most-recently-written footprint line; `heat.end` ties (lines
+        // written by the same committed episode) break on [`LineRank`],
+        // not address order, so the reported line is layout-independent.
+        let mut hottest: Option<(LineId, u64, crate::registry::LineRank)> = None;
+        let mut consider = |line: LineId, heat: Option<&LineHeat>| {
+            if let Some(heat) = heat {
+                if heat.thread != me && heat.end <= start {
+                    let since = (start - heat.end).max(1) as f64;
+                    let lambda = if heat.gap_ewma == u64::MAX {
+                        l / since
+                    } else {
+                        let gap = heat.gap_ewma.max(1) as f64;
+                        (l / gap) * (-since / (20.0 * gap)).exp()
+                    };
+                    log_survive -= lambda;
+                    if hottest.is_none_or(|(_, e, _)| heat.end >= e) {
+                        let rank = reg.rank_of(line);
+                        if hottest.is_none_or(|(_, e, r)| heat.end > e || rank < r) {
+                            hottest = Some((line, heat.end, rank));
+                        }
+                    }
+                }
+            }
+        };
+        for line in reads.iter() {
+            consider(line, self.recent_writes.get(&line.0));
+        }
+        if let Some(w) = writes {
+            for line in w.iter() {
+                consider(line, self.recent_writes.get(&line.0));
+            }
+        }
+        let p_abort = 1.0 - log_survive.exp();
+        if p_abort > 0.0 && u < p_abort {
+            hottest.map(|(line, _, _)| line)
+        } else {
+            None
+        }
+    }
+
+    /// Heat contribution of an aborted attempt's speculative writes; see
+    /// [`Runtime::virt_note_attempt_writes`].
+    pub(crate) fn note_attempt_writes(&mut self, writes: &LineSet, end: u64, thread: u32) {
+        for l in writes.iter() {
+            let heat = LineHeat::update(self.recent_writes.get(&l.0).copied(), end, thread);
+            self.recent_writes.insert(l.0, heat);
+        }
+    }
+
+    /// Cycles charged for cache-coherence transfers of recently-written
+    /// hot lines (touched by another thread within the transfer horizon).
+    pub(crate) fn transfer_charge(
+        &self,
+        footprint: impl Iterator<Item = LineId>,
+        now: u64,
+        me: u32,
+        line_transfer_cost: u64,
+    ) -> u64 {
+        let mut hot = 0u64;
+        for l in footprint {
+            if let Some(heat) = self.recent_writes.get(&l.0) {
+                if heat.thread != me && heat.end + self.transfer_horizon > now {
+                    hot += 1;
+                }
+            }
+        }
+        hot * line_transfer_cost
+    }
 }
 
 /// The engine runtime shared by all threads of one experiment.
@@ -78,11 +578,15 @@ pub struct Runtime {
     /// Serializes NOrec commits.
     pub(crate) commit_lock: Mutex<()>,
     pub(crate) virt: Mutex<VirtState>,
-    /// Line → data class, populated by trees at node allocation.
-    classes: RwLock<HashMap<u64, LineClass>>,
+    /// Line-range → data class, populated by trees at node allocation.
+    /// Snapshot structure: classification lookups are lock-free. Also the
+    /// source of deterministic line ranks for conflict-line selection,
+    /// which is why the episode-closing paths in `ctx.rs` pass it into
+    /// [`VirtState::check`] / [`VirtState::storm_check`].
+    pub(crate) classes: ClassRegistry,
     /// Object registry for trace attribution: `(base, len)` of registered
-    /// objects (tree leaves), kept sorted by base for binary search.
-    objects: RwLock<Vec<(u64, u64)>>,
+    /// objects (tree leaves), sorted by base, lock-free lookups.
+    objects: ObjectRegistry,
     /// Monotonic source for thread ids handed out by [`Runtime::thread`].
     next_thread: AtomicU64,
 }
@@ -98,8 +602,8 @@ impl Runtime {
                 transfer_horizon: 20_000,
                 ..VirtState::default()
             }),
-            classes: RwLock::new(HashMap::new()),
-            objects: RwLock::new(Vec::new()),
+            classes: ClassRegistry::new(),
+            objects: ObjectRegistry::new(),
             next_thread: AtomicU64::new(0),
         })
     }
@@ -138,10 +642,7 @@ impl Runtime {
         }
         let first = LineId::of_addr(addr).0;
         let last = LineId::of_addr(addr + bytes - 1).0;
-        let mut map = self.classes.write().unwrap();
-        for l in first..=last {
-            map.insert(l, class);
-        }
+        self.classes.register(first, last, class);
     }
 
     /// Convenience: register the memory occupied by a value.
@@ -149,19 +650,15 @@ impl Runtime {
         self.register_region(v as *const T as usize, std::mem::size_of::<T>(), class);
     }
 
+    #[inline]
     pub fn class_of(&self, line: LineId) -> LineClass {
-        self.classes
-            .read()
-            .unwrap()
-            .get(&line.0)
-            .copied()
-            .unwrap_or(LineClass::Unknown)
+        self.classes.class_of(line)
     }
 
     /// Number of distinct registered lines (used to bound registry growth
     /// in tests).
     pub fn registered_lines(&self) -> usize {
-        self.classes.read().unwrap().len()
+        self.classes.registered_lines()
     }
 
     // ----- object registry (trace attribution) -------------------------
@@ -174,29 +671,18 @@ impl Runtime {
         if bytes == 0 {
             return;
         }
-        let mut objs = self.objects.write().unwrap();
-        let entry = (base as u64, bytes as u64);
-        match objs.binary_search_by_key(&entry.0, |&(b, _)| b) {
-            Ok(i) => objs[i] = entry, // re-registration (reused allocation)
-            Err(i) => objs.insert(i, entry),
-        }
+        self.objects.register(base as u64, bytes as u64);
     }
 
     /// Base address of the registered object containing `addr`, if any.
+    #[inline]
     pub fn object_base_of(&self, addr: u64) -> Option<u64> {
-        let objs = self.objects.read().unwrap();
-        let i = match objs.binary_search_by_key(&addr, |&(b, _)| b) {
-            Ok(i) => i,
-            Err(0) => return None,
-            Err(i) => i - 1,
-        };
-        let (base, len) = objs[i];
-        (addr < base + len).then_some(base)
+        self.objects.base_of(addr)
     }
 
     /// Number of registered objects (observability/tests).
     pub fn registered_objects(&self) -> usize {
-        self.objects.read().unwrap().len()
+        self.objects.len()
     }
 
     // ----- virtual-mode conflict window --------------------------------
@@ -205,7 +691,10 @@ impl Runtime {
     /// `check_reads_against_writes` only (optimistic reads) when
     /// `writes` is `None`.
     ///
-    /// Returns the first collision found, classified.
+    /// Returns the first collision found, classified. The episode-closing
+    /// hot paths in `ctx.rs` call [`VirtState::check`] directly under
+    /// their single lock acquisition; this wrapper serves the unit tests.
+    #[cfg(test)]
     pub(crate) fn virt_check(
         &self,
         start: u64,
@@ -214,144 +703,19 @@ impl Runtime {
         my_key: Option<u64>,
     ) -> Option<ConflictInfo> {
         let virt = self.virt.lock().unwrap();
-        for rec in virt.window.iter().rev() {
-            if rec.end <= start {
-                // Window is start-ordered, not end-ordered, so we cannot
-                // break early; older records may still have larger ends.
-                continue;
-            }
-            // Collision rules (TSX): my W ∩ their (R ∪ W), my R ∩ their W.
-            let hit = if let Some(w) = writes {
-                w.first_intersection(&rec.writes)
-                    .or_else(|| w.first_intersection(&rec.reads))
-                    .or_else(|| reads.first_intersection(&rec.writes))
-            } else {
-                reads.first_intersection(&rec.writes)
-            };
-            if let Some(line) = hit {
-                let (other_key, other_thread) = (rec.op_key, rec.thread);
-                drop(virt);
-                let kind = ConflictKind::classify(self.class_of(line), my_key, other_key);
-                return Some(ConflictInfo {
-                    line,
-                    kind,
-                    other_thread: Some(other_thread),
-                });
-            }
-        }
-        None
+        let (line, other_key, other_thread) = virt.check(start, reads, writes, &self.classes)?;
+        drop(virt);
+        let kind = ConflictKind::classify(self.class_of(line), my_key, other_key);
+        Some(ConflictInfo {
+            line,
+            kind,
+            other_thread: Some(other_thread),
+        })
     }
 
     /// Publish a committed episode and refresh the hot-line map.
     pub(crate) fn virt_commit(&self, rec: EpisodeRecord) {
-        let mut virt = self.virt.lock().unwrap();
-        for l in rec.writes.iter() {
-            let heat = match virt.recent_writes.get(&l.0) {
-                Some(prev) => {
-                    let gap = rec.end.saturating_sub(prev.end).max(1);
-                    let ewma = if prev.gap_ewma == u64::MAX {
-                        gap
-                    } else {
-                        (3 * prev.gap_ewma + gap) / 4
-                    };
-                    LineHeat {
-                        end: rec.end,
-                        thread: rec.thread,
-                        gap_ewma: ewma,
-                    }
-                }
-                None => LineHeat {
-                    end: rec.end,
-                    thread: rec.thread,
-                    gap_ewma: u64::MAX,
-                },
-            };
-            virt.recent_writes.insert(l.0, heat);
-        }
-        // Opportunistic backstop pruning for drivers that never call
-        // [`Runtime::virt_prune`] (ad-hoc tests, hand-rolled loops): any
-        // future episode in a min-clock-ordered schedule starts no earlier
-        // than this commit's start, so records ending a full safety margin
-        // before it can never collide again. The scheduler still performs
-        // exact pruning.
-        if virt.window.len() >= 256 {
-            let cutoff = rec.start.saturating_sub(200_000);
-            while let Some(front) = virt.window.front() {
-                if front.end <= cutoff {
-                    virt.window.pop_front();
-                } else {
-                    break;
-                }
-            }
-            if virt.window.len() >= 4096 {
-                virt.window.retain(|r| r.end > cutoff);
-            }
-        }
-        virt.window.push_back(rec);
-    }
-
-    /// Storm extrapolation: serial virtual execution can only see
-    /// conflicts with *already committed* episodes, but on real hardware a
-    /// transaction also races writers that are wall-clock concurrent yet
-    /// execute later in the serial order. Model them statistically: if a
-    /// line in the footprint was last written by another thread Δ cycles
-    /// before this episode started, treat writes to it as a Poisson stream
-    /// of rate 1/Δ, so an episode of duration L collides with probability
-    /// `1 − exp(−L/Δ)`. Under a genuine storm Δ collapses and retries keep
-    /// failing — reproducing TSX's retry livelock and the fallback convoy
-    /// that drives the paper's throughput collapse; under low contention Δ
-    /// is huge and the correction vanishes.
-    pub(crate) fn virt_storm_check(
-        &self,
-        reads: &LineSet,
-        writes: Option<&LineSet>,
-        start: u64,
-        duration: u64,
-        me: u32,
-        u: f64,
-    ) -> Option<LineId> {
-        let virt = self.virt.lock().unwrap();
-        let l = duration.max(1) as f64;
-        // Survival probability across all hot lines in the footprint: the
-        // line's write process is modelled as Poisson with rate 1/EWMA-gap,
-        // damped exponentially with the time since the last write so a
-        // storm that has genuinely ended stops biting. A line with no rate
-        // estimate yet falls back to the single-observation estimate
-        // (gap ≈ time since that write).
-        let mut log_survive = 0.0f64;
-        let mut hottest: Option<(LineId, u64)> = None;
-        let mut consider = |line: LineId, virt: &VirtState| {
-            if let Some(heat) = virt.recent_writes.get(&line.0) {
-                if heat.thread != me && heat.end <= start {
-                    let since = (start - heat.end).max(1) as f64;
-                    let lambda = if heat.gap_ewma == u64::MAX {
-                        l / since
-                    } else {
-                        let gap = heat.gap_ewma.max(1) as f64;
-                        (l / gap) * (-since / (20.0 * gap)).exp()
-                    };
-                    log_survive -= lambda;
-                    if hottest.is_none_or(|(_, e)| heat.end > e) {
-                        hottest = Some((line, heat.end));
-                    }
-                }
-            }
-        };
-        for line in reads.iter() {
-            consider(line, &virt);
-        }
-        if let Some(w) = writes {
-            for line in w.iter() {
-                consider(line, &virt);
-            }
-        }
-        drop(virt);
-        let p_abort = 1.0 - log_survive.exp();
-        if p_abort > 0.0 && u < p_abort {
-            hottest.map(|(line, _)| line)
-        } else {
-            None
-        }
+        self.virt.lock().unwrap().commit(rec);
     }
 
     /// Record the write footprint of an *aborted* HTM attempt. Speculative
@@ -363,76 +727,35 @@ impl Runtime {
         if writes.is_empty() {
             return;
         }
-        let mut virt = self.virt.lock().unwrap();
-        for l in writes.iter() {
-            let heat = match virt.recent_writes.get(&l.0) {
-                Some(prev) => {
-                    let gap = end.saturating_sub(prev.end).max(1);
-                    let ewma = if prev.gap_ewma == u64::MAX {
-                        gap
-                    } else {
-                        (3 * prev.gap_ewma + gap) / 4
-                    };
-                    LineHeat {
-                        end,
-                        thread,
-                        gap_ewma: ewma,
-                    }
-                }
-                None => LineHeat {
-                    end,
-                    thread,
-                    gap_ewma: u64::MAX,
-                },
-            };
-            virt.recent_writes.insert(l.0, heat);
-        }
+        self.virt
+            .lock()
+            .unwrap()
+            .note_attempt_writes(writes, end, thread);
     }
 
     /// Cycles charged for cache-coherence transfers of recently-written hot
     /// lines (touched by another thread within the transfer horizon).
+    /// The episode-closing hot paths in `ctx.rs` call
+    /// [`VirtState::transfer_charge`] directly under their single lock
+    /// acquisition; this wrapper serves the unit tests.
+    #[cfg(test)]
     pub(crate) fn virt_transfer_charge(
         &self,
         footprint: impl Iterator<Item = LineId>,
         now: u64,
         me: u32,
     ) -> u64 {
-        let virt = self.virt.lock().unwrap();
-        let mut hot = 0u64;
-        for l in footprint {
-            if let Some(heat) = virt.recent_writes.get(&l.0) {
-                if heat.thread != me && heat.end + virt.transfer_horizon > now {
-                    hot += 1;
-                }
-            }
-        }
-        hot * self.cost.line_transfer
+        self.virt
+            .lock()
+            .unwrap()
+            .transfer_charge(footprint, now, me, self.cost.line_transfer)
     }
 
     /// Drop window entries and hot-line records that can no longer affect
     /// any episode starting at or after `before`. The scheduler calls this
     /// with the minimum pending start time.
     pub fn virt_prune(&self, before: u64) {
-        let mut virt = self.virt.lock().unwrap();
-        // Window is start-ordered; entries may have any end. Do a linear
-        // retain occasionally — cheap because the window stays small.
-        while let Some(front) = virt.window.front() {
-            if front.end <= before {
-                virt.window.pop_front();
-            } else {
-                break;
-            }
-        }
-        if virt.window.len() > 4096 {
-            virt.window.retain(|r| r.end > before);
-        }
-        if virt.recent_writes.len() > 1 << 16 {
-            virt.recent_writes
-                .retain(|_, heat| heat.end + 1_000_000 > before);
-        }
-        if virt.locks.len() > 1 << 14 {
-            virt.locks.retain(|_, &mut until| until > before);
-        }
+        self.virt.lock().unwrap().prune(before);
     }
 
     /// Current number of live window entries (observability/tests).
@@ -468,6 +791,8 @@ impl Runtime {
     pub fn reset_dynamics(&self) {
         let mut virt = self.virt.lock().unwrap();
         virt.window.clear();
+        virt.line_index.clear();
+        virt.index_stale = 0;
         virt.locks.clear();
         virt.recent_writes.clear();
     }

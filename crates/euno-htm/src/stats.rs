@@ -55,6 +55,10 @@ pub struct ThreadStats {
     pub mem_accesses: u64,
     /// Atomic CAS operations issued.
     pub cas_ops: u64,
+    /// Fresh `EpisodeState` heap allocations (scratch-pool misses). The
+    /// pool recycles one episode box per thread, so in steady state this
+    /// stays at 1 — the zero-alloc test asserts exactly that.
+    pub episode_pool_allocs: u64,
 }
 
 /// Abort tallies following the paper's taxonomy.
@@ -144,6 +148,7 @@ impl ThreadStats {
         self.ccm_bypass_flips += other.ccm_bypass_flips;
         self.mem_accesses += other.mem_accesses;
         self.cas_ops += other.cas_ops;
+        self.episode_pool_allocs += other.episode_pool_allocs;
     }
 
     /// HTM aborts per completed operation (Figures 2 and 9 y-axis).

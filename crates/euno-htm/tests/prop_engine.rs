@@ -52,6 +52,48 @@ fn lineset_intersection_symmetric() {
     }
 }
 
+/// The small/spill representation agrees with the BTreeSet model on
+/// insert/contains/intersects for footprints straddling the inline
+/// boundary, including across clear-and-reuse cycles (the episode scratch
+/// pool clears sets instead of dropping them, so a spilled-then-cleared
+/// set must behave exactly like a fresh one).
+#[test]
+fn lineset_spill_boundary_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0x5b111);
+    let mut set = LineSet::new(); // reused across cases, like the scratch pool
+    for case in 0..256 {
+        // Sizes clustered around the inline capacity (16): 0..40 inserts
+        // from a key space wide enough to avoid constant duplicates.
+        let n = rng.gen_range(0usize..40);
+        set.clear();
+        let mut model = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            let x = rng.gen_range(0u64..96);
+            assert_eq!(set.insert(LineId(x)), model.insert(x), "case {case}");
+            assert_eq!(set.len(), model.len());
+        }
+        let got: Vec<u64> = set.iter().map(|l| l.0).collect();
+        let expect: Vec<u64> = model.iter().copied().collect();
+        assert_eq!(got, expect, "case {case}: sorted iteration");
+        for x in 0..96u64 {
+            assert_eq!(set.contains(LineId(x)), model.contains(&x), "case {case}");
+        }
+        // Intersection against an independently drawn set (sized to land
+        // on either side of the boundary).
+        let m = rng.gen_range(0usize..40);
+        let other_model: std::collections::BTreeSet<u64> =
+            (0..m).map(|_| rng.gen_range(0u64..96)).collect();
+        let other: LineSet = other_model.iter().map(|&x| LineId(x)).collect();
+        let expect_first = model.intersection(&other_model).next().copied();
+        assert_eq!(
+            set.first_intersection(&other).map(|l| l.0),
+            expect_first,
+            "case {case}: first intersection is the smallest common line"
+        );
+        assert_eq!(set.intersects(&other), other.intersects(&set));
+    }
+}
+
 /// A transactional read-modify-write sequence over arbitrary cells is
 /// equivalent to executing it directly: no lost or phantom updates,
 /// regardless of how the adds are interleaved across virtual threads.

@@ -42,6 +42,7 @@ run fig13_ablation fig13_ablation.csv
 run ycsb_suite ycsb_suite.csv
 run mem_overhead mem_overhead.csv
 run sensitivity sensitivity.csv
+run engine_bench engine.csv
 
 echo | tee -a "$LOG"
 echo "=== report_check ===" | tee -a "$LOG"

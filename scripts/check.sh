@@ -41,6 +41,18 @@ cargo run --release -q -p euno-bench --bin report_check -- \
 test -s "$SMOKE/trace.json.folded"
 echo "smoke-trace report + export OK"
 
+# Engine smoke: a tiny wall-clock run of the episode machinery itself
+# (raw scenarios + the tree workload, virtual and concurrent modes), then
+# schema-validate its report.  Catches hot-path regressions that break the
+# bench harness rather than the trees — throughput here is NOT judged
+# (wall-clock numbers are meaningless at smoke sizes), only that every
+# scenario completes and emits a well-formed report.
+cargo run --release -q -p euno-bench --bin engine_bench -- \
+    --csv "$SMOKE/engine.csv" --ops 2000 >/dev/null
+cargo run --release -q -p euno-bench --bin report_check -- \
+    "$SMOKE/BENCH_engine.json"
+echo "smoke-engine report OK"
+
 # Concurrent-correctness stage: real threads, recorded histories, the
 # linearizability oracle, and structural audits over all four trees.
 # Fixed seed for reproducibility; the wall-clock cap keeps the stage
