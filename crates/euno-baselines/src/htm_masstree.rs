@@ -20,8 +20,8 @@
 use std::sync::Arc;
 
 use euno_htm::{
-    Arena, ConcurrentMap, MemoryReport, RetryPolicy, RetryStrategy, Runtime, ThreadCtx, Tx, TxCell,
-    TxResult, TxWord, KEY_SENTINEL, TOMBSTONE,
+    slot_for_key, Arena, BitLockVector, ConcurrentMap, Footprint, MemoryReport, RetryPolicy,
+    RetryStrategy, Runtime, ThreadCtx, Tx, TxCell, TxResult, TxWord, KEY_SENTINEL, TOMBSTONE,
 };
 
 use crate::masstree::{
@@ -39,6 +39,10 @@ pub struct HtmMasstree {
     strategy: Arc<dyn RetryStrategy>,
     leaves: Arena<MtLeaf>,
     internals: Arena<MtInternal>,
+    /// Tree-global advisory slots for the executor's middle path; `None`
+    /// (the default — this tree is the paper's two-path baseline)
+    /// reproduces the classic two-path escalation (the ablation baseline).
+    middle: Option<BitLockVector>,
 }
 
 impl HtmMasstree {
@@ -55,7 +59,28 @@ impl HtmMasstree {
             rt,
             leaves,
             internals,
+            middle: None,
         }
+    }
+
+    /// Middle-path advisory slots per tree.
+    const MIDDLE_SLOTS: usize = 64;
+
+    /// Enable the footprint-local middle path (§4.3): point operations
+    /// declare a slot of a tree-global advisory table and escalate onto
+    /// it before touching the global fallback. Off by default — the tree
+    /// models the paper's two-path baseline; `fig13_threepath` measures
+    /// the difference.
+    pub fn three_path(mut self) -> Self {
+        self.middle = Some(BitLockVector::new(Self::MIDDLE_SLOTS));
+        self
+    }
+
+    /// The middle-path footprint of a point operation on `key`.
+    fn middle_footprint(&self, key: u64) -> Option<Footprint<'_>> {
+        self.middle
+            .as_ref()
+            .map(|m| Footprint::new(m, &[slot_for_key(key, Self::MIDDLE_SLOTS as u32)]))
     }
 
     /// Select the retry strategy the executor runs this tree under.
@@ -294,7 +319,8 @@ impl HtmMasstree {
 
 impl ConcurrentMap for HtmMasstree {
     fn get(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
-        ctx.htm_execute(&self.ctrl.fallback, &*self.strategy, |tx| {
+        let fp = self.middle_footprint(key);
+        ctx.htm_execute_with(&self.ctrl.fallback, &*self.strategy, fp.as_ref(), |tx| {
             tx.set_op_key(key);
             let leaf = self.descend(tx, key)?;
             match self.leaf_find(tx, leaf, key)? {
@@ -310,7 +336,8 @@ impl ConcurrentMap for HtmMasstree {
 
     fn put(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Option<u64> {
         assert!(key < KEY_SENTINEL && value != TOMBSTONE);
-        ctx.htm_execute(&self.ctrl.fallback, &*self.strategy, |tx| {
+        let fp = self.middle_footprint(key);
+        ctx.htm_execute_with(&self.ctrl.fallback, &*self.strategy, fp.as_ref(), |tx| {
             tx.set_op_key(key);
             let leaf = self.descend(tx, key)?;
             if let Some(i) = self.leaf_find(tx, leaf, key)? {
@@ -331,7 +358,8 @@ impl ConcurrentMap for HtmMasstree {
     }
 
     fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
-        ctx.htm_execute(&self.ctrl.fallback, &*self.strategy, |tx| {
+        let fp = self.middle_footprint(key);
+        ctx.htm_execute_with(&self.ctrl.fallback, &*self.strategy, fp.as_ref(), |tx| {
             tx.set_op_key(key);
             let leaf = self.descend(tx, key)?;
             match self.leaf_find(tx, leaf, key)? {

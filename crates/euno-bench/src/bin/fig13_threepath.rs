@@ -1,0 +1,78 @@
+//! Figure 13 companion — three-path vs two-path executor under an abort
+//! storm (§4.3 of DESIGN.md).
+//!
+//! Scenario: a single stubborn hot key. A tiny key range under a Zipfian
+//! with θ → 1 funnels nearly every operation through one record, so the
+//! classic two-path executor melts down into the global fallback: every
+//! fallback acquisition serializes *all* threads, including those working
+//! on unrelated keys. The three-path executor instead escalates the hot
+//! key's operations onto its footprint slot lock — threads queue on one
+//! advisory bit, the HTM path stays open for everyone else, and the global
+//! fallback is reserved for genuine last-resort escalation.
+//!
+//! Reported per cell: throughput, global-fallback rate, middle-path rate
+//! and p99 latency. The ablation claim is that at θ ≥ 0.99 three-path cuts
+//! both the fallback rate and p99 relative to the same tree with
+//! `two_path()` configured.
+
+use euno_bench::common::{emit, fig_config, measure, Cli, Point, System};
+
+fn main() {
+    let cli = Cli::parse();
+    // Each tree under both executors. Euno runs the middle path by
+    // default (its two-path twin disables it); the HTM-B+Tree baseline
+    // is paper-faithful two-path by default and opts in via
+    // `three_path()`.
+    let systems = [
+        System::EunoBTree,
+        System::EunoTwoPath,
+        System::HtmBTree,
+        System::HtmBTreeThreePath,
+    ];
+
+    let mut all = Vec::new();
+    for theta in [0.99, 0.995, 0.999] {
+        let mut spec = cli.spec(theta);
+        // Stubborn hot key: collapse the key range so the Zipfian head is
+        // a single record that every thread hammers. `--keys` still wins.
+        spec.key_range = 64;
+        cli.shrink(&mut spec);
+
+        let mut cfg = fig_config(0x00F1_6133, 12_000);
+        cfg.threads = 20;
+        cli.apply(&mut cfg);
+
+        println!(
+            "\n== Figure 13 (three-path): abort storm, θ={theta}, {} keys ==",
+            spec.key_range
+        );
+        println!(
+            "{:<20} {:>9} {:>9} {:>9} {:>12}",
+            "variant", "Mops/s", "fb_rate", "mid_rate", "p99 (cyc)"
+        );
+        for system in systems {
+            let mut m = measure(system, &spec, &cfg);
+            cli.post_cell(&mut m);
+            let commits = m.stats.commits.max(1) as f64;
+            println!(
+                "{:<20} {:>9.2} {:>9.4} {:>9.4} {:>12}",
+                system.label(),
+                m.mops(),
+                m.stats.fallbacks as f64 / commits,
+                m.stats.middles as f64 / commits,
+                m.latency.quantile(0.99),
+            );
+            all.push(Point::new(system, theta, &spec, &cfg, m));
+        }
+    }
+
+    if let Some(csv) = &cli.csv {
+        emit(
+            "fig13_threepath",
+            "Figure 13 (three-path): two-path vs three-path under an abort storm, 20 threads",
+            csv,
+            &all,
+        )
+        .unwrap();
+    }
+}

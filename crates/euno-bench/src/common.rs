@@ -33,6 +33,11 @@ pub enum System {
     AblationCcmLockbits,
     AblationCcmMarkbits,
     AblationAdaptive,
+    /// Three-path ablation (fig13_threepath): Euno with the executor's
+    /// footprint-local middle path disabled, and the paper's two-path
+    /// HTM-B+Tree baseline with it enabled.
+    EunoTwoPath,
+    HtmBTreeThreePath,
 }
 
 impl System {
@@ -54,6 +59,8 @@ impl System {
             System::AblationCcmLockbits => "+CCM lockbits",
             System::AblationCcmMarkbits => "+CCM markbits",
             System::AblationAdaptive => "+Adaptive",
+            System::EunoTwoPath => "Euno-B+Tree/2path",
+            System::HtmBTreeThreePath => "HTM-B+Tree/3path",
         }
     }
 
@@ -98,6 +105,14 @@ impl System {
                 EunoConfig::ccm_markbits(),
                 strategy,
             )),
+            System::EunoTwoPath => Box::new(EunoBTreeDefault::with_config_and_strategy(
+                Arc::clone(rt),
+                EunoConfig::default().two_path(),
+                strategy,
+            )),
+            System::HtmBTreeThreePath => {
+                Box::new(HtmBTree::<16>::with_strategy(Arc::clone(rt), strategy).three_path())
+            }
         }
     }
 }
@@ -401,14 +416,15 @@ pub fn write_csv(path: &str, points: &[Point]) -> std::io::Result<()> {
          true_conflicts,false_record,false_metadata,false_structure,capacity,spurious,\
          fallback_locked,wasted_cycle_fraction,accesses_per_op,fallbacks_per_op,\
          optimistic_retries,lock_wait_cycles,lat_p50,lat_p99,lat_p999,lat_max,\
-         backoff_cycles,fallback_wait_cycles,ccm_bypass_flips"
+         backoff_cycles,fallback_wait_cycles,ccm_bypass_flips,middles,middle_attempts,\
+         middle_wait_cycles"
     )?;
     for p in points {
         let m = &p.metrics;
         let ops = m.total_ops.max(1) as f64;
         writeln!(
             f,
-            "{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.5},{:.4},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.5},{:.4},{},{},{},{},{},{},{},{},{},{},{}",
             p.system,
             p.x,
             m.threads,
@@ -435,6 +451,9 @@ pub fn write_csv(path: &str, points: &[Point]) -> std::io::Result<()> {
             m.stats.cycles_backoff,
             m.stats.cycles_fallback_wait,
             m.stats.ccm_bypass_flips,
+            m.stats.middles,
+            m.stats.middle_attempts,
+            m.stats.cycles_middle_wait,
         )?;
     }
     eprintln!("wrote {path}");

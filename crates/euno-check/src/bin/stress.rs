@@ -2,9 +2,13 @@
 //! linearizability oracle, and structural audits over every tree.
 //!
 //! ```text
-//! stress [--threads N] [--ops N] [--seed N] [--keys N] [--scan-len N]
-//!        [--preload N] [--duration SECS] [--no-maintain] [--tree SUBSTR]
-//!        [--trace PATH] [--profile] [--dump-events N]
+//! stress [--storm] [--threads N] [--ops N] [--seed N] [--keys N]
+//!        [--scan-len N] [--preload N] [--duration SECS] [--no-maintain]
+//!        [--tree SUBSTR] [--trace PATH] [--profile] [--dump-events N]
+//!
+//! `--storm` starts from the abort-storm preset (8 threads on 8 keys, the
+//! schedule that drives the executor onto its middle path); later flags
+//! still override individual knobs.
 //! ```
 //!
 //! Exits nonzero on any violation and prints the exact command line that
@@ -21,7 +25,7 @@ use euno_trace::{chrome_trace, folded_rollup};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: stress [--threads N] [--ops N] [--seed N] [--keys N] \
+        "usage: stress [--storm] [--threads N] [--ops N] [--seed N] [--keys N] \
          [--scan-len N] [--preload N] [--duration SECS] [--no-maintain] \
          [--tree SUBSTR] [--trace PATH] [--profile] [--dump-events N]"
     );
@@ -41,6 +45,13 @@ fn main() {
                 .unwrap_or_else(|| usage())
         };
         match flag.as_str() {
+            "--storm" => {
+                cfg = StressConfig {
+                    trace_capacity: cfg.trace_capacity,
+                    profile: cfg.profile,
+                    ..StressConfig::abort_storm()
+                }
+            }
             "--threads" => cfg.threads = num(&mut args) as u32,
             "--ops" => cfg.ops_per_thread = num(&mut args),
             "--seed" => cfg.seed = num(&mut args),
@@ -107,10 +118,13 @@ fn main() {
             Verdict::Violation { detail } => format!("VIOLATION: {detail}"),
         };
         println!(
-            "  {:<14} {:>7} ops in {:>5} ms | lin: {} | invariants: {}",
+            "  {:<14} {:>7} ops in {:>5} ms | paths h/m/f {}/{}/{} | lin: {} | invariants: {}",
             r.tree,
             r.history_len,
             r.elapsed_ms,
+            r.stats.commits - r.stats.middles - r.stats.fallbacks,
+            r.stats.middles,
+            r.stats.fallbacks,
             verdict,
             if r.invariant_violations.is_empty() {
                 "clean".to_string()

@@ -25,7 +25,7 @@
 //! computed vector, so staleness decays at reorganization.
 
 use euno_htm::runtime::lock_key_for_bit;
-use euno_htm::{EventKind, Mode, ThreadCtx, TxCell};
+use euno_htm::{acquire_mask_blocking, release_mask, EventKind, SlotLocks, ThreadCtx, TxCell};
 
 /// Per-leaf conflict-control module. Fits one cache line.
 ///
@@ -86,9 +86,7 @@ impl Ccm {
     #[inline]
     pub fn slot(key: u64, nbits: u32) -> u32 {
         debug_assert!(nbits > 0 && nbits <= 64);
-        // Fibonacci hashing: cheap, well-mixed low bits.
-        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        (h >> 32) as u32 % nbits
+        euno_htm::slot_for_key(key, nbits)
     }
 
     // ----- lock bits -----
@@ -96,51 +94,22 @@ impl Ccm {
     /// Acquire the slot's lock bit (Algorithm 2 lines 30-31): spin-CAS in
     /// concurrent mode, virtual-wait in virtual mode.
     pub fn lock_slot(&self, ctx: &mut ThreadCtx, slot: u32) {
-        let mask = 1u64 << slot;
-        let wait_before = ctx.stats.cycles_lock_wait;
-        match ctx.mode() {
-            Mode::Concurrent => {
-                // Test-and-test-and-set with bounded exponential backoff:
-                // the lock bits share one word (and one line) with 63
-                // other locks, so a convoying fetch_or loop here would
-                // starve every operation on the leaf, not just this slot.
-                let mut backoff = euno_htm::SpinBackoff::new();
-                loop {
-                    if self.locks.load_direct(ctx) & mask == 0 {
-                        let prev = self.locks.fetch_or_direct(ctx, mask);
-                        if prev & mask == 0 {
-                            break;
-                        }
-                    }
-                    backoff.pause(ctx);
-                }
-            }
-            Mode::Virtual => {
-                let key = lock_key_for_bit(self.locks.raw_addr(), slot);
-                let free_at = ctx.runtime().vlock_free_at(key, ctx.clock);
-                if free_at > ctx.clock {
-                    ctx.charge_cas_miss();
-                    let wait = free_at.saturating_sub(ctx.clock);
-                    ctx.stats.cycles_lock_wait += wait;
-                    ctx.clock += wait;
-                }
-                let prev = self.locks.fetch_or_direct(ctx, mask);
-                debug_assert_eq!(prev & mask, 0, "virtual lock bit must be free");
-            }
-        }
+        // The shared spin/acquire core: test-and-test-and-set with bounded
+        // exponential backoff in concurrent mode (the lock bits share one
+        // word — and one line — with 63 other locks, so a convoying
+        // fetch_or loop here would starve every operation on the leaf,
+        // not just this slot), virtual-wait in virtual mode.
+        let key = lock_key_for_bit(self.locks.raw_addr(), slot);
+        let waited = acquire_mask_blocking(ctx, &self.locks, 1u64 << slot, key);
         ctx.trace(EventKind::LockAcquire {
             addr: self.locks.raw_addr() as u64,
-            wait_cycles: ctx.stats.cycles_lock_wait - wait_before,
+            wait_cycles: waited,
         });
     }
 
     pub fn unlock_slot(&self, ctx: &mut ThreadCtx, slot: u32) {
-        let mask = 1u64 << slot;
-        if ctx.mode() == Mode::Virtual {
-            let key = lock_key_for_bit(self.locks.raw_addr(), slot);
-            ctx.runtime().vlock_hold(key, ctx.clock);
-        }
-        self.locks.fetch_and_direct(ctx, !mask);
+        let key = lock_key_for_bit(self.locks.raw_addr(), slot);
+        release_mask(ctx, &self.locks, 1u64 << slot, key);
         ctx.trace(EventKind::LockRelease {
             addr: self.locks.raw_addr() as u64,
         });
@@ -267,6 +236,19 @@ impl Ccm {
 impl Default for Ccm {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// The CCM's lock bits double as a middle-path footprint provider: a
+/// [`Footprint`](euno_htm::Footprint) over a leaf's CCM lets the executor
+/// retry a hot region while holding exactly the slots it touches.
+impl SlotLocks for Ccm {
+    fn acquire_slot(&self, ctx: &mut ThreadCtx, slot: u32) {
+        self.lock_slot(ctx, slot);
+    }
+
+    fn release_slot(&self, ctx: &mut ThreadCtx, slot: u32) {
+        self.unlock_slot(ctx, slot);
     }
 }
 

@@ -32,6 +32,11 @@ pub struct EunoConfig {
     /// 0 disables the automatic trigger (call
     /// [`EunoBTree::maintain`](crate::EunoBTree::maintain) manually).
     pub rebalance_delete_threshold: u64,
+    /// Enable the three-path executor's footprint-local middle path: a
+    /// region that exhausts its speculative budget retries while holding
+    /// the advisory slots for its key before escalating to the global
+    /// fallback lock. Off reproduces the classic two-path executor.
+    pub middle_path: bool,
 }
 
 impl Default for EunoConfig {
@@ -45,7 +50,17 @@ impl Default for EunoConfig {
             adaptive_window: 32,
             adaptive_conflict_rate: 0.05,
             rebalance_delete_threshold: 100_000,
+            middle_path: true,
         }
+    }
+}
+
+impl EunoConfig {
+    /// The classic two-path executor (HTM → global fallback), for the
+    /// three-path ablation. All other features keep their defaults.
+    pub fn two_path(mut self) -> Self {
+        self.middle_path = false;
+        self
     }
 }
 

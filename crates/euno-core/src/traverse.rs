@@ -55,7 +55,8 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         ctx: &mut ThreadCtx,
         key: u64,
     ) -> (&EunoLeaf<SEGS, K>, u64, u32) {
-        let out = ctx.htm_execute(&self.ctrl.fallback, self.strategy(), |tx| {
+        let fp = self.cfg.middle_path.then(|| self.middle_footprint(key));
+        let out = ctx.htm_execute_with(&self.ctrl.fallback, self.strategy(), fp.as_ref(), |tx| {
             tx.set_op_key(key);
             let leaf = self.descend(tx, key)?;
             let seq = tx.read(&leaf.seqno)?;
@@ -127,20 +128,25 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
             let (outcome, lower_conflicts) = if fast_miss {
                 (Lower::Done(None), 0)
             } else {
-                let out = ctx.htm_execute(&self.ctrl.fallback, self.strategy(), |tx| {
-                    tx.set_op_key(key);
-                    if slot_locked {
-                        // Same-record contenders queue on the CCM lock bit
-                        // (§4.1): this attempt's true conflicts are
-                        // serialized away, so the storm model must not
-                        // re-manufacture them.
-                        tx.mark_serialized();
-                    }
-                    if tx.read(&leaf.seqno)? != seqno {
-                        return Ok(Lower::Inconsistent);
-                    }
-                    self.lower_body(tx, leaf, req, key, newval, split_locked)
-                });
+                // Middle-path footprint: the tree-global slot table, not
+                // the CCM (whose slot bit may already be held from step 2
+                // — re-acquiring it here would self-deadlock).
+                let fp = self.cfg.middle_path.then(|| self.middle_footprint(key));
+                let out =
+                    ctx.htm_execute_with(&self.ctrl.fallback, self.strategy(), fp.as_ref(), |tx| {
+                        tx.set_op_key(key);
+                        if slot_locked {
+                            // Same-record contenders queue on the CCM lock bit
+                            // (§4.1): this attempt's true conflicts are
+                            // serialized away, so the storm model must not
+                            // re-manufacture them.
+                            tx.mark_serialized();
+                        }
+                        if tx.read(&leaf.seqno)? != seqno {
+                            return Ok(Lower::Inconsistent);
+                        }
+                        self.lower_body(tx, leaf, req, key, newval, split_locked)
+                    });
                 (out.value, out.conflict_aborts)
             };
 

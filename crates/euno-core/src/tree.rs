@@ -22,8 +22,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use euno_htm::{
-    ConcurrentMap, MemoryReport, RetryPolicy, RetryStrategy, Runtime, ThreadCtx, TransientBytes,
-    Tx, TxCell, TxResult, TxWord, KEY_SENTINEL, TOMBSTONE,
+    BitLockVector, ConcurrentMap, Footprint, MemoryReport, RetryPolicy, RetryStrategy, Runtime,
+    ThreadCtx, TransientBytes, Tx, TxCell, TxResult, TxWord, KEY_SENTINEL, TOMBSTONE,
 };
 
 use crate::ccm::Ccm;
@@ -42,6 +42,11 @@ pub struct EunoBTree<const SEGS: usize = 4, const K: usize = 4> {
     pub(crate) arenas: NodeArenas<SEGS, K>,
     pub(crate) reserved_bytes: TransientBytes,
     pub(crate) deletes: AtomicU64,
+    /// Tree-global advisory slots for the executor's middle path: a point
+    /// operation that exhausts its speculative budget re-runs while
+    /// holding its key's slot here, serializing only same-slot contenders
+    /// instead of the whole tree.
+    pub(crate) middle: BitLockVector,
 }
 
 /// What the lower region concluded.
@@ -93,7 +98,18 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
             arenas,
             reserved_bytes: TransientBytes::new(),
             deletes: AtomicU64::new(0),
+            middle: BitLockVector::new(Self::MIDDLE_SLOTS),
         }
+    }
+
+    /// Middle-path advisory slots per tree. One lock word: coarse enough
+    /// to stay cheap, fine enough that a single hot key serializes only
+    /// its own contenders.
+    pub(crate) const MIDDLE_SLOTS: usize = 64;
+
+    /// The middle-path footprint of a point operation on `key`.
+    pub(crate) fn middle_footprint(&self, key: u64) -> Footprint<'_> {
+        Footprint::new(&self.middle, &[Ccm::slot(key, Self::MIDDLE_SLOTS as u32)])
     }
 
     pub fn runtime(&self) -> &Arc<Runtime> {

@@ -15,9 +15,16 @@
 //! 4. **backoff** — charge the exponential backoff between retries;
 //! 5. **fallback** — serialize on the lock and run the body directly.
 //!
-//! [`ThreadCtx::htm_execute`] composes the stages; its behaviour is
-//! byte-for-byte the behaviour of the old monolithic loop. What the split
-//! buys is the two seams:
+//! A region traverses up to three paths (§4.2.1 extended with Brown's
+//! HTM-template middle path): plain speculation ([`Path::Htm`]); after the
+//! speculative budgets are exhausted, a *footprint-local* middle path
+//! ([`Path::Middle`]) that re-runs the HTM episode while holding the
+//! region's declared advisory slot locks ([`Footprint`]), so only
+//! same-slot contenders wait while the rest of the tree keeps
+//! speculating; and only after repeated middle-path failure the global
+//! serialized fallback ([`Path::Fallback`]). Regions that declare no
+//! footprint skip the middle path entirely — byte-for-byte the classic
+//! two-path behaviour. What the split buys is the two seams:
 //!
 //! * [`RetryStrategy`] makes the decide stage pluggable — the DBX-style
 //!   per-cause budgets ([`RetryPolicy`] itself implements the trait), an
@@ -35,10 +42,36 @@ use euno_trace::{codes, EventKind};
 
 use crate::abort::{AbortCause, ConflictInfo, TxResult};
 use crate::ctx::{trace_abort_code, EpisodeKind, ThreadCtx, Tx};
+use crate::lock::Footprint;
 use crate::policy::{RetryCounts, RetryPolicy};
 use crate::runtime::Mode;
 use crate::stats::ThreadStats;
 use crate::word::TxCell;
+
+/// Which of the three execution paths ultimately completed a region.
+/// Ordered by escalation: `Htm < Middle < Fallback`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Path {
+    /// Plain speculation: an HTM episode with no locks held.
+    Htm,
+    /// The footprint-local middle path: an HTM episode committed while
+    /// holding the region's advisory slot locks, serializing only
+    /// same-slot contenders.
+    Middle,
+    /// The global serialized fallback (lock held, direct writes).
+    Fallback,
+}
+
+impl Path {
+    /// Short stable label (reports, figures).
+    pub fn label(self) -> &'static str {
+        match self {
+            Path::Htm => "htm",
+            Path::Middle => "middle",
+            Path::Fallback => "fallback",
+        }
+    }
+}
 
 /// Result of executing one HTM region to completion.
 #[derive(Debug)]
@@ -48,8 +81,15 @@ pub struct ExecOutcome<R> {
     pub attempts: u32,
     /// Attempts that aborted due to a footprint conflict.
     pub conflict_aborts: u32,
+    /// The path the region ultimately completed on.
+    pub path: Path,
+}
+
+impl<R> ExecOutcome<R> {
     /// Whether the region ultimately ran on the serialized fallback path.
-    pub used_fallback: bool,
+    pub fn used_fallback(&self) -> bool {
+        self.path == Path::Fallback
+    }
 }
 
 /// Verdict of the decide stage after a classified abort.
@@ -57,6 +97,10 @@ pub struct ExecOutcome<R> {
 pub enum Decision {
     /// Try the region again, optionally after exponential backoff.
     Retry { backoff: bool },
+    /// Escalate to the footprint-local middle path: retry speculatively
+    /// while holding the region's advisory slot locks. Regions without a
+    /// declared footprint treat this as [`Decision::Fallback`].
+    Middle,
     /// Give up on speculation and take the serialized fallback path.
     Fallback,
 }
@@ -74,24 +118,29 @@ pub trait RetryStrategy: Send + Sync {
     fn decide(&self, counts: &RetryCounts, cause: AbortCause) -> Decision;
 
     /// Post-region feedback for adaptive strategies: total attempts made
-    /// and whether the region ended on the fallback path.
-    fn observe_region(&self, _attempts: u32, _used_fallback: bool) {}
+    /// and the path the region ended on.
+    fn observe_region(&self, _attempts: u32, _path: Path) {}
 }
 
 /// The DBX-style per-cause budgets are themselves a strategy — every
-/// pre-existing call site that passed `&RetryPolicy` keeps working.
+/// pre-existing call site that passed `&RetryPolicy` keeps working. The
+/// escalation schedule is the same for all budget-based strategies:
+/// speculate while no per-cause budget is exhausted, then grant
+/// `middle_retries` footprint-locked attempts, then serialize.
 impl RetryStrategy for RetryPolicy {
     fn name(&self) -> &'static str {
         "budget"
     }
 
     fn decide(&self, counts: &RetryCounts, _cause: AbortCause) -> Decision {
-        if self.exhausted(counts) {
-            Decision::Fallback
-        } else {
+        if !self.exhausted(counts) {
             Decision::Retry {
                 backoff: self.backoff,
             }
+        } else if counts.middle < self.middle_retries {
+            Decision::Middle
+        } else {
+            Decision::Fallback
         }
     }
 }
@@ -142,6 +191,15 @@ impl RetryStrategy for AggressivePolicy {
 /// Widest the adaptive conflict budget is allowed to grow.
 const ADAPTIVE_MAX_CONFLICT_BUDGET: u32 = 64;
 
+/// Average attempts per region above which a window counts as *deep*:
+/// regions are spending their whole retry budget even when they
+/// eventually commit, so the budget should shrink.
+const ADAPTIVE_DEEP_ATTEMPTS: u32 = 6;
+
+/// Average attempts per region below which a window counts as *shallow*
+/// enough to justify growing the budget.
+const ADAPTIVE_SHALLOW_ATTEMPTS: u32 = 2;
+
 /// An adaptive wrapper around the base budgets: the conflict budget is
 /// scaled by powers of two from the recent fallback rate. When regions
 /// keep exhausting their retries anyway (high fallback rate), retrying is
@@ -160,6 +218,10 @@ pub struct AdaptiveBudget {
     scale: AtomicI32,
     regions: AtomicU32,
     fallbacks: AtomicU32,
+    /// Attempts summed over the current window — the budget must respond
+    /// to attempt *depth*, not just the fallback rate: a window can be
+    /// fallback-free while every region still burns its full budget.
+    attempts_acc: AtomicU32,
 }
 
 impl AdaptiveBudget {
@@ -170,6 +232,7 @@ impl AdaptiveBudget {
             scale: AtomicI32::new(0),
             regions: AtomicU32::new(0),
             fallbacks: AtomicU32::new(0),
+            attempts_acc: AtomicU32::new(0),
         }
     }
 
@@ -203,22 +266,17 @@ impl RetryStrategy for AdaptiveBudget {
         "adaptive"
     }
 
-    fn decide(&self, counts: &RetryCounts, _cause: AbortCause) -> Decision {
+    fn decide(&self, counts: &RetryCounts, cause: AbortCause) -> Decision {
         let mut budgets = self.base.clone();
         budgets.conflict_retries = self.conflict_budget();
-        if budgets.exhausted(counts) {
-            Decision::Fallback
-        } else {
-            Decision::Retry {
-                backoff: budgets.backoff,
-            }
-        }
+        budgets.decide(counts, cause)
     }
 
-    fn observe_region(&self, _attempts: u32, used_fallback: bool) {
-        if used_fallback {
+    fn observe_region(&self, attempts: u32, path: Path) {
+        if path == Path::Fallback {
             self.fallbacks.fetch_add(1, Ordering::Relaxed);
         }
+        self.attempts_acc.fetch_add(attempts, Ordering::Relaxed);
         let n = self.regions.fetch_add(1, Ordering::Relaxed) + 1;
         if !n.is_multiple_of(self.window) {
             return;
@@ -227,12 +285,20 @@ impl RetryStrategy for AdaptiveBudget {
         // approximately windowed under real concurrency, which is fine —
         // the controller needs a trend, not an exact rate.
         let fb = self.fallbacks.swap(0, Ordering::Relaxed);
+        let tries = self.attempts_acc.swap(0, Ordering::Relaxed);
         let scale = self.scale.load(Ordering::Relaxed);
-        let next = if fb * 4 > self.window {
-            // >25 % of regions serialized: retries are being wasted.
+        // Attempt depth, not just fallback rate: a window whose regions
+        // average many attempts is burning its budget even when the
+        // regions eventually commit or resolve on the middle path.
+        let deep = tries > self.window.saturating_mul(ADAPTIVE_DEEP_ATTEMPTS);
+        let shallow = tries <= self.window.saturating_mul(ADAPTIVE_SHALLOW_ATTEMPTS);
+        let next = if fb * 4 > self.window || deep {
+            // >25 % of regions serialized, or budget-deep retrying:
+            // retries are being wasted.
             (scale + 1).min(3)
-        } else if fb * 20 < self.window {
-            // <5 %: speculation wins, grant a bigger budget.
+        } else if fb * 20 < self.window && shallow {
+            // <5 % fallbacks and shallow regions: speculation wins,
+            // grant a bigger budget.
             (scale - 1).max(-2)
         } else {
             scale
@@ -274,9 +340,26 @@ pub trait ExecObserver {
         stats.cycles_fallback_wait += cycles;
     }
 
-    /// An attempt committed; `attempts` counts all tries including this one.
-    fn on_commit(&mut self, stats: &mut ThreadStats, _attempts: u32) {
+    /// A middle-path attempt is about to run: the region's footprint slot
+    /// locks were just acquired (the episode is not yet open).
+    fn on_middle_attempt(&mut self, stats: &mut ThreadStats) {
+        stats.middle_attempts += 1;
+    }
+
+    /// The thread waited `cycles` acquiring a middle-path footprint's
+    /// slot locks.
+    fn on_middle_wait(&mut self, stats: &mut ThreadStats, cycles: u64) {
+        stats.cycles_middle_wait += cycles;
+    }
+
+    /// An attempt committed; `attempts` counts all tries including this
+    /// one, and `path` says whether it was a plain ([`Path::Htm`]) or
+    /// footprint-locked ([`Path::Middle`]) commit.
+    fn on_commit(&mut self, stats: &mut ThreadStats, _attempts: u32, path: Path) {
         stats.commits += 1;
+        if path == Path::Middle {
+            stats.middles += 1;
+        }
     }
 
     /// The region completed on the serialized fallback path.
@@ -299,6 +382,7 @@ pub struct Executor<'e> {
     fb: &'e TxCell<u64>,
     strategy: &'e dyn RetryStrategy,
     observer: &'e mut dyn ExecObserver,
+    footprint: Option<&'e Footprint<'e>>,
     attempt_start: u64,
 }
 
@@ -312,8 +396,18 @@ impl<'e> Executor<'e> {
             fb,
             strategy,
             observer,
+            footprint: None,
             attempt_start: 0,
         }
+    }
+
+    /// Declare the region's middle-path footprint: the advisory slots a
+    /// [`Decision::Middle`] attempt locks (in sorted order) before
+    /// speculating. Without one, `Decision::Middle` escalates straight to
+    /// the global fallback.
+    pub fn with_footprint(mut self, footprint: &'e Footprint<'e>) -> Self {
+        self.footprint = Some(footprint);
+        self
     }
 
     /// Drive `body` through the stage pipeline to completion.
@@ -325,26 +419,68 @@ impl<'e> Executor<'e> {
         let mut counts = RetryCounts::default();
         let mut attempts = 0u32;
         let mut conflict_aborts = 0u32;
+        let mut on_middle = false;
 
         loop {
             attempts += 1;
-            match self.attempt(ctx, &mut body) {
+            // Middle path: take the footprint's slot locks *outside* the
+            // episode (sorted order — deadlock-free), so only same-slot
+            // contenders serialize behind us while disjoint regions keep
+            // speculating.
+            let holding = if on_middle {
+                let fp = self.footprint.expect("middle path requires a footprint");
+                let wait_before = ctx.stats.cycles_lock_wait;
+                fp.acquire_all(ctx);
+                let waited = ctx.stats.cycles_lock_wait - wait_before;
+                self.observer.on_middle_attempt(&mut ctx.stats);
+                if waited > 0 {
+                    self.observer.on_middle_wait(&mut ctx.stats, waited);
+                    ctx.trace(EventKind::MiddleWait { cycles: waited });
+                }
+                Some(fp)
+            } else {
+                None
+            };
+            match self.attempt(ctx, &mut body, on_middle) {
                 Ok(v) => {
-                    self.observer.on_commit(&mut ctx.stats, attempts);
-                    self.strategy.observe_region(attempts, false);
+                    // The episode is closed (committed): slot lock words
+                    // may be touched directly again.
+                    if let Some(fp) = holding {
+                        fp.release_all(ctx);
+                    }
+                    let path = if on_middle { Path::Middle } else { Path::Htm };
+                    self.observer.on_commit(&mut ctx.stats, attempts, path);
+                    self.strategy.observe_region(attempts, path);
                     return ExecOutcome {
                         value: v,
                         attempts,
                         conflict_aborts,
-                        used_fallback: false,
+                        path,
                     };
                 }
                 Err(cause) => {
+                    // classify() closes the aborted episode; only then is
+                    // it legal to release the slot locks (direct access).
                     let wasted = self.classify(ctx, cause, &mut counts, &mut conflict_aborts);
+                    if let Some(fp) = holding {
+                        fp.release_all(ctx);
+                    }
                     self.observer.on_abort(&mut ctx.stats, cause, wasted);
                     match self.strategy.decide(&counts, cause) {
                         Decision::Retry { backoff: true } => self.backoff(ctx, &counts),
                         Decision::Retry { backoff: false } => {}
+                        Decision::Middle => {
+                            counts.middle += 1;
+                            if self.footprint.is_some() {
+                                on_middle = true;
+                            } else {
+                                // No declared footprint: nothing for the
+                                // middle path to lock — escalate straight
+                                // to the global fallback (the classic
+                                // two-path behaviour).
+                                break;
+                            }
+                        }
                         Decision::Fallback => break,
                     }
                 }
@@ -353,21 +489,26 @@ impl<'e> Executor<'e> {
 
         let value = self.fallback(ctx, &mut body);
         self.observer.on_fallback(&mut ctx.stats);
-        self.strategy.observe_region(attempts, true);
+        self.strategy.observe_region(attempts, Path::Fallback);
         ExecOutcome {
             value,
             attempts,
             conflict_aborts,
-            used_fallback: true,
+            path: Path::Fallback,
         }
     }
 
     /// Stage 1: one speculative try — wait out the fallback lock, open an
     /// HtmTx episode, subscribe to the lock word, run the body, commit.
+    /// A middle-path try (`serialized`) additionally declares its
+    /// same-slot contenders lock-serialized, which disables the abort
+    /// storm extrapolation (the locks invalidate its independence
+    /// assumption) while keeping the deterministic overlap check.
     fn attempt<R>(
         &mut self,
         ctx: &mut ThreadCtx,
         body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+        serialized: bool,
     ) -> Result<R, AbortCause> {
         let wait_before = ctx.stats.cycles_lock_wait;
         ctx.fb_wait_free(self.fb);
@@ -380,6 +521,9 @@ impl<'e> Executor<'e> {
         let xbegin = ctx.runtime().cost.xbegin;
         ctx.charge(xbegin);
         ctx.episode_begin(EpisodeKind::HtmTx);
+        if serialized {
+            ctx.set_serialized();
+        }
         self.observer.on_attempt(&mut ctx.stats);
         ctx.fb_subscribe(self.fb)?;
         let v = body(&mut Tx { ctx })?;
@@ -481,8 +625,27 @@ impl ThreadCtx {
         strategy: &dyn RetryStrategy,
         body: impl FnMut(&mut Tx<'_>) -> TxResult<R>,
     ) -> ExecOutcome<R> {
+        self.htm_execute_with(fb, strategy, None, body)
+    }
+
+    /// [`htm_execute`](ThreadCtx::htm_execute) with a declared middle-path
+    /// footprint: after the speculative budgets are exhausted the region
+    /// retries while holding `footprint`'s advisory slot locks
+    /// ([`Path::Middle`]) before escalating to the global fallback. With
+    /// `None` the middle path is skipped (two-path behaviour).
+    pub fn htm_execute_with<R>(
+        &mut self,
+        fb: &TxCell<u64>,
+        strategy: &dyn RetryStrategy,
+        footprint: Option<&Footprint<'_>>,
+        body: impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+    ) -> ExecOutcome<R> {
         let mut observer = StatsObserver;
-        Executor::new(fb, strategy, &mut observer).run(self, body)
+        let mut ex = Executor::new(fb, strategy, &mut observer);
+        if let Some(fp) = footprint {
+            ex = ex.with_footprint(fp);
+        }
+        ex.run(self, body)
     }
 
     /// Run one optimistic-read section (Masstree-style before/after
@@ -543,7 +706,7 @@ mod tests {
             Ok(v)
         });
         assert_eq!(out.value, 5);
-        assert!(!out.used_fallback);
+        assert_eq!(out.path, Path::Htm);
         assert_eq!(out.attempts, 1);
         assert_eq!(cell.load_plain(), 6);
         assert_eq!(ctx.stats.commits, 1);
@@ -582,7 +745,7 @@ mod tests {
             tx.write(&cell, v + 1)
         });
         assert!(
-            out.attempts > 1 || out.used_fallback,
+            out.attempts > 1 || out.path != Path::Htm,
             "expected a conflict abort, got {out:?}"
         );
         assert!(b.stats.aborts.total() >= 1);
@@ -630,7 +793,7 @@ mod tests {
             }
             Ok(())
         });
-        assert!(out.used_fallback, "capacity overflow must reach fallback");
+        assert!(out.used_fallback(), "capacity overflow must reach fallback");
         assert!(ctx.stats.aborts.capacity >= 1);
         // Fallback applied the writes directly.
         assert!(cells.iter().all(|c| c.load_plain() == 7));
@@ -704,6 +867,7 @@ mod tests {
             explicit_retries: 0,
             spurious_retries: 0,
             fallback_lock_retries: 0,
+            middle_retries: 0,
             backoff: false,
         };
         let out = ctx.htm_execute(&fb, &policy, |tx| {
@@ -715,7 +879,7 @@ mod tests {
                 tx.explicit_abort(1)
             }
         });
-        assert!(out.used_fallback);
+        assert!(out.used_fallback());
         assert_eq!(cell.load_plain(), 1);
         assert_eq!(ctx.stats.fallbacks, 1);
         assert_eq!(fb.load_plain(), 0, "fallback lock must be released");
@@ -732,9 +896,11 @@ mod tests {
     }
 
     #[test]
-    fn aggressive_strategy_retries_where_default_falls_back() {
-        // Bump a conflict tally past the default budget but inside the
-        // persistent one: the two strategies must disagree.
+    fn aggressive_strategy_retries_where_default_escalates() {
+        // Bump a cause tally past the default budget but inside the
+        // persistent one: the two strategies must disagree. Exhausting
+        // the speculative budget now escalates to the middle path first;
+        // only a region that also burns its middle grants serializes.
         let mut counts = RetryCounts::default();
         let cause = AbortCause::Spurious;
         for _ in 0..RetryPolicy::default().spurious_retries + 1 {
@@ -742,11 +908,28 @@ mod tests {
         }
         assert_eq!(
             RetryPolicy::default().decide(&counts, cause),
-            Decision::Fallback
+            Decision::Middle
         );
         assert_eq!(
             AggressivePolicy::default().decide(&counts, cause),
             Decision::Retry { backoff: true }
+        );
+        // Past the middle grants too: serialize.
+        counts.middle = RetryPolicy::default().middle_retries;
+        assert_eq!(
+            RetryPolicy::default().decide(&counts, cause),
+            Decision::Fallback
+        );
+        // `two_path()` disables the middle path entirely.
+        assert_eq!(
+            RetryPolicy::default().two_path().decide(
+                &RetryCounts {
+                    middle: 0,
+                    ..counts
+                },
+                cause
+            ),
+            Decision::Fallback
         );
     }
 
@@ -756,15 +939,38 @@ mod tests {
         let initial = strat.conflict_budget();
         // A full window of fallbacks: the budget must shrink.
         for _ in 0..16 {
-            strat.observe_region(11, true);
+            strat.observe_region(11, Path::Fallback);
         }
         assert!(strat.conflict_budget() < initial);
         // Windows of clean commits: the budget recovers and then grows.
         for _ in 0..64 {
-            strat.observe_region(1, false);
+            strat.observe_region(1, Path::Htm);
         }
         assert!(strat.conflict_budget() > initial);
         assert!(strat.conflict_budget() <= ADAPTIVE_MAX_CONFLICT_BUDGET);
+    }
+
+    /// Satellite regression: `observe_region` must respond to attempt
+    /// *depth*, not just the fallback flag. A window whose regions all
+    /// commit — but only after burning their whole retry budget — used to
+    /// read as "0 % fallbacks, grow the budget"; it must shrink it.
+    #[test]
+    fn adaptive_budget_shrinks_on_deep_but_clean_windows() {
+        let strat = AdaptiveBudget::default().with_window(16);
+        let initial = strat.conflict_budget();
+        for _ in 0..16 {
+            strat.observe_region(10, Path::Htm); // deep, yet no fallback
+        }
+        assert!(
+            strat.conflict_budget() < initial,
+            "budget-deep windows must shrink the budget even without fallbacks"
+        );
+        // Middle-path commits count toward depth the same way.
+        let strat = AdaptiveBudget::default().with_window(16);
+        for _ in 0..16 {
+            strat.observe_region(10, Path::Middle);
+        }
+        assert!(strat.conflict_budget() < initial);
     }
 
     #[test]
@@ -801,9 +1007,12 @@ mod tests {
                 stats.cycles_wasted += wasted;
                 stats.aborts.record(cause);
             }
-            fn on_commit(&mut self, stats: &mut ThreadStats, _attempts: u32) {
+            fn on_commit(&mut self, stats: &mut ThreadStats, _attempts: u32, path: Path) {
                 self.commits += 1;
                 stats.commits += 1;
+                if path == Path::Middle {
+                    stats.middles += 1;
+                }
             }
             fn on_fallback(&mut self, stats: &mut ThreadStats) {
                 self.fallbacks += 1;
@@ -826,7 +1035,7 @@ mod tests {
             tx.write(&cell, v + 1)
         });
         // Explicit aborts have no budget: one abort, then fallback.
-        assert!(out.used_fallback);
+        assert!(out.used_fallback());
         assert_eq!(rec.attempts, 1);
         assert_eq!(rec.aborts, 1);
         assert_eq!(rec.commits, 0);
@@ -867,6 +1076,7 @@ mod tests {
             explicit_retries: 0,
             spurious_retries: 0,
             fallback_lock_retries: 0,
+            middle_retries: 0,
             backoff: false,
         };
         holder.htm_execute(&fb, &serialize, |tx| {
@@ -909,26 +1119,39 @@ mod tests {
         obs.on_fallback_wait(&mut stats, 9);
         assert_eq!(stats.cycles_fallback_wait, 9);
 
-        obs.on_commit(&mut stats, 3);
+        obs.on_middle_attempt(&mut stats);
+        assert_eq!(stats.middle_attempts, 1);
+
+        obs.on_middle_wait(&mut stats, 4);
+        assert_eq!(stats.cycles_middle_wait, 4);
+
+        obs.on_commit(&mut stats, 3, Path::Htm);
         assert_eq!(stats.commits, 1);
+        assert_eq!(stats.middles, 0, "a plain HTM commit is not a middle");
 
         obs.on_fallback(&mut stats);
         assert_eq!(stats.fallbacks, 1);
 
         // Second round: each hook must add exactly one more unit — no
-        // hook is a no-op and none double-counts.
+        // hook is a no-op and none double-counts. A Path::Middle commit
+        // additionally lands in the `middles` counter.
         obs.on_attempt(&mut stats);
         obs.on_abort(&mut stats, AbortCause::Capacity, 1);
         obs.on_backoff(&mut stats, 1);
         obs.on_fallback_wait(&mut stats, 1);
-        obs.on_commit(&mut stats, 1);
+        obs.on_middle_attempt(&mut stats);
+        obs.on_middle_wait(&mut stats, 1);
+        obs.on_commit(&mut stats, 1, Path::Middle);
         obs.on_fallback(&mut stats);
         assert_eq!(stats.attempts, 2);
         assert_eq!(stats.aborts.total(), 2);
         assert_eq!(stats.backoffs, 2);
         assert_eq!(stats.cycles_backoff, 6);
         assert_eq!(stats.cycles_fallback_wait, 10);
+        assert_eq!(stats.middle_attempts, 2);
+        assert_eq!(stats.cycles_middle_wait, 5);
         assert_eq!(stats.commits, 2);
+        assert_eq!(stats.middles, 1);
         assert_eq!(stats.fallbacks, 2);
         assert_eq!(stats.cycles_wasted, 14);
     }
@@ -952,7 +1175,7 @@ mod tests {
             let v = tx.read(&cell)?;
             tx.write(&cell, v + 1)
         });
-        assert!(out.used_fallback);
+        assert!(out.used_fallback());
 
         let trace = ctx.take_tracer().unwrap().into_thread_trace();
         let mut begins = 0u32;
@@ -990,6 +1213,192 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e.kind, EventKind::LockRelease { .. })));
+    }
+
+    // ----- middle-path behaviour -----
+
+    use crate::lock::BitLockVector;
+
+    /// Escalates to the middle path on the first abort and serializes
+    /// after two middle grants — a compressed schedule for unit tests.
+    struct EscalateFast;
+    impl RetryStrategy for EscalateFast {
+        fn name(&self) -> &'static str {
+            "escalate-fast"
+        }
+        fn decide(&self, counts: &RetryCounts, _cause: AbortCause) -> Decision {
+            if counts.middle < 2 {
+                Decision::Middle
+            } else {
+                Decision::Fallback
+            }
+        }
+    }
+
+    #[test]
+    fn middle_path_commits_with_footprint_locked() {
+        let (_rt, mut ctx) = vctx();
+        ctx.set_tracer(Box::new(euno_trace::TraceBuf::with_default_capacity(
+            ctx.id,
+        )));
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(0u64);
+        let locks = BitLockVector::new(64);
+        let fp = Footprint::new(&locks, &[7, 3]);
+        let mut first = true;
+        let out = ctx.htm_execute_with(&fb, &EscalateFast, Some(&fp), |tx| {
+            if first {
+                first = false;
+                return tx.explicit_abort(1);
+            }
+            let v = tx.read(&cell)?;
+            tx.write(&cell, v + 1)
+        });
+        assert_eq!(out.path, Path::Middle);
+        assert_eq!(out.attempts, 2);
+        assert!(!out.used_fallback());
+        assert_eq!(cell.load_plain(), 1);
+        assert_eq!(ctx.stats.commits, 1);
+        assert_eq!(ctx.stats.middles, 1);
+        assert_eq!(ctx.stats.middle_attempts, 1);
+        assert_eq!(ctx.stats.fallbacks, 0);
+        assert_eq!(fb.load_plain(), 0, "global fallback lock never taken");
+        // Both slot locks were released after the commit.
+        assert!(!locks.is_locked(&mut ctx, 3));
+        assert!(!locks.is_locked(&mut ctx, 7));
+        // The slot acquisitions were traced in sorted order.
+        let trace = ctx.take_tracer().unwrap().into_thread_trace();
+        let acquires: Vec<u64> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::LockAcquire { addr, .. } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acquires.len(), 2, "one acquire per footprint slot");
+    }
+
+    #[test]
+    fn middle_decision_without_footprint_is_two_path() {
+        // A region that never declared a footprint treats Decision::Middle
+        // as Decision::Fallback — byte-for-byte the classic escalation.
+        let (_rt, mut ctx) = vctx();
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(0u64);
+        let mut first = true;
+        let out = ctx.htm_execute(&fb, &EscalateFast, |tx| {
+            if !tx.is_fallback() && first {
+                first = false;
+                return tx.explicit_abort(1);
+            }
+            let v = tx.read(&cell)?;
+            tx.write(&cell, v + 1)
+        });
+        assert_eq!(out.path, Path::Fallback);
+        assert_eq!(ctx.stats.middle_attempts, 0);
+        assert_eq!(ctx.stats.middles, 0);
+        assert_eq!(ctx.stats.fallbacks, 1);
+        assert_eq!(cell.load_plain(), 1);
+    }
+
+    #[test]
+    fn middle_path_exhaustion_escalates_to_fallback() {
+        // A body that aborts on every speculative attempt (middle ones
+        // included) must burn the middle grants and still complete on the
+        // serialized fallback, releasing every slot lock on the way.
+        let (_rt, mut ctx) = vctx();
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(0u64);
+        let locks = BitLockVector::new(64);
+        let fp = Footprint::new(&locks, &[11]);
+        let out = ctx.htm_execute_with(&fb, &EscalateFast, Some(&fp), |tx| {
+            if tx.is_fallback() {
+                let v = tx.read(&cell)?;
+                tx.write(&cell, v + 1)
+            } else {
+                tx.explicit_abort(1)
+            }
+        });
+        assert_eq!(out.path, Path::Fallback);
+        assert_eq!(out.attempts, 3, "1 htm + 2 middle grants");
+        assert_eq!(ctx.stats.middle_attempts, 2);
+        assert_eq!(ctx.stats.middles, 0, "no middle attempt committed");
+        assert_eq!(ctx.stats.fallbacks, 1);
+        assert_eq!(cell.load_plain(), 1);
+        assert!(!locks.is_locked(&mut ctx, 11), "aborts must release slots");
+        assert_eq!(fb.load_plain(), 0);
+    }
+
+    #[test]
+    fn middle_path_waits_out_contended_slots_in_virtual_time() {
+        // Thread A commits a middle-path region over slot 5; thread B (at
+        // virtual time 0) then takes the same slot — the virtual lock
+        // model must charge B the wait and attribute it to the middle
+        // stage counters.
+        let rt = Runtime::new_virtual();
+        let locks = BitLockVector::new(64);
+        let fb = TxCell::new(0u64);
+        let cell_a = TxCell::new(0u64);
+        let cell_b = TxCell::new(0u64);
+        let fp = Footprint::new(&locks, &[5]);
+
+        let run = |ctx: &mut ThreadCtx, cell: &TxCell<u64>| {
+            let mut first = true;
+            ctx.htm_execute_with(&fb, &EscalateFast, Some(&fp), |tx| {
+                if first {
+                    first = false;
+                    return tx.explicit_abort(1);
+                }
+                tx.write(cell, 1)
+            })
+        };
+
+        let mut a = rt.thread(1);
+        let out_a = run(&mut a, &cell_a);
+        assert_eq!(out_a.path, Path::Middle);
+        assert_eq!(a.stats.cycles_middle_wait, 0, "slot was uncontended");
+
+        let mut b = rt.thread(2);
+        let out_b = run(&mut b, &cell_b);
+        assert_eq!(out_b.path, Path::Middle);
+        assert!(
+            b.stats.cycles_middle_wait > 0,
+            "B must wait out A's virtual hold on slot 5"
+        );
+        assert!(b.stats.cycles_middle_wait <= b.stats.cycles_lock_wait);
+    }
+
+    #[test]
+    fn two_path_policy_never_takes_the_middle_path() {
+        // `two_path()` on the default policy reproduces the legacy
+        // executor even when a footprint is declared.
+        let (_rt, mut ctx) = vctx();
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(0u64);
+        let locks = BitLockVector::new(64);
+        let fp = Footprint::new(&locks, &[2]);
+        let policy = RetryPolicy::default().two_path();
+        let out = ctx.htm_execute_with(&fb, &policy, Some(&fp), |tx| {
+            if tx.is_fallback() {
+                let v = tx.read(&cell)?;
+                tx.write(&cell, v + 1)
+            } else {
+                tx.explicit_abort(1)
+            }
+        });
+        assert_eq!(out.path, Path::Fallback);
+        assert_eq!(ctx.stats.middle_attempts, 0);
+        assert_eq!(ctx.stats.cycles_middle_wait, 0);
+        assert_eq!(cell.load_plain(), 1);
+    }
+
+    #[test]
+    fn path_labels_and_ordering_are_stable() {
+        assert_eq!(Path::Htm.label(), "htm");
+        assert_eq!(Path::Middle.label(), "middle");
+        assert_eq!(Path::Fallback.label(), "fallback");
+        assert!(Path::Htm < Path::Middle && Path::Middle < Path::Fallback);
     }
 
     #[test]

@@ -62,10 +62,13 @@ pub use cost::CostModel;
 pub use ctx::{EpisodeKind, ThreadCtx, Tx};
 pub use exec::{
     AdaptiveBudget, AggressivePolicy, DbxPolicy, Decision, ExecObserver, ExecOutcome, Executor,
-    RetryStrategy, StatsObserver,
+    Path, RetryStrategy, StatsObserver,
 };
 pub use line::{LineClass, LineId, LineSet, CACHE_LINE_BYTES};
-pub use lock::{AdvisoryLock, AtomicBitVector, BitLockVector, ControlBlock, SpinBackoff};
+pub use lock::{
+    acquire_mask_blocking, release_mask, slot_for_key, AdvisoryLock, AtomicBitVector,
+    BitLockVector, ControlBlock, Footprint, SlotLocks, SpinBackoff, MAX_FOOTPRINT_SLOTS,
+};
 pub use map::{ConcurrentMap, MemoryReport, KEY_SENTINEL, TOMBSTONE};
 pub use obs::{OpKind, OpObserver, OpOutput};
 pub use policy::{RetryCounts, RetryPolicy};

@@ -40,6 +40,17 @@ impl SpinBackoff {
         self.exponent
     }
 
+    /// Reset the doubling level to zero. Every acquisition must start from
+    /// a fresh (or reset) backoff: carrying a saturated exponent from one
+    /// contended region into the next would make an unrelated, possibly
+    /// uncontended lock pay multi-thousand-cycle pauses on its first miss.
+    /// The acquire cores below construct a fresh `SpinBackoff` per call,
+    /// which is equivalent; `reset` exists for callers that keep one
+    /// backoff across acquisitions.
+    pub fn reset(&mut self) {
+        self.exponent = 0;
+    }
+
     /// Wait one backoff step, charging the cycles to `ctx`.
     pub fn pause(&mut self, ctx: &mut ThreadCtx) {
         let unit = ctx.runtime().cost.spin_iter.max(1);
@@ -60,6 +71,153 @@ impl SpinBackoff {
 impl Default for SpinBackoff {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Blocking acquire of the bits in `mask` within `word` — the spin/acquire
+/// core shared by [`AdvisoryLock`], [`BitLockVector`] and the CCM's
+/// per-slot lock bits (which are the same mechanism at three different
+/// granularities).
+///
+/// Concurrent mode test-and-test-and-sets with a fresh bounded
+/// [`SpinBackoff`] (a *fresh* one per acquisition — see
+/// [`SpinBackoff::reset`]); virtual mode charges the wait until the
+/// holder's modeled release time plus one losing CAS observation, so both
+/// modes account a contended acquisition identically: one losing + one
+/// winning CAS. `vkey` is the virtual-lock identity of the bits being
+/// taken. Returns the cycles spent waiting.
+pub fn acquire_mask_blocking(ctx: &mut ThreadCtx, word: &TxCell<u64>, mask: u64, vkey: u64) -> u64 {
+    debug_assert!(mask != 0);
+    let wait_before = ctx.stats.cycles_lock_wait;
+    match ctx.mode() {
+        Mode::Concurrent => {
+            let mut backoff = SpinBackoff::new();
+            loop {
+                if word.load_direct(ctx) & mask == 0 {
+                    let prev = word.fetch_or_direct(ctx, mask);
+                    if prev & mask == 0 {
+                        break;
+                    }
+                }
+                backoff.pause(ctx);
+            }
+        }
+        Mode::Virtual => {
+            let free_at = ctx.runtime().vlock_free_at(vkey, ctx.clock);
+            if free_at > ctx.clock {
+                // The losing CAS advances the clock too; only the residual
+                // gap to the release time is spent waiting.
+                ctx.charge_cas_miss();
+                let wait = free_at.saturating_sub(ctx.clock);
+                ctx.stats.cycles_lock_wait += wait;
+                ctx.clock += wait;
+            }
+            let prev = word.fetch_or_direct(ctx, mask);
+            debug_assert_eq!(prev & mask, 0, "virtual lock bits must be free");
+        }
+    }
+    ctx.stats.cycles_lock_wait - wait_before
+}
+
+/// Release counterpart of [`acquire_mask_blocking`]: records the virtual
+/// hold time and clears the bits.
+pub fn release_mask(ctx: &mut ThreadCtx, word: &TxCell<u64>, mask: u64, vkey: u64) {
+    if ctx.mode() == Mode::Virtual {
+        ctx.runtime().vlock_hold(vkey, ctx.clock);
+    }
+    word.fetch_and_direct(ctx, !mask);
+}
+
+/// Advisory slot-lock surface a middle-path [`Footprint`] locks against:
+/// anything that exposes independently acquirable numbered slots. The
+/// executor only ever acquires slots in sorted order, so any two regions
+/// locking the same surface are deadlock-free by construction.
+pub trait SlotLocks {
+    /// Blocking acquire of one slot (outside any HTM episode).
+    fn acquire_slot(&self, ctx: &mut ThreadCtx, slot: u32);
+    /// Release one slot.
+    fn release_slot(&self, ctx: &mut ThreadCtx, slot: u32);
+}
+
+impl SlotLocks for BitLockVector {
+    fn acquire_slot(&self, ctx: &mut ThreadCtx, slot: u32) {
+        self.acquire(ctx, slot as usize);
+    }
+
+    fn release_slot(&self, ctx: &mut ThreadCtx, slot: u32) {
+        self.release(ctx, slot as usize);
+    }
+}
+
+/// Most slots one region footprint may declare. Point operations need one
+/// slot; structural operations (split: leaf + sibling + parent) stay small.
+pub const MAX_FOOTPRINT_SLOTS: usize = 4;
+
+/// Fibonacci-hash a key to an advisory slot in `0..nslots` (the paper's
+/// Figure 5 hash) — shared by the CCM's slot map and the trees'
+/// middle-path footprint tables, so both surfaces agree on which slot a
+/// key contends for.
+#[inline]
+pub fn slot_for_key(key: u64, nslots: u32) -> u32 {
+    debug_assert!(nslots > 0);
+    let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (h >> 32) as u32 % nslots
+}
+
+/// A region's declared middle-path footprint: which advisory slots of
+/// which lock surface an attempt must hold before speculating. Slots are
+/// sorted and deduplicated at construction, so acquisition order is
+/// globally consistent across threads — two overlapping footprints always
+/// take their common slots in the same order (no deadlock, no
+/// double-lock).
+pub struct Footprint<'f> {
+    locks: &'f dyn SlotLocks,
+    slots: [u32; MAX_FOOTPRINT_SLOTS],
+    len: u8,
+}
+
+impl<'f> Footprint<'f> {
+    pub fn new(locks: &'f dyn SlotLocks, slots: &[u32]) -> Self {
+        assert!(
+            slots.len() <= MAX_FOOTPRINT_SLOTS,
+            "footprint of {} slots exceeds MAX_FOOTPRINT_SLOTS",
+            slots.len()
+        );
+        let mut buf = [0u32; MAX_FOOTPRINT_SLOTS];
+        buf[..slots.len()].copy_from_slice(slots);
+        buf[..slots.len()].sort_unstable();
+        let mut len = 0usize;
+        for i in 0..slots.len() {
+            if len == 0 || buf[i] != buf[len - 1] {
+                buf[len] = buf[i];
+                len += 1;
+            }
+        }
+        Footprint {
+            locks,
+            slots: buf,
+            len: len as u8,
+        }
+    }
+
+    /// The slots in acquisition (ascending) order.
+    pub fn slots(&self) -> &[u32] {
+        &self.slots[..self.len as usize]
+    }
+
+    /// Acquire every slot in sorted order. Must be called outside any HTM
+    /// episode (the lock words are accessed directly).
+    pub fn acquire_all(&self, ctx: &mut ThreadCtx) {
+        for &s in self.slots() {
+            self.locks.acquire_slot(ctx, s);
+        }
+    }
+
+    /// Release every slot (reverse order, symmetric with acquisition).
+    pub fn release_all(&self, ctx: &mut ThreadCtx) {
+        for &s in self.slots().iter().rev() {
+            self.locks.release_slot(ctx, s);
+        }
     }
 }
 
@@ -92,34 +250,10 @@ impl AdvisoryLock {
     /// CAS observation, so both modes account a contended acquisition the
     /// same way.
     pub fn acquire(&self, ctx: &mut ThreadCtx) {
-        let wait_before = ctx.stats.cycles_lock_wait;
-        match ctx.mode() {
-            Mode::Concurrent => {
-                let mut backoff = SpinBackoff::new();
-                loop {
-                    if self.cell.load_direct(ctx) == 0 && self.cell.cas_direct(ctx, 0, 1) {
-                        break;
-                    }
-                    backoff.pause(ctx);
-                }
-            }
-            Mode::Virtual => {
-                let free_at = ctx.runtime().vlock_free_at(self.key(), ctx.clock);
-                if free_at > ctx.clock {
-                    // The losing CAS advances the clock too; only the
-                    // residual gap to the release time is spent waiting.
-                    ctx.charge_cas_miss();
-                    let wait = free_at.saturating_sub(ctx.clock);
-                    ctx.stats.cycles_lock_wait += wait;
-                    ctx.clock += wait;
-                }
-                let ok = self.cell.cas_direct(ctx, 0, 1);
-                debug_assert!(ok, "virtual lock must be free after its hold time");
-            }
-        }
+        let waited = acquire_mask_blocking(ctx, &self.cell, 1, self.key());
         ctx.trace(EventKind::LockAcquire {
             addr: self.key(),
-            wait_cycles: ctx.stats.cycles_lock_wait - wait_before,
+            wait_cycles: waited,
         });
     }
 
@@ -152,6 +286,9 @@ impl AdvisoryLock {
         if ctx.mode() == Mode::Virtual {
             ctx.runtime().vlock_hold(self.key(), ctx.clock);
         }
+        // Whole-word store, not the shared fetch_and: the word holds only
+        // this lock, and the cheaper release is part of the advisory-lock
+        // cost model the figures were calibrated with.
         self.cell.store_direct(ctx, 0);
         ctx.trace(EventKind::LockRelease { addr: self.key() });
     }
@@ -236,44 +373,16 @@ impl BitLockVector {
     pub fn acquire(&self, ctx: &mut ThreadCtx, slot: usize) {
         let (word, mask, key) = self.locate(slot);
         let addr = word.raw_ptr() as u64;
-        let wait_before = ctx.stats.cycles_lock_wait;
-        match ctx.mode() {
-            Mode::Concurrent => {
-                let mut backoff = SpinBackoff::new();
-                loop {
-                    if word.load_direct(ctx) & mask == 0 {
-                        let prev = word.fetch_or_direct(ctx, mask);
-                        if prev & mask == 0 {
-                            break;
-                        }
-                    }
-                    backoff.pause(ctx);
-                }
-            }
-            Mode::Virtual => {
-                let free_at = ctx.runtime().vlock_free_at(key, ctx.clock);
-                if free_at > ctx.clock {
-                    ctx.charge_cas_miss();
-                    let wait = free_at.saturating_sub(ctx.clock);
-                    ctx.stats.cycles_lock_wait += wait;
-                    ctx.clock += wait;
-                }
-                let prev = word.fetch_or_direct(ctx, mask);
-                debug_assert_eq!(prev & mask, 0, "virtual bit lock must be free");
-            }
-        }
+        let waited = acquire_mask_blocking(ctx, word, mask, key);
         ctx.trace(EventKind::LockAcquire {
             addr,
-            wait_cycles: ctx.stats.cycles_lock_wait - wait_before,
+            wait_cycles: waited,
         });
     }
 
     pub fn release(&self, ctx: &mut ThreadCtx, slot: usize) {
         let (word, mask, key) = self.locate(slot);
-        if ctx.mode() == Mode::Virtual {
-            ctx.runtime().vlock_hold(key, ctx.clock);
-        }
-        word.fetch_and_direct(ctx, !mask);
+        release_mask(ctx, word, mask, key);
         ctx.trace(EventKind::LockRelease {
             addr: word.raw_ptr() as u64,
         });
@@ -547,6 +656,73 @@ mod tests {
                 stats.cycles_lock_wait
             );
         });
+    }
+
+    #[test]
+    fn spin_backoff_resets_between_regions() {
+        // Satellite audit: a fallback-heavy region must not poison the
+        // next region's backoff schedule. The acquire cores construct a
+        // fresh SpinBackoff per acquisition, and `reset` restores a kept
+        // one to the fresh schedule.
+        let rt = Runtime::new_concurrent();
+        let mut ctx = rt.thread(0);
+        let unit = rt.cost.spin_iter.max(1);
+
+        let mut b = SpinBackoff::new();
+        for _ in 0..SpinBackoff::MAX_EXPONENT + 2 {
+            b.pause(&mut ctx);
+        }
+        assert_eq!(b.exponent(), SpinBackoff::MAX_EXPONENT, "saturated");
+        b.reset();
+        assert_eq!(b.exponent(), 0);
+        let before = ctx.clock;
+        b.pause(&mut ctx);
+        assert_eq!(
+            ctx.clock - before,
+            unit,
+            "first pause after reset is the base quantum again"
+        );
+
+        // An uncontended acquisition after a heavily contended one spins
+        // zero times — the saturated exponent of the earlier acquire must
+        // not leak in (fresh backoff per acquire call).
+        let l = AdvisoryLock::new();
+        let wait_before = ctx.stats.cycles_lock_wait;
+        l.acquire(&mut ctx);
+        l.release(&mut ctx);
+        assert_eq!(
+            ctx.stats.cycles_lock_wait, wait_before,
+            "uncontended acquire must not pause at all"
+        );
+    }
+
+    #[test]
+    fn footprint_sorts_and_dedups_slots() {
+        let v = BitLockVector::new(64);
+        let fp = Footprint::new(&v, &[9, 3, 9, 60]);
+        assert_eq!(fp.slots(), &[3, 9, 60]);
+        let empty = Footprint::new(&v, &[]);
+        assert_eq!(empty.slots(), &[] as &[u32]);
+
+        // acquire_all takes exactly the deduped slots, in order.
+        let rt = Runtime::new_virtual();
+        let mut ctx = rt.thread(0);
+        fp.acquire_all(&mut ctx);
+        for &s in &[3usize, 9, 60] {
+            assert!(v.is_locked(&mut ctx, s));
+        }
+        assert!(!v.is_locked(&mut ctx, 10));
+        fp.release_all(&mut ctx);
+        for &s in &[3usize, 9, 60] {
+            assert!(!v.is_locked(&mut ctx, s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_FOOTPRINT_SLOTS")]
+    fn footprint_rejects_oversized_slot_lists() {
+        let v = BitLockVector::new(64);
+        let _ = Footprint::new(&v, &[1, 2, 3, 4, 5]);
     }
 
     #[test]

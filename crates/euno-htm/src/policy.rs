@@ -23,6 +23,12 @@ pub struct RetryPolicy {
     pub spurious_retries: u32,
     /// Budget for aborts caused by the fallback lock being held.
     pub fallback_lock_retries: u32,
+    /// Middle-path attempts granted after the speculative budgets are
+    /// exhausted and before the region escalates to the global fallback.
+    /// Each one re-runs the region as an HTM episode holding the region's
+    /// advisory slot locks, so only same-slot contenders wait. Zero
+    /// reproduces the classic two-path executor exactly.
+    pub middle_retries: u32,
     /// Exponential backoff between retries.
     pub backoff: bool,
 }
@@ -35,6 +41,7 @@ impl Default for RetryPolicy {
             explicit_retries: 0,
             spurious_retries: 4,
             fallback_lock_retries: 2,
+            middle_retries: 4,
             backoff: true,
         }
     }
@@ -50,8 +57,16 @@ impl RetryPolicy {
             explicit_retries: 0,
             spurious_retries: 16,
             fallback_lock_retries: 8,
+            middle_retries: 8,
             backoff: true,
         }
+    }
+
+    /// The same budgets with the middle path disabled — the classic
+    /// two-path executor (ablation baseline).
+    pub fn two_path(mut self) -> Self {
+        self.middle_retries = 0;
+        self
     }
 
     /// Whether the accumulated aborts exhaust any budget.
@@ -72,6 +87,10 @@ pub struct RetryCounts {
     pub explicit: u32,
     pub spurious: u32,
     pub fallback_locked: u32,
+    /// Middle-path attempts granted to this region so far. Tracked apart
+    /// from the per-cause tallies: a middle attempt's abort still bumps
+    /// its cause above, but the escalation schedule is charged here.
+    pub middle: u32,
 }
 
 impl RetryCounts {

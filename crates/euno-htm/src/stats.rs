@@ -20,6 +20,12 @@ pub struct ThreadStats {
     pub attempts: u64,
     /// Fallback-path executions (lock acquired after retry exhaustion).
     pub fallbacks: u64,
+    /// Regions completed on the footprint-local middle path (committed an
+    /// HTM episode while holding the region's advisory slot locks).
+    pub middles: u64,
+    /// HTM attempts made while holding a middle-path footprint (a subset
+    /// of `attempts`).
+    pub middle_attempts: u64,
     /// Aborts by cause.
     pub aborts: AbortCounts,
     /// Optimistic-episode retries (Masstree-style version-validation
@@ -47,6 +53,9 @@ pub struct ThreadStats {
     /// Virtual cycles spent waiting to acquire (or waiting out) the
     /// fallback lock specifically (also counted in `cycles_lock_wait`).
     pub cycles_fallback_wait: u64,
+    /// Virtual cycles spent acquiring middle-path footprint slot locks
+    /// (also counted in `cycles_lock_wait`).
+    pub cycles_middle_wait: u64,
     /// Per-leaf adaptive-CCM `bypass` transitions this thread performed
     /// (protect ↔ bypass, either direction).
     pub ccm_bypass_flips: u64,
@@ -130,6 +139,8 @@ impl ThreadStats {
         self.commits += other.commits;
         self.attempts += other.attempts;
         self.fallbacks += other.fallbacks;
+        self.middles += other.middles;
+        self.middle_attempts += other.middle_attempts;
         self.aborts.merge(&other.aborts);
         self.optimistic_retries += other.optimistic_retries;
         self.cycles_total += other.cycles_total;
@@ -145,6 +156,7 @@ impl ThreadStats {
         self.backoffs += other.backoffs;
         self.cycles_backoff += other.cycles_backoff;
         self.cycles_fallback_wait += other.cycles_fallback_wait;
+        self.cycles_middle_wait += other.cycles_middle_wait;
         self.ccm_bypass_flips += other.ccm_bypass_flips;
         self.mem_accesses += other.mem_accesses;
         self.cas_ops += other.cas_ops;
@@ -273,6 +285,9 @@ mod tests {
             backoffs: 3,
             cycles_backoff: 120,
             cycles_fallback_wait: 55,
+            cycles_middle_wait: 17,
+            middles: 5,
+            middle_attempts: 9,
             ccm_bypass_flips: 2,
             ..Default::default()
         };
@@ -281,6 +296,9 @@ mod tests {
         assert_eq!(a.backoffs, 6);
         assert_eq!(a.cycles_backoff, 240);
         assert_eq!(a.cycles_fallback_wait, 110);
+        assert_eq!(a.cycles_middle_wait, 34);
+        assert_eq!(a.middles, 10);
+        assert_eq!(a.middle_attempts, 18);
         assert_eq!(a.ccm_bypass_flips, 4);
     }
 

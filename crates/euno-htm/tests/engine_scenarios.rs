@@ -55,6 +55,7 @@ fn fallback_lock_excludes_transactions() {
         explicit_retries: 0,
         spurious_retries: 0,
         fallback_lock_retries: 0,
+        middle_retries: 0,
         backoff: false,
     };
     let out = holder.htm_execute(&fb, &zero_retry, |tx| {
@@ -66,7 +67,7 @@ fn fallback_lock_excludes_transactions() {
             tx.explicit_abort(1)
         }
     });
-    assert!(out.used_fallback);
+    assert!(out.used_fallback());
 
     // `other` starts at clock 0, inside the holder's virtual hold window:
     // its attempt must wait for the lock release before committing.
@@ -74,7 +75,7 @@ fn fallback_lock_excludes_transactions() {
         let v = tx.read(&cell)?;
         tx.write(&cell, v + 1)
     });
-    assert!(!out2.used_fallback);
+    assert!(!out2.used_fallback());
     assert!(
         other.clock >= 10_000,
         "the transaction must serialize behind the fallback section, clock={}",
@@ -107,7 +108,7 @@ fn capacity_threshold_is_exact() {
         }
         Ok(())
     });
-    assert!(!out.used_fallback);
+    assert!(!out.used_fallback());
     assert_eq!(ctx.stats.aborts.capacity, 0);
 
     // …writing 5 aborts with Capacity and lands on the fallback.
@@ -117,7 +118,7 @@ fn capacity_threshold_is_exact() {
         }
         Ok(())
     });
-    assert!(out.used_fallback);
+    assert!(out.used_fallback());
     assert!(ctx.stats.aborts.capacity >= 1);
 }
 

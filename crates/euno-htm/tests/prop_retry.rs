@@ -7,7 +7,7 @@
 
 use euno_htm::{
     AbortCause, AdaptiveBudget, AggressivePolicy, ConflictInfo, ConflictKind, DbxPolicy, Decision,
-    LineId, RetryCounts, RetryPolicy, RetryStrategy,
+    LineId, Path, RetryCounts, RetryPolicy, RetryStrategy,
 };
 use euno_rng::{Rng, SmallRng};
 
@@ -37,6 +37,7 @@ fn random_policy(rng: &mut SmallRng) -> RetryPolicy {
         explicit_retries: rng.gen_range(0..3u32),
         spurious_retries: rng.gen_range(0..8u32),
         fallback_lock_retries: rng.gen_range(0..6u32),
+        middle_retries: rng.gen_range(0..5u32),
         backoff: rng.gen_range(0..2u32) == 0,
     }
 }
@@ -80,6 +81,12 @@ fn budget_exactly_exhausted_at_boundary() {
                 p.exhausted(&counts),
                 "case {case}: budget + 1 must exhaust ({c:?})"
             );
+            // Exhaustion escalates: first through the middle grants, then
+            // to the serialized fallback.
+            while counts.middle < p.middle_retries {
+                assert_eq!(p.decide(&counts, c), Decision::Middle);
+                counts.middle += 1;
+            }
             assert_eq!(p.decide(&counts, c), Decision::Fallback);
         }
     }
@@ -216,7 +223,10 @@ fn adaptive_budget_stays_in_bounds() {
         let a = AdaptiveBudget::new(random_policy(&mut rng)).with_window(16);
         for _ in 0..2_000 {
             let fb = rng.gen_range(0..2u32) == 0;
-            a.observe_region(rng.gen_range(1..8u32), fb);
+            a.observe_region(
+                rng.gen_range(1..8u32),
+                if fb { Path::Fallback } else { Path::Htm },
+            );
             let b = a.conflict_budget();
             assert!((1..=64).contains(&b), "budget {b} out of bounds");
         }
@@ -230,7 +240,7 @@ fn adaptive_budget_tracks_fallback_rate() {
     let a = AdaptiveBudget::default().with_window(32);
     let start = a.conflict_budget();
     for _ in 0..256 {
-        a.observe_region(4, true); // 100 % fallback
+        a.observe_region(4, Path::Fallback); // 100 % fallback
     }
     let shrunk = a.conflict_budget();
     assert!(
@@ -238,7 +248,7 @@ fn adaptive_budget_tracks_fallback_rate() {
         "all-fallback windows must shrink the budget ({start} -> {shrunk})"
     );
     for _ in 0..1_024 {
-        a.observe_region(1, false); // 0 % fallback
+        a.observe_region(1, Path::Htm); // 0 % fallback
     }
     let grown = a.conflict_budget();
     assert!(
@@ -256,7 +266,11 @@ fn adaptive_decide_equals_snapshot_of_current_budget() {
     let a = AdaptiveBudget::default().with_window(8);
     for _ in 0..500 {
         // Random feedback nudges the controller around.
-        a.observe_region(rng.gen_range(1..6u32), rng.gen_range(0..3u32) == 0);
+        let fb = rng.gen_range(0..3u32) == 0;
+        a.observe_region(
+            rng.gen_range(1..6u32),
+            if fb { Path::Fallback } else { Path::Htm },
+        );
         let snapshot = RetryPolicy {
             conflict_retries: a.conflict_budget(),
             ..Default::default()

@@ -28,7 +28,9 @@ use crate::metrics::RunMetrics;
 pub use euno_trace::Json;
 
 /// Bumped whenever a required key is added, removed or renamed.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: three-path executor — `stages` gained `middles`, `middle_attempts`
+/// and `cycles_middle_wait`; metrics gained `middle_rate`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Hot-leaf rows kept in a report's `profile` section (the full table
 /// stays available in-process via [`RunMetrics::profile`]).
@@ -186,14 +188,21 @@ pub fn metrics_json(m: &RunMetrics) -> Json {
             Json::Num(s.fallbacks as f64 / attempts),
         ),
         (
+            "middle_rate".into(),
+            Json::Num(s.middles as f64 / s.commits.max(1) as f64),
+        ),
+        (
             "stages".into(),
             Json::Obj(vec![
                 ("attempts".into(), Json::u64(s.attempts)),
                 ("commits".into(), Json::u64(s.commits)),
+                ("middles".into(), Json::u64(s.middles)),
+                ("middle_attempts".into(), Json::u64(s.middle_attempts)),
                 ("fallbacks".into(), Json::u64(s.fallbacks)),
                 ("backoffs".into(), Json::u64(s.backoffs)),
                 ("cycles_backoff".into(), Json::u64(s.cycles_backoff)),
                 ("cycles_lock_wait".into(), Json::u64(s.cycles_lock_wait)),
+                ("cycles_middle_wait".into(), Json::u64(s.cycles_middle_wait)),
                 (
                     "cycles_fallback_wait".into(),
                     Json::u64(s.cycles_fallback_wait),
@@ -383,6 +392,8 @@ const RUN_METRIC_KEYS: &[&str] = &[
     "aborts_per_op",
     "wasted_cycle_fraction",
     "fallbacks_per_op",
+    "fallback_rate",
+    "middle_rate",
     "stages",
     "latency",
 ];
@@ -403,10 +414,13 @@ const ABORT_KEYS: &[&str] = &[
 const STAGE_KEYS: &[&str] = &[
     "attempts",
     "commits",
+    "middles",
+    "middle_attempts",
     "fallbacks",
     "backoffs",
     "cycles_backoff",
     "cycles_lock_wait",
+    "cycles_middle_wait",
     "cycles_fallback_wait",
     "ccm_bypass_flips",
 ];

@@ -53,6 +53,20 @@ cargo run --release -q -p euno-bench --bin report_check -- \
     "$SMOKE/BENCH_engine.json"
 echo "smoke-engine report OK"
 
+# Three-path smoke: the abort-storm ablation at a tiny scale, schema
+# validation of its report, and a sanity grep that the middle path
+# actually engaged (a nonzero middle rate on the three-path HTM-B+Tree
+# rows).  Catches a silently dead middle path — unit tests drive the
+# executor directly, but only this figure exercises footprints end to
+# end through the trees.
+EUNO_BENCH_SCALE=0.08 cargo run --release -q -p euno-bench --bin fig13_threepath -- \
+    --csv "$SMOKE/fig13tp.csv" | tee "$SMOKE/fig13tp.out"
+grep -E "^HTM-B\+Tree/3path +[0-9.]+ +[0-9.]+ +0\.[0-9]*[1-9]" "$SMOKE/fig13tp.out" >/dev/null \
+    || { echo "three-path smoke: middle path never engaged"; exit 1; }
+cargo run --release -q -p euno-bench --bin report_check -- \
+    "$SMOKE/BENCH_fig13_threepath.json"
+echo "smoke-threepath report OK"
+
 # Concurrent-correctness stage: real threads, recorded histories, the
 # linearizability oracle, and structural audits over all four trees.
 # Fixed seed for reproducibility; the wall-clock cap keeps the stage
@@ -61,3 +75,10 @@ echo "smoke-engine report OK"
 cargo run --release -q -p euno-check --bin stress -- \
     --threads 4 --ops 8000 --seed 20170204 --keys 512 --duration 5
 echo "stress + linearizability check OK"
+
+# Abort-storm stress: the same oracle under the --storm schedule (8
+# threads hammering 8 keys), the interleaving that drives the executor
+# onto its middle path on real threads whenever the timing allows it.
+cargo run --release -q -p euno-check --bin stress -- \
+    --storm --ops 4000 --seed 20170204 --duration 5
+echo "storm stress + linearizability check OK"
