@@ -1,5 +1,6 @@
 //! Figure 8 — "Throughput under different contention rates (16 threads)":
-//! all four systems across the Zipfian skew sweep (§5.2).
+//! the four systems of §5.1 plus the read-optimized Euno variant across
+//! the Zipfian skew sweep (§5.2).
 //!
 //! Paper shape: Euno ≈ HTM-B+Tree (and ~37 % above Masstree) for θ < 0.6;
 //! past θ = 0.6 the HTM-B+Tree collapses while Euno stays high — 11×
@@ -17,7 +18,7 @@ fn main() {
     let mut points = Vec::new();
     for &theta in &thetas {
         let spec = cli.spec(theta);
-        for system in System::MAIN_FOUR {
+        for system in System::MAIN_FIVE {
             let mut m = measure(system, &spec, &cfg);
             cli.post_cell(&mut m);
             eprintln!(

@@ -1,6 +1,7 @@
 //! Figure 10 — "Performance scalability under different contention
-//! levels": throughput vs thread count (1–20) for the four systems, at
-//! θ ∈ {0.2 low, 0.6 modest, 0.9 high, 0.99 extreme} (§5.3).
+//! levels": throughput vs thread count (1–20) for the four systems of
+//! §5.1 plus the read-optimized Euno variant, at θ ∈ {0.2 low,
+//! 0.6 modest, 0.9 high, 0.99 extreme} (§5.3).
 //!
 //! Paper shape: at θ = 0.2 everything scales and Euno ≈ HTM-B+Tree (the
 //! adaptive control removes Euno's overhead) while Masstree trails on
@@ -29,7 +30,7 @@ fn main() {
             if let Some(ops) = cli.ops_override {
                 cfg.ops_per_thread = ops;
             }
-            for system in System::MAIN_FOUR {
+            for system in System::MAIN_FIVE {
                 let mut m = measure(system, &spec, &cfg);
                 cli.post_cell(&mut m);
                 eprintln!(

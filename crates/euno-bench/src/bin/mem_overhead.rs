@@ -34,7 +34,83 @@ fn run_one(cli: &Cli, label: &str, spec: &WorkloadSpec, cfg: &RunConfig) -> Poin
         .with_extra("ccm_bytes", m.ccm_bytes as f64)
         .with_extra("reserved_live_bytes", m.reserved_live_bytes as f64)
         .with_extra("reserved_peak_bytes", m.reserved_peak_bytes as f64)
+        .with_extra("retired_pending_bytes", m.retired_pending_bytes as f64)
+        .with_extra("reclaimed_bytes", m.reclaimed_bytes as f64)
         .with_extra("overhead_fraction", m.overhead_fraction())
+}
+
+/// §5.7d — reclamation under churn: one tree lives through a fill phase,
+/// a delete-heavy phase with explicit maintenance (merges retire leaves
+/// to the epoch collector), and a final drain. The three snapshots must
+/// show `retired_pending_bytes` rise and then fall back to zero while
+/// `reclaimed_bytes` only grows — retired memory is genuinely returned,
+/// not accumulated.
+fn churn_phases(cli: &Cli, cfg: &RunConfig, points: &mut Vec<Point>) {
+    use euno_htm::ThreadCtx;
+
+    let rt = Runtime::new_virtual();
+    let map = System::EunoBTree.build(&rt);
+    let mut phase = |label: &str, spec: &WorkloadSpec, after: &mut dyn FnMut(&mut ThreadCtx)| {
+        let mut metrics = run_virtual(map.as_ref(), &rt, spec, cfg);
+        cli.post_cell(&mut metrics);
+        let mut ctx = rt.thread(0);
+        after(&mut ctx);
+        let m = map.memory();
+        println!(
+            "{label:<28} structural {:>9} B  retired-pending {:>8} B  reclaimed {:>8} B",
+            m.structural_bytes, m.retired_pending_bytes, m.reclaimed_bytes
+        );
+        points.push(
+            Point::new(System::EunoBTree, label, spec, cfg, metrics)
+                .with_extra("structural_bytes", m.structural_bytes as f64)
+                .with_extra("retired_pending_bytes", m.retired_pending_bytes as f64)
+                .with_extra("reclaimed_bytes", m.reclaimed_bytes as f64),
+        );
+    };
+
+    let mut fill = cli.spec(0.0);
+    fill.mix = OpMix {
+        get: 0.0,
+        put: 1.0,
+        delete: 0.0,
+        scan: 0.0,
+    };
+    fill.dist = KeyDistribution::Uniform;
+    // Dense enough that the delete phase hits real records: uniform
+    // deletes over a sparse range would mostly miss, and absent-key
+    // deletes retire nothing.
+    fill.key_range = fill
+        .key_range
+        .min(cfg.threads as u64 * cfg.ops_per_thread / 4);
+    phase("churn: fill", &fill, &mut |_| {});
+
+    // Delete-heavy traffic leaves the leaf chain sparse; the maintenance
+    // sweep afterwards merges and hands the emptied leaves to the
+    // collector. run_virtual drains at quiescence, so everything still
+    // pending here was retired by this maintain call — the "rise".
+    let mut churn = fill.clone();
+    churn.mix = OpMix {
+        get: 0.1,
+        put: 0.1,
+        delete: 0.8,
+        scan: 0.0,
+    };
+    phase("churn: delete+maintain", &churn, &mut |ctx| {
+        map.maintain(ctx);
+    });
+
+    // Quiescent drain: two collects (advance + mature) free the lot.
+    let mut idle = fill.clone();
+    idle.mix = OpMix {
+        get: 1.0,
+        put: 0.0,
+        delete: 0.0,
+        scan: 0.0,
+    };
+    phase("churn: drain", &idle, &mut |_| {
+        rt.epoch().collect();
+        rt.epoch().collect();
+    });
 }
 
 fn main() {
@@ -71,6 +147,9 @@ fn main() {
         };
         points.push(run_one(&cli, name, &spec, &cfg));
     }
+
+    println!("\n== §5.7d: reclamation under churn (fill → delete-heavy → drain) ==");
+    churn_phases(&cli, &cfg, &mut points);
 
     if let Some(csv) = &cli.csv {
         emit("mem", "§5.7: Euno-B+Tree memory overhead", csv, &points).unwrap();

@@ -24,6 +24,10 @@ use euno_workloads::{PolicyChoice, WorkloadSpec};
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum System {
     EunoBTree,
+    /// Euno with the episode-free optimistic read path enabled
+    /// (`EunoConfig::read_optimized`): gets and scans run as direct-load
+    /// descents validated by the leaf `seqno` bracket under an epoch pin.
+    EunoReadOpt,
     HtmBTree,
     Masstree,
     HtmMasstree,
@@ -48,9 +52,20 @@ impl System {
         System::HtmMasstree,
     ];
 
+    /// The §5 comparison set plus the read-optimized Euno variant —
+    /// the headline figures (8, 10) and the YCSB suite run all five.
+    pub const MAIN_FIVE: [System; 5] = [
+        System::EunoBTree,
+        System::EunoReadOpt,
+        System::HtmBTree,
+        System::Masstree,
+        System::HtmMasstree,
+    ];
+
     pub fn label(self) -> &'static str {
         match self {
             System::EunoBTree => "Euno-B+Tree",
+            System::EunoReadOpt => "Euno-ReadOpt",
             System::HtmBTree => "HTM-B+Tree",
             System::Masstree => "Masstree",
             System::HtmMasstree => "HTM-Masstree",
@@ -82,6 +97,11 @@ impl System {
             System::EunoBTree | System::AblationAdaptive => {
                 Box::new(EunoBTreeDefault::with_strategy(Arc::clone(rt), strategy))
             }
+            System::EunoReadOpt => Box::new(EunoBTreeDefault::with_config_and_strategy(
+                Arc::clone(rt),
+                EunoConfig::read_optimized(),
+                strategy,
+            )),
             System::HtmBTree => Box::new(HtmBTree::<16>::with_strategy(Arc::clone(rt), strategy)),
             System::Masstree => Box::new(Masstree::new(Arc::clone(rt))),
             System::HtmMasstree => Box::new(HtmMasstree::with_strategy(Arc::clone(rt), strategy)),

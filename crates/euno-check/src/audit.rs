@@ -5,17 +5,25 @@
 //! stress run and verifies monotonicity: a leaf's seqno is the version
 //! glue between the two-step traversal's upper and lower HTM regions, so
 //! any observed decrease means a traversal could validate against a
-//! version that never supersedes the one it cached. Arena nodes are only
-//! reclaimed when the tree drops, so an address is a stable leaf
-//! identity for the whole run — including leaves that merges have
-//! unlinked (their final bump must still be visible).
+//! version that never supersedes the one it cached.
+//!
+//! Each snapshot is the *full* live chain. An address identifies one leaf
+//! only while it stays on the chain: merged leaves are handed to the
+//! epoch collector and their addresses can be reused by later
+//! allocations, so an address that disappears from a snapshot and later
+//! reappears is treated as a fresh leaf (its baseline resets). A seqno
+//! decrease is only a violation when the address was continuously
+//! present — which is exactly the case where the memory is guaranteed to
+//! still be the same leaf.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Accumulates seqno snapshots and records monotonicity violations.
 #[derive(Default)]
 pub struct SeqnoWatch {
     high_water: HashMap<usize, u64>,
+    /// Addresses present in the most recent snapshot.
+    live: HashSet<usize>,
     violations: Vec<String>,
 }
 
@@ -24,11 +32,13 @@ impl SeqnoWatch {
         Self::default()
     }
 
-    /// Feed one snapshot (any subset of leaves; order irrelevant).
+    /// Feed one full live-chain snapshot (order irrelevant).
     pub fn observe(&mut self, snapshot: &[(usize, u64)]) {
+        let mut next_live = HashSet::with_capacity(snapshot.len());
         for &(addr, seq) in snapshot {
+            next_live.insert(addr);
             match self.high_water.get_mut(&addr) {
-                Some(hw) => {
+                Some(hw) if self.live.contains(&addr) => {
                     if seq < *hw {
                         self.violations
                             .push(format!("leaf {addr:#x} seqno went backwards: {hw} → {seq}"));
@@ -36,18 +46,22 @@ impl SeqnoWatch {
                         *hw = seq;
                     }
                 }
-                None => {
+                _ => {
+                    // First sighting, or a reappearance after the address
+                    // left the chain (reclaimed + reused): new identity.
                     self.high_water.insert(addr, seq);
                 }
             }
         }
+        self.live = next_live;
     }
 
     pub fn violations(&self) -> &[String] {
         &self.violations
     }
 
-    /// Number of distinct leaves ever observed.
+    /// Number of distinct leaf sightings ever observed (a reused address
+    /// counts once — identities, not allocations).
     pub fn leaves_seen(&self) -> usize {
         self.high_water.len()
     }
@@ -74,5 +88,21 @@ mod tests {
         w.observe(&[(0x1000, 3)]);
         assert_eq!(w.violations().len(), 1);
         assert!(w.violations()[0].contains("seqno went backwards"));
+    }
+
+    #[test]
+    fn reused_address_resets_its_baseline() {
+        // A leaf at 0x2000 reaches seqno 9, is merged away (absent from
+        // the next snapshot), and the allocator hands its address to a
+        // brand-new leaf starting at seqno 0. Not a violation — but a
+        // subsequent decrease on the *new* leaf still is.
+        let mut w = SeqnoWatch::new();
+        w.observe(&[(0x1000, 1), (0x2000, 9)]);
+        w.observe(&[(0x1000, 1)]);
+        w.observe(&[(0x1000, 2), (0x2000, 0)]);
+        assert!(w.violations().is_empty(), "{:?}", w.violations());
+        w.observe(&[(0x1000, 2), (0x2000, 4)]);
+        w.observe(&[(0x1000, 2), (0x2000, 3)]);
+        assert_eq!(w.violations().len(), 1);
     }
 }

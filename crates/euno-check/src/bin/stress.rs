@@ -2,13 +2,15 @@
 //! linearizability oracle, and structural audits over every tree.
 //!
 //! ```text
-//! stress [--storm] [--threads N] [--ops N] [--seed N] [--keys N]
+//! stress [--storm] [--churn] [--threads N] [--ops N] [--seed N] [--keys N]
 //!        [--scan-len N] [--preload N] [--duration SECS] [--no-maintain]
 //!        [--tree SUBSTR] [--trace PATH] [--profile] [--dump-events N]
 //!
 //! `--storm` starts from the abort-storm preset (8 threads on 8 keys, the
-//! schedule that drives the executor onto its middle path); later flags
-//! still override individual knobs.
+//! schedule that drives the executor onto its middle path); `--churn`
+//! starts from the delete-heavy churn preset (continuous merges retiring
+//! leaves under live readers); later flags still override individual
+//! knobs.
 //! ```
 //!
 //! Exits nonzero on any violation and prints the exact command line that
@@ -25,7 +27,7 @@ use euno_trace::{chrome_trace, folded_rollup};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: stress [--storm] [--threads N] [--ops N] [--seed N] [--keys N] \
+        "usage: stress [--storm] [--churn] [--threads N] [--ops N] [--seed N] [--keys N] \
          [--scan-len N] [--preload N] [--duration SECS] [--no-maintain] \
          [--tree SUBSTR] [--trace PATH] [--profile] [--dump-events N]"
     );
@@ -50,6 +52,13 @@ fn main() {
                     trace_capacity: cfg.trace_capacity,
                     profile: cfg.profile,
                     ..StressConfig::abort_storm()
+                }
+            }
+            "--churn" => {
+                cfg = StressConfig {
+                    trace_capacity: cfg.trace_capacity,
+                    profile: cfg.profile,
+                    ..StressConfig::churn()
                 }
             }
             "--threads" => cfg.threads = num(&mut args) as u32,

@@ -50,6 +50,10 @@ pub struct StressConfig {
     pub trace_capacity: usize,
     /// Build a hot-leaf contention profile from the collected traces.
     pub profile: bool,
+    /// Operation mix in percent; the remainder up to 100 is scans.
+    pub get_pct: u32,
+    pub put_pct: u32,
+    pub delete_pct: u32,
 }
 
 impl Default for StressConfig {
@@ -66,6 +70,9 @@ impl Default for StressConfig {
             lin_budget: DEFAULT_BUDGET,
             trace_capacity: 512,
             profile: false,
+            get_pct: 40,
+            put_pct: 30,
+            delete_pct: 15,
         }
     }
 }
@@ -84,6 +91,24 @@ impl StressConfig {
             key_range: 8,
             preload: 8,
             scan_len: 4,
+            ..StressConfig::default()
+        }
+    }
+
+    /// The churn schedule: delete-heavy traffic over a small key range
+    /// with the maintenance thread on, so leaves empty out and merge
+    /// continuously — every reader races real retirements and the epoch
+    /// collector is exercised under load rather than at quiescence.
+    pub fn churn() -> Self {
+        StressConfig {
+            threads: 6,
+            ops_per_thread: 4_000,
+            key_range: 256,
+            preload: 256,
+            maintain_thread: true,
+            get_pct: 25,
+            put_pct: 25,
+            delete_pct: 40,
             ..StressConfig::default()
         }
     }
@@ -200,32 +225,28 @@ pub fn run_stress(
                         }
                     }
                     let key = rng.gen_range(0..cfg.key_range);
-                    match rng.gen_range(0..100u32) {
-                        0..=39 => {
-                            ctx.observe_invoke(OpKind::Get, key, 0);
-                            let v = tree.get(&mut ctx, key);
-                            ctx.observe_response(OpOutput::Value(v));
-                        }
-                        40..=69 => {
-                            // Values are unique per (worker, op) and
-                            // disjoint from preload values, so every
-                            // observed record has one possible writer.
-                            let value = (u64::from(w) + 1) << 40 | i;
-                            ctx.observe_invoke(OpKind::Put, key, value);
-                            let prev = tree.put(&mut ctx, key, value);
-                            ctx.observe_response(OpOutput::Value(prev));
-                        }
-                        70..=84 => {
-                            ctx.observe_invoke(OpKind::Delete, key, 0);
-                            let prev = tree.delete(&mut ctx, key);
-                            ctx.observe_response(OpOutput::Value(prev));
-                        }
-                        _ => {
-                            out.clear();
-                            ctx.observe_invoke(OpKind::Scan, key, cfg.scan_len);
-                            tree.scan(&mut ctx, key, cfg.scan_len as usize, &mut out);
-                            ctx.observe_response(OpOutput::Scan(out.clone()));
-                        }
+                    let roll = rng.gen_range(0..100u32);
+                    if roll < cfg.get_pct {
+                        ctx.observe_invoke(OpKind::Get, key, 0);
+                        let v = tree.get(&mut ctx, key);
+                        ctx.observe_response(OpOutput::Value(v));
+                    } else if roll < cfg.get_pct + cfg.put_pct {
+                        // Values are unique per (worker, op) and
+                        // disjoint from preload values, so every
+                        // observed record has one possible writer.
+                        let value = (u64::from(w) + 1) << 40 | i;
+                        ctx.observe_invoke(OpKind::Put, key, value);
+                        let prev = tree.put(&mut ctx, key, value);
+                        ctx.observe_response(OpOutput::Value(prev));
+                    } else if roll < cfg.get_pct + cfg.put_pct + cfg.delete_pct {
+                        ctx.observe_invoke(OpKind::Delete, key, 0);
+                        let prev = tree.delete(&mut ctx, key);
+                        ctx.observe_response(OpOutput::Value(prev));
+                    } else {
+                        out.clear();
+                        ctx.observe_invoke(OpKind::Scan, key, cfg.scan_len);
+                        tree.scan(&mut ctx, key, cfg.scan_len as usize, &mut out);
+                        ctx.observe_response(OpOutput::Scan(out.clone()));
                     }
                 }
                 drop(ctx.take_op_observer()); // flush this thread's ops
@@ -367,6 +388,16 @@ pub fn run_all(cfg: &StressConfig, filter: Option<&str>) -> Vec<StressReport> {
         };
         reports.push(run_stress(&tree, &rt, cfg, false, hooks));
     }
+    if wants("Euno-ReadOpt") {
+        let rt = Runtime::new_concurrent();
+        let tree =
+            EunoBTreeDefault::with_config(Arc::clone(&rt), euno_core::EunoConfig::read_optimized());
+        let hooks = AuditHooks {
+            seqno_snapshot: Some(Box::new(|| tree.leaf_seqnos_plain())),
+            quiescent: Some(Box::new(|| tree.audit_quiescent())),
+        };
+        reports.push(run_stress(&tree, &rt, cfg, false, hooks));
+    }
     if wants("HTM-B+Tree") {
         let rt = Runtime::new_concurrent();
         let tree = HtmBTree::<16>::new(Arc::clone(&rt));
@@ -400,7 +431,7 @@ mod tests {
             ..StressConfig::default()
         };
         let reports = run_all(&cfg, None);
-        assert_eq!(reports.len(), 4);
+        assert_eq!(reports.len(), 5);
         for r in &reports {
             assert!(
                 r.passed(),
@@ -435,6 +466,34 @@ mod tests {
                 r.verdict,
                 r.invariant_violations
             );
+        }
+    }
+
+    #[test]
+    fn churn_is_linearizable_on_both_euno_variants() {
+        // The churn preset (shrunk for test time): delete-heavy traffic
+        // with the maintenance thread merging continuously, so episode
+        // readers (Euno-B+Tree) and episode-free readers (Euno-ReadOpt)
+        // both race real leaf retirements. Histories must stay
+        // linearizable, the seqno watch clean across address reuse, and
+        // the quiescent audit clean after reclamation.
+        let cfg = StressConfig {
+            threads: 4,
+            ops_per_thread: 1_200,
+            ..StressConfig::churn()
+        };
+        let reports = run_all(&cfg, Some("euno"));
+        assert_eq!(reports.len(), 2, "both Euno variants expected");
+        assert!(reports.iter().any(|r| r.tree == "Euno-ReadOpt"));
+        for r in &reports {
+            assert!(
+                r.passed(),
+                "{} under churn: verdict {:?}, invariants {:?}",
+                r.tree,
+                r.verdict,
+                r.invariant_violations
+            );
+            assert!(matches!(r.verdict, Verdict::Linearizable { .. }), "{r:?}");
         }
     }
 

@@ -37,6 +37,13 @@ pub struct EunoConfig {
     /// the advisory slots for its key before escalating to the global
     /// fallback lock. Off reproduces the classic two-path executor.
     pub middle_path: bool,
+    /// Serve gets and scans on the episode-free optimistic read path:
+    /// descend with direct loads under an epoch pin, validate via the
+    /// per-leaf `seqno` (plus the NOrec seqlock and the fallback cell in
+    /// concurrent mode), retry from the root on any change. Writes keep
+    /// the two-step transactional traversal. Off (the default) reproduces
+    /// the paper's all-episode system.
+    pub read_opt: bool,
 }
 
 impl Default for EunoConfig {
@@ -51,6 +58,7 @@ impl Default for EunoConfig {
             adaptive_conflict_rate: 0.05,
             rebalance_delete_threshold: 100_000,
             middle_path: true,
+            read_opt: false,
         }
     }
 }
@@ -61,6 +69,15 @@ impl EunoConfig {
     pub fn two_path(mut self) -> Self {
         self.middle_path = false;
         self
+    }
+
+    /// The full system with the episode-free optimistic read path on
+    /// (`Euno-ReadOpt` in the benchmark tables).
+    pub fn read_optimized() -> Self {
+        EunoConfig {
+            read_opt: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -132,5 +149,16 @@ mod tests {
         let c = EunoConfig::default();
         assert!(c.ccm_lock_bits && c.ccm_mark_bits && c.adaptive);
         assert!(c.adaptive_window > 0);
+        assert!(!c.read_opt, "the paper's system is all-episode by default");
+    }
+
+    #[test]
+    fn read_optimized_keeps_the_full_write_path() {
+        let c = EunoConfig::read_optimized();
+        assert!(c.read_opt);
+        assert!(
+            c.ccm_lock_bits && c.ccm_mark_bits && c.adaptive && c.middle_path,
+            "read_opt changes only the read path"
+        );
     }
 }

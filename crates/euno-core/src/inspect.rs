@@ -33,8 +33,10 @@ pub struct TreeStats {
 impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
     /// Walk the whole structure and summarize it. Not concurrency-safe in
     /// the linearizable sense (counts may be slightly stale under traffic)
-    /// but never unsound — pointers stay valid under deferred reclamation.
+    /// but never unsound — the walk holds an epoch pin, so nodes a
+    /// concurrent merge retires stay readable until it finishes.
     pub fn stats(&self) -> TreeStats {
+        let _pin = self.rt.epoch().pin_scoped();
         let mut s = TreeStats::default();
 
         // Depth + internal count via a queue walk from the root.
@@ -97,11 +99,15 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         s
     }
 
-    /// Per-leaf `(address, seqno)` snapshot of the live chain. Arena nodes
-    /// are reclaimed only when the tree drops, so addresses are stable
-    /// identities across snapshots — a later snapshot with a *smaller*
-    /// seqno at the same address is a monotonicity violation.
+    /// Per-leaf `(address, seqno)` snapshot of the live chain, taken under
+    /// an epoch pin so concurrently retired leaves stay readable. An
+    /// address identifies one leaf only while it stays on the chain:
+    /// merged leaves are reclaimed after a grace period and the allocator
+    /// may reuse their addresses, so consumers comparing snapshots must
+    /// treat an address that left the chain and came back as a fresh
+    /// identity (see `euno-check`'s `SeqnoWatch`).
     pub fn leaf_seqnos_plain(&self) -> Vec<(usize, u64)> {
+        let _pin = self.rt.epoch().pin_scoped();
         let mut out = Vec::new();
         let mut cur = NodeRef::from_word(self.root_bits());
         while !cur.is_leaf() {
@@ -176,6 +182,7 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
     /// * a root descent for every live key lands on the leaf that holds it
     ///   (separator arithmetic agrees with record placement).
     pub fn audit_quiescent(&self) -> Vec<String> {
+        let _pin = self.rt.epoch().pin_scoped();
         let mut viol = Vec::new();
         macro_rules! report {
             ($($arg:tt)*) => {

@@ -12,6 +12,7 @@ use euno_htm::{EventKind, Tx, TxCell, TxResult, TOMBSTONE};
 use euno_rng::Rng;
 
 use crate::node::EunoLeaf;
+use crate::probe;
 use crate::tree::{EunoBTree, Lower, Req};
 
 impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
@@ -123,6 +124,16 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
             //     the sorted records round-robin over the segments so
             //     key-adjacent records land on different cache lines, then
             //     place the new key in the emptiest segment.
+            //
+            // Bump the version before any record moves, as on the split
+            // and merge paths: records hop between segments here, so an
+            // episode-free reader searching segment by segment could miss
+            // a key that moved from a not-yet-searched segment into an
+            // already-searched one unless the bump is published first.
+            probe::mark("reorg:seqno");
+            let seq = tx.read(&leaf.seqno)?;
+            tx.write(&leaf.seqno, seq + 1)?;
+            probe::mark("reorg:records");
             self.redistribute(tx, leaf, &records)?;
             tx.ctx().trace(EventKind::Reorg {
                 leaf: leaf as *const EunoLeaf<SEGS, K> as u64,

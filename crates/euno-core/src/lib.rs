@@ -27,6 +27,7 @@ pub mod config;
 pub mod inspect;
 pub mod leaf_ops;
 pub mod node;
+pub mod probe;
 pub mod rebalance;
 pub mod scan;
 pub mod segment;

@@ -1,0 +1,65 @@
+//! Debug-only ordering probes.
+//!
+//! The seqno-publication discipline (bump the version *before* any record
+//! movement or unlink becomes reachable) is unobservable in a
+//! single-threaded test: by the time the structural operation returns,
+//! both orderings produce identical state. These probes make the write
+//! order itself assertable — structural code drops named marks at the
+//! bump and at the first record movement, and regression tests check the
+//! sequence. Everything compiles away in release builds, so the probes
+//! cost nothing on benchmark paths.
+
+#[cfg(debug_assertions)]
+mod imp {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static MARKS: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub fn mark(tag: &'static str) {
+        MARKS.with(|m| m.borrow_mut().push(tag));
+    }
+
+    pub fn take() -> Vec<&'static str> {
+        MARKS.with(|m| std::mem::take(&mut *m.borrow_mut()))
+    }
+}
+
+#[cfg(debug_assertions)]
+pub use imp::{mark, take};
+
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+pub fn mark(_tag: &'static str) {}
+
+#[cfg(not(debug_assertions))]
+pub fn take() -> Vec<&'static str> {
+    Vec::new()
+}
+
+/// Index of `tag`'s first occurrence in a probe trace, panicking with a
+/// readable message when absent (test helper).
+pub fn index_of(trace: &[&'static str], tag: &str) -> usize {
+    trace
+        .iter()
+        .position(|&t| t == tag)
+        .unwrap_or_else(|| panic!("probe mark {tag:?} missing from trace {trace:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "probes are debug-only")]
+    fn marks_record_in_order_and_drain() {
+        take(); // isolate from marks left by other code on this thread
+        mark("a");
+        mark("b");
+        let t = take();
+        assert_eq!(t, vec!["a", "b"]);
+        assert_eq!(index_of(&t, "b"), 1);
+        assert!(take().is_empty(), "take drains");
+    }
+}

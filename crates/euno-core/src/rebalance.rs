@@ -13,9 +13,11 @@
 //! * the merge itself runs in one HTM region: re-verify adjacency, deal
 //!   the combined records round-robin over the left leaf's segments,
 //!   unlink the right leaf and drop its separator from the shared parent;
-//! * the right leaf's `seqno` is bumped so two-step traversals holding its
-//!   pointer retry from the root, and the node is retired (deferred
-//!   reclamation keeps it readable until the tree drops).
+//! * both leaves' `seqno`s are bumped (before any record moves) so
+//!   two-step traversals and episode-free readers holding either pointer
+//!   retry from the root, and the right node is retired to the epoch
+//!   collector (freed after a two-epoch grace period, once no pinned
+//!   thread can still hold a reference).
 //!
 //! Like Sen-Tarjan, interior nodes are allowed to go underfull — only
 //! their entries are removed, never cascaded. Merges are restricted to
@@ -26,6 +28,7 @@
 use euno_htm::{EventKind, TxWord, TOMBSTONE};
 
 use crate::node::{EunoLeaf, NodeRef};
+use crate::probe;
 use crate::tree::EunoBTree;
 
 impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
@@ -33,9 +36,12 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
     /// Returns the number of merges performed. Safe to run concurrently
     /// with normal operations.
     pub fn maintain(&self, ctx: &mut euno_htm::ThreadCtx) -> usize {
+        // Pin before the chain walk: merged-away leaves freed by the epoch
+        // collector must stay readable until this sweep lets go.
+        ctx.epoch_enter();
         let mut merges = 0;
         // Leftmost leaf via an uninstrumented walk (the maintenance thread
-        // races ops; all pointers stay valid under deferred reclamation).
+        // races ops; all pointers stay valid under the pin).
         let mut cur = NodeRef::from_word(self.root_bits());
         while !cur.is_leaf() {
             cur = NodeRef::from_word(unsafe { cur.as_internal() }.child0.load_plain());
@@ -57,6 +63,7 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         ctx.trace(EventKind::Maintain {
             merges: merges as u64,
         });
+        ctx.epoch_exit();
         merges
     }
 
@@ -82,7 +89,15 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         right.split_lock.release(ctx);
         left.split_lock.release(ctx);
         if merged {
-            self.arenas().leaves.retire_one();
+            // Hand the unlinked right leaf to the epoch collector: freed
+            // only after every thread pinned at (or before) the current
+            // epoch — including plain chain walkers under `pin_scoped` —
+            // has moved on. The caller (maintain) holds the pin that
+            // covers the unlink above.
+            debug_assert!(ctx.epoch_pinned(), "merge retirement needs a pin");
+            self.arenas()
+                .leaves
+                .retire(self.rt.epoch(), right as *const EunoLeaf<SEGS, K>);
             ctx.trace(EventKind::Merge {
                 left: left as *const EunoLeaf<SEGS, K> as u64,
                 right: right as *const EunoLeaf<SEGS, K> as u64,
@@ -152,16 +167,22 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
             }
 
             // Invalidate two-step traversals (and plain chain walkers)
-            // holding the right leaf BEFORE any structural edit. Writes
+            // holding either leaf BEFORE any structural edit. Writes
             // become visible in program order on the fallback path and in
-            // buffer order at commit, so the seqno bump must be first: a
+            // buffer order at commit, so the seqno bumps must be first: a
             // walker that hops through the right leaf after the unlink
             // must already see the bumped seqno, or it would trust a leaf
-            // whose records have moved left.
+            // whose records have moved left — and the left leaf's own
+            // records hop between segments in the redistribute below, so
+            // readers holding it need invalidating too.
+            probe::mark("merge:seqno");
             let rseq = tx.read(&right.seqno)?;
             tx.write(&right.seqno, rseq + 1)?;
+            let lseq = tx.read(&left.seqno)?;
+            tx.write(&left.seqno, lseq + 1)?;
 
             // Deal into the left leaf; empty the right one.
+            probe::mark("merge:records");
             self.redistribute_for_merge(tx, left, &records)?;
             self.clear_segments(tx, right)?;
 
@@ -223,6 +244,80 @@ mod tests {
         let audit = t.collect_all_plain();
         assert_eq!(audit.len(), 200);
         assert!(audit.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "probes are debug-only")]
+    fn merge_bumps_seqnos_before_records_move() {
+        use crate::probe;
+        let rt = Runtime::new_virtual();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        let mut ctx = rt.thread(1);
+        for k in 0..400u64 {
+            t.put(&mut ctx, k, k);
+        }
+        for k in 0..400u64 {
+            if k % 10 != 0 {
+                t.delete(&mut ctx, k);
+            }
+        }
+        probe::take();
+        assert!(t.maintain(&mut ctx) > 0);
+        let trace = probe::take();
+        let mut seqno_seen = false;
+        let mut merges = 0;
+        for &m in &trace {
+            if m == "merge:seqno" {
+                seqno_seen = true;
+            } else if m == "merge:records" {
+                assert!(seqno_seen, "records moved before the bump: {trace:?}");
+                merges += 1;
+                seqno_seen = false;
+            }
+        }
+        assert!(merges > 0, "maintain performed no probed merges: {trace:?}");
+    }
+
+    #[test]
+    fn merge_retirement_reclaims_leaf_bytes() {
+        // The unlinked right leaf must flow through the epoch collector:
+        // pending bytes rise at the merge, and a quiescent drain frees
+        // them — live bytes fall by exactly what was retired.
+        let rt = Runtime::new_virtual();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        let mut ctx = rt.thread(1);
+        for k in 0..2_000u64 {
+            t.put(&mut ctx, k, k);
+        }
+        for k in 0..2_000u64 {
+            if k % 10 != 0 {
+                t.delete(&mut ctx, k);
+            }
+        }
+        let live_before = t.memory().structural_bytes;
+        let merges = t.maintain(&mut ctx);
+        assert!(merges > 0);
+        let m = t.memory();
+        assert!(
+            m.retired_pending_bytes > 0 || m.reclaimed_bytes > 0,
+            "merges must retire real bytes: {m:?}"
+        );
+        // Quiescent: every participant is unpinned, so two collection
+        // passes (advance + free) drain everything still pending.
+        rt.epoch().collect();
+        rt.epoch().collect();
+        let after = t.memory();
+        assert_eq!(after.retired_pending_bytes, 0, "drain leaves nothing");
+        assert!(after.reclaimed_bytes > 0, "retired leaves actually freed");
+        assert!(
+            after.structural_bytes < live_before,
+            "live bytes fall after merges: {live_before} → {}",
+            after.structural_bytes
+        );
+        // The map still answers correctly off the compacted tree.
+        for k in (0..2_000u64).step_by(10) {
+            assert_eq!(t.get(&mut ctx, k), Some(k));
+        }
     }
 
     #[test]
@@ -308,6 +403,9 @@ mod tests {
         assert_eq!(a.parent.load_plain(), b.parent.load_plain());
         assert_eq!(b.parent.load_plain(), c.parent.load_plain());
 
+        // Calling try_merge directly stands in for maintain's inner loop,
+        // so hold the epoch pin maintain would hold around it.
+        ctx.epoch_enter();
         assert!(t.try_merge(&mut ctx, a, b), "setup merge must succeed");
         // B is now unlinked, but B.next still points at C and B.parent is
         // stale-valid: exactly what the racing walker would hold.
@@ -315,6 +413,7 @@ mod tests {
             !t.try_merge(&mut ctx, b, c),
             "must refuse to merge into an unlinked leaf"
         );
+        ctx.epoch_exit();
         assert_eq!(
             t.collect_all_plain(),
             expected,

@@ -5,7 +5,7 @@
 //! the next leaf via the chain pointer — re-finding the cursor's leaf from
 //! the root whenever a concurrent split invalidates the cached `seqno`.
 
-use euno_htm::{ThreadCtx, TxWord};
+use euno_htm::{ThreadCtx, TxWord, KEY_SENTINEL, TOMBSTONE};
 
 use crate::node::NodeRef;
 use crate::tree::EunoBTree;
@@ -14,6 +14,21 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
     /// Walk the leaf chain from the leaf covering `from`, appending up to
     /// `count` live records to `out`. Returns the number collected.
     pub(crate) fn scan_chain(
+        &self,
+        ctx: &mut ThreadCtx,
+        from: u64,
+        count: usize,
+        out: &mut Vec<(u64, u64)>,
+    ) -> usize {
+        // Pin across the whole walk: chain pointers cached between
+        // episodes must survive concurrent merge retirements.
+        ctx.epoch_enter();
+        let n = self.scan_chain_pinned(ctx, from, count, out);
+        ctx.epoch_exit();
+        n
+    }
+
+    fn scan_chain_pinned(
         &self,
         ctx: &mut ThreadCtx,
         from: u64,
@@ -84,6 +99,97 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
                 }
             }
         }
+    }
+
+    /// Episode-free bounded scan (the `read_opt` path). Each optimistic
+    /// section re-descends to the cursor's leaf with direct loads, walks
+    /// the chain to the first leaf holding records ≥ cursor, reads one
+    /// leaf's worth into a scratch batch, and validates the whole section
+    /// (leaf `seqno` bracket + engine snapshot) before the batch is
+    /// emitted. A failed validation discards the batch and re-descends —
+    /// nothing reaches `out` unvalidated, so retries never duplicate.
+    pub(crate) fn scan_read_opt(
+        &self,
+        ctx: &mut ThreadCtx,
+        from: u64,
+        count: usize,
+        out: &mut Vec<(u64, u64)>,
+    ) -> usize {
+        if count == 0 {
+            return 0;
+        }
+        ctx.epoch_enter();
+        let mut collected = 0usize;
+        let mut cursor = from;
+        let mut scratch: Vec<(u64, u64)> = Vec::with_capacity(Self::capacity());
+        loop {
+            // `true` ⇒ chain exhausted past the cursor; otherwise scratch
+            // holds one validated, sorted, non-empty batch.
+            let exhausted = ctx.optimistic_execute(
+                Some(cursor),
+                |overlap| overlap.is_some(),
+                |ctx| {
+                    let snap = ctx.optimistic_snapshot();
+                    let mut leaf = self.descend_direct(ctx, cursor)?;
+                    let mut hops = 0;
+                    loop {
+                        let s1 = leaf.seqno.load_direct(ctx);
+                        scratch.clear();
+                        for seg in &leaf.segs {
+                            seg.read_into_direct(ctx, &mut scratch);
+                        }
+                        scratch
+                            .retain(|&(k, v)| k >= cursor && k != KEY_SENTINEL && v != TOMBSTONE);
+                        let next = NodeRef::from_word(leaf.next.load_direct(ctx));
+                        if leaf.seqno.load_direct(ctx) != s1
+                            || !ctx.optimistic_validate(self.fallback_cell(), snap)
+                        {
+                            return None;
+                        }
+                        if !scratch.is_empty() {
+                            scratch.sort_unstable_by_key(|&(k, _)| k);
+                            return Some(false);
+                        }
+                        if next.is_null() {
+                            return Some(true);
+                        }
+                        hops += 1;
+                        if hops > 64 {
+                            // Suspiciously long empty run — likely a stale
+                            // chain; re-descend rather than walk garbage.
+                            return None;
+                        }
+                        leaf = unsafe { next.as_leaf::<SEGS, K>() };
+                    }
+                },
+            );
+            if exhausted {
+                break;
+            }
+            for &(k, v) in scratch.iter() {
+                if collected == count {
+                    ctx.epoch_exit();
+                    return collected;
+                }
+                out.push((k, v));
+                collected += 1;
+                // Advance past the delivered key; at the top of the
+                // keyspace there is nothing left to deliver (see
+                // scan_chain's cursor note).
+                match k.checked_add(1) {
+                    Some(c) => cursor = c,
+                    None => {
+                        ctx.epoch_exit();
+                        return collected;
+                    }
+                }
+            }
+            if collected == count {
+                break;
+            }
+        }
+        ctx.epoch_exit();
+        collected
     }
 }
 

@@ -13,7 +13,7 @@
 //!   mix of gets and updates this is what keeps the lower HTM region's
 //!   read set out of the write stream.
 
-use euno_htm::{Tx, TxCell, TxResult, KEY_SENTINEL};
+use euno_htm::{ThreadCtx, Tx, TxCell, TxResult, KEY_SENTINEL};
 
 /// Key half of a segment: occupancy count + sorted keys, own line(s).
 #[repr(C, align(64))]
@@ -153,6 +153,48 @@ impl<const K: usize> Segment<K> {
         Ok(())
     }
 
+    /// Episode-free search for `key`, returning its value. Direct loads
+    /// only: the caller validates the whole read (leaf `seqno`, seqlock,
+    /// fallback cell) afterwards and retries on any change, so this scan
+    /// tolerates — but must not crash on — torn intermediate states. The
+    /// count is clamped to `K` because a torn read may observe a transient
+    /// out-of-range value.
+    pub fn find_direct(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        let cnt = (self.k.count.load_direct(ctx) as usize).min(K);
+        if cnt == 0 {
+            return None;
+        }
+        if key < self.k.keys[0].load_direct(ctx) || key > self.k.keys[cnt - 1].load_direct(ctx) {
+            return None;
+        }
+        let (mut lo, mut hi) = (0usize, cnt);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.k.keys[mid].load_direct(ctx) < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < cnt && self.k.keys[lo].load_direct(ctx) == key {
+            Some(self.v.vals[lo].load_direct(ctx))
+        } else {
+            None
+        }
+    }
+
+    /// Episode-free bulk read into `out`; same validation contract as
+    /// [`Segment::find_direct`]. Sentinel keys from torn states are
+    /// filtered by the caller.
+    pub fn read_into_direct(&self, ctx: &mut ThreadCtx, out: &mut Vec<(u64, u64)>) {
+        let cnt = (self.k.count.load_direct(ctx) as usize).min(K);
+        for i in 0..cnt {
+            let k = self.k.keys[i].load_direct(ctx);
+            let v = self.v.vals[i].load_direct(ctx);
+            out.push((k, v));
+        }
+    }
+
     /// Replace this segment's contents with `records` (sorted by key).
     pub fn write_all(&self, tx: &mut Tx<'_>, records: &[(u64, u64)]) -> TxResult<()> {
         debug_assert!(records.len() <= K);
@@ -248,6 +290,35 @@ mod tests {
             assert_eq!(out, vec![(1, 10), (5, 50), (7, 70)]);
             Ok(())
         });
+    }
+
+    #[test]
+    fn direct_reads_agree_with_transactional_state() {
+        let rt = Runtime::new_virtual();
+        let mut ctx: ThreadCtx = rt.thread(0);
+        let fb = TxCell::new(0u64);
+        let seg: Segment<4> = Segment::empty();
+        ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
+            seg.insert(tx, 30, 300)?;
+            seg.insert(tx, 10, 100)?;
+            seg.insert(tx, 20, 200)?;
+            Ok(())
+        });
+        assert_eq!(seg.find_direct(&mut ctx, 10), Some(100));
+        assert_eq!(seg.find_direct(&mut ctx, 20), Some(200));
+        assert_eq!(seg.find_direct(&mut ctx, 30), Some(300));
+        assert_eq!(seg.find_direct(&mut ctx, 15), None);
+        assert_eq!(seg.find_direct(&mut ctx, 5), None);
+        assert_eq!(seg.find_direct(&mut ctx, 99), None);
+        let mut out = Vec::new();
+        seg.read_into_direct(&mut ctx, &mut out);
+        assert_eq!(out, vec![(10, 100), (20, 200), (30, 300)]);
+        // A torn out-of-range count is clamped, never read past K.
+        seg.k.count.store_plain(77);
+        let mut out = Vec::new();
+        seg.read_into_direct(&mut ctx, &mut out);
+        assert_eq!(out.len(), 4, "count clamped to K");
+        seg.k.count.store_plain(3);
     }
 
     #[test]

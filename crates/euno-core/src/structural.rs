@@ -10,6 +10,7 @@
 
 use crate::ccm::Ccm;
 use crate::node::{EunoInternal, EunoLeaf, NodeRef, INTERNAL_FANOUT};
+use crate::probe;
 use crate::tree::EunoBTree;
 use euno_htm::{EventKind, Tx, TxResult, TxWord};
 
@@ -31,6 +32,17 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         let mid = records.len() / 2;
         let sep = records[mid].0;
 
+        // Invalidate concurrent readers of this leaf BEFORE any record
+        // moves (Algorithm 3 line 80, same discipline as the merge path):
+        // writes become visible in program order on the fallback path, so
+        // an episode-free reader — or a plain chain walker — that samples
+        // the leaf mid-split must already see the bumped seqno, or it
+        // would trust a record set whose upper half has moved right.
+        probe::mark("split:seqno");
+        let seq = tx.read(&leaf.seqno)?;
+        tx.write(&leaf.seqno, seq + 1)?;
+
+        probe::mark("split:records");
         self.redistribute(tx, leaf, &records[..mid])?;
         self.redistribute(tx, right, &records[mid..])?;
 
@@ -56,10 +68,6 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         tx.write(&leaf.next, NodeRef::of_leaf(right).to_word())?;
         let parent = tx.read(&leaf.parent)?;
         tx.write(&right.parent, parent)?;
-        // Bump the version: concurrent two-step traversals holding this
-        // leaf's pointer must retry from the root (Algorithm 3 line 80).
-        let seq = tx.read(&leaf.seqno)?;
-        tx.write(&leaf.seqno, seq + 1)?;
 
         self.insert_into_parent(tx, NodeRef::of_leaf(leaf), sep, NodeRef::of_leaf(right))?;
         tx.ctx().trace(EventKind::Split {
@@ -172,5 +180,74 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         tx.write(&node.children[lo], right.to_word())?;
         tx.write(&node.count, (cnt + 1) as u64)?;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use euno_htm::{ConcurrentMap, Runtime};
+
+    use crate::probe;
+    use crate::tree::EunoBTreeDefault;
+
+    /// The ordering invariant the probes exist for: within the marks of
+    /// one structural family, no `*:records` may appear before a
+    /// `*:seqno` has (attempts that abort between the two marks leave a
+    /// lone `seqno`, which is fine — the regression being guarded
+    /// against, bumping after the records move, puts `records` first).
+    fn assert_seqno_first(trace: &[&'static str], family: &str) {
+        let seq_tag = format!("{family}:seqno");
+        let rec_tag = format!("{family}:records");
+        let mut seqno_seen = false;
+        let mut records = 0;
+        for &m in trace {
+            if m == seq_tag {
+                seqno_seen = true;
+            } else if m == rec_tag {
+                assert!(
+                    seqno_seen,
+                    "{rec_tag} published before any {seq_tag}: {trace:?}"
+                );
+                records += 1;
+                seqno_seen = false;
+            }
+        }
+        assert!(records > 0, "workload never exercised {family}: {trace:?}");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "probes are debug-only")]
+    fn split_bumps_seqno_before_records_move() {
+        let rt = Runtime::new_virtual();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        let mut ctx = rt.thread(1);
+        probe::take();
+        for k in 0..200u64 {
+            t.put(&mut ctx, k, k);
+        }
+        let trace = probe::take();
+        assert_seqno_first(&trace, "split");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "probes are debug-only")]
+    fn reorg_bumps_seqno_before_records_move() {
+        let rt = Runtime::new_virtual();
+        let t = EunoBTreeDefault::new(Arc::clone(&rt));
+        let mut ctx = rt.thread(1);
+        // Fill one leaf, tombstone half, insert again: the overflow path
+        // finds enough garbage to reorganize in place instead of split.
+        for k in 0..16u64 {
+            t.put(&mut ctx, k, k);
+        }
+        for k in 0..8u64 {
+            t.delete(&mut ctx, k);
+        }
+        probe::take();
+        t.put(&mut ctx, 100, 100);
+        let trace = probe::take();
+        assert_seqno_first(&trace, "reorg");
     }
 }

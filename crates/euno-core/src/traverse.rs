@@ -18,10 +18,10 @@
 
 use std::sync::atomic::Ordering;
 
-use euno_htm::{ThreadCtx, Tx, TxResult, TxWord};
+use euno_htm::{ThreadCtx, Tx, TxResult, TxWord, TOMBSTONE};
 
 use crate::ccm::Ccm;
-use crate::node::{EunoInternal, EunoLeaf, NodeRef};
+use crate::node::{EunoInternal, EunoLeaf, NodeRef, INTERNAL_FANOUT};
 use crate::tree::{EunoBTree, Lower, Req};
 
 impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
@@ -75,6 +75,17 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
         key: u64,
         newval: u64,
     ) -> Option<u64> {
+        // Pin for the whole operation: the leaf pointer handed from the
+        // upper to the lower region must survive a concurrent merge's
+        // retirement (the epoch collector frees it only after this pin —
+        // which predates the unlink — is released).
+        ctx.epoch_enter();
+        let out = self.traverse_pinned(ctx, req, key, newval);
+        ctx.epoch_exit();
+        out
+    }
+
+    fn traverse_pinned(&self, ctx: &mut ThreadCtx, req: Req, key: u64, newval: u64) -> Option<u64> {
         let mut force_split_lock = false;
         loop {
             // Step 1: upper region.
@@ -185,5 +196,87 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
                 }
             }
         }
+    }
+
+    /// Direct-load root-to-leaf descent for the episode-free read path.
+    /// Returns `None` on any implausible intermediate state (null child
+    /// words from a half-applied commit, runaway depth) — the caller's
+    /// optimistic retry loop re-descends. Every child word is stored
+    /// word-atomically by writers, so a sampled pointer is always either
+    /// the old or the new node, and retired nodes stay readable under the
+    /// caller's epoch pin; validation afterwards decides whether the
+    /// descent was consistent.
+    pub(crate) fn descend_direct<'t>(
+        &'t self,
+        ctx: &mut ThreadCtx,
+        key: u64,
+    ) -> Option<&'t EunoLeaf<SEGS, K>> {
+        let mut cur = NodeRef::from_word(self.ctrl.root.load_direct(ctx));
+        let mut depth = 0;
+        while !cur.is_leaf() {
+            if cur.is_null() {
+                return None;
+            }
+            depth += 1;
+            if depth > 64 {
+                return None;
+            }
+            let node: &EunoInternal = unsafe { cur.as_internal() };
+            // Clamp: a stale count paired with a newer key array (or vice
+            // versa) must degrade to a wrong-leaf descent caught by
+            // validation, never an out-of-bounds index.
+            let cnt = (node.count.load_direct(ctx) as usize).min(INTERNAL_FANOUT);
+            let (mut lo, mut hi) = (0usize, cnt);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if node.keys[mid].load_direct(ctx) <= key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            cur = if lo == 0 {
+                NodeRef::from_word(node.child0.load_direct(ctx))
+            } else {
+                NodeRef::from_word(node.children[lo - 1].load_direct(ctx))
+            };
+        }
+        (cur.0 & !1 != 0).then(|| unsafe { cur.as_leaf::<SEGS, K>() })
+    }
+
+    /// Episode-free point lookup (the `read_opt` path): optimistic
+    /// descent with direct loads under an epoch pin, bracketed by the
+    /// leaf's `seqno` — read it, search the segments, re-read it — and
+    /// closed out by the engine-level snapshot check (NOrec seqlock plus
+    /// the fallback cell in concurrent mode, window overlap in virtual
+    /// mode). Any change retries from the root; the seqno-bump-first
+    /// discipline on splits, merges and reorganizations guarantees a
+    /// reader that saw moving records also sees a changed seqno.
+    pub(crate) fn get_read_opt(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        ctx.epoch_enter();
+        let out = ctx.optimistic_execute(
+            Some(key),
+            |overlap| overlap.is_some(),
+            |ctx| {
+                let snap = ctx.optimistic_snapshot();
+                let leaf = self.descend_direct(ctx, key)?;
+                let s1 = leaf.seqno.load_direct(ctx);
+                let mut found = None;
+                for seg in &leaf.segs {
+                    if let Some(v) = seg.find_direct(ctx, key) {
+                        found = Some(v);
+                        break;
+                    }
+                }
+                if leaf.seqno.load_direct(ctx) != s1
+                    || !ctx.optimistic_validate(self.fallback_cell(), snap)
+                {
+                    return None;
+                }
+                Some(found.filter(|&v| v != TOMBSTONE))
+            },
+        );
+        ctx.epoch_exit();
+        out
     }
 }

@@ -195,6 +195,9 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
     /// Number of leaves currently linked into the chain (uninstrumented
     /// diagnostic).
     pub fn leaf_count_plain(&self) -> usize {
+        // Pin: concurrent maintenance retires merged-away leaves to the
+        // epoch collector; the chain hop through one must stay readable.
+        let _pin = self.rt.epoch().pin_scoped();
         let mut cur = NodeRef::from_word(self.root_bits());
         while !cur.is_leaf() {
             cur = NodeRef::from_word(unsafe { cur.as_internal() }.child0.load_plain());
@@ -210,6 +213,7 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
     /// Uninstrumented whole-tree audit: every live record in key order.
     /// Test/diagnostic helper — not concurrency safe.
     pub fn collect_all_plain(&self) -> Vec<(u64, u64)> {
+        let _pin = self.rt.epoch().pin_scoped();
         let mut out = Vec::new();
         let mut cur = NodeRef::from_word(self.ctrl.root.load_plain());
         while !cur.is_leaf() {
@@ -233,7 +237,11 @@ impl<const SEGS: usize, const K: usize> EunoBTree<SEGS, K> {
 
 impl<const SEGS: usize, const K: usize> ConcurrentMap for EunoBTree<SEGS, K> {
     fn get(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
-        self.traverse(ctx, Req::Get, key, 0)
+        if self.cfg.read_opt {
+            self.get_read_opt(ctx, key)
+        } else {
+            self.traverse(ctx, Req::Get, key, 0)
+        }
     }
 
     fn put(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Option<u64> {
@@ -252,7 +260,11 @@ impl<const SEGS: usize, const K: usize> ConcurrentMap for EunoBTree<SEGS, K> {
         count: usize,
         out: &mut Vec<(u64, u64)>,
     ) -> usize {
-        self.scan_chain(ctx, from, count, out)
+        if self.cfg.read_opt {
+            self.scan_read_opt(ctx, from, count, out)
+        } else {
+            self.scan_chain(ctx, from, count, out)
+        }
     }
 
     fn maintain(&self, ctx: &mut ThreadCtx) -> u64 {
@@ -262,7 +274,11 @@ impl<const SEGS: usize, const K: usize> ConcurrentMap for EunoBTree<SEGS, K> {
     }
 
     fn name(&self) -> &'static str {
-        "Euno-B+Tree"
+        if self.cfg.read_opt {
+            "Euno-ReadOpt"
+        } else {
+            "Euno-B+Tree"
+        }
     }
 
     fn memory(&self) -> MemoryReport {
@@ -279,6 +295,10 @@ impl<const SEGS: usize, const K: usize> ConcurrentMap for EunoBTree<SEGS, K> {
             // process") — peak is the figure §5.7 cares about.
             reserved_peak_bytes: self.reserved_bytes.peak(),
             reserved_cumulative_bytes: self.reserved_bytes.cumulative(),
+            retired_pending_bytes: self.arenas.leaves.retired_pending_bytes()
+                + self.arenas.internals.retired_pending_bytes(),
+            reclaimed_bytes: self.arenas.leaves.reclaimed_bytes()
+                + self.arenas.internals.reclaimed_bytes(),
         }
     }
 }
@@ -609,6 +629,184 @@ mod tests {
             t.collect_all_plain(),
             expect.into_iter().collect::<Vec<_>>()
         );
+    }
+
+    fn read_opt_tree() -> (Arc<Runtime>, EunoBTreeDefault, ThreadCtx) {
+        let rt = Runtime::new_virtual();
+        let t = EunoBTree::with_config(Arc::clone(&rt), EunoConfig::read_optimized());
+        let ctx = rt.thread(1);
+        (rt, t, ctx)
+    }
+
+    #[test]
+    fn read_opt_matches_model_under_mixed_ops() {
+        let (_rt, t, mut ctx) = read_opt_tree();
+        assert_eq!(t.name(), "Euno-ReadOpt");
+        let mut model = BTreeMap::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..20_000 {
+            let key = rnd() % 600;
+            match rnd() % 10 {
+                0..=3 => {
+                    let v = rnd() % 1_000_000;
+                    assert_eq!(t.put(&mut ctx, key, v), model.insert(key, v), "put {key}");
+                }
+                4..=5 => {
+                    assert_eq!(t.delete(&mut ctx, key), model.remove(&key), "del {key}");
+                }
+                _ => {
+                    assert_eq!(t.get(&mut ctx, key), model.get(&key).copied(), "get {key}");
+                }
+            }
+        }
+        assert_eq!(t.collect_all_plain(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn read_opt_scan_agrees_with_episode_scan() {
+        let (_rt, t, mut ctx) = read_opt_tree();
+        for k in (0..1_200u64).rev() {
+            t.put(&mut ctx, k * 2, k);
+        }
+        t.delete(&mut ctx, 100);
+        t.delete(&mut ctx, 102);
+        for (from, count) in [(0u64, usize::MAX), (95, 10), (2_398, 10), (5_000, 3)] {
+            let mut opt = Vec::new();
+            let n_opt = t.scan_read_opt(&mut ctx, from, count, &mut opt);
+            let mut epi = Vec::new();
+            let n_epi = t.scan_chain(&mut ctx, from, count, &mut epi);
+            assert_eq!(n_opt, n_epi, "from={from} count={count}");
+            assert_eq!(opt, epi, "from={from} count={count}");
+            assert!(opt.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        let mut out = Vec::new();
+        assert_eq!(t.scan(&mut ctx, u64::MAX, 10, &mut out), 0);
+    }
+
+    #[test]
+    fn read_opt_gets_survive_concurrent_writers() {
+        // Episode-free readers race writers that split leaves and move
+        // records: every get must return a value some put wrote for that
+        // key (or miss while the key is genuinely absent).
+        let rt = Runtime::new_concurrent();
+        let t: EunoBTreeDefault =
+            EunoBTree::with_config(Arc::clone(&rt), EunoConfig::read_optimized());
+        {
+            let mut ctx = rt.thread(0);
+            for k in 0..2_000u64 {
+                t.put(&mut ctx, k, k + 1);
+            }
+        }
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for w in 0..2u64 {
+                let (t, stop) = (&t, &stop);
+                let rt = Arc::clone(&rt);
+                s.spawn(move || {
+                    let mut ctx = rt.thread(10 + w);
+                    let mut i = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        // Updates keep the value recognizable; fresh keys
+                        // force splits under the readers.
+                        t.put(&mut ctx, i % 2_000, (i % 2_000) + 1);
+                        t.put(&mut ctx, 10_000 + (i * 7 + w) % 4_000, 1);
+                        i += 1;
+                    }
+                });
+            }
+            for r in 0..2u64 {
+                let t = &t;
+                let rt = Arc::clone(&rt);
+                s.spawn(move || {
+                    let mut ctx = rt.thread(20 + r);
+                    for i in 0..30_000u64 {
+                        let k = (i * 31 + r) % 2_000;
+                        assert_eq!(t.get(&mut ctx, k), Some(k + 1), "stable key {k}");
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(80));
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+
+    #[test]
+    fn read_opt_scans_survive_churn_and_merges() {
+        // Scans race a delete-heavy mutator plus maintenance merges that
+        // retire leaves mid-walk: output must stay strictly ascending and
+        // every stable key must keep appearing.
+        let rt = Runtime::new_concurrent();
+        let t: EunoBTreeDefault =
+            EunoBTree::with_config(Arc::clone(&rt), EunoConfig::read_optimized());
+        {
+            let mut ctx = rt.thread(0);
+            for k in 0..3_000u64 {
+                t.put(&mut ctx, k, k);
+            }
+        }
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            {
+                let (t, stop) = (&t, &stop);
+                let rt = Arc::clone(&rt);
+                s.spawn(move || {
+                    let mut ctx = rt.thread(10);
+                    let mut i = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        // Churn odd keys only: evens are the stable floor.
+                        let k = 1 + 2 * (i % 1_500);
+                        if i.is_multiple_of(3) {
+                            t.put(&mut ctx, k, k);
+                        } else {
+                            t.delete(&mut ctx, k);
+                        }
+                        if i % 512 == 511 {
+                            t.maintain(&mut ctx);
+                        }
+                        i += 1;
+                    }
+                });
+            }
+            for r in 0..2u64 {
+                let t = &t;
+                let rt = Arc::clone(&rt);
+                s.spawn(move || {
+                    let mut ctx = rt.thread(20 + r);
+                    let mut out = Vec::new();
+                    for i in 0..300u64 {
+                        out.clear();
+                        let from = (i * 53) % 2_500;
+                        let n = t.scan(&mut ctx, from, 64, &mut out);
+                        assert_eq!(n, out.len());
+                        assert!(
+                            out.windows(2).all(|w| w[0].0 < w[1].0),
+                            "read-opt scan must stay strictly ascending"
+                        );
+                        assert!(out.iter().all(|&(k, _)| k >= from));
+                        // Every even key in the delivered range must be
+                        // present (they are never touched).
+                        if let (Some(&(lo, _)), Some(&(hi, _))) = (out.first(), out.last()) {
+                            let evens: Vec<u64> =
+                                out.iter().map(|&(k, _)| k).filter(|k| k % 2 == 0).collect();
+                            let want: Vec<u64> = (lo..=hi).filter(|k| k % 2 == 0).collect();
+                            assert_eq!(evens, want, "stable keys missing from [{lo}, {hi}]");
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(80));
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        let mut ctx = rt.thread(99);
+        for k in (0..3_000u64).step_by(2) {
+            assert_eq!(t.get(&mut ctx, k), Some(k), "stable key {k}");
+        }
     }
 
     #[test]

@@ -22,9 +22,22 @@ pub struct CostModel {
     pub freq_hz: f64,
     /// Plain access to a word already in the transaction/episode footprint.
     pub access_hit: u64,
-    /// First access to a cache line within one transaction/episode: models
-    /// the load-into-L1 plus read/write-set bookkeeping TSX performs.
+    /// First access to a cache line within one transactional or locked
+    /// episode: models the load-into-L1 plus read/write-set bookkeeping
+    /// TSX performs (fallback and locked-write episodes pay it for the
+    /// coherence upgrades their footprint causes).
     pub line_first_touch: u64,
+    /// First access to a cache line within an *optimistic read* section.
+    /// Those sections execute plain loads, so there is no transactional
+    /// bookkeeping to pay — but the line still has to be fetched through
+    /// the cache hierarchy, and the traversal instructions around the
+    /// load (compares, branches, the dependent pointer chase) are real.
+    /// Between [`CostModel::access_hit`] (a pure L1 hit — too cheap for a
+    /// first touch over a multi-MiB tree) and
+    /// [`CostModel::line_first_touch`] (which includes the TSX read-set
+    /// insert that plain loads skip). The episode footprint is still
+    /// recorded in full for virtual-mode conflict-window detection.
+    pub plain_first_touch: u64,
     /// Additional charge when the line is *hot*, i.e. was written by another
     /// thread recently — models the cache-coherence transfer the paper's
     /// NUMA discussion highlights. Applied by the simulator, not the tree.
@@ -74,6 +87,7 @@ impl Default for CostModel {
             freq_hz: 2.3e9, // §5.1: 2.30 GHz Xeon E5-2650 v3
             access_hit: 3,
             line_first_touch: 26,
+            plain_first_touch: 16,
             line_transfer: 180,
             cas: 26,
             xbegin: 54,

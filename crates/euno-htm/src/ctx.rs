@@ -31,7 +31,9 @@ use crate::word::{TxCell, TxWord};
 #[derive(Clone, Copy, PartialEq, Eq)]
 pub(crate) struct CellPtr(pub *const AtomicU64);
 // Safety: logs never outlive the operation; cells outlive operations
-// (trees retire nodes only at drop).
+// (trees pin an epoch around every operation, and retired nodes are freed
+// only after a grace period covering any operation that could have logged
+// their cells — see `crate::epoch`).
 unsafe impl Send for CellPtr {}
 
 /// What kind of instrumented span is running.
@@ -117,7 +119,18 @@ pub struct ThreadCtx {
     /// Optional trace ring buffer (see `euno-trace`). Like `obs`, the
     /// hot-path cost with no buffer installed is one branch.
     tracer: Option<Box<TraceBuf>>,
+    /// This thread's epoch-reclamation participant (see [`crate::epoch`]):
+    /// trees pin it around every operation via
+    /// [`ThreadCtx::epoch_enter`]/[`ThreadCtx::epoch_exit`].
+    reclaim: crate::epoch::Participant,
+    /// Unpin counter driving the opportunistic collection cadence.
+    reclaim_ticks: u64,
 }
+
+/// Run a reclamation pass every this many operation unpins per thread:
+/// frequent enough that garbage drains within a few hundred operations,
+/// rare enough that the (mutex-protected) slot scan stays off the hot path.
+const EPOCH_COLLECT_EVERY: u64 = 64;
 
 /// Map an [`EpisodeKind`] to its `euno-trace` code point.
 #[inline]
@@ -156,6 +169,7 @@ pub(crate) fn trace_abort_code(cause: &AbortCause) -> (u8, u64) {
 
 impl ThreadCtx {
     pub(crate) fn new(rt: Arc<Runtime>, id: u32, seed: u64) -> Self {
+        let reclaim = rt.epoch().register();
         ThreadCtx {
             rt,
             id,
@@ -166,6 +180,8 @@ impl ThreadCtx {
             spare: None,
             obs: None,
             tracer: None,
+            reclaim,
+            reclaim_ticks: 0,
         }
     }
 
@@ -264,6 +280,48 @@ impl ThreadCtx {
         self.stats.cycles_total = self.clock;
     }
 
+    // ================= epoch reclamation =================
+
+    /// Pin this thread to the current epoch. Trees call this at the top of
+    /// every `ConcurrentMap` operation so any node reachable during the
+    /// operation survives until the matching [`ThreadCtx::epoch_exit`].
+    /// Re-entrant (an operation that triggers maintenance pins again);
+    /// charges no cycles and draws no randomness, so the virtual-time
+    /// schedule is unaffected.
+    #[inline]
+    pub fn epoch_enter(&mut self) {
+        self.reclaim.enter(self.rt.epoch());
+    }
+
+    /// Undo one [`ThreadCtx::epoch_enter`]. The outermost exit unpins and,
+    /// on a fixed cadence, runs a collection pass — advancing the global
+    /// epoch and freeing matured garbage — so reclamation needs no
+    /// background thread.
+    pub fn epoch_exit(&mut self) {
+        self.reclaim.exit();
+        if !self.reclaim.pinned() {
+            self.reclaim_ticks += 1;
+            if self.reclaim_ticks.is_multiple_of(EPOCH_COLLECT_EVERY) {
+                let out = self.rt.epoch().collect();
+                if let Some(epoch) = out.advanced_to {
+                    self.trace(EventKind::EpochAdvance { epoch });
+                }
+                if out.freed > 0 {
+                    self.trace(EventKind::EpochReclaim {
+                        nodes: out.freed as u64,
+                        bytes: out.freed_bytes as u64,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Whether this thread currently holds an epoch pin.
+    #[inline]
+    pub fn epoch_pinned(&self) -> bool {
+        self.reclaim.pinned()
+    }
+
     // ================= footprint & charging =================
 
     /// Record one instrumented access; charges cycles; enforces HTM
@@ -278,11 +336,16 @@ impl ThreadCtx {
             } else {
                 ep.reads.insert(line)
             };
-            self.clock += if newly {
-                cost.line_first_touch
+            // An optimistic read section executes plain loads — no
+            // transactional read-set insertion on a fresh line — so it
+            // pays the cheaper plain first touch. The footprint is still
+            // recorded: virtual-mode conflict-window detection needs it.
+            let first_touch = if ep.kind == EpisodeKind::OptimisticRead {
+                cost.plain_first_touch
             } else {
-                cost.access_hit
+                cost.line_first_touch
             };
+            self.clock += if newly { first_touch } else { cost.access_hit };
             if ep.kind == EpisodeKind::HtmTx
                 && (ep.writes.len() > cost.write_capacity_lines
                     || ep.reads.len() > cost.read_capacity_lines)
@@ -933,7 +996,22 @@ impl ThreadCtx {
     pub(crate) fn fb_release(&mut self, fb: &TxCell<u64>) {
         self.charge(self.rt.cost.lock_release);
         match self.rt.mode() {
-            Mode::Concurrent => fb.raw().store(0, Ordering::Release),
+            Mode::Concurrent => {
+                // Fallback sections write *directly* (no NOrec buffer), so
+                // an episode-free optimistic reader validating against
+                // `rt.seq` cannot see them through the sequence alone. Bump
+                // the sequence while the fallback cell is still held: a
+                // reader that snapshotted before this release observes
+                // either the held cell or the moved sequence — never a
+                // torn fallback section. (Clearing the cell first would
+                // open a window where both of the reader's checks pass.)
+                let guard = self.rt.commit_lock.lock();
+                let s = self.rt.seq.load(Ordering::Relaxed);
+                debug_assert_eq!(s & 1, 0, "seq odd outside a commit");
+                self.rt.seq.store(s + 2, Ordering::Release);
+                drop(guard);
+                fb.raw().store(0, Ordering::Release);
+            }
             Mode::Virtual => {
                 self.rt.vlock_hold(fb.raw_ptr() as u64, self.clock);
                 fb.raw().store(0, Ordering::Release);
@@ -942,6 +1020,42 @@ impl ThreadCtx {
         self.trace(EventKind::LockRelease {
             addr: fb.raw_ptr() as u64,
         });
+    }
+
+    // ============ episode-free optimistic-read validation ============
+
+    /// Snapshot for an episode-free optimistic read: in concurrent mode,
+    /// the NOrec sequence at a quiescent (even) point. Virtual mode needs
+    /// no snapshot — episodes are physically serialized, and the read set
+    /// is checked against the committed window by
+    /// [`ThreadCtx::episode_end_optimistic`].
+    pub fn optimistic_snapshot(&mut self) -> u64 {
+        match self.rt.mode() {
+            Mode::Virtual => 0,
+            Mode::Concurrent => loop {
+                let s = self.rt.seq.load(Ordering::Acquire);
+                if s & 1 == 0 {
+                    break s;
+                }
+                std::hint::spin_loop();
+            },
+        }
+    }
+
+    /// Validate an episode-free optimistic read section against `snap`:
+    /// no buffered commit has been applied (`rt.seq` unchanged) and no
+    /// direct-writing fallback section is active on `fb`. A fallback
+    /// section that *completed* since the snapshot is caught by the
+    /// sequence check because [`ThreadCtx::fb_release`] bumps `rt.seq`
+    /// before clearing the cell. Virtual mode always validates here — its
+    /// collision detection runs at episode close.
+    pub fn optimistic_validate(&mut self, fb: &TxCell<u64>, snap: u64) -> bool {
+        match self.rt.mode() {
+            Mode::Virtual => true,
+            Mode::Concurrent => {
+                fb.raw().load(Ordering::Acquire) == 0 && self.rt.seq.load(Ordering::Acquire) == snap
+            }
+        }
     }
 
     // ============ mechanism hooks for the layered executor ============

@@ -674,6 +674,9 @@ impl ThreadCtx {
                 Some(v) if !invalidated(overlap) => return v,
                 _ => {
                     self.stats.optimistic_retries += 1;
+                    self.trace(EventKind::ReadRetry {
+                        key: op_key.unwrap_or(0),
+                    });
                     let b = self.runtime().cost.backoff_base;
                     self.charge(b);
                 }

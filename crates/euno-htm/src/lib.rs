@@ -43,6 +43,7 @@ pub mod abort;
 pub mod arena;
 pub mod cost;
 pub mod ctx;
+pub mod epoch;
 pub mod exec;
 #[cfg(all(feature = "hw-rtm", target_arch = "x86_64"))]
 pub mod hw;
@@ -60,6 +61,7 @@ pub use abort::{AbortCause, ConflictInfo, ConflictKind, TxResult};
 pub use arena::{Arena, TransientBytes};
 pub use cost::CostModel;
 pub use ctx::{EpisodeKind, ThreadCtx, Tx};
+pub use epoch::{CollectOutcome, Collector, Participant, ScopedPin};
 pub use exec::{
     AdaptiveBudget, AggressivePolicy, DbxPolicy, Decision, ExecObserver, ExecOutcome, Executor,
     Path, RetryStrategy, StatsObserver,

@@ -65,6 +65,11 @@ pub struct MemoryReport {
     pub reserved_peak_bytes: usize,
     /// Cumulative bytes ever allocated for reserved-key buffers.
     pub reserved_cumulative_bytes: usize,
+    /// Bytes of retired nodes awaiting their grace period (unlinked but
+    /// not yet freed by the epoch collector).
+    pub retired_pending_bytes: usize,
+    /// Cumulative bytes actually freed by the epoch collector.
+    pub reclaimed_bytes: usize,
 }
 
 impl MemoryReport {
@@ -95,6 +100,8 @@ mod tests {
             reserved_live_bytes: 0,
             reserved_peak_bytes: 20,
             reserved_cumulative_bytes: 500,
+            retired_pending_bytes: 64,
+            reclaimed_bytes: 128,
         };
         assert!((r.overhead_fraction() - 0.05).abs() < 1e-12);
         assert_eq!(r.total_live(), 1030);

@@ -587,6 +587,12 @@ pub struct Runtime {
     /// Object registry for trace attribution: `(base, len)` of registered
     /// objects (tree leaves), sorted by base, lock-free lookups.
     objects: ObjectRegistry,
+    /// Epoch collector for deferred node reclamation: trees pin around
+    /// every operation ([`crate::ctx::ThreadCtx::epoch_enter`]) and hand
+    /// unlinked nodes to their [`crate::arena::Arena`], which defers the
+    /// free here. Charges no cycles and draws no engine randomness, so it
+    /// is invisible to the virtual-time schedule.
+    epoch: crate::epoch::Collector,
     /// Monotonic source for thread ids handed out by [`Runtime::thread`].
     next_thread: AtomicU64,
 }
@@ -604,6 +610,7 @@ impl Runtime {
             }),
             classes: ClassRegistry::new(),
             objects: ObjectRegistry::new(),
+            epoch: crate::epoch::Collector::new(),
             next_thread: AtomicU64::new(0),
         })
     }
@@ -621,6 +628,12 @@ impl Runtime {
     #[inline]
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// The epoch collector governing deferred node reclamation.
+    #[inline]
+    pub fn epoch(&self) -> &crate::epoch::Collector {
+        &self.epoch
     }
 
     /// Create a per-thread execution handle with a deterministic RNG seed.

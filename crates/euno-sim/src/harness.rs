@@ -181,6 +181,13 @@ pub fn run_virtual(
     }
     let mut m = sched.run();
     attach_profile(&mut m, rt, cfg);
+    // The run is quiescent: no participant is pinned, so two collects
+    // (advance + mature) drain every node the workload retired. Without
+    // this, memory snapshots taken after a run would report pending
+    // garbage that is purely an artifact of where the opportunistic
+    // collection cadence stopped.
+    rt.epoch().collect();
+    rt.epoch().collect();
     m
 }
 

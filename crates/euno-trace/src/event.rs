@@ -156,6 +156,20 @@ pub enum EventKind {
     SchedStep {
         clock: u64,
     },
+    /// The global reclamation epoch advanced to `epoch`.
+    EpochAdvance {
+        epoch: u64,
+    },
+    /// A reclamation pass freed `nodes` retired nodes (`bytes` total).
+    EpochReclaim {
+        nodes: u64,
+        bytes: u64,
+    },
+    /// An episode-free optimistic read of `key` failed validation and is
+    /// retrying from the root.
+    ReadRetry {
+        key: u64,
+    },
 }
 
 /// One trace record: when, who, what.
@@ -213,6 +227,11 @@ impl fmt::Display for Event {
             }
             EventKind::OpEnd => write!(f, "op end"),
             EventKind::SchedStep { clock } => write!(f, "sched step @{clock}"),
+            EventKind::EpochAdvance { epoch } => write!(f, "epoch advance -> {epoch}"),
+            EventKind::EpochReclaim { nodes, bytes } => {
+                write!(f, "epoch reclaim: {nodes} nodes ({bytes} B)")
+            }
+            EventKind::ReadRetry { key } => write!(f, "read retry key {key}"),
         }
     }
 }

@@ -203,6 +203,36 @@ pub fn chrome_trace(traces: &[ThreadTrace]) -> Json {
                         vec![field("clock", Json::u64(clock))],
                     ));
                 }
+                EventKind::EpochAdvance { epoch } => {
+                    events.push(chrome_event(
+                        "epoch_advance",
+                        "i",
+                        ev.ts,
+                        tid,
+                        vec![field("epoch", Json::u64(epoch))],
+                    ));
+                }
+                EventKind::EpochReclaim { nodes, bytes } => {
+                    events.push(chrome_event(
+                        "epoch_reclaim",
+                        "i",
+                        ev.ts,
+                        tid,
+                        vec![
+                            field("nodes", Json::u64(nodes)),
+                            field("bytes", Json::u64(bytes)),
+                        ],
+                    ));
+                }
+                EventKind::ReadRetry { key } => {
+                    events.push(chrome_event(
+                        "read_retry",
+                        "i",
+                        ev.ts,
+                        tid,
+                        vec![field("key", Json::u64(key))],
+                    ));
+                }
             }
         }
     }
@@ -295,6 +325,12 @@ pub fn folded_rollup(traces: &[ThreadTrace]) -> String {
                 }
                 EventKind::Reorg { .. } => {
                     *stacks.entry(format!("{tn};reorg")).or_default() += 1;
+                }
+                EventKind::EpochReclaim { nodes, .. } => {
+                    *stacks.entry(format!("{tn};epoch_reclaim")).or_default() += nodes.max(1);
+                }
+                EventKind::ReadRetry { .. } => {
+                    *stacks.entry(format!("{tn};read_retry")).or_default() += 1;
                 }
                 EventKind::OpBegin { kind, .. } => open_op = Some((kind, ev.ts)),
                 EventKind::OpEnd => {

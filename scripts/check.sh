@@ -82,3 +82,18 @@ echo "stress + linearizability check OK"
 cargo run --release -q -p euno-check --bin stress -- \
     --storm --ops 4000 --seed 20170204 --duration 5
 echo "storm stress + linearizability check OK"
+
+# Read-path smoke: the --churn schedule (delete-heavy mix with the
+# maintenance thread merging and retiring leaves under live readers)
+# over both Euno variants, judged by the linearizability oracle — the
+# schedule that exercises epoch reclamation against the episode-free
+# optimistic read path.  Then a tiny read-mostly YCSB cell (workload B,
+# 95 % gets) confirming the Euno-ReadOpt system is wired through the
+# bench surface and emits a row.
+cargo run --release -q -p euno-check --bin stress -- \
+    --churn --ops 3000 --seed 20170204 --duration 5 --tree euno
+EUNO_BENCH_SCALE=0.05 cargo run --release -q -p euno-bench --bin ycsb_suite -- \
+    --threads 8 --csv "$SMOKE/ycsb.csv" >"$SMOKE/ycsb.out"
+grep -q "Euno-ReadOpt" "$SMOKE/ycsb.out" \
+    || { echo "read-path smoke: Euno-ReadOpt row missing"; exit 1; }
+echo "smoke-readpath (churn stress + read-mostly bench) OK"

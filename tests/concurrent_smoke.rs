@@ -20,7 +20,7 @@ fn checked_stress_smoke_every_tree() {
         ..StressConfig::default()
     };
     let reports = run_all(&cfg, None);
-    assert_eq!(reports.len(), 4, "all four trees must run");
+    assert_eq!(reports.len(), 5, "all five trees must run");
     for r in &reports {
         assert!(
             r.passed(),
