@@ -17,10 +17,13 @@
 //! * `tree`     — Euno-B+Tree under the paper's Zipfian θ=0.9 workload:
 //!   the full engine driven by a real tree (virtual mode only).
 //!
-//! `engine-virtual` rows drive logical threads through the deterministic
-//! scheduler and time the simulation's wall clock; `engine-concurrent`
-//! rows use real OS threads through the NOrec path. Throughput in the
-//! emitted report is episodes (or tree ops) per *wall* second.
+//! The backend axis: `engine-virtual` rows drive logical threads through
+//! the deterministic scheduler and time the simulation's wall clock;
+//! `engine-stm` rows use real OS threads through the TL2-style software
+//! transactions; `engine-rtm` rows (built with `--features hw-rtm`, shown
+//! only when the CPU exposes Intel RTM) elide on genuine hardware
+//! transactions. Throughput in the emitted report is episodes (or tree
+//! ops) per *wall* second.
 //!
 //! Usage: `engine_bench [--csv results/engine.csv] [--ops <per-thread>]
 //! [--only <substr>]` — `--only` restricts to rows whose label contains
@@ -31,7 +34,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use euno_bench::common::{emit, print_table, scaled, Cli, Point, System};
-use euno_htm::{Mode, RetryPolicy, Runtime, ThreadCtx, TxCell};
+use euno_htm::{ConcurrentBackend, Mode, RetryPolicy, Runtime, ThreadCtx, TxCell};
 use euno_sim::{
     preload, run_virtual, strategy_for, LatencyHistogram, RunConfig, RunMetrics, VirtualScheduler,
 };
@@ -151,13 +154,27 @@ fn run_raw_virtual(scenario: Scenario, threads: usize, ops: u64, seed: u64) -> R
     RunMetrics::from_wall(m.per_thread.clone(), wall, m.latency.clone())
 }
 
-/// Same scenarios on real OS threads (NOrec software transactions).
-fn run_raw_concurrent(scenario: Scenario, threads: usize, ops: u64, seed: u64) -> RunMetrics {
-    let rt = Runtime::new(Mode::Concurrent, euno_htm::CostModel::default());
+/// Same scenarios on real OS threads: TL2-style software transactions
+/// ([`ConcurrentBackend::Stm`]) or hardware lock elision
+/// ([`ConcurrentBackend::HwRtm`], meaningful only when
+/// `euno_htm::hw_rtm_available()`).
+fn run_raw_concurrent(
+    scenario: Scenario,
+    threads: usize,
+    ops: u64,
+    seed: u64,
+    backend: ConcurrentBackend,
+) -> RunMetrics {
+    let rt = Runtime::new_with_backend(Mode::Concurrent, euno_htm::CostModel::default(), backend);
     let arena = Arc::new(Arena::new(SHARED_READ_LINES + threads));
-    let barrier = std::sync::Barrier::new(threads + 1);
-    let start_cell = std::sync::Mutex::new(Instant::now());
-    let results: Vec<(euno_htm::ThreadStats, LatencyHistogram)> = std::thread::scope(|s| {
+    let barrier = std::sync::Barrier::new(threads);
+    // Each worker stamps its own start/end around the measured loop; the
+    // run's wall time is max(end) - min(start).  Stamping from the main
+    // thread after its own barrier.wait() is racy: the scheduler may run
+    // every worker to completion first (observed on single-CPU hosts at
+    // smoke sizes), inflating throughput by orders of magnitude.
+    type WorkerOut = (euno_htm::ThreadStats, LatencyHistogram, Instant, Instant);
+    let results: Vec<WorkerOut> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let rt = Arc::clone(&rt);
@@ -167,23 +184,25 @@ fn run_raw_concurrent(scenario: Scenario, threads: usize, ops: u64, seed: u64) -
                 let mut ctx = rt.thread(seed.wrapping_add(t as u64));
                 let mut latency = LatencyHistogram::new();
                 barrier.wait();
+                let start = Instant::now();
                 for _ in 0..ops {
                     let before = ctx.clock;
                     scenario.run_episode(&arena, &mut ctx, t);
                     latency.record(ctx.clock - before);
                 }
+                let end = Instant::now();
                 ctx.finish();
-                (ctx.stats, latency)
+                (ctx.stats, latency, start, end)
             }));
         }
-        barrier.wait();
-        *start_cell.lock().unwrap() = Instant::now();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    let wall = start_cell.lock().unwrap().elapsed().as_secs_f64();
+    let start = results.iter().map(|r| r.2).min().expect("threads >= 1");
+    let end = results.iter().map(|r| r.3).max().expect("threads >= 1");
+    let wall = (end - start).as_secs_f64();
     let mut latency = LatencyHistogram::new();
     let mut per_thread = Vec::with_capacity(results.len());
-    for (stats, hist) in results {
+    for (stats, hist, _, _) in results {
         latency.merge(&hist);
         per_thread.push(stats);
     }
@@ -246,15 +265,27 @@ fn main() {
                 raw_ops
             }
             .max(1_000);
-            let m = run_raw_concurrent(scenario, threads, c_ops, seed);
+            let m = run_raw_concurrent(scenario, threads, c_ops, seed, ConcurrentBackend::Stm);
             points.push(Point {
-                system: "engine-concurrent",
-                x,
+                system: "engine-stm",
+                x: x.clone(),
                 spec: raw_spec(SHARED_READ_LINES + threads),
                 cfg: raw_config(threads, c_ops, seed),
                 metrics: m,
                 extra: Vec::new(),
             });
+            if euno_htm::hw_rtm_available() {
+                let m =
+                    run_raw_concurrent(scenario, threads, c_ops, seed, ConcurrentBackend::HwRtm);
+                points.push(Point {
+                    system: "engine-rtm",
+                    x,
+                    spec: raw_spec(SHARED_READ_LINES + threads),
+                    cfg: raw_config(threads, c_ops, seed),
+                    metrics: m,
+                    extra: Vec::new(),
+                });
+            }
         }
         let x = format!("tree/t{threads}");
         if want(&x) {
@@ -268,6 +299,12 @@ fn main() {
                 extra: Vec::new(),
             });
         }
+    }
+
+    if !euno_htm::hw_rtm_available() {
+        eprintln!(
+            "note: engine-rtm rows skipped (build without --features hw-rtm, or CPU lacks RTM)"
+        );
     }
 
     print_table(

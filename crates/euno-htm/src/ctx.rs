@@ -52,13 +52,22 @@ pub enum EpisodeKind {
 pub(crate) struct EpisodeState {
     kind: EpisodeKind,
     start: u64,
-    /// NOrec read version (concurrent mode).
+    /// TL2 read version (concurrent mode): every read observed so far is
+    /// consistent as of this point of the global clock. Extended forward
+    /// (with revalidation) when a read finds a newer line version.
     rv: u64,
     op_key: Option<u64>,
     reads: LineSet,
     writes: LineSet,
-    read_log: Vec<(CellPtr, u64)>,
+    /// TL2 read log: each read line with the version-lock word's version
+    /// at first read. Validation compares versions — never cell values —
+    /// so reuse of retired memory with equal bytes cannot validate.
+    ver_log: Vec<(LineId, u64)>,
     write_buf: Vec<(CellPtr, u64)>,
+    /// Commit scratch: sorted, deduplicated version-table slot indices of
+    /// the write footprint (kept per-episode so steady-state commits
+    /// allocate nothing).
+    wslots: Vec<u32>,
     /// Subscribed fallback lock (for abort-cause attribution).
     fb_line: Option<LineId>,
     fb_ptr: Option<CellPtr>,
@@ -77,8 +86,9 @@ impl EpisodeState {
             op_key: None,
             reads: LineSet::with_capacity(16),
             writes: LineSet::with_capacity(8),
-            read_log: Vec::with_capacity(32),
+            ver_log: Vec::with_capacity(32),
             write_buf: Vec::with_capacity(8),
+            wslots: Vec::with_capacity(8),
             fb_line: None,
             fb_ptr: None,
             serialized: false,
@@ -108,6 +118,13 @@ pub struct ThreadCtx {
     pub clock: u64,
     pub stats: ThreadStats,
     pub(crate) rng: SmallRng,
+    /// A real hardware (RTM) transaction is executing on this thread: all
+    /// `Tx` accesses degrade to plain atomic loads/stores — the silicon
+    /// does conflict detection, buffering and rollback. Set and cleared
+    /// only by the executor's hardware attempt (`hw-rtm` feature); always
+    /// `false` otherwise. The flag itself is speculative state: set
+    /// inside the transaction, a hardware abort rolls it back.
+    pub(crate) hw_txn: bool,
     ep: Option<Box<EpisodeState>>,
     /// Scratch pool: the one recycled episode box. Episodes are strictly
     /// non-nested, so a single slot makes every steady-state
@@ -176,6 +193,7 @@ impl ThreadCtx {
             clock: 0,
             stats: ThreadStats::default(),
             rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            hw_txn: false,
             ep: None,
             spare: None,
             obs: None,
@@ -372,6 +390,20 @@ impl ThreadCtx {
         unsafe { (*ptr).load(Ordering::Acquire) }
     }
 
+    /// Concurrent-mode counterpart of [`ThreadCtx::publish_point_write`]:
+    /// bump the line's TL2 version so any transaction that logged the old
+    /// version fails validation instead of missing the direct write.
+    /// Applies to *every* non-quiet direct write — in-place writes under
+    /// node locks and fallback-section stores bypass the commit protocol,
+    /// so this bump is the only thing that makes them visible to TL2
+    /// validation.
+    #[inline]
+    fn bump_line_version(&self, line: LineId) {
+        if self.rt.mode() == Mode::Concurrent {
+            self.rt.vlocks.bump_line(line);
+        }
+    }
+
     #[inline]
     pub(crate) fn direct_store(&mut self, ptr: *const AtomicU64, v: u64) {
         debug_assert!(
@@ -383,6 +415,7 @@ impl ThreadCtx {
         let _ = self.note_access(LineId::of_ptr(ptr), true);
         let in_episode = self.ep.is_some();
         unsafe { (*ptr).store(v, Ordering::Release) };
+        self.bump_line_version(LineId::of_ptr(ptr));
         if !in_episode {
             self.publish_point_write(LineId::of_ptr(ptr));
         }
@@ -398,8 +431,11 @@ impl ThreadCtx {
                 .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
         };
-        if ok && self.ep.is_none() {
-            self.publish_point_write(LineId::of_ptr(ptr));
+        if ok {
+            self.bump_line_version(LineId::of_ptr(ptr));
+            if self.ep.is_none() {
+                self.publish_point_write(LineId::of_ptr(ptr));
+            }
         }
         ok
     }
@@ -427,6 +463,7 @@ impl ThreadCtx {
         self.charge(self.rt.cost.cas);
         let _ = self.note_access(LineId::of_ptr(ptr), true);
         let prev = unsafe { (*ptr).fetch_or(bits, Ordering::AcqRel) };
+        self.bump_line_version(LineId::of_ptr(ptr));
         if self.ep.is_none() {
             self.publish_point_write(LineId::of_ptr(ptr));
         }
@@ -438,6 +475,7 @@ impl ThreadCtx {
         self.charge(self.rt.cost.cas);
         let _ = self.note_access(LineId::of_ptr(ptr), true);
         let prev = unsafe { (*ptr).fetch_and(bits, Ordering::AcqRel) };
+        self.bump_line_version(LineId::of_ptr(ptr));
         if self.ep.is_none() {
             self.publish_point_write(LineId::of_ptr(ptr));
         }
@@ -449,6 +487,7 @@ impl ThreadCtx {
         self.charge(self.rt.cost.cas);
         let _ = self.note_access(LineId::of_ptr(ptr), true);
         let prev = unsafe { (*ptr).fetch_add(n, Ordering::AcqRel) };
+        self.bump_line_version(LineId::of_ptr(ptr));
         if self.ep.is_none() {
             self.publish_point_write(LineId::of_ptr(ptr));
         }
@@ -482,14 +521,9 @@ impl ThreadCtx {
     pub fn episode_begin(&mut self, kind: EpisodeKind) {
         assert!(self.ep.is_none(), "episode nesting is not supported");
         let rv = if self.rt.mode() == Mode::Concurrent && kind == EpisodeKind::HtmTx {
-            // NOrec: wait for a quiescent (even) global version.
-            loop {
-                let s = self.rt.seq.load(Ordering::Acquire);
-                if s & 1 == 0 {
-                    break s;
-                }
-                std::hint::spin_loop();
-            }
+            // TL2: sample the global version clock. No waiting — in-flight
+            // commits are detected per line via the version-lock table.
+            self.rt.seq.load(Ordering::SeqCst)
         } else {
             0
         };
@@ -513,8 +547,9 @@ impl ThreadCtx {
     fn recycle(&mut self, mut ep: Box<EpisodeState>) {
         ep.reads.clear();
         ep.writes.clear();
-        ep.read_log.clear();
+        ep.ver_log.clear();
         ep.write_buf.clear();
+        ep.wslots.clear();
         self.spare = Some(ep);
     }
 
@@ -651,6 +686,12 @@ impl ThreadCtx {
     // ================= transactional accesses =================
 
     pub(crate) fn tx_read(&mut self, ptr: *const AtomicU64) -> Result<u64, AbortCause> {
+        // Inside a real RTM transaction the silicon buffers, detects and
+        // rolls back; instrumentation would only bloat the hardware
+        // read set (there is no open episode on this path).
+        if self.hw_txn {
+            return Ok(unsafe { (*ptr).load(Ordering::Relaxed) });
+        }
         let kind = self.ep.as_ref().expect("Tx::read outside a region").kind;
         match kind {
             EpisodeKind::Fallback | EpisodeKind::LockedWrite | EpisodeKind::OptimisticRead => {
@@ -677,18 +718,25 @@ impl ThreadCtx {
                 self.note_access(LineId::of_ptr(ptr), false)?;
                 match self.rt.mode() {
                     Mode::Virtual => Ok(unsafe { (*ptr).load(Ordering::Relaxed) }),
-                    Mode::Concurrent => self.norec_read(ptr),
+                    Mode::Concurrent => self.tl2_read(ptr),
                 }
             }
         }
     }
 
     pub(crate) fn tx_write(&mut self, ptr: *const AtomicU64, v: u64) -> Result<(), AbortCause> {
+        if self.hw_txn {
+            unsafe { (*ptr).store(v, Ordering::Relaxed) };
+            return Ok(());
+        }
         let kind = self.ep.as_ref().expect("Tx::write outside a region").kind;
         match kind {
             EpisodeKind::Fallback | EpisodeKind::LockedWrite => {
                 let _ = self.note_access(LineId::of_ptr(ptr), true);
                 unsafe { (*ptr).store(v, Ordering::Release) };
+                // Direct (unbuffered) write: invalidate TL2 readers that
+                // logged this line's version before it.
+                self.bump_line_version(LineId::of_ptr(ptr));
                 Ok(())
             }
             EpisodeKind::OptimisticRead => {
@@ -702,50 +750,97 @@ impl ThreadCtx {
         }
     }
 
-    /// NOrec-style validated read (concurrent mode only).
-    fn norec_read(&mut self, ptr: *const AtomicU64) -> Result<u64, AbortCause> {
-        loop {
-            let s1 = self.rt.seq.load(Ordering::Acquire);
-            if s1 & 1 == 1 {
-                std::hint::spin_loop();
-                continue;
+    /// Pauses a TL2 read tolerates before declaring the locked slot a
+    /// conflict. [`crate::lock::SpinBackoff`] doubles each pause, so the
+    /// total tolerated wait is thousands of spin quanta — enough to ride
+    /// out any writeback, bounded so a preempted committer cannot hang
+    /// readers (they abort, back off per policy, and retry).
+    const TL2_READ_MAX_PAUSES: u32 = 12;
+
+    /// TL2-style versioned read (concurrent mode only): sandwich the cell
+    /// load between two reads of the line's version-lock word; retry while
+    /// a committer holds the slot; extend the episode's read version when
+    /// the line is newer than `rv` (revalidating the whole read log);
+    /// record `(line, version)` for commit-time validation.
+    fn tl2_read(&mut self, ptr: *const AtomicU64) -> Result<u64, AbortCause> {
+        // Eager fallback-lock check — the software edition of hardware
+        // lock subscription. Fallback sections write directly, so even a
+        // read-only transaction must abort as soon as the subscribed lock
+        // is taken, not just at its next clock extension.
+        if let Some(fb) = self.ep.as_ref().unwrap().fb_ptr {
+            if unsafe { (*fb.0).load(Ordering::Acquire) } != 0 {
+                return Err(AbortCause::FallbackLocked);
             }
-            let v = unsafe { (*ptr).load(Ordering::Acquire) };
-            if self.rt.seq.load(Ordering::Acquire) != s1 {
-                continue;
-            }
-            let ep = self.ep.as_mut().unwrap();
-            if s1 != ep.rv {
-                // The global clock moved: value-validate the read log.
-                if let Some(bad) = Self::validate_log(&ep.read_log) {
-                    if self.rt.seq.load(Ordering::Acquire) != s1 {
-                        continue; // racing a commit; re-run validation
-                    }
-                    return Err(self.validation_failure_cause(bad));
-                }
-                if self.rt.seq.load(Ordering::Acquire) != s1 {
-                    continue;
-                }
-                self.ep.as_mut().unwrap().rv = s1;
-            }
-            self.ep.as_mut().unwrap().read_log.push((CellPtr(ptr), v));
-            return Ok(v);
         }
+        let line = LineId::of_ptr(ptr);
+        let slot = self.rt.vlocks.slot_of(line);
+        let mut backoff = crate::lock::SpinBackoff::new();
+        let mut pauses = 0u32;
+        let (w1, v) = loop {
+            let w1 = self.rt.vlocks.load(slot);
+            if !crate::lock::VersionTable::is_locked(w1) {
+                let v = unsafe { (*ptr).load(Ordering::Acquire) };
+                if self.rt.vlocks.load(slot) == w1 {
+                    break (w1, v);
+                }
+            }
+            // Locked (a committer is writing this slot's lines back) or
+            // the word moved under the load: bounded backoff — waited
+            // cycles are charged to the clock and `cycles_lock_wait`,
+            // and a capped wait aborts as a conflict instead of spinning
+            // forever behind a preempted committer.
+            pauses += 1;
+            if pauses > Self::TL2_READ_MAX_PAUSES {
+                return Err(self.line_conflict_cause(line));
+            }
+            backoff.pause(self);
+        };
+        let ver = crate::lock::VersionTable::version_of(w1);
+        if ver > self.ep.as_ref().unwrap().rv {
+            // The line committed after our snapshot point: extend the
+            // read version to now, which is sound iff everything read so
+            // far is still at its logged version.
+            let new_rv = self.rt.seq.load(Ordering::SeqCst);
+            let bad = {
+                let ep = self.ep.as_ref().unwrap();
+                ep.ver_log
+                    .iter()
+                    .find(|&&(l, lv)| {
+                        let w = self.rt.vlocks.load(self.rt.vlocks.slot_of(l));
+                        crate::lock::VersionTable::is_locked(w)
+                            || crate::lock::VersionTable::version_of(w) != lv
+                    })
+                    .map(|&(l, _)| l)
+            };
+            if let Some(l) = bad {
+                return Err(self.line_conflict_cause(l));
+            }
+            self.ep.as_mut().unwrap().rv = new_rv;
+        }
+        let consistent = {
+            let ep = self.ep.as_mut().unwrap();
+            match ep.ver_log.iter().find(|&&(l, _)| l == line) {
+                // Re-reading a logged line must see the logged version,
+                // or the two reads straddle a commit.
+                Some(&(_, lv)) => lv == ver,
+                None => {
+                    ep.ver_log.push((line, ver));
+                    true
+                }
+            }
+        };
+        if !consistent {
+            return Err(self.line_conflict_cause(line));
+        }
+        Ok(v)
     }
 
-    /// Returns the first invalidated cell, or `None` if the log still holds.
-    fn validate_log(log: &[(CellPtr, u64)]) -> Option<CellPtr> {
-        log.iter()
-            .find(|(p, old)| unsafe { (*p.0).load(Ordering::Acquire) } != *old)
-            .map(|&(p, _)| p)
-    }
-
-    fn validation_failure_cause(&self, bad: CellPtr) -> AbortCause {
+    /// Abort cause for a TL2 validation / lock-wait failure on `line`.
+    fn line_conflict_cause(&self, line: LineId) -> AbortCause {
         let ep = self.ep.as_ref().unwrap();
-        if ep.fb_ptr == Some(bad) {
+        if ep.fb_line == Some(line) {
             return AbortCause::FallbackLocked;
         }
-        let line = LineId::of_ptr(bad.0);
         let kind = ConflictKind::classify(self.rt.class_of(line), ep.op_key, None);
         AbortCause::Conflict(ConflictInfo {
             line,
@@ -763,37 +858,144 @@ impl ThreadCtx {
         }
     }
 
+    /// Lock attempts per write slot at commit before giving up. Commit
+    /// locks are held only across validation + writeback (no body work),
+    /// so a handful of doubling pauses rides out any live committer;
+    /// capped acquisition keeps the protocol deadlock-free even without
+    /// the sorted order (which exists to make collisions rare, not to
+    /// carry correctness).
+    const TL2_COMMIT_MAX_TRIES: u32 = 10;
+
+    /// TL2 commit (concurrent mode): lock the write footprint's version
+    /// slots in sorted order, validate the read log's line versions, bump
+    /// the global clock, write back, release at the new write version. No
+    /// global lock anywhere — disjoint commits proceed fully in parallel.
     fn commit_concurrent(&mut self) -> Result<(), AbortCause> {
-        let read_only = self.ep.as_ref().unwrap().write_buf.is_empty();
-        if read_only {
-            // NOrec read-only transactions are valid as of their last
-            // validated read; nothing to publish.
+        if self.ep.as_ref().unwrap().write_buf.is_empty() {
+            // Read-only: every read was version-validated (with rv
+            // extension) at read time, so the snapshot is consistent as
+            // of `rv`; nothing to publish, nothing to lock.
             self.finish_episode_concurrent();
             self.trace(EventKind::EpisodeCommit {
                 kind: codes::EP_HTM_TX,
             });
             return Ok(());
         }
-        let guard = self.rt.commit_lock.lock();
-        {
-            let ep = self.ep.as_ref().unwrap();
-            if let Some(bad) = Self::validate_log(&ep.read_log) {
-                drop(guard);
-                return Err(self.validation_failure_cause(bad));
+        let mut ep = self.ep.take().unwrap();
+
+        // 1. Write footprint → sorted, deduplicated slot indices. Sorting
+        // by *slot* (not LineId) is what makes acquisition order globally
+        // consistent: striping does not preserve line order.
+        ep.wslots.clear();
+        for line in ep.writes.iter() {
+            ep.wslots.push(self.rt.vlocks.slot_of(line));
+        }
+        ep.wslots.sort_unstable();
+        ep.wslots.dedup();
+
+        // 2. Acquire each slot with a bounded try-lock.
+        for i in 0..ep.wslots.len() {
+            let slot = ep.wslots[i];
+            let mut backoff = crate::lock::SpinBackoff::new();
+            let mut tries = 0u32;
+            loop {
+                if self.rt.vlocks.try_lock(slot) {
+                    break;
+                }
+                tries += 1;
+                if tries > Self::TL2_COMMIT_MAX_TRIES {
+                    for &held in &ep.wslots[..i] {
+                        self.rt.vlocks.unlock_abort(held);
+                    }
+                    let cause = Self::slot_conflict_cause(&self.rt, &ep, slot);
+                    self.ep = Some(ep);
+                    return Err(cause);
+                }
+                backoff.pause(self);
             }
         }
-        let s = self.rt.seq.load(Ordering::Relaxed);
-        self.rt.seq.store(s + 1, Ordering::Release);
-        for (p, v) in &self.ep.as_ref().unwrap().write_buf {
+
+        // 3. Announce the writeback *before* validating: a fallback
+        // acquirer that wins the lock cell after our check in step 4
+        // spins on `wb_active` until our store in step 7 lands, so its
+        // direct accesses never interleave a half-applied buffer. The
+        // same counter gates episode-free optimistic snapshots.
+        self.rt.wb_active.fetch_add(1, Ordering::SeqCst);
+
+        // 4. The subscribed fallback lock must still be free.
+        if let Some(fb) = ep.fb_ptr {
+            if unsafe { (*fb.0).load(Ordering::SeqCst) } != 0 {
+                Self::abort_writeback(&self.rt, &ep);
+                self.ep = Some(ep);
+                return Err(AbortCause::FallbackLocked);
+            }
+        }
+
+        // 5. Validate the read log: every line still at its logged
+        // version, and locked only if we hold the lock (write-after-read
+        // of our own footprint).
+        for i in 0..ep.ver_log.len() {
+            let (l, lv) = ep.ver_log[i];
+            let slot = self.rt.vlocks.slot_of(l);
+            let w = self.rt.vlocks.load(slot);
+            let locked_by_other =
+                crate::lock::VersionTable::is_locked(w) && ep.wslots.binary_search(&slot).is_err();
+            if locked_by_other || crate::lock::VersionTable::version_of(w) != lv {
+                Self::abort_writeback(&self.rt, &ep);
+                let cause = {
+                    self.ep = Some(ep);
+                    self.line_conflict_cause(l)
+                };
+                return Err(cause);
+            }
+        }
+
+        // 6. Serialization point: one clock tick for this commit.
+        let wv = self.rt.seq.fetch_add(1, Ordering::SeqCst) + 1;
+
+        // 7. Write back and release each slot at the new version.
+        for (p, v) in &ep.write_buf {
             unsafe { (*p.0).store(*v, Ordering::Release) };
         }
-        self.rt.seq.store(s + 2, Ordering::Release);
-        drop(guard);
-        self.finish_episode_concurrent();
+        for &slot in ep.wslots.iter() {
+            self.rt.vlocks.unlock_commit(slot, wv);
+        }
+        self.rt.wb_active.fetch_sub(1, Ordering::SeqCst);
+
+        self.recycle(ep);
         self.trace(EventKind::EpisodeCommit {
             kind: codes::EP_HTM_TX,
         });
         Ok(())
+    }
+
+    /// Abort-path unwind for a commit that already announced its
+    /// writeback: release every held slot (preserving version bumps) and
+    /// retract the announcement.
+    fn abort_writeback(rt: &Runtime, ep: &EpisodeState) {
+        for &slot in ep.wslots.iter() {
+            rt.vlocks.unlock_abort(slot);
+        }
+        rt.wb_active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Abort cause for a commit-time lock-acquisition failure on `slot`:
+    /// attribute it to the first write line mapping there.
+    fn slot_conflict_cause(rt: &Runtime, ep: &EpisodeState, slot: u32) -> AbortCause {
+        let line = ep
+            .writes
+            .iter()
+            .find(|&l| rt.vlocks.slot_of(l) == slot)
+            .unwrap_or(LineId(0));
+        if ep.fb_line == Some(line) {
+            return AbortCause::FallbackLocked;
+        }
+        let kind = ConflictKind::classify(rt.class_of(line), ep.op_key, None);
+        AbortCause::Conflict(ConflictInfo {
+            line,
+            kind,
+            other_thread: None,
+        })
     }
 
     fn finish_episode_concurrent(&mut self) {
@@ -934,11 +1136,14 @@ impl ThreadCtx {
         }
         match self.rt.mode() {
             Mode::Concurrent => {
+                // The lock cell is value-checked — not version-logged —
+                // at every subsequent TL2 read (`tl2_read`) and at commit
+                // (`commit_concurrent` step 4); here we only reject an
+                // attempt that starts while the fallback path is active.
                 let v = unsafe { (*ptr).load(Ordering::Acquire) };
                 if v != 0 {
                     return Err(AbortCause::FallbackLocked);
                 }
-                self.ep.as_mut().unwrap().read_log.push((CellPtr(ptr), 0));
                 Ok(())
             }
             Mode::Virtual => Ok(()),
@@ -951,22 +1156,29 @@ impl ThreadCtx {
             Mode::Concurrent => {
                 let mut backoff = crate::lock::SpinBackoff::new();
                 loop {
+                    // SeqCst CAS: the quiesce below is a total-order
+                    // argument against the committer's SeqCst fallback
+                    // check (commit step 4) and `wb_active` announcement.
                     if fb.raw().load(Ordering::Acquire) == 0
                         && fb
                             .raw()
-                            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::Acquire)
                             .is_ok()
                     {
                         break;
                     }
                     backoff.pause(self);
                 }
-                // Quiesce in-flight commits: any committer that validated
-                // before our CAS may still be applying its write buffer;
-                // cycling the commit lock guarantees it finished, and every
-                // later committer fails validation on the subscribed lock
-                // word. Direct reads on the fallback path are then safe.
-                drop(self.rt.commit_lock.lock());
+                // Quiesce in-flight writebacks: any committer that passed
+                // its fallback check before our CAS announced itself on
+                // `wb_active` *before* that check, so spinning the counter
+                // to zero guarantees its buffer is fully applied; every
+                // later committer fails the check and unwinds. Direct
+                // reads and writes on the fallback path are then safe.
+                let mut backoff = crate::lock::SpinBackoff::new();
+                while self.rt.wb_active.load(Ordering::SeqCst) != 0 {
+                    backoff.pause(self);
+                }
                 self.stats.cas_ops += 1;
                 self.charge(self.rt.cost.lock_acquire);
                 self.trace(EventKind::LockAcquire {
@@ -997,7 +1209,7 @@ impl ThreadCtx {
         self.charge(self.rt.cost.lock_release);
         match self.rt.mode() {
             Mode::Concurrent => {
-                // Fallback sections write *directly* (no NOrec buffer), so
+                // Fallback sections write *directly* (no TL2 buffer), so
                 // an episode-free optimistic reader validating against
                 // `rt.seq` cannot see them through the sequence alone. Bump
                 // the sequence while the fallback cell is still held: a
@@ -1005,11 +1217,9 @@ impl ThreadCtx {
                 // either the held cell or the moved sequence — never a
                 // torn fallback section. (Clearing the cell first would
                 // open a window where both of the reader's checks pass.)
-                let guard = self.rt.commit_lock.lock();
-                let s = self.rt.seq.load(Ordering::Relaxed);
-                debug_assert_eq!(s & 1, 0, "seq odd outside a commit");
-                self.rt.seq.store(s + 2, Ordering::Release);
-                drop(guard);
+                // Transactions need no extra signal: every direct write in
+                // the section already bumped its line's version.
+                self.rt.seq.fetch_add(1, Ordering::SeqCst);
                 fb.raw().store(0, Ordering::Release);
             }
             Mode::Virtual => {
@@ -1025,35 +1235,45 @@ impl ThreadCtx {
     // ============ episode-free optimistic-read validation ============
 
     /// Snapshot for an episode-free optimistic read: in concurrent mode,
-    /// the NOrec sequence at a quiescent (even) point. Virtual mode needs
-    /// no snapshot — episodes are physically serialized, and the read set
-    /// is checked against the committed window by
+    /// the TL2 clock at a writeback-quiescent point (`wb_active == 0`).
+    /// The quiescence wait is bounded-backoff, not a tight spin: writers
+    /// hold `wb_active` only across validation + writeback. Virtual mode
+    /// needs no snapshot — episodes are physically serialized, and the
+    /// read set is checked against the committed window by
     /// [`ThreadCtx::episode_end_optimistic`].
     pub fn optimistic_snapshot(&mut self) -> u64 {
         match self.rt.mode() {
             Mode::Virtual => 0,
-            Mode::Concurrent => loop {
-                let s = self.rt.seq.load(Ordering::Acquire);
-                if s & 1 == 0 {
-                    break s;
+            Mode::Concurrent => {
+                let mut backoff = crate::lock::SpinBackoff::new();
+                loop {
+                    let s = self.rt.seq.load(Ordering::SeqCst);
+                    if self.rt.wb_active.load(Ordering::SeqCst) == 0 {
+                        break s;
+                    }
+                    backoff.pause(self);
                 }
-                std::hint::spin_loop();
-            },
+            }
         }
     }
 
     /// Validate an episode-free optimistic read section against `snap`:
-    /// no buffered commit has been applied (`rt.seq` unchanged) and no
-    /// direct-writing fallback section is active on `fb`. A fallback
-    /// section that *completed* since the snapshot is caught by the
-    /// sequence check because [`ThreadCtx::fb_release`] bumps `rt.seq`
-    /// before clearing the cell. Virtual mode always validates here — its
-    /// collision detection runs at episode close.
+    /// no writing commit has landed (`rt.seq` unchanged) and no
+    /// direct-writing fallback section is active on `fb`. This is sound
+    /// because every committer orders `wb_active += 1` → clock bump →
+    /// writeback → `wb_active -= 1`: a reader whose snapshot saw
+    /// `wb_active == 0` *after* loading `seq == snap` can only observe
+    /// writeback stores from commits that bumped the clock first — and
+    /// any such bump makes this check fail. A fallback section that
+    /// *completed* since the snapshot is caught the same way
+    /// ([`ThreadCtx::fb_release`] bumps `rt.seq` before clearing the
+    /// cell); an *active* one by the cell check. Virtual mode always
+    /// validates here — its collision detection runs at episode close.
     pub fn optimistic_validate(&mut self, fb: &TxCell<u64>, snap: u64) -> bool {
         match self.rt.mode() {
             Mode::Virtual => true,
             Mode::Concurrent => {
-                fb.raw().load(Ordering::Acquire) == 0 && self.rt.seq.load(Ordering::Acquire) == snap
+                fb.raw().load(Ordering::Acquire) == 0 && self.rt.seq.load(Ordering::SeqCst) == snap
             }
         }
     }

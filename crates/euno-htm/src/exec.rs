@@ -441,7 +441,7 @@ impl<'e> Executor<'e> {
             } else {
                 None
             };
-            match self.attempt(ctx, &mut body, on_middle) {
+            match self.attempt_dispatch(ctx, &mut body, on_middle) {
                 Ok(v) => {
                     // The episode is closed (committed): slot lock words
                     // may be touched directly again.
@@ -495,6 +495,103 @@ impl<'e> Executor<'e> {
             attempts,
             conflict_aborts,
             path: Path::Fallback,
+        }
+    }
+
+    /// Stage 1 dispatch: route the speculative try to the software episode
+    /// engine or, when the runtime was built on the RTM backend and the
+    /// CPU supports it, to a genuine hardware transaction. Middle-path
+    /// tries also elide under RTM — the advisory slot locks are taken
+    /// outside the transaction, so only same-slot contenders serialize.
+    fn attempt_dispatch<R>(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+        serialized: bool,
+    ) -> Result<R, AbortCause> {
+        #[cfg(all(feature = "hw-rtm", target_arch = "x86_64"))]
+        if ctx.runtime().rtm_active() {
+            return self.attempt_hw(ctx, body);
+        }
+        self.attempt(ctx, body, serialized)
+    }
+
+    /// Stage 1, hardware flavour: run the body inside a real RTM
+    /// transaction with the fallback lock subscribed (classic lock
+    /// elision). No software episode is opened — conflict detection,
+    /// buffering and rollback are the silicon's job; `ThreadCtx::hw_txn`
+    /// makes `tx_read`/`tx_write` degrade to plain loads and stores.
+    ///
+    /// A body `Err` cannot return normally (the transaction's writes must
+    /// be rolled back), so it aborts with code 0x01; the fallback
+    /// subscription aborts with 0xff. Control for either lands back at
+    /// `xbegin` with the status word, which is translated to the engine's
+    /// [`AbortCause`] taxonomy.
+    #[cfg(all(feature = "hw-rtm", target_arch = "x86_64"))]
+    fn attempt_hw<R>(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+    ) -> Result<R, AbortCause> {
+        use crate::hw;
+        let wait_before = ctx.stats.cycles_lock_wait;
+        ctx.fb_wait_free(self.fb);
+        let waited = ctx.stats.cycles_lock_wait - wait_before;
+        if waited > 0 {
+            self.observer.on_fallback_wait(&mut ctx.stats, waited);
+            ctx.trace(EventKind::FallbackWait { cycles: waited });
+        }
+        self.attempt_start = ctx.clock;
+        self.observer.on_attempt(&mut ctx.stats);
+        let st = unsafe { hw::xbegin() };
+        if st == hw::XBEGIN_STARTED {
+            // Subscribe: the lock word joins the read set, so a concurrent
+            // fallback acquisition aborts us; if already held, bail now.
+            if self.fb.raw().load(Ordering::Relaxed) != 0 {
+                unsafe { hw::xabort_ff() };
+            }
+            // Speculative — rolled back with everything else on abort.
+            ctx.hw_txn = true;
+            match body(&mut Tx { ctx }) {
+                Ok(v) => {
+                    unsafe { hw::xend() };
+                    ctx.hw_txn = false;
+                    return Ok(v);
+                }
+                Err(_) => {
+                    unsafe { hw::xabort_01() };
+                    // Unreachable inside a transaction; defensive exit for
+                    // the no-RTM-in-flight case (xabort is a no-op there).
+                    ctx.hw_txn = false;
+                    return Err(AbortCause::Explicit(1));
+                }
+            }
+        }
+        ctx.hw_txn = false;
+        Err(Self::hw_abort_cause(st))
+    }
+
+    /// Translate an RTM status word into the engine's abort taxonomy.
+    #[cfg(all(feature = "hw-rtm", target_arch = "x86_64"))]
+    fn hw_abort_cause(st: u32) -> AbortCause {
+        use crate::hw::status;
+        use crate::line::LineId;
+        if st & status::EXPLICIT != 0 {
+            match status::xabort_code(st) {
+                0xff => AbortCause::FallbackLocked,
+                code => AbortCause::Explicit(code),
+            }
+        } else if st & status::CAPACITY != 0 {
+            AbortCause::Capacity
+        } else if st & status::CONFLICT != 0 {
+            // Hardware says only *that* a line collided, not which one.
+            AbortCause::Conflict(ConflictInfo {
+                line: LineId(0),
+                kind: crate::abort::ConflictKind::Unclassified,
+                other_thread: None,
+            })
+        } else {
+            AbortCause::Spurious
         }
     }
 

@@ -87,6 +87,17 @@ pub unsafe fn xabort_ff() {
     asm!(".byte 0xc6, 0xf8, 0xff", options(nostack));
 }
 
+/// Abort the current transaction with code 0x01 — the executor's "body
+/// returned `Err`" code, distinct from the 0xff fallback-subscription
+/// abort so the classify stage can tell them apart.
+///
+/// # Safety
+/// CPU must support RTM. Outside a transaction this is a no-op.
+#[inline(always)]
+pub unsafe fn xabort_01() {
+    asm!(".byte 0xc6, 0xf8, 0x01", options(nostack));
+}
+
 /// Is the processor currently executing transactionally?
 ///
 /// # Safety

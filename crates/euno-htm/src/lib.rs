@@ -13,12 +13,15 @@
 //! * **TSX abort semantics.** Conflict / capacity / explicit / spurious
 //!   abort codes ([`abort`]), bounded read/write sets, lock-subscribing
 //!   fallback with per-cause retry budgets ([`policy`]).
-//! * **Two execution modes** ([`runtime::Mode`]): real-thread software
-//!   transactions (NOrec-style) for stress-testing correctness, and a
-//!   deterministic virtual-time mode where transactions occupy intervals
-//!   of a cycle-charged clock ([`cost`]) and conflict when overlapping
-//!   intervals have colliding footprints — the mode every figure of the
-//!   paper is regenerated under (the host has no 20-core TSX machine).
+//! * **Three engine backends.** A deterministic virtual-time mode where
+//!   transactions occupy intervals of a cycle-charged clock ([`cost`])
+//!   and conflict when overlapping intervals have colliding footprints —
+//!   the mode every figure of the paper is regenerated under (the host
+//!   has no 20-core TSX machine); real-thread software transactions
+//!   (TL2-style per-line version locks, [`lock::VersionTable`]) for
+//!   stress-testing correctness at wall-clock speed; and, with the
+//!   `hw-rtm` feature on a TSX CPU, genuine RTM lock-elision behind the
+//!   same staged executor ([`runtime::ConcurrentBackend`]).
 //!
 //! ## Quick example
 //!
@@ -69,12 +72,13 @@ pub use exec::{
 pub use line::{LineClass, LineId, LineSet, CACHE_LINE_BYTES};
 pub use lock::{
     acquire_mask_blocking, release_mask, slot_for_key, AdvisoryLock, AtomicBitVector,
-    BitLockVector, ControlBlock, Footprint, SlotLocks, SpinBackoff, MAX_FOOTPRINT_SLOTS,
+    BitLockVector, ControlBlock, Footprint, SlotLocks, SpinBackoff, VersionTable,
+    MAX_FOOTPRINT_SLOTS,
 };
 pub use map::{ConcurrentMap, MemoryReport, KEY_SENTINEL, TOMBSTONE};
 pub use obs::{OpKind, OpObserver, OpOutput};
 pub use policy::{RetryCounts, RetryPolicy};
-pub use runtime::{Mode, Runtime};
+pub use runtime::{hw_rtm_available, ConcurrentBackend, Mode, Runtime};
 pub use stats::{AbortCounts, AggregateStats, ThreadStats};
 pub use word::{TxCell, TxWord};
 

@@ -7,6 +7,8 @@
 //! the lock is virtually held is charged the wait until the holder's
 //! release time, which is how lock convoys show up in the figures.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use euno_trace::EventKind;
 
 use crate::ctx::ThreadCtx;
@@ -452,6 +454,107 @@ impl AtomicBitVector {
     /// Bytes occupied by the vector's words.
     pub fn memory_bytes(&self) -> usize {
         self.words.len() * 8
+    }
+}
+
+// ================= TL2 per-line version locks =================
+
+/// Log2 of the version-lock table size. 2^14 slots × 8 bytes = 128 KiB —
+/// large enough that a tree footprint of tens of lines collides rarely,
+/// small enough to stay cache-resident under heavy traffic.
+const VERSION_TABLE_LOG2: u32 = 14;
+
+/// TL2-style striped table of versioned write-locks, one word per slot:
+/// `version << 1 | locked`. Concurrent-mode software transactions map each
+/// cache line ([`crate::line::LineId`]) to a slot with the same Fibonacci
+/// multiplier as [`slot_for_key`], lock their write slots at commit,
+/// validate read slots by version equality, and release with a bumped
+/// version taken from the global clock (`Runtime::seq`). Distinct lines
+/// may share a slot; collisions only ever cause conservative aborts,
+/// never missed conflicts.
+///
+/// All operations are `SeqCst`: the commit protocol's correctness
+/// argument (writeback counter vs. fallback quiesce vs. episode-free
+/// readers, DESIGN.md §4.5) is a total-order argument, and the table is
+/// not the bottleneck — the point of striping is that disjoint commits
+/// touch disjoint slots.
+pub struct VersionTable {
+    slots: Box<[AtomicU64]>,
+}
+
+impl VersionTable {
+    pub(crate) fn new() -> Self {
+        VersionTable {
+            slots: (0..1usize << VERSION_TABLE_LOG2)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// Slot index of a line (top bits of the Fibonacci hash, like
+    /// [`slot_for_key`] but with a power-of-two table).
+    #[inline]
+    pub fn slot_of(&self, line: crate::line::LineId) -> u32 {
+        (line.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (64 - VERSION_TABLE_LOG2)) as u32
+    }
+
+    #[inline]
+    pub fn load(&self, slot: u32) -> u64 {
+        self.slots[slot as usize].load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    pub fn is_locked(word: u64) -> bool {
+        word & 1 == 1
+    }
+
+    #[inline]
+    pub fn version_of(word: u64) -> u64 {
+        word >> 1
+    }
+
+    /// One lock attempt (no spin): set the lock bit, keeping the version.
+    #[inline]
+    pub(crate) fn try_lock(&self, slot: u32) -> bool {
+        let s = &self.slots[slot as usize];
+        let w = s.load(Ordering::SeqCst);
+        !Self::is_locked(w)
+            && s.compare_exchange(w, w | 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+    }
+
+    /// Release a held slot without publishing: clear the lock bit only, so
+    /// version bumps that landed while we held it survive.
+    #[inline]
+    pub(crate) fn unlock_abort(&self, slot: u32) {
+        self.slots[slot as usize].fetch_and(!1, Ordering::SeqCst);
+    }
+
+    /// Release a held slot at write-version `wv`. Versions are monotone:
+    /// if a concurrent direct-write bump already pushed the slot past
+    /// `wv`, keep the higher version and just drop the lock bit.
+    #[inline]
+    pub(crate) fn unlock_commit(&self, slot: u32, wv: u64) {
+        let s = &self.slots[slot as usize];
+        let prev = s.fetch_max(wv << 1, Ordering::SeqCst);
+        if Self::version_of(prev) >= wv {
+            // fetch_max kept `prev`, which still carries our lock bit (we
+            // are the only possible holder), so clear just that bit.
+            s.fetch_and(!1, Ordering::SeqCst);
+        }
+    }
+
+    /// Version bump for a non-transactional (direct / fallback) write:
+    /// +1 version, lock bit untouched, so TL2 readers and committers that
+    /// logged the old version abort instead of validating stale state.
+    #[inline]
+    pub(crate) fn bump_line(&self, line: crate::line::LineId) {
+        self.slots[self.slot_of(line) as usize].fetch_add(2, Ordering::SeqCst);
+    }
+
+    /// Current version of the slot covering `line` (tests/diagnostics).
+    pub fn line_version(&self, line: crate::line::LineId) -> u64 {
+        Self::version_of(self.load(self.slot_of(line)))
     }
 }
 

@@ -54,16 +54,45 @@ use crate::registry::{ClassRegistry, ObjectRegistry};
 /// How transactions execute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Mode {
-    /// Real OS threads; NOrec-style software transactions (global sequence
-    /// lock, value-based validation). Used by stress tests — genuinely
-    /// concurrent and linearizable, but abort statistics reflect the STM,
-    /// not TSX.
+    /// Real OS threads; TL2-style software transactions (per-line version
+    /// locks, read-version validation — see DESIGN.md §4.5) or, with the
+    /// `hw-rtm` feature on a TSX CPU, real hardware transactions. Used by
+    /// stress tests — genuinely concurrent and linearizable, but abort
+    /// statistics reflect the STM/RTM, not the modeled TSX.
     Concurrent,
     /// Deterministic single-threaded virtual-time execution; conflicts
     /// derived from interval overlap × cache-line footprint intersection,
     /// faithfully mimicking TSX's line-granularity detection. Used by all
     /// paper-figure experiments.
     Virtual,
+}
+
+/// Which engine executes concurrent-mode transactions. The third axis of
+/// the engine (virtual / software TL2 / hardware RTM): all three run the
+/// same bodies behind the same staged executor ([`crate::exec`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ConcurrentBackend {
+    /// TL2-style software transactions: per-line version locks, buffered
+    /// writes, read-version validation.
+    #[default]
+    Stm,
+    /// Real Intel RTM lock-elision (`hw-rtm` feature, x86-64 with TSX).
+    /// Degrades to [`ConcurrentBackend::Stm`] when unavailable — check
+    /// [`Runtime::rtm_active`] for what actually runs.
+    HwRtm,
+}
+
+/// Does this build *and* CPU support hardware RTM? `false` whenever the
+/// `hw-rtm` feature is off, the target is not x86-64, or CPUID lacks TSX.
+pub fn hw_rtm_available() -> bool {
+    #[cfg(all(feature = "hw-rtm", target_arch = "x86_64"))]
+    {
+        crate::hw::rtm_supported()
+    }
+    #[cfg(not(all(feature = "hw-rtm", target_arch = "x86_64")))]
+    {
+        false
+    }
 }
 
 /// One committed episode visible to later overlapping episodes.
@@ -573,10 +602,26 @@ impl VirtState {
 pub struct Runtime {
     mode: Mode,
     pub cost: CostModel,
-    /// NOrec global sequence lock (even = stable, odd = commit in flight).
+    /// TL2 global version clock (concurrent mode): monotone, bumped once
+    /// per writing commit and once per completed fallback section. Read
+    /// versions (`EpisodeState::rv`) and optimistic-read snapshots are
+    /// taken from it; commit write-versions are `fetch_add(1) + 1`.
     pub(crate) seq: AtomicU64,
-    /// Serializes NOrec commits.
-    pub(crate) commit_lock: Mutex<()>,
+    /// TL2 per-line version-lock table (concurrent mode; see
+    /// [`crate::lock::VersionTable`] and DESIGN.md §4.5).
+    pub(crate) vlocks: crate::lock::VersionTable,
+    /// Number of writing commits currently between their clock bump and
+    /// the end of their writeback. Episode-free optimistic readers take
+    /// snapshots only while this is zero, and a fallback acquirer spins it
+    /// to zero before issuing direct writes — the two places that must not
+    /// observe a half-applied write buffer.
+    pub(crate) wb_active: AtomicU64,
+    /// Which engine executes concurrent-mode transactions (STM or real
+    /// RTM); `Mode::Virtual` ignores it.
+    backend: ConcurrentBackend,
+    /// `backend == HwRtm` resolved against compile-time feature and
+    /// runtime CPUID support, cached at construction.
+    rtm_ok: bool,
     pub(crate) virt: Mutex<VirtState>,
     /// Line-range → data class, populated by trees at node allocation.
     /// Snapshot structure: classification lookups are lock-free. Also the
@@ -599,11 +644,25 @@ pub struct Runtime {
 
 impl Runtime {
     pub fn new(mode: Mode, cost: CostModel) -> Arc<Self> {
+        Self::new_with_backend(mode, cost, ConcurrentBackend::Stm)
+    }
+
+    /// Construct a runtime with an explicit concurrent-mode backend.
+    /// `HwRtm` requires the `hw-rtm` feature *and* CPU support; without
+    /// either, the runtime silently degrades to the software TL2 path
+    /// (the same way [`crate::hw::HwRegion`] falls back), so callers may
+    /// request it unconditionally.
+    pub fn new_with_backend(mode: Mode, cost: CostModel, backend: ConcurrentBackend) -> Arc<Self> {
+        let rtm_ok =
+            mode == Mode::Concurrent && backend == ConcurrentBackend::HwRtm && hw_rtm_available();
         Arc::new(Runtime {
             mode,
             cost,
             seq: AtomicU64::new(0),
-            commit_lock: Mutex::new(()),
+            vlocks: crate::lock::VersionTable::new(),
+            wb_active: AtomicU64::new(0),
+            backend,
+            rtm_ok,
             virt: Mutex::new(VirtState {
                 transfer_horizon: 20_000,
                 ..VirtState::default()
@@ -625,9 +684,39 @@ impl Runtime {
         Self::new(Mode::Concurrent, CostModel::default())
     }
 
+    /// Convenience: real-thread runtime on the hardware-RTM backend (TL2
+    /// software path when the feature or the CPU is missing).
+    pub fn new_concurrent_rtm() -> Arc<Self> {
+        Self::new_with_backend(
+            Mode::Concurrent,
+            CostModel::default(),
+            ConcurrentBackend::HwRtm,
+        )
+    }
+
     #[inline]
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// The configured concurrent-mode backend.
+    #[inline]
+    pub fn backend(&self) -> ConcurrentBackend {
+        self.backend
+    }
+
+    /// Whether transactions on this runtime actually execute as hardware
+    /// RTM transactions (feature compiled in, CPU supports it, and the
+    /// backend requested it).
+    #[inline]
+    pub fn rtm_active(&self) -> bool {
+        self.rtm_ok
+    }
+
+    /// Current version of the TL2 slot covering `addr`'s cache line
+    /// (tests/diagnostics).
+    pub fn line_version_of(&self, addr: usize) -> u64 {
+        self.vlocks.line_version(LineId::of_addr(addr))
     }
 
     /// The epoch collector governing deferred node reclamation.
@@ -638,9 +727,13 @@ impl Runtime {
 
     /// Create a per-thread execution handle with a deterministic RNG seed.
     pub fn thread(self: &Arc<Self>, seed: u64) -> crate::ctx::ThreadCtx {
-        let id = self
+        let raw = self
             .next_thread
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed) as u32;
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Thread ids feed conflict attribution and trace records as u32;
+        // a silent wrap would alias two threads' histories.
+        let id = u32::try_from(raw)
+            .expect("Runtime::thread: more than u32::MAX thread handles created on one runtime");
         crate::ctx::ThreadCtx::new(Arc::clone(self), id, seed)
     }
 

@@ -29,6 +29,15 @@ run() { # run <binary> <csv-name>
         2>&1 | tee -a "$LOG"
 }
 
+run_rtm() { # run_rtm <binary> <csv-name> — built with the hw-rtm feature
+            # so the engine backend axis gains engine-rtm rows on TSX
+            # hosts (runtime-gated: a no-op column elsewhere).
+    local bin="$1" csv="$2"
+    echo "=== $bin (hw-rtm) ===" | tee -a "$LOG"
+    cargo run --release -q -p euno-bench --features hw-rtm --bin "$bin" -- \
+        --csv "$OUT/$csv" 2>&1 | tee -a "$LOG"
+}
+
 : >"$LOG"
 echo "# EUNO_BENCH_SCALE=$SCALE  $(date -u +%Y-%m-%dT%H:%M:%SZ)" | tee -a "$LOG"
 run fig01_motivation fig01_motivation.csv
@@ -43,7 +52,7 @@ run fig13_threepath fig13_threepath.csv
 run ycsb_suite ycsb_suite.csv
 run mem_overhead mem_overhead.csv
 run sensitivity sensitivity.csv
-run engine_bench engine.csv
+run_rtm engine_bench engine.csv
 
 echo | tee -a "$LOG"
 echo "=== report_check ===" | tee -a "$LOG"

@@ -15,6 +15,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
 
+# hw-rtm gate: the RTM backend is cfg'd out of the default build and
+# would bit-rot silently — build and test it explicitly.  Actual RTM
+# execution stays runtime-gated on rtm_supported(): on CPUs without TSX
+# these tests run the same assertions through the software episodes.
+cargo build --release --features hw-rtm
+cargo test -q -p euno-htm --features hw-rtm
+
 # Smoke-bench: one tiny figure run covering all four trees, then validate
 # the emitted run report against the DESIGN.md §11 schema.  Catches a
 # broken measurement pipeline (empty latency, missing report keys) that
@@ -52,6 +59,16 @@ cargo run --release -q -p euno-bench --bin engine_bench -- \
 cargo run --release -q -p euno-bench --bin report_check -- \
     "$SMOKE/BENCH_engine.json"
 echo "smoke-engine report OK"
+
+# Smoke-stm: the TL2 software backend on real threads.  The engine bench
+# must emit its engine-stm rows (the backend axis is load-bearing for
+# EXPERIMENTS.md), and the dedicated concurrent-correctness suites — hot
+# cell, permuted commit orders, transfer invariant, commit-path ABA —
+# must pass at their checked-in sizes.
+grep -q "engine-stm" "$SMOKE/engine.csv" \
+    || { echo "smoke-stm: engine-stm rows missing from engine bench"; exit 1; }
+cargo test -q -p euno-htm --test tl2_stm --test aba_regression
+echo "smoke-stm (TL2 backend rows + concurrent suites) OK"
 
 # Three-path smoke: the abort-storm ablation at a tiny scale, schema
 # validation of its report, and a sanity grep that the middle path
