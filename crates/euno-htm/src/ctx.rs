@@ -125,6 +125,11 @@ pub struct ThreadCtx {
     /// `false` otherwise. The flag itself is speculative state: set
     /// inside the transaction, a hardware abort rolls it back.
     pub(crate) hw_txn: bool,
+    /// The running hardware transaction issued at least one `Tx::write`.
+    /// The executor bumps `Runtime::seq` inside the transaction for
+    /// writing bodies (so episode-free optimistic readers see the
+    /// commit); speculative like `hw_txn` — rolled back on abort.
+    pub(crate) hw_wrote: bool,
     ep: Option<Box<EpisodeState>>,
     /// Scratch pool: the one recycled episode box. Episodes are strictly
     /// non-nested, so a single slot makes every steady-state
@@ -194,6 +199,7 @@ impl ThreadCtx {
             stats: ThreadStats::default(),
             rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             hw_txn: false,
+            hw_wrote: false,
             ep: None,
             spare: None,
             obs: None,
@@ -391,16 +397,27 @@ impl ThreadCtx {
     }
 
     /// Concurrent-mode counterpart of [`ThreadCtx::publish_point_write`]:
-    /// bump the line's TL2 version so any transaction that logged the old
-    /// version fails validation instead of missing the direct write.
-    /// Applies to *every* non-quiet direct write — in-place writes under
-    /// node locks and fallback-section stores bypass the commit protocol,
-    /// so this bump is the only thing that makes them visible to TL2
-    /// validation.
+    /// make a direct (unbuffered) write visible to TL2 validation by
+    /// advancing the global clock and raising the line's version slot to
+    /// the new clock value. Applies to *every* non-quiet direct write —
+    /// in-place writes under node locks and fallback-section stores
+    /// bypass the commit protocol. Anchoring the bump to `rt.seq`
+    /// (rather than a local `+1`) is load-bearing twice over:
+    ///
+    /// * slot versions can never exceed the clock, so a committer whose
+    ///   `wv` is below a bump-inflated slot version is releasing after a
+    ///   strictly *later* clock tick than anything a pre-commit reader
+    ///   logged — the commit cannot become version-invisible
+    ///   ([`crate::lock::VersionTable::unlock_commit`]);
+    /// * any post-snapshot direct write yields `ver > rv` at the next
+    ///   `tl2_read`, forcing the extension revalidation — so even a
+    ///   read-only transaction (which has no commit-time validation)
+    ///   aborts rather than spanning a multi-line direct update.
     #[inline]
     fn bump_line_version(&self, line: LineId) {
         if self.rt.mode() == Mode::Concurrent {
-            self.rt.vlocks.bump_line(line);
+            let ver = self.rt.seq.fetch_add(1, Ordering::SeqCst) + 1;
+            self.rt.vlocks.bump_line_to(line, ver);
         }
     }
 
@@ -726,6 +743,7 @@ impl ThreadCtx {
 
     pub(crate) fn tx_write(&mut self, ptr: *const AtomicU64, v: u64) -> Result<(), AbortCause> {
         if self.hw_txn {
+            self.hw_wrote = true;
             unsafe { (*ptr).store(v, Ordering::Relaxed) };
             return Ok(());
         }
@@ -1381,5 +1399,48 @@ impl<'a> Tx<'a> {
     #[inline]
     pub fn ctx(&mut self) -> &mut ThreadCtx {
         self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[repr(align(64))]
+    struct Aligned(TxCell<u64>);
+
+    /// Regression: a read-only transaction has no commit-time validation,
+    /// so its snapshot consistency rests entirely on the read path's
+    /// rv-extension. The old `+1` line bump could leave a direct write's
+    /// slot version at or below the reader's `rv`, so the extension never
+    /// fired and a read-only transaction could span a multi-line
+    /// LockedWrite/fallback update. Clock-anchored bumps make any
+    /// post-snapshot direct write read as `ver > rv`, forcing
+    /// revalidation of the whole read log.
+    #[test]
+    fn read_only_tx_cannot_span_a_multi_line_direct_update() {
+        let rt = Runtime::new_concurrent();
+        // Age the clock well past the slots' initial versions, so a
+        // local "+1" bump could never exceed `rv` on its own — exactly
+        // the old bug's window.
+        rt.seq.fetch_add(100, Ordering::SeqCst);
+        let mut reader = rt.thread(0);
+        let mut writer = rt.thread(1);
+        let a = Aligned(TxCell::new(1u64));
+        let b = Aligned(TxCell::new(1u64));
+
+        reader.episode_begin(EpisodeKind::HtmTx);
+        assert_eq!(reader.tx_read(a.0.raw_ptr()).unwrap(), 1);
+        // A two-line direct update (the shape of an in-place locked
+        // write or a fallback section) lands between the reader's reads.
+        a.0.store_direct(&mut writer, 2);
+        b.0.store_direct(&mut writer, 2);
+        // The second read must abort: b's version is a fresh clock draw
+        // above `rv`, and the forced revalidation finds `a` changed.
+        assert!(
+            reader.tx_read(b.0.raw_ptr()).is_err(),
+            "read-only tx observed old `a` next to new `b` — torn snapshot"
+        );
+        reader.episode_abort();
     }
 }

@@ -552,10 +552,26 @@ impl<'e> Executor<'e> {
             }
             // Speculative — rolled back with everything else on abort.
             ctx.hw_txn = true;
+            ctx.hw_wrote = false;
             match body(&mut Tx { ctx }) {
                 Ok(v) => {
+                    if ctx.hw_wrote {
+                        // Writing commit: advance the TL2 clock *inside*
+                        // the transaction, so the bump publishes
+                        // atomically with the write set and episode-free
+                        // optimistic readers (`optimistic_validate`:
+                        // `seq == snap`) abort instead of accepting a
+                        // snapshot this commit landed in the middle of.
+                        // The seq word joins the hardware conflict set —
+                        // one extra line, the price of making elided
+                        // writers visible to snapshot validation.
+                        let seq = &ctx.runtime().seq;
+                        let s = seq.load(Ordering::Relaxed);
+                        seq.store(s + 1, Ordering::Relaxed);
+                    }
                     unsafe { hw::xend() };
                     ctx.hw_txn = false;
+                    ctx.hw_wrote = false;
                     return Ok(v);
                 }
                 Err(_) => {
@@ -563,11 +579,13 @@ impl<'e> Executor<'e> {
                     // Unreachable inside a transaction; defensive exit for
                     // the no-RTM-in-flight case (xabort is a no-op there).
                     ctx.hw_txn = false;
+                    ctx.hw_wrote = false;
                     return Err(AbortCause::Explicit(1));
                 }
             }
         }
         ctx.hw_txn = false;
+        ctx.hw_wrote = false;
         Err(Self::hw_abort_cause(st))
     }
 

@@ -469,9 +469,11 @@ const VERSION_TABLE_LOG2: u32 = 14;
 /// cache line ([`crate::line::LineId`]) to a slot with the same Fibonacci
 /// multiplier as [`slot_for_key`], lock their write slots at commit,
 /// validate read slots by version equality, and release with a bumped
-/// version taken from the global clock (`Runtime::seq`). Distinct lines
-/// may share a slot; collisions only ever cause conservative aborts,
-/// never missed conflicts.
+/// version taken from the global clock (`Runtime::seq`). *Every* version
+/// stored in a slot — commit release and direct-write bump alike — is a
+/// unique clock draw, so slot versions never outrun `Runtime::seq`.
+/// Distinct lines may share a slot; collisions only ever cause
+/// conservative aborts, never missed conflicts.
 ///
 /// All operations are `SeqCst`: the commit protocol's correctness
 /// argument (writeback counter vs. fallback quiesce vs. episode-free
@@ -532,7 +534,14 @@ impl VersionTable {
 
     /// Release a held slot at write-version `wv`. Versions are monotone:
     /// if a concurrent direct-write bump already pushed the slot past
-    /// `wv`, keep the higher version and just drop the lock bit.
+    /// `wv`, keep the higher version and just drop the lock bit. The
+    /// keep-higher path is sound *because* bumps are clock-anchored
+    /// ([`VersionTable::bump_line_to`]): every version ever stored is a
+    /// unique `Runtime::seq` draw, so a slot version above `wv` was
+    /// issued *after* our own clock tick — and strictly after anything a
+    /// reader could have logged before we locked the slot (readers never
+    /// log a locked slot). Either way the released word differs from
+    /// every pre-commit observation, so revalidation always catches us.
     #[inline]
     pub(crate) fn unlock_commit(&self, slot: u32, wv: u64) {
         let s = &self.slots[slot as usize];
@@ -545,11 +554,25 @@ impl VersionTable {
     }
 
     /// Version bump for a non-transactional (direct / fallback) write:
-    /// +1 version, lock bit untouched, so TL2 readers and committers that
-    /// logged the old version abort instead of validating stale state.
+    /// raise the slot covering `line` to `ver` — a fresh global-clock
+    /// draw the caller obtained via `Runtime::seq.fetch_add(1) + 1` —
+    /// preserving the lock bit of any in-flight committer. Anchoring the
+    /// bump to the clock (instead of a local `+1`) maintains the
+    /// invariant that a slot's version never exceeds `Runtime::seq`,
+    /// which both [`VersionTable::unlock_commit`] and the TL2 read-path
+    /// `rv`-extension rely on: a post-snapshot direct write always reads
+    /// as `ver > rv` and forces revalidation.
     #[inline]
-    pub(crate) fn bump_line(&self, line: crate::line::LineId) {
-        self.slots[self.slot_of(line) as usize].fetch_add(2, Ordering::SeqCst);
+    pub(crate) fn bump_line_to(&self, line: crate::line::LineId, ver: u64) {
+        let s = &self.slots[self.slot_of(line) as usize];
+        let mut cur = s.load(Ordering::SeqCst);
+        while Self::version_of(cur) < ver {
+            let new = (ver << 1) | (cur & 1);
+            match s.compare_exchange_weak(cur, new, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => break,
+                Err(w) => cur = w,
+            }
+        }
     }
 
     /// Current version of the slot covering `line` (tests/diagnostics).
@@ -826,6 +849,60 @@ mod tests {
     fn footprint_rejects_oversized_slot_lists() {
         let v = BitLockVector::new(64);
         let _ = Footprint::new(&v, &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn commit_release_stays_visible_past_direct_write_bumps() {
+        // Regression: the old `bump_line` added +1 per direct write
+        // without advancing the global clock, so a hot line could push
+        // its slot's version past `rt.seq`; a committer whose `wv` fell
+        // at or below that version then released with the version word
+        // unchanged, making the commit invisible to readers that logged
+        // the inflated version before it — a missed conflict. With
+        // clock-anchored bumps every stored version is a unique `seq`
+        // draw, so a release always leaves the slot strictly newer than
+        // any pre-commit observation.
+        let rt = Runtime::new_concurrent();
+        let mut ctx = rt.thread(0);
+        let cell = TxCell::new(0u64);
+        let line = crate::line::LineId::of_ptr(cell.raw_ptr());
+        let slot = rt.vlocks.slot_of(line);
+
+        // Hot direct-write traffic: versions must never outrun the clock.
+        for i in 0..8 {
+            cell.store_direct(&mut ctx, i);
+            assert!(rt.vlocks.line_version(line) <= rt.seq.load(Ordering::SeqCst));
+        }
+
+        // A reader logs the current version; a committer locks the slot,
+        // draws its write version and releases. The released word must
+        // differ from the logged one or revalidation cannot catch the
+        // commit.
+        let logged = rt.vlocks.line_version(line);
+        assert!(rt.vlocks.try_lock(slot));
+        let wv = rt.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        rt.vlocks.unlock_commit(slot, wv);
+        assert!(!VersionTable::is_locked(rt.vlocks.load(slot)));
+        assert!(
+            rt.vlocks.line_version(line) > logged,
+            "release left the reader-visible version unchanged"
+        );
+
+        // A bump landing while the slot is locked preserves the lock bit,
+        // and a lower-wv release keeps the higher (later-clock) version.
+        assert!(rt.vlocks.try_lock(slot));
+        let wv2 = rt.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        cell.store_direct(&mut ctx, 99); // clock draw above wv2
+        assert!(VersionTable::is_locked(rt.vlocks.load(slot)));
+        let high = rt.vlocks.line_version(line);
+        assert!(high > wv2);
+        rt.vlocks.unlock_commit(slot, wv2);
+        assert!(!VersionTable::is_locked(rt.vlocks.load(slot)));
+        assert_eq!(
+            rt.vlocks.line_version(line),
+            high,
+            "keep-higher release must preserve the later bump"
+        );
     }
 
     #[test]

@@ -603,9 +603,13 @@ pub struct Runtime {
     mode: Mode,
     pub cost: CostModel,
     /// TL2 global version clock (concurrent mode): monotone, bumped once
-    /// per writing commit and once per completed fallback section. Read
-    /// versions (`EpisodeState::rv`) and optimistic-read snapshots are
-    /// taken from it; commit write-versions are `fetch_add(1) + 1`.
+    /// per writing commit (software TL2 and hardware RTM alike), once per
+    /// completed fallback section, and once per non-quiet direct write
+    /// (whose line-version bump is anchored to the drawn value — see
+    /// `ThreadCtx::bump_line_version`). Read versions
+    /// (`EpisodeState::rv`) and optimistic-read snapshots are taken from
+    /// it; commit write-versions are `fetch_add(1) + 1`. Invariant: no
+    /// slot of `vlocks` ever carries a version above this clock.
     pub(crate) seq: AtomicU64,
     /// TL2 per-line version-lock table (concurrent mode; see
     /// [`crate::lock::VersionTable`] and DESIGN.md §4.5).

@@ -211,6 +211,40 @@ fn hot_cell_increments_survive_contention() {
     assert_eq!(cell.0.load_plain(), THREADS * ITERS);
 }
 
+/// Writing commits on the RTM backend must advance the TL2 clock (the
+/// executor bumps it inside the hardware transaction), otherwise
+/// episode-free optimistic readers validating `seq == snap` would accept
+/// snapshots an elided writer landed in the middle of. Read-only regions
+/// must leave the clock alone. Holds on both the real-RTM and the
+/// software-degraded path, so the test runs regardless of CPU support.
+#[cfg(all(feature = "hw-rtm", target_arch = "x86_64"))]
+#[test]
+fn writing_commits_advance_the_optimistic_clock_on_rtm() {
+    let rt = Runtime::new_concurrent_rtm();
+    eprintln!("rtm_active = {}", rt.rtm_active());
+    let cell = Padded(TxCell::new(0u64));
+    let fb = TxCell::new(0u64);
+    let mut ctx = rt.thread(0);
+
+    let before = ctx.optimistic_snapshot();
+    ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
+        let v = tx.read(&cell.0)?;
+        tx.write(&cell.0, v + 1)
+    });
+    assert!(
+        ctx.optimistic_snapshot() > before,
+        "a writing commit left the optimistic clock unchanged"
+    );
+
+    let mid = ctx.optimistic_snapshot();
+    ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| tx.read(&cell.0));
+    assert_eq!(
+        ctx.optimistic_snapshot(),
+        mid,
+        "a read-only region must not move the clock"
+    );
+}
+
 /// The same lost-update check on the hardware lock-elision backend. Only
 /// meaningful where the CPU exposes RTM; elsewhere the runtime reports
 /// `rtm_active() == false` and transparently uses the software episodes,
