@@ -124,13 +124,26 @@ fn raw_config(threads: usize, ops: u64, seed: u64) -> RunConfig {
         warmup_ops: 0,
         trace_capacity: 0,
         profile: false,
+        sample_every: 0,
+        sample_capacity: 0,
     }
 }
 
 /// Drive `threads` logical threads of `ops` episodes each through the
 /// deterministic scheduler; wall-clock the whole simulation.
-fn run_raw_virtual(scenario: Scenario, threads: usize, ops: u64, seed: u64) -> RunMetrics {
+/// `metrics_on = false` disables the metric registry before any thread
+/// registers a shard — the baseline for the metrics-overhead gate in
+/// EXPERIMENTS.md (every hot-path hook degrades to one never-taken
+/// branch).
+fn run_raw_virtual(
+    scenario: Scenario,
+    threads: usize,
+    ops: u64,
+    seed: u64,
+    metrics_on: bool,
+) -> RunMetrics {
     let rt = Runtime::new_virtual();
+    rt.metrics().set_enabled(metrics_on);
     let arena = Arc::new(Arena::new(SHARED_READ_LINES + threads));
     let mut sched = VirtualScheduler::new(Arc::clone(&rt));
     for t in 0..threads {
@@ -151,7 +164,7 @@ fn run_raw_virtual(scenario: Scenario, threads: usize, ops: u64, seed: u64) -> R
     let t0 = Instant::now();
     let m = sched.run();
     let wall = t0.elapsed().as_secs_f64();
-    RunMetrics::from_wall(m.per_thread.clone(), wall, m.latency.clone())
+    RunMetrics::from_wall(m.per_thread.clone(), m.stages, wall, m.latency.clone())
 }
 
 /// Same scenarios on real OS threads: TL2-style software transactions
@@ -164,8 +177,10 @@ fn run_raw_concurrent(
     ops: u64,
     seed: u64,
     backend: ConcurrentBackend,
+    metrics_on: bool,
 ) -> RunMetrics {
     let rt = Runtime::new_with_backend(Mode::Concurrent, euno_htm::CostModel::default(), backend);
+    rt.metrics().set_enabled(metrics_on);
     let arena = Arc::new(Arena::new(SHARED_READ_LINES + threads));
     let barrier = std::sync::Barrier::new(threads);
     // Each worker stamps its own start/end around the measured loop; the
@@ -173,7 +188,13 @@ fn run_raw_concurrent(
     // thread after its own barrier.wait() is racy: the scheduler may run
     // every worker to completion first (observed on single-CPU hosts at
     // smoke sizes), inflating throughput by orders of magnitude.
-    type WorkerOut = (euno_htm::ThreadStats, LatencyHistogram, Instant, Instant);
+    type WorkerOut = (
+        euno_htm::ThreadStats,
+        euno_metrics::ExecStages,
+        LatencyHistogram,
+        Instant,
+        Instant,
+    );
     let results: Vec<WorkerOut> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..threads {
@@ -192,21 +213,24 @@ fn run_raw_concurrent(
                 }
                 let end = Instant::now();
                 ctx.finish();
-                (ctx.stats, latency, start, end)
+                let stages = ctx.exec_stages();
+                (ctx.stats, stages, latency, start, end)
             }));
         }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    let start = results.iter().map(|r| r.2).min().expect("threads >= 1");
-    let end = results.iter().map(|r| r.3).max().expect("threads >= 1");
+    let start = results.iter().map(|r| r.3).min().expect("threads >= 1");
+    let end = results.iter().map(|r| r.4).max().expect("threads >= 1");
     let wall = (end - start).as_secs_f64();
     let mut latency = LatencyHistogram::new();
     let mut per_thread = Vec::with_capacity(results.len());
-    for (stats, hist, _, _) in results {
+    let mut stages = euno_metrics::ExecStages::default();
+    for (stats, st, hist, _, _) in results {
         latency.merge(&hist);
         per_thread.push(stats);
+        stages.merge(&st);
     }
-    RunMetrics::from_wall(per_thread, wall, latency)
+    RunMetrics::from_wall(per_thread, stages, wall, latency)
 }
 
 /// The full engine under a real tree and the paper's skewed workload,
@@ -221,6 +245,8 @@ fn run_tree_virtual(threads: usize, ops: u64, seed: u64) -> (WorkloadSpec, RunCo
         warmup_ops: 500,
         trace_capacity: 0,
         profile: false,
+        sample_every: 0,
+        sample_capacity: 0,
     };
     let rt = Runtime::new_virtual();
     let map = System::EunoBTree.build_with_strategy(&rt, strategy_for(spec.policy));
@@ -229,7 +255,7 @@ fn run_tree_virtual(threads: usize, ops: u64, seed: u64) -> (WorkloadSpec, RunCo
     let t0 = Instant::now();
     let m = run_virtual(map.as_ref(), &rt, &spec, &cfg);
     let wall = t0.elapsed().as_secs_f64();
-    let metrics = RunMetrics::from_wall(m.per_thread.clone(), wall, m.latency.clone());
+    let metrics = RunMetrics::from_wall(m.per_thread.clone(), m.stages, wall, m.latency.clone());
     (spec, cfg, metrics)
 }
 
@@ -248,9 +274,21 @@ fn main() {
             if !want(&x) {
                 continue;
             }
-            let m = run_raw_virtual(scenario, threads, raw_ops, seed);
+            let m = run_raw_virtual(scenario, threads, raw_ops, seed, true);
             points.push(Point {
                 system: "engine-virtual",
+                x: x.clone(),
+                spec: raw_spec(SHARED_READ_LINES + threads),
+                cfg: raw_config(threads, raw_ops, seed),
+                metrics: m,
+                extra: Vec::new(),
+            });
+            // Metrics-overhead gate: same schedule with the registry
+            // disabled (each hot-path hook is one never-taken branch).
+            // EXPERIMENTS.md compares this row against engine-virtual.
+            let m = run_raw_virtual(scenario, threads, raw_ops, seed, false);
+            points.push(Point {
+                system: "engine-virtual-nometrics",
                 x: x.clone(),
                 spec: raw_spec(SHARED_READ_LINES + threads),
                 cfg: raw_config(threads, raw_ops, seed),
@@ -265,7 +303,8 @@ fn main() {
                 raw_ops
             }
             .max(1_000);
-            let m = run_raw_concurrent(scenario, threads, c_ops, seed, ConcurrentBackend::Stm);
+            let m =
+                run_raw_concurrent(scenario, threads, c_ops, seed, ConcurrentBackend::Stm, true);
             points.push(Point {
                 system: "engine-stm",
                 x: x.clone(),
@@ -274,9 +313,31 @@ fn main() {
                 metrics: m,
                 extra: Vec::new(),
             });
+            let m = run_raw_concurrent(
+                scenario,
+                threads,
+                c_ops,
+                seed,
+                ConcurrentBackend::Stm,
+                false,
+            );
+            points.push(Point {
+                system: "engine-stm-nometrics",
+                x: x.clone(),
+                spec: raw_spec(SHARED_READ_LINES + threads),
+                cfg: raw_config(threads, c_ops, seed),
+                metrics: m,
+                extra: Vec::new(),
+            });
             if euno_htm::hw_rtm_available() {
-                let m =
-                    run_raw_concurrent(scenario, threads, c_ops, seed, ConcurrentBackend::HwRtm);
+                let m = run_raw_concurrent(
+                    scenario,
+                    threads,
+                    c_ops,
+                    seed,
+                    ConcurrentBackend::HwRtm,
+                    true,
+                );
                 points.push(Point {
                     system: "engine-rtm",
                     x,

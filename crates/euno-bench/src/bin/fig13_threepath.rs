@@ -53,13 +53,13 @@ fn main() {
         for system in systems {
             let mut m = measure(system, &spec, &cfg);
             cli.post_cell(&mut m);
-            let commits = m.stats.commits.max(1) as f64;
+            let commits = m.stages.commits.max(1) as f64;
             println!(
                 "{:<20} {:>9.2} {:>9.4} {:>9.4} {:>12}",
                 system.label(),
                 m.mops(),
-                m.stats.fallbacks as f64 / commits,
-                m.stats.middles as f64 / commits,
+                m.stages.fallbacks as f64 / commits,
+                m.stages.middles as f64 / commits,
                 m.latency.quantile(0.99),
             );
             all.push(Point::new(system, theta, &spec, &cfg, m));

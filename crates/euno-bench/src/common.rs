@@ -470,9 +470,9 @@ pub fn write_csv(path: &str, points: &[Point]) -> std::io::Result<()> {
             m.latency.max(),
             m.stats.cycles_backoff,
             m.stats.cycles_fallback_wait,
-            m.stats.ccm_bypass_flips,
-            m.stats.middles,
-            m.stats.middle_attempts,
+            m.stages.ccm_bypass_flips,
+            m.stages.middles,
+            m.stages.middle_attempts,
             m.stats.cycles_middle_wait,
         )?;
     }

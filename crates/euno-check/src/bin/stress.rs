@@ -131,9 +131,9 @@ fn main() {
             r.tree,
             r.history_len,
             r.elapsed_ms,
-            r.stats.commits - r.stats.middles - r.stats.fallbacks,
-            r.stats.middles,
-            r.stats.fallbacks,
+            r.stages.commits - r.stages.middles - r.stages.fallbacks,
+            r.stages.middles,
+            r.stages.fallbacks,
             verdict,
             if r.invariant_violations.is_empty() {
                 "clean".to_string()
@@ -169,6 +169,32 @@ fn main() {
                     for e in &t.events[skip..] {
                         println!("          {e}");
                     }
+                }
+            }
+            if !r.snapshots.is_empty() {
+                // Cumulative counters per snapshot: the deltas between the
+                // last rows localize the failure window.
+                println!("      last {} metric snapshots:", r.snapshots.len().min(8));
+                let skip = r.snapshots.len().saturating_sub(8);
+                for s in &r.snapshots[skip..] {
+                    use euno_metrics::Counter;
+                    println!(
+                        "        t={:>9}us ops={} commits={} aborts(htm/mid) \
+                         conflict={}/{} fallbacks={} flips={}",
+                        s.tick,
+                        s.counters[Counter::Ops.index()],
+                        s.counters[Counter::Commits.index()],
+                        euno_metrics::ABORTS_HTM
+                            .iter()
+                            .map(|c| s.counters[c.index()])
+                            .sum::<u64>(),
+                        euno_metrics::ABORTS_MIDDLE
+                            .iter()
+                            .map(|c| s.counters[c.index()])
+                            .sum::<u64>(),
+                        s.counters[Counter::Fallbacks.index()],
+                        s.flip_events,
+                    );
                 }
             }
         }

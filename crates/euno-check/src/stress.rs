@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use euno_baselines::{HtmBTree, HtmMasstree, Masstree};
 use euno_core::EunoBTreeDefault;
 use euno_htm::{ConcurrentMap, OpKind, OpOutput, Runtime, ThreadStats};
+use euno_metrics::{sample_due, ExecStages, Snapshot, TimeSeries};
 use euno_rng::{Rng, SmallRng};
 use euno_trace::{build_profile, LeafProfile, ThreadTrace, TraceBuf};
 
@@ -151,9 +152,16 @@ pub struct StressReport {
     pub traces: Vec<ThreadTrace>,
     /// Hot-leaf contention profile, when `StressConfig::profile` is set.
     pub profile: Option<LeafProfile>,
-    /// Engine counters merged across every worker thread — how the run's
-    /// commits split across the HTM / middle / fallback paths.
+    /// Engine counters merged across every worker thread.
     pub stats: ThreadStats,
+    /// Executor stage counts merged across every worker thread — how the
+    /// run's commits split across the HTM / middle / fallback paths.
+    pub stages: ExecStages,
+    /// Tail of the metrics sampler's snapshot ring (wall-µs ticks). On a
+    /// linearizability failure the binary dumps these next to the trace
+    /// tails: the counter deltas in the last few windows usually say
+    /// which path the failing interleaving was on.
+    pub snapshots: Vec<Snapshot>,
 }
 
 impl StressReport {
@@ -201,6 +209,8 @@ pub fn run_stress(
     let stop = AtomicBool::new(false);
     let mut traces: Vec<ThreadTrace> = Vec::new();
     let mut stats = ThreadStats::default();
+    let mut stages = ExecStages::default();
+    let mut snapshots: Vec<Snapshot> = Vec::new();
 
     std::thread::scope(|s| {
         let mut workers = Vec::new();
@@ -253,6 +263,7 @@ pub fn run_stress(
                 (
                     ctx.take_tracer().map(|b| b.into_thread_trace()),
                     ctx.stats.clone(),
+                    ctx.exec_stages(),
                 )
             }));
         }
@@ -290,10 +301,34 @@ pub fn run_stress(
             })
         });
 
+        // Metrics sampler: snapshot the runtime's registry every
+        // millisecond into a small ring. The retained tail goes into the
+        // report for the binary's failure dump.
+        let sampler = {
+            let rt = Arc::clone(rt);
+            let stop = &stop;
+            s.spawn(move || {
+                let mut ts = TimeSeries::new(1_000, 64);
+                let t0 = Instant::now();
+                while !stop.load(Ordering::Relaxed) {
+                    let now = t0.elapsed().as_micros() as u64;
+                    if sample_due(&mut ts, now) {
+                        rt.publish_epoch_gauges();
+                        ts.sample(now, rt.metrics());
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                rt.publish_epoch_gauges();
+                ts.sample(t0.elapsed().as_micros() as u64, rt.metrics());
+                ts
+            })
+        };
+
         for h in workers {
-            let (trace, worker_stats) = h.join().expect("stress worker panicked");
+            let (trace, worker_stats, worker_stages) = h.join().expect("stress worker panicked");
             traces.extend(trace);
             stats.merge(&worker_stats);
+            stages.merge(&worker_stages);
         }
         stop.store(true, Ordering::Relaxed);
         if let Some(h) = maintainer {
@@ -304,6 +339,8 @@ pub fn run_stress(
                 seq_watch.observe(&snap);
             }
         }
+        let ts = sampler.join().expect("metrics sampler panicked");
+        snapshots = ts.iter().cloned().collect();
     });
     if let Some(f) = &hooks.seqno_snapshot {
         seq_watch.observe(&f());
@@ -367,6 +404,8 @@ pub fn run_stress(
         traces,
         profile,
         stats,
+        stages,
+        snapshots,
     }
 }
 
@@ -562,17 +601,19 @@ mod tests {
         }
 
         let mut stats = ThreadStats::default();
+        let mut stages = ExecStages::default();
         for mut ctx in ctxs {
             drop(ctx.take_op_observer());
             stats.merge(&ctx.stats);
+            stages.merge(&ctx.exec_stages());
         }
         assert!(
-            stats.middles > 0,
+            stages.middles > 0,
             "virtual abort storm never escalated onto the middle path \
              (commits {}, aborts {}, fallbacks {})",
-            stats.commits,
+            stages.commits,
             stats.aborts.total(),
-            stats.fallbacks
+            stages.fallbacks
         );
 
         let history = std::mem::take(&mut *sink.lock().unwrap());

@@ -175,7 +175,7 @@ impl Ccm {
             // aborting re-enables its CCM without waiting out the window.
             if self.bypass.load_direct(ctx) != 0 {
                 self.bypass.store_direct(ctx, 0);
-                ctx.stats.ccm_bypass_flips += 1;
+                ctx.metric_flip(self as *const Self as u64, false);
                 ctx.trace(EventKind::CcmFlip {
                     addr: self as *const Self as u64,
                     bypass: false,
@@ -202,7 +202,7 @@ impl Ccm {
         let calm = (in_window as f64) <= max_rate * (window as f64);
         if self.bypass.load_direct(ctx) != u64::from(calm) {
             self.bypass.store_direct(ctx, u64::from(calm));
-            ctx.stats.ccm_bypass_flips += 1;
+            ctx.metric_flip(self as *const Self as u64, calm);
             ctx.trace(EventKind::CcmFlip {
                 addr: self as *const Self as u64,
                 bypass: calm,

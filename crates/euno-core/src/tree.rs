@@ -341,14 +341,17 @@ mod tests {
         leaf.ccm.protect_prepublication();
         // A key hashing to an unmarked slot must be answered without
         // entering the lower region: count commits before/after.
-        let commits_before = ctx.stats.commits;
+        let commits_before = ctx.metric(euno_htm::euno_metrics::Counter::Commits);
         let mut probe = 1000u64;
         while leaf.ccm.marks_plain() & (1 << Ccm::slot(probe, 32)) != 0 {
             probe += 1;
         }
         assert_eq!(t.get(&mut ctx, probe), None);
         // Only the upper region committed (1 commit, not 2).
-        assert_eq!(ctx.stats.commits - commits_before, 1);
+        assert_eq!(
+            ctx.metric(euno_htm::euno_metrics::Counter::Commits) - commits_before,
+            1
+        );
     }
 
     #[test]

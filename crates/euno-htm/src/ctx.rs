@@ -147,6 +147,14 @@ pub struct ThreadCtx {
     reclaim: crate::epoch::Participant,
     /// Unpin counter driving the opportunistic collection cadence.
     reclaim_ticks: u64,
+    /// This thread's metrics shard (see `euno-metrics`): single-writer
+    /// atomic counters the sampler reads concurrently. `None` when the
+    /// runtime's registry is disabled — every hook is then one branch.
+    shard: Option<Arc<euno_metrics::ThreadShard>>,
+    /// Per-backend commit counter, resolved once at registration: the
+    /// runtime's mode and RTM availability are fixed at construction, so
+    /// the commit hot path skips the match.
+    backend_commit: euno_metrics::Counter,
 }
 
 /// Run a reclamation pass every this many operation unpins per thread:
@@ -177,6 +185,25 @@ pub(crate) fn trace_conflict_code(kind: ConflictKind) -> u8 {
     }
 }
 
+/// Map an [`AbortCause`] to its abort-bucket index — the same order as
+/// [`AbortCounts`](crate::stats::AbortCounts)'s fields and the
+/// `euno_metrics::ABORTS_HTM`/`ABORTS_MIDDLE` counter arrays.
+pub(crate) fn abort_bucket(cause: &AbortCause) -> usize {
+    match cause {
+        AbortCause::Conflict(ci) => match ci.kind {
+            ConflictKind::TrueSameRecord => 0,
+            ConflictKind::FalseDifferentRecord => 1,
+            ConflictKind::FalseMetadata => 2,
+            ConflictKind::FalseStructure => 3,
+            ConflictKind::Unclassified => 4,
+        },
+        AbortCause::Capacity => 5,
+        AbortCause::Explicit(_) => 6,
+        AbortCause::Spurious => 7,
+        AbortCause::FallbackLocked => 8,
+    }
+}
+
 /// Map an [`AbortCause`] to its `euno-trace` code point plus the
 /// conflicting line's base address (0 when the cause carries none).
 pub(crate) fn trace_abort_code(cause: &AbortCause) -> (u8, u64) {
@@ -192,6 +219,17 @@ pub(crate) fn trace_abort_code(cause: &AbortCause) -> (u8, u64) {
 impl ThreadCtx {
     pub(crate) fn new(rt: Arc<Runtime>, id: u32, seed: u64) -> Self {
         let reclaim = rt.epoch().register();
+        let shard = rt.metrics().register_shard();
+        let backend_commit = match rt.mode() {
+            Mode::Virtual => euno_metrics::Counter::CommitsVirtual,
+            Mode::Concurrent => {
+                if rt.rtm_active() {
+                    euno_metrics::Counter::CommitsRtm
+                } else {
+                    euno_metrics::Counter::CommitsStm
+                }
+            }
+        };
         ThreadCtx {
             rt,
             id,
@@ -206,6 +244,8 @@ impl ThreadCtx {
             tracer: None,
             reclaim,
             reclaim_ticks: 0,
+            shard,
+            backend_commit,
         }
     }
 
@@ -246,6 +286,152 @@ impl ThreadCtx {
     pub fn trace(&mut self, kind: EventKind) {
         if let Some(t) = self.tracer.as_mut() {
             t.push(self.clock, self.id, kind);
+        }
+    }
+
+    // ================= always-on metrics (euno-metrics) =================
+
+    /// Bump one metrics counter on this thread's shard. With the registry
+    /// disabled this is a single branch — the instrumentation points stay
+    /// in the hot paths permanently, like `trace`. Metrics never charge
+    /// cycles and never touch the RNG, so they are schedule-neutral.
+    #[inline]
+    pub fn metric_add(&self, c: euno_metrics::Counter, n: u64) {
+        if let Some(s) = self.shard.as_ref() {
+            s.add(c, n);
+        }
+    }
+
+    /// Read one counter back from this thread's shard (tests, drivers).
+    #[inline]
+    pub fn metric(&self, c: euno_metrics::Counter) -> u64 {
+        self.shard.as_ref().map_or(0, |s| s.get(c))
+    }
+
+    /// This thread's executor-stage counters (attempts/commits/middles/…)
+    /// as one struct, read from the metrics shard.
+    pub fn exec_stages(&self) -> euno_metrics::ExecStages {
+        self.shard
+            .as_ref()
+            .map(|s| s.exec_stages())
+            .unwrap_or_default()
+    }
+
+    /// Record one operation latency (virtual cycles or wall µs) into this
+    /// thread's shard histogram.
+    #[inline]
+    pub fn metric_record_latency(&self, v: u64) {
+        if let Some(s) = self.shard.as_ref() {
+            s.record_latency(v);
+        }
+    }
+
+    /// Snapshot this shard's counters so a warmup span can be rolled back
+    /// (paired with [`ThreadCtx::metrics_restore`]); symmetric with the
+    /// `ThreadStats` clone/restore the harness already does.
+    pub fn metrics_mark(&self) -> Option<euno_metrics::ShardMark> {
+        self.shard.as_ref().map(|s| s.mark())
+    }
+
+    /// Roll the shard's counters back to a [`ThreadCtx::metrics_mark`].
+    pub fn metrics_restore(&self, mark: &Option<euno_metrics::ShardMark>) {
+        if let (Some(s), Some(m)) = (self.shard.as_ref(), mark.as_ref()) {
+            s.restore(m);
+        }
+    }
+
+    /// Record one CCM bypass-state flip: directional counters on the shard
+    /// plus a timestamped event in the registry's flip log (from which the
+    /// sampler derives the adaptation-lag metric).
+    pub fn metric_flip(&self, addr: u64, bypass: bool) {
+        if let Some(s) = self.shard.as_ref() {
+            s.add(euno_metrics::Counter::CcmBypassFlips, 1);
+            s.add(
+                if bypass {
+                    euno_metrics::Counter::CcmFlipsToBypass
+                } else {
+                    euno_metrics::Counter::CcmFlipsToProtect
+                },
+                1,
+            );
+            self.rt.metrics().record_flip(self.clock, addr, bypass);
+        }
+    }
+
+    /// Flush a committed episode's batched executor counters to the shard
+    /// in a single pass: commit counters (total, per-path, per-backend)
+    /// plus the retry-loop accumulators. The retry loop counts attempts /
+    /// middle attempts / backoffs / per-cause aborts in plain executor
+    /// locals, so the per-iteration hot path costs no shard traffic at
+    /// all; only episode completion touches the atomics, and a first-try
+    /// commit — the common case — is four counter bumps behind one branch.
+    #[inline]
+    pub(crate) fn metric_commit_episode(
+        &self,
+        middle: bool,
+        attempts: u32,
+        middle_attempts: u32,
+        backoffs: u32,
+        aborts_htm: &[u32; euno_metrics::ABORT_BUCKETS],
+        aborts_middle: &[u32; euno_metrics::ABORT_BUCKETS],
+    ) {
+        use euno_metrics::Counter as C;
+        if let Some(s) = self.shard.as_ref() {
+            s.add(C::Commits, 1);
+            s.add(if middle { C::Middles } else { C::CommitsHtm }, 1);
+            s.add(self.backend_commit, 1);
+            s.add(C::Attempts, u64::from(attempts));
+            if attempts == 1 {
+                // First-try commit: no aborts, no backoffs, no middle path
+                // (each implies a second attempt) — skip the bucket scans.
+                return;
+            }
+            Self::episode_tail(s, middle_attempts, backoffs, aborts_htm, aborts_middle);
+        }
+    }
+
+    /// Flush an episode that escalated to the fallback path (no commit
+    /// counters — the serial section is counted separately as a Fallback).
+    #[inline]
+    pub(crate) fn metric_episode(
+        &self,
+        attempts: u32,
+        middle_attempts: u32,
+        backoffs: u32,
+        aborts_htm: &[u32; euno_metrics::ABORT_BUCKETS],
+        aborts_middle: &[u32; euno_metrics::ABORT_BUCKETS],
+    ) {
+        if let Some(s) = self.shard.as_ref() {
+            s.add(euno_metrics::Counter::Attempts, u64::from(attempts));
+            Self::episode_tail(s, middle_attempts, backoffs, aborts_htm, aborts_middle);
+        }
+    }
+
+    /// Shared slow tail of the episode flush: the conditional counters an
+    /// aborted-at-least-once episode may have accumulated.
+    fn episode_tail(
+        s: &euno_metrics::ThreadShard,
+        middle_attempts: u32,
+        backoffs: u32,
+        aborts_htm: &[u32; euno_metrics::ABORT_BUCKETS],
+        aborts_middle: &[u32; euno_metrics::ABORT_BUCKETS],
+    ) {
+        use euno_metrics::Counter as C;
+        if middle_attempts > 0 {
+            s.add(C::MiddleAttempts, u64::from(middle_attempts));
+        }
+        if backoffs > 0 {
+            s.add(C::Backoffs, u64::from(backoffs));
+        }
+        for (i, &n) in aborts_htm.iter().enumerate() {
+            if n > 0 {
+                s.add(euno_metrics::ABORTS_HTM[i], u64::from(n));
+            }
+        }
+        for (i, &n) in aborts_middle.iter().enumerate() {
+            if n > 0 {
+                s.add(euno_metrics::ABORTS_MIDDLE[i], u64::from(n));
+            }
         }
     }
 
@@ -808,6 +994,7 @@ impl ThreadCtx {
             // and a capped wait aborts as a conflict instead of spinning
             // forever behind a preempted committer.
             pauses += 1;
+            self.metric_add(euno_metrics::Counter::Tl2ReadWaits, 1);
             if pauses > Self::TL2_READ_MAX_PAUSES {
                 return Err(self.line_conflict_cause(line));
             }
@@ -818,6 +1005,7 @@ impl ThreadCtx {
             // The line committed after our snapshot point: extend the
             // read version to now, which is sound iff everything read so
             // far is still at its logged version.
+            self.metric_add(euno_metrics::Counter::Tl2Extensions, 1);
             let new_rv = self.rt.seq.load(Ordering::SeqCst);
             let bad = {
                 let ep = self.ep.as_ref().unwrap();
@@ -831,6 +1019,7 @@ impl ThreadCtx {
                     .map(|&(l, _)| l)
             };
             if let Some(l) = bad {
+                self.metric_add(euno_metrics::Counter::Tl2ValidationFails, 1);
                 return Err(self.line_conflict_cause(l));
             }
             self.ep.as_mut().unwrap().rv = new_rv;
@@ -848,6 +1037,7 @@ impl ThreadCtx {
             }
         };
         if !consistent {
+            self.metric_add(euno_metrics::Counter::Tl2ValidationFails, 1);
             return Err(self.line_conflict_cause(line));
         }
         Ok(v)
@@ -918,10 +1108,12 @@ impl ThreadCtx {
             let mut tries = 0u32;
             loop {
                 if self.rt.vlocks.try_lock(slot) {
+                    self.metric_add(euno_metrics::Counter::Tl2LockAcquires, 1);
                     break;
                 }
                 tries += 1;
                 if tries > Self::TL2_COMMIT_MAX_TRIES {
+                    self.metric_add(euno_metrics::Counter::Tl2LockFails, 1);
                     for &held in &ep.wslots[..i] {
                         self.rt.vlocks.unlock_abort(held);
                     }
@@ -959,6 +1151,7 @@ impl ThreadCtx {
             let locked_by_other =
                 crate::lock::VersionTable::is_locked(w) && ep.wslots.binary_search(&slot).is_err();
             if locked_by_other || crate::lock::VersionTable::version_of(w) != lv {
+                self.metric_add(euno_metrics::Counter::Tl2ValidationFails, 1);
                 Self::abort_writeback(&self.rt, &ep);
                 let cause = {
                     self.ep = Some(ep);

@@ -308,15 +308,15 @@ impl RetryStrategy for AdaptiveBudget {
 }
 
 /// Hooks called at each executor stage transition. The default methods
-/// maintain the existing [`ThreadStats`] counters (attempts, commits,
-/// aborts, wasted cycles, fallbacks) — the figures are derived from them,
-/// so an observer that overrides a hook and still wants the figures to
-/// work must keep the counter updates.
+/// maintain the [`ThreadStats`] *cycle and abort-cause* accounting; the
+/// stage **counts** themselves (attempts, commits, middles, fallbacks,
+/// backoffs) are maintained by the executor directly on the thread's
+/// `euno-metrics` shard, so they are correct regardless of which observer
+/// is installed. An observer that overrides a cycle hook and still wants
+/// the figures to work must keep those updates.
 pub trait ExecObserver {
     /// A transaction attempt is about to run (episode already open).
-    fn on_attempt(&mut self, stats: &mut ThreadStats) {
-        stats.attempts += 1;
-    }
+    fn on_attempt(&mut self, _stats: &mut ThreadStats) {}
 
     /// An attempt aborted; `wasted_cycles` includes the abort penalty and
     /// is net of the eager-detection refund.
@@ -328,7 +328,6 @@ pub trait ExecObserver {
     /// The decide stage asked for backoff before the next attempt.
     fn on_backoff(&mut self, stats: &mut ThreadStats, cycles: u64) {
         stats.cycles_wasted += cycles;
-        stats.backoffs += 1;
         stats.cycles_backoff += cycles;
     }
 
@@ -342,9 +341,7 @@ pub trait ExecObserver {
 
     /// A middle-path attempt is about to run: the region's footprint slot
     /// locks were just acquired (the episode is not yet open).
-    fn on_middle_attempt(&mut self, stats: &mut ThreadStats) {
-        stats.middle_attempts += 1;
-    }
+    fn on_middle_attempt(&mut self, _stats: &mut ThreadStats) {}
 
     /// The thread waited `cycles` acquiring a middle-path footprint's
     /// slot locks.
@@ -355,20 +352,13 @@ pub trait ExecObserver {
     /// An attempt committed; `attempts` counts all tries including this
     /// one, and `path` says whether it was a plain ([`Path::Htm`]) or
     /// footprint-locked ([`Path::Middle`]) commit.
-    fn on_commit(&mut self, stats: &mut ThreadStats, _attempts: u32, path: Path) {
-        stats.commits += 1;
-        if path == Path::Middle {
-            stats.middles += 1;
-        }
-    }
+    fn on_commit(&mut self, _stats: &mut ThreadStats, _attempts: u32, _path: Path) {}
 
     /// The region completed on the serialized fallback path.
-    fn on_fallback(&mut self, stats: &mut ThreadStats) {
-        stats.fallbacks += 1;
-    }
+    fn on_fallback(&mut self, _stats: &mut ThreadStats) {}
 }
 
-/// The default observer: exactly the [`ThreadStats`] counter updates.
+/// The default observer: exactly the default cycle/abort accounting.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StatsObserver;
 
@@ -420,6 +410,13 @@ impl<'e> Executor<'e> {
         let mut attempts = 0u32;
         let mut conflict_aborts = 0u32;
         let mut on_middle = false;
+        // Metric accumulators: plain locals, flushed to the thread's shard
+        // in one pass at episode completion (ThreadCtx::metric_episode) so
+        // the retry loop itself never touches the shard atomics.
+        let mut middle_attempts = 0u32;
+        let mut backoffs = 0u32;
+        let mut ab_htm = [0u32; euno_metrics::ABORT_BUCKETS];
+        let mut ab_mid = [0u32; euno_metrics::ABORT_BUCKETS];
 
         loop {
             attempts += 1;
@@ -433,6 +430,7 @@ impl<'e> Executor<'e> {
                 fp.acquire_all(ctx);
                 let waited = ctx.stats.cycles_lock_wait - wait_before;
                 self.observer.on_middle_attempt(&mut ctx.stats);
+                middle_attempts += 1;
                 if waited > 0 {
                     self.observer.on_middle_wait(&mut ctx.stats, waited);
                     ctx.trace(EventKind::MiddleWait { cycles: waited });
@@ -450,6 +448,14 @@ impl<'e> Executor<'e> {
                     }
                     let path = if on_middle { Path::Middle } else { Path::Htm };
                     self.observer.on_commit(&mut ctx.stats, attempts, path);
+                    ctx.metric_commit_episode(
+                        on_middle,
+                        attempts,
+                        middle_attempts,
+                        backoffs,
+                        &ab_htm,
+                        &ab_mid,
+                    );
                     self.strategy.observe_region(attempts, path);
                     return ExecOutcome {
                         value: v,
@@ -466,8 +472,17 @@ impl<'e> Executor<'e> {
                         fp.release_all(ctx);
                     }
                     self.observer.on_abort(&mut ctx.stats, cause, wasted);
+                    let bucket = crate::ctx::abort_bucket(&cause);
+                    if on_middle {
+                        ab_mid[bucket] += 1;
+                    } else {
+                        ab_htm[bucket] += 1;
+                    }
                     match self.strategy.decide(&counts, cause) {
-                        Decision::Retry { backoff: true } => self.backoff(ctx, &counts),
+                        Decision::Retry { backoff: true } => {
+                            backoffs += 1;
+                            self.backoff(ctx, &counts)
+                        }
                         Decision::Retry { backoff: false } => {}
                         Decision::Middle => {
                             counts.middle += 1;
@@ -487,8 +502,10 @@ impl<'e> Executor<'e> {
             }
         }
 
+        ctx.metric_episode(attempts, middle_attempts, backoffs, &ab_htm, &ab_mid);
         let value = self.fallback(ctx, &mut body);
         self.observer.on_fallback(&mut ctx.stats);
+        ctx.metric_add(euno_metrics::Counter::Fallbacks, 1);
         self.strategy.observe_region(attempts, Path::Fallback);
         ExecOutcome {
             value,
@@ -827,7 +844,7 @@ mod tests {
         assert_eq!(out.path, Path::Htm);
         assert_eq!(out.attempts, 1);
         assert_eq!(cell.load_plain(), 6);
-        assert_eq!(ctx.stats.commits, 1);
+        assert_eq!(ctx.exec_stages().commits, 1);
     }
 
     #[test]
@@ -999,7 +1016,7 @@ mod tests {
         });
         assert!(out.used_fallback());
         assert_eq!(cell.load_plain(), 1);
-        assert_eq!(ctx.stats.fallbacks, 1);
+        assert_eq!(ctx.exec_stages().fallbacks, 1);
         assert_eq!(fb.load_plain(), 0, "fallback lock must be released");
     }
 
@@ -1116,25 +1133,19 @@ mod tests {
             fallbacks: u32,
         }
         impl ExecObserver for Recorder {
-            fn on_attempt(&mut self, stats: &mut ThreadStats) {
+            fn on_attempt(&mut self, _stats: &mut ThreadStats) {
                 self.attempts += 1;
-                stats.attempts += 1;
             }
             fn on_abort(&mut self, stats: &mut ThreadStats, cause: AbortCause, wasted: u64) {
                 self.aborts += 1;
                 stats.cycles_wasted += wasted;
                 stats.aborts.record(cause);
             }
-            fn on_commit(&mut self, stats: &mut ThreadStats, _attempts: u32, path: Path) {
+            fn on_commit(&mut self, _stats: &mut ThreadStats, _attempts: u32, _path: Path) {
                 self.commits += 1;
-                stats.commits += 1;
-                if path == Path::Middle {
-                    stats.middles += 1;
-                }
             }
-            fn on_fallback(&mut self, stats: &mut ThreadStats) {
+            fn on_fallback(&mut self, _stats: &mut ThreadStats) {
                 self.fallbacks += 1;
-                stats.fallbacks += 1;
             }
         }
 
@@ -1158,8 +1169,8 @@ mod tests {
         assert_eq!(rec.aborts, 1);
         assert_eq!(rec.commits, 0);
         assert_eq!(rec.fallbacks, 1);
-        assert_eq!(ctx.stats.attempts, 1);
-        assert_eq!(ctx.stats.fallbacks, 1);
+        assert_eq!(ctx.exec_stages().attempts, 1);
+        assert_eq!(ctx.exec_stages().fallbacks, 1);
     }
 
     #[test]
@@ -1177,7 +1188,10 @@ mod tests {
             let v = tx.read(&cell)?;
             tx.write(&cell, v + 1)
         });
-        assert!(b.stats.backoffs >= 1, "conflict retries must back off");
+        assert!(
+            b.exec_stages().backoffs >= 1,
+            "conflict retries must back off"
+        );
         assert!(b.stats.cycles_backoff > 0);
         assert!(b.stats.cycles_backoff <= b.stats.cycles_wasted);
 
@@ -1214,23 +1228,22 @@ mod tests {
         assert!(waiter.stats.cycles_fallback_wait <= waiter.stats.cycles_lock_wait);
     }
 
-    /// Satellite audit: every [`ExecObserver`] hook must land in exactly
-    /// one `ThreadStats` counter family via the default [`StatsObserver`],
-    /// and each hook invocation must increment its counter exactly once.
+    /// Satellite audit of the split accounting contract: the default
+    /// [`StatsObserver`] hooks maintain exactly the *cycle and abort-cause*
+    /// side of [`ThreadStats`] (stage counts live on the metrics shard and
+    /// are the executor's job — see the test below), and each cycle hook
+    /// adds its contribution exactly once.
     #[test]
-    fn stats_observer_covers_every_hook_exactly_once() {
+    fn stats_observer_covers_cycle_accounting_exactly_once() {
         let mut stats = ThreadStats::default();
         let mut obs = StatsObserver;
 
         obs.on_attempt(&mut stats);
-        assert_eq!(stats.attempts, 1);
-
         obs.on_abort(&mut stats, AbortCause::Spurious, 7);
         assert_eq!(stats.aborts.total(), 1);
         assert_eq!(stats.cycles_wasted, 7);
 
         obs.on_backoff(&mut stats, 5);
-        assert_eq!(stats.backoffs, 1);
         assert_eq!(stats.cycles_backoff, 5);
         assert_eq!(stats.cycles_wasted, 12, "backoff also counts as waste");
 
@@ -1238,40 +1251,64 @@ mod tests {
         assert_eq!(stats.cycles_fallback_wait, 9);
 
         obs.on_middle_attempt(&mut stats);
-        assert_eq!(stats.middle_attempts, 1);
-
         obs.on_middle_wait(&mut stats, 4);
         assert_eq!(stats.cycles_middle_wait, 4);
 
         obs.on_commit(&mut stats, 3, Path::Htm);
-        assert_eq!(stats.commits, 1);
-        assert_eq!(stats.middles, 0, "a plain HTM commit is not a middle");
-
         obs.on_fallback(&mut stats);
-        assert_eq!(stats.fallbacks, 1);
 
-        // Second round: each hook must add exactly one more unit — no
-        // hook is a no-op and none double-counts. A Path::Middle commit
-        // additionally lands in the `middles` counter.
-        obs.on_attempt(&mut stats);
+        // Second round: each cycle hook must add exactly one more unit —
+        // none double-counts.
         obs.on_abort(&mut stats, AbortCause::Capacity, 1);
         obs.on_backoff(&mut stats, 1);
         obs.on_fallback_wait(&mut stats, 1);
-        obs.on_middle_attempt(&mut stats);
         obs.on_middle_wait(&mut stats, 1);
-        obs.on_commit(&mut stats, 1, Path::Middle);
-        obs.on_fallback(&mut stats);
-        assert_eq!(stats.attempts, 2);
         assert_eq!(stats.aborts.total(), 2);
-        assert_eq!(stats.backoffs, 2);
         assert_eq!(stats.cycles_backoff, 6);
         assert_eq!(stats.cycles_fallback_wait, 10);
-        assert_eq!(stats.middle_attempts, 2);
         assert_eq!(stats.cycles_middle_wait, 5);
-        assert_eq!(stats.commits, 2);
-        assert_eq!(stats.middles, 1);
-        assert_eq!(stats.fallbacks, 2);
         assert_eq!(stats.cycles_wasted, 14);
+    }
+
+    /// The stage counts the report is built from are maintained by the
+    /// executor on the thread's metrics shard — exactly once per stage
+    /// transition, including the per-path commit and abort breakdowns.
+    #[test]
+    fn executor_maintains_shard_stage_counters_exactly_once() {
+        use euno_metrics::Counter as C;
+        let (_rt, mut ctx) = vctx();
+        let fb = TxCell::new(0u64);
+        let cell = TxCell::new(0u64);
+        let mut first = true;
+        let out = ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
+            if !tx.is_fallback() && first {
+                first = false;
+                return tx.explicit_abort(1);
+            }
+            let v = tx.read(&cell)?;
+            tx.write(&cell, v + 1)
+        });
+        // Explicit aborts have no default budget: one attempt, one
+        // explicit abort, then the fallback completes the region.
+        assert!(out.used_fallback());
+        assert_eq!(ctx.metric(C::Attempts), 1);
+        assert_eq!(ctx.metric(C::AbortsHtmExplicit), 1);
+        assert_eq!(ctx.metric(C::Fallbacks), 1);
+        assert_eq!(ctx.metric(C::Commits), 0);
+
+        // A clean commit lands in the total, the per-path and the
+        // per-backend counter exactly once.
+        let out = ctx.htm_execute(&fb, &RetryPolicy::default(), |tx| {
+            let v = tx.read(&cell)?;
+            tx.write(&cell, v + 1)
+        });
+        assert_eq!(out.path, Path::Htm);
+        assert_eq!(ctx.metric(C::Commits), 1);
+        assert_eq!(ctx.metric(C::CommitsHtm), 1);
+        assert_eq!(ctx.metric(C::CommitsVirtual), 1);
+        assert_eq!(ctx.metric(C::CommitsStm), 0);
+        assert_eq!(ctx.metric(C::Middles), 0);
+        assert_eq!(ctx.metric(C::Attempts), 2);
     }
 
     /// The executor's trace stream must pair every `EpisodeBegin` with a
@@ -1376,10 +1413,10 @@ mod tests {
         assert_eq!(out.attempts, 2);
         assert!(!out.used_fallback());
         assert_eq!(cell.load_plain(), 1);
-        assert_eq!(ctx.stats.commits, 1);
-        assert_eq!(ctx.stats.middles, 1);
-        assert_eq!(ctx.stats.middle_attempts, 1);
-        assert_eq!(ctx.stats.fallbacks, 0);
+        assert_eq!(ctx.exec_stages().commits, 1);
+        assert_eq!(ctx.exec_stages().middles, 1);
+        assert_eq!(ctx.exec_stages().middle_attempts, 1);
+        assert_eq!(ctx.exec_stages().fallbacks, 0);
         assert_eq!(fb.load_plain(), 0, "global fallback lock never taken");
         // Both slot locks were released after the commit.
         assert!(!locks.is_locked(&mut ctx, 3));
@@ -1414,9 +1451,9 @@ mod tests {
             tx.write(&cell, v + 1)
         });
         assert_eq!(out.path, Path::Fallback);
-        assert_eq!(ctx.stats.middle_attempts, 0);
-        assert_eq!(ctx.stats.middles, 0);
-        assert_eq!(ctx.stats.fallbacks, 1);
+        assert_eq!(ctx.exec_stages().middle_attempts, 0);
+        assert_eq!(ctx.exec_stages().middles, 0);
+        assert_eq!(ctx.exec_stages().fallbacks, 1);
         assert_eq!(cell.load_plain(), 1);
     }
 
@@ -1440,9 +1477,9 @@ mod tests {
         });
         assert_eq!(out.path, Path::Fallback);
         assert_eq!(out.attempts, 3, "1 htm + 2 middle grants");
-        assert_eq!(ctx.stats.middle_attempts, 2);
-        assert_eq!(ctx.stats.middles, 0, "no middle attempt committed");
-        assert_eq!(ctx.stats.fallbacks, 1);
+        assert_eq!(ctx.exec_stages().middle_attempts, 2);
+        assert_eq!(ctx.exec_stages().middles, 0, "no middle attempt committed");
+        assert_eq!(ctx.exec_stages().fallbacks, 1);
         assert_eq!(cell.load_plain(), 1);
         assert!(!locks.is_locked(&mut ctx, 11), "aborts must release slots");
         assert_eq!(fb.load_plain(), 0);
@@ -1506,7 +1543,7 @@ mod tests {
             }
         });
         assert_eq!(out.path, Path::Fallback);
-        assert_eq!(ctx.stats.middle_attempts, 0);
+        assert_eq!(ctx.exec_stages().middle_attempts, 0);
         assert_eq!(ctx.stats.cycles_middle_wait, 0);
         assert_eq!(cell.load_plain(), 1);
     }

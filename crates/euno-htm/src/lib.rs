@@ -85,3 +85,7 @@ pub use word::{TxCell, TxWord};
 // Trace-layer types, re-exported so downstream crates can install ring
 // buffers and build profiles without depending on euno-trace directly.
 pub use euno_trace::{codes as trace_codes, Event, EventKind, ThreadTrace, TraceBuf};
+
+/// The metrics crate, re-exported whole so engine consumers can name
+/// counters ([`euno_metrics::Counter`]) without a direct dependency.
+pub use euno_metrics;

@@ -90,6 +90,7 @@ impl Default for SpinBackoff {
 /// taken. Returns the cycles spent waiting.
 pub fn acquire_mask_blocking(ctx: &mut ThreadCtx, word: &TxCell<u64>, mask: u64, vkey: u64) -> u64 {
     debug_assert!(mask != 0);
+    ctx.metric_add(euno_metrics::Counter::AdvisoryAcquires, 1);
     let wait_before = ctx.stats.cycles_lock_wait;
     match ctx.mode() {
         Mode::Concurrent => {
@@ -118,7 +119,11 @@ pub fn acquire_mask_blocking(ctx: &mut ThreadCtx, word: &TxCell<u64>, mask: u64,
             debug_assert_eq!(prev & mask, 0, "virtual lock bits must be free");
         }
     }
-    ctx.stats.cycles_lock_wait - wait_before
+    let waited = ctx.stats.cycles_lock_wait - wait_before;
+    if waited > 0 {
+        ctx.metric_add(euno_metrics::Counter::AdvisoryWaits, 1);
+    }
+    waited
 }
 
 /// Release counterpart of [`acquire_mask_blocking`]: records the virtual

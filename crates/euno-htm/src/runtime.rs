@@ -642,6 +642,10 @@ pub struct Runtime {
     /// free here. Charges no cycles and draws no engine randomness, so it
     /// is invisible to the virtual-time schedule.
     epoch: crate::epoch::Collector,
+    /// Always-on metric registry (per-thread counter shards, gauges, CCM
+    /// flip log). Like the epoch collector it charges no cycles and draws
+    /// no engine randomness — invisible to the virtual-time schedule.
+    metrics: euno_metrics::Registry,
     /// Monotonic source for thread ids handed out by [`Runtime::thread`].
     next_thread: AtomicU64,
 }
@@ -674,6 +678,7 @@ impl Runtime {
             classes: ClassRegistry::new(),
             objects: ObjectRegistry::new(),
             epoch: crate::epoch::Collector::new(),
+            metrics: euno_metrics::Registry::new(),
             next_thread: AtomicU64::new(0),
         })
     }
@@ -727,6 +732,30 @@ impl Runtime {
     #[inline]
     pub fn epoch(&self) -> &crate::epoch::Collector {
         &self.epoch
+    }
+
+    /// The metric registry: per-thread counter shards, epoch gauges and
+    /// the CCM flip log. Disable *before* creating threads (e.g. for an
+    /// overhead baseline) with `rt.metrics().set_enabled(false)` — threads
+    /// registered while disabled carry no shard.
+    #[inline]
+    pub fn metrics(&self) -> &euno_metrics::Registry {
+        &self.metrics
+    }
+
+    /// Refresh the epoch-reclamation gauges from the collector (samplers
+    /// call this right before each snapshot).
+    pub fn publish_epoch_gauges(&self) {
+        self.metrics.set_gauge(
+            euno_metrics::Gauge::EpochRetiredPending,
+            self.epoch.pending() as u64,
+        );
+        self.metrics.set_gauge(
+            euno_metrics::Gauge::EpochRetiredPendingBytes,
+            self.epoch.pending_bytes() as u64,
+        );
+        self.metrics
+            .set_gauge(euno_metrics::Gauge::EpochReclaimed, self.epoch.reclaimed());
     }
 
     /// Create a per-thread execution handle with a deterministic RNG seed.
@@ -905,6 +934,10 @@ impl Runtime {
         virt.index_stale = 0;
         virt.locks.clear();
         virt.recent_writes.clear();
+        drop(virt);
+        // Preload / warmup traffic must not leak into measured metric
+        // totals; registered threads keep their shard handles.
+        self.metrics.reset();
     }
 }
 

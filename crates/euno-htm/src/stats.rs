@@ -10,22 +10,16 @@ use crate::abort::{AbortCause, ConflictKind};
 
 /// Counters kept by one (virtual or OS) thread. Plain integers — each
 /// thread owns its counters; aggregation happens after the run.
+///
+/// Stage **counts** (attempts, commits, middles, fallbacks, backoffs, CCM
+/// flips) live in the thread's `euno-metrics` shard, not here — read them
+/// via [`ThreadCtx::exec_stages`](crate::ThreadCtx::exec_stages). This
+/// struct keeps what the shard does not: cycle accounting, the abort-cause
+/// taxonomy, and memory/CAS instruction proxies.
 #[derive(Clone, Debug, Default)]
 pub struct ThreadStats {
     /// Completed top-level operations (get/put/delete/scan).
     pub ops: u64,
-    /// Committed HTM transactions.
-    pub commits: u64,
-    /// HTM transaction attempts that started (commits + aborts).
-    pub attempts: u64,
-    /// Fallback-path executions (lock acquired after retry exhaustion).
-    pub fallbacks: u64,
-    /// Regions completed on the footprint-local middle path (committed an
-    /// HTM episode while holding the region's advisory slot locks).
-    pub middles: u64,
-    /// HTM attempts made while holding a middle-path footprint (a subset
-    /// of `attempts`).
-    pub middle_attempts: u64,
     /// Aborts by cause.
     pub aborts: AbortCounts,
     /// Optimistic-episode retries (Masstree-style version-validation
@@ -45,8 +39,6 @@ pub struct ThreadStats {
     pub cycles_wasted: u64,
     /// Virtual cycles spent waiting for advisory locks and the fallback lock.
     pub cycles_lock_wait: u64,
-    /// Backoff pauses taken between transaction retries.
-    pub backoffs: u64,
     /// Virtual cycles spent in retry backoff (also counted in
     /// `cycles_wasted`).
     pub cycles_backoff: u64,
@@ -56,9 +48,6 @@ pub struct ThreadStats {
     /// Virtual cycles spent acquiring middle-path footprint slot locks
     /// (also counted in `cycles_lock_wait`).
     pub cycles_middle_wait: u64,
-    /// Per-leaf adaptive-CCM `bypass` transitions this thread performed
-    /// (protect ↔ bypass, either direction).
-    pub ccm_bypass_flips: u64,
     /// Instrumented memory accesses (instruction-count proxy; used for the
     /// "Masstree executes ~2.1× the instructions" comparison in §5.2).
     pub mem_accesses: u64,
@@ -136,11 +125,6 @@ impl AbortCounts {
 impl ThreadStats {
     pub fn merge(&mut self, other: &ThreadStats) {
         self.ops += other.ops;
-        self.commits += other.commits;
-        self.attempts += other.attempts;
-        self.fallbacks += other.fallbacks;
-        self.middles += other.middles;
-        self.middle_attempts += other.middle_attempts;
         self.aborts.merge(&other.aborts);
         self.optimistic_retries += other.optimistic_retries;
         self.cycles_total += other.cycles_total;
@@ -153,11 +137,9 @@ impl ThreadStats {
         };
         self.cycles_wasted += other.cycles_wasted;
         self.cycles_lock_wait += other.cycles_lock_wait;
-        self.backoffs += other.backoffs;
         self.cycles_backoff += other.cycles_backoff;
         self.cycles_fallback_wait += other.cycles_fallback_wait;
         self.cycles_middle_wait += other.cycles_middle_wait;
-        self.ccm_bypass_flips += other.ccm_bypass_flips;
         self.mem_accesses += other.mem_accesses;
         self.cas_ops += other.cas_ops;
         self.episode_pool_allocs += other.episode_pool_allocs;
@@ -279,27 +261,19 @@ mod tests {
     }
 
     #[test]
-    fn merge_adds_stage_counters() {
+    fn merge_adds_stage_cycle_counters() {
         let mut a = ThreadStats::default();
         let b = ThreadStats {
-            backoffs: 3,
             cycles_backoff: 120,
             cycles_fallback_wait: 55,
             cycles_middle_wait: 17,
-            middles: 5,
-            middle_attempts: 9,
-            ccm_bypass_flips: 2,
             ..Default::default()
         };
         a.merge(&b);
         a.merge(&b);
-        assert_eq!(a.backoffs, 6);
         assert_eq!(a.cycles_backoff, 240);
         assert_eq!(a.cycles_fallback_wait, 110);
         assert_eq!(a.cycles_middle_wait, 34);
-        assert_eq!(a.middles, 10);
-        assert_eq!(a.middle_attempts, 18);
-        assert_eq!(a.ccm_bypass_flips, 4);
     }
 
     #[test]

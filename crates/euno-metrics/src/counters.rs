@@ -1,0 +1,232 @@
+//! The fixed metric vocabulary: counters, gauges and the executor-stage
+//! aggregate the run report serializes.
+//!
+//! Names returned by [`Counter::name`] / [`Gauge::name`] are *canonical*:
+//! the run-report stage section, the JSONL exporter and the fig14 CSV all
+//! spell metrics exactly this way, which is what kills the naming drift
+//! the old hand-rolled observer counters had accumulated.
+
+macro_rules! define_metric_enum {
+    ($(#[$meta:meta])* $enum_name:ident { $( $variant:ident => $name:literal, )* }) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum $enum_name { $( $variant, )* }
+
+        impl $enum_name {
+            /// Number of variants (array dimension for shards/snapshots).
+            pub const COUNT: usize = [$( $enum_name::$variant, )*].len();
+            /// Every variant, in index order.
+            pub const ALL: [$enum_name; Self::COUNT] = [$( $enum_name::$variant, )*];
+
+            /// Canonical metric name (the one spelling used everywhere).
+            pub const fn name(self) -> &'static str {
+                match self { $( $enum_name::$variant => $name, )* }
+            }
+
+            /// Dense index into shard / snapshot arrays.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self as usize
+            }
+        }
+    };
+}
+
+define_metric_enum! {
+    /// Monotone event counters, sharded per thread.
+    ///
+    /// The first block mirrors the executor stage counters the run report
+    /// has serialized since schema v1 (same names, same semantics:
+    /// `commits` includes middle-path commits, `middle_attempts` is a
+    /// subset of `attempts`, fallback executions are not commits). The
+    /// remaining blocks are new, finer-grained views that only surface in
+    /// the time-series section and the fig14 timeline.
+    Counter {
+        Ops => "ops",
+        Attempts => "attempts",
+        Commits => "commits",
+        Middles => "middles",
+        MiddleAttempts => "middle_attempts",
+        Fallbacks => "fallbacks",
+        Backoffs => "backoffs",
+        CcmBypassFlips => "ccm_bypass_flips",
+        // Per-path / per-backend commit refinement.
+        CommitsHtm => "commits_htm",
+        CommitsVirtual => "commits_virtual",
+        CommitsStm => "commits_stm",
+        CommitsRtm => "commits_rtm",
+        // Aborts by cause on the plain HTM path (bucket order matches
+        // `AbortCounts` field order; see `ABORTS_HTM`).
+        AbortsHtmTrueSameRecord => "aborts_htm_true_same_record",
+        AbortsHtmFalseDifferentRecord => "aborts_htm_false_different_record",
+        AbortsHtmFalseMetadata => "aborts_htm_false_metadata",
+        AbortsHtmFalseStructure => "aborts_htm_false_structure",
+        AbortsHtmUnclassified => "aborts_htm_unclassified",
+        AbortsHtmCapacity => "aborts_htm_capacity",
+        AbortsHtmExplicit => "aborts_htm_explicit",
+        AbortsHtmSpurious => "aborts_htm_spurious",
+        AbortsHtmFallbackLocked => "aborts_htm_fallback_locked",
+        // Aborts by cause on the middle (footprint-locked) path.
+        AbortsMiddleTrueSameRecord => "aborts_middle_true_same_record",
+        AbortsMiddleFalseDifferentRecord => "aborts_middle_false_different_record",
+        AbortsMiddleFalseMetadata => "aborts_middle_false_metadata",
+        AbortsMiddleFalseStructure => "aborts_middle_false_structure",
+        AbortsMiddleUnclassified => "aborts_middle_unclassified",
+        AbortsMiddleCapacity => "aborts_middle_capacity",
+        AbortsMiddleExplicit => "aborts_middle_explicit",
+        AbortsMiddleSpurious => "aborts_middle_spurious",
+        AbortsMiddleFallbackLocked => "aborts_middle_fallback_locked",
+        // TL2 version-lock table (concurrent-mode STM commit path).
+        Tl2LockAcquires => "tl2_lock_acquires",
+        Tl2LockFails => "tl2_lock_fails",
+        Tl2ValidationFails => "tl2_validation_fails",
+        Tl2Extensions => "tl2_extensions",
+        Tl2ReadWaits => "tl2_read_waits",
+        // Middle-path advisory slot locks (`acquire_mask_blocking`).
+        AdvisoryAcquires => "advisory_lock_acquires",
+        AdvisoryWaits => "advisory_lock_waits",
+        // Directional CCM flips (the sum equals `ccm_bypass_flips`).
+        CcmFlipsToProtect => "ccm_flips_to_protect",
+        CcmFlipsToBypass => "ccm_flips_to_bypass",
+    }
+}
+
+define_metric_enum! {
+    /// Last-write-wins gauges (absolute levels, not event counts). Set by
+    /// the harness right before each sample from the epoch collector.
+    Gauge {
+        EpochRetiredPending => "epoch_retired_pending",
+        EpochRetiredPendingBytes => "epoch_retired_pending_bytes",
+        EpochReclaimed => "epoch_reclaimed",
+    }
+}
+
+/// Number of abort-cause buckets (the paper's taxonomy, Figure 2).
+pub const ABORT_BUCKETS: usize = 9;
+
+/// HTM-path abort counters in `AbortCounts` field order:
+/// `true_same_record, false_different_record, false_metadata,
+/// false_structure, unclassified_conflict, capacity, explicit, spurious,
+/// fallback_locked`.
+pub const ABORTS_HTM: [Counter; ABORT_BUCKETS] = [
+    Counter::AbortsHtmTrueSameRecord,
+    Counter::AbortsHtmFalseDifferentRecord,
+    Counter::AbortsHtmFalseMetadata,
+    Counter::AbortsHtmFalseStructure,
+    Counter::AbortsHtmUnclassified,
+    Counter::AbortsHtmCapacity,
+    Counter::AbortsHtmExplicit,
+    Counter::AbortsHtmSpurious,
+    Counter::AbortsHtmFallbackLocked,
+];
+
+/// Middle-path abort counters, same bucket order as [`ABORTS_HTM`].
+pub const ABORTS_MIDDLE: [Counter; ABORT_BUCKETS] = [
+    Counter::AbortsMiddleTrueSameRecord,
+    Counter::AbortsMiddleFalseDifferentRecord,
+    Counter::AbortsMiddleFalseMetadata,
+    Counter::AbortsMiddleFalseStructure,
+    Counter::AbortsMiddleUnclassified,
+    Counter::AbortsMiddleCapacity,
+    Counter::AbortsMiddleExplicit,
+    Counter::AbortsMiddleSpurious,
+    Counter::AbortsMiddleFallbackLocked,
+];
+
+/// The executor stage counters as a plain value struct — what
+/// `RunMetrics` carries and the run report's stage section serializes.
+/// Field names are the canonical counter names.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStages {
+    pub attempts: u64,
+    pub commits: u64,
+    pub middles: u64,
+    pub middle_attempts: u64,
+    pub fallbacks: u64,
+    pub backoffs: u64,
+    pub ccm_bypass_flips: u64,
+}
+
+impl ExecStages {
+    pub fn merge(&mut self, other: &ExecStages) {
+        self.attempts += other.attempts;
+        self.commits += other.commits;
+        self.middles += other.middles;
+        self.middle_attempts += other.middle_attempts;
+        self.fallbacks += other.fallbacks;
+        self.backoffs += other.backoffs;
+        self.ccm_bypass_flips += other.ccm_bypass_flips;
+    }
+
+    /// Extract the stage view from a dense counter vector (a shard or a
+    /// registry total).
+    pub fn from_counters(c: &[u64; Counter::COUNT]) -> Self {
+        ExecStages {
+            attempts: c[Counter::Attempts.index()],
+            commits: c[Counter::Commits.index()],
+            middles: c[Counter::Middles.index()],
+            middle_attempts: c[Counter::MiddleAttempts.index()],
+            fallbacks: c[Counter::Fallbacks.index()],
+            backoffs: c[Counter::Backoffs.index()],
+            ccm_bypass_flips: c[Counter::CcmBypassFlips.index()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_unique_and_nonempty() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Counter::ALL {
+            assert!(!c.name().is_empty());
+            assert!(seen.insert(c.name()), "duplicate counter name {}", c.name());
+        }
+        for g in Gauge::ALL {
+            assert!(seen.insert(g.name()), "gauge name collides: {}", g.name());
+        }
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+    }
+
+    #[test]
+    fn stage_extraction_round_trips() {
+        let mut c = [0u64; Counter::COUNT];
+        c[Counter::Attempts.index()] = 10;
+        c[Counter::Commits.index()] = 7;
+        c[Counter::Middles.index()] = 2;
+        c[Counter::MiddleAttempts.index()] = 3;
+        c[Counter::Fallbacks.index()] = 1;
+        c[Counter::Backoffs.index()] = 5;
+        c[Counter::CcmBypassFlips.index()] = 4;
+        let s = ExecStages::from_counters(&c);
+        assert_eq!(
+            s,
+            ExecStages {
+                attempts: 10,
+                commits: 7,
+                middles: 2,
+                middle_attempts: 3,
+                fallbacks: 1,
+                backoffs: 5,
+                ccm_bypass_flips: 4,
+            }
+        );
+        let mut acc = ExecStages::default();
+        acc.merge(&s);
+        acc.merge(&s);
+        assert_eq!(acc.attempts, 20);
+        assert_eq!(acc.ccm_bypass_flips, 8);
+    }
+}

@@ -9,6 +9,7 @@ use euno_htm::{
     AdaptiveBudget, AggressivePolicy, ConcurrentMap, DbxPolicy, Mode, RetryPolicy, RetryStrategy,
     Runtime, ThreadCtx, ThreadStats,
 };
+use euno_metrics::{sample_due, Counter, ExecStages, TimeSeries};
 use euno_trace::{build_profile, codes, EventKind, ThreadTrace, TraceBuf};
 use euno_workloads::{Op, OpStream, PolicyChoice, WorkloadSpec};
 
@@ -32,6 +33,14 @@ pub struct RunConfig {
     /// from the collected trace. Implies tracing at the default ring
     /// capacity when `trace_capacity` is 0.
     pub profile: bool,
+    /// Metrics-sampler period: snapshot the registry every this many
+    /// virtual cycles (virtual mode) or wall microseconds (concurrent
+    /// mode) into [`RunMetrics::timeseries`]. 0 = sampling off.
+    pub sample_every: u64,
+    /// Snapshot-ring capacity; 0 = [`TimeSeries::DEFAULT_CAPACITY`].
+    /// When the run outlives the ring the oldest snapshots are dropped
+    /// (counted in the series), keeping memory bounded.
+    pub sample_capacity: usize,
 }
 
 impl Default for RunConfig {
@@ -43,6 +52,8 @@ impl Default for RunConfig {
             warmup_ops: 4_000,
             trace_capacity: 0,
             profile: false,
+            sample_every: 0,
+            sample_capacity: 0,
         }
     }
 }
@@ -122,8 +133,9 @@ pub fn apply_op(
 }
 
 /// Run one unmeasured warmup operation: the clock contribution is kept
-/// (it shapes the schedule) while ops/abort statistics are rolled back so
-/// the measured metrics only cover steady state.
+/// (it shapes the schedule) while ops/abort statistics — and the thread's
+/// metric-shard counters — are rolled back so the measured metrics only
+/// cover steady state.
 #[inline]
 pub fn apply_warmup_op(
     map: &dyn ConcurrentMap,
@@ -132,8 +144,10 @@ pub fn apply_warmup_op(
     scan_buf: &mut Vec<(u64, u64)>,
 ) {
     let saved = ctx.stats.clone();
+    let mark = ctx.metrics_mark();
     apply_op(map, ctx, op, scan_buf);
     ctx.stats = saved;
+    ctx.metrics_restore(&mark);
 }
 
 /// Run a workload in **virtual-time** mode and return the figure metrics.
@@ -150,6 +164,13 @@ pub fn run_virtual(
     let mut sched = VirtualScheduler::new(Arc::clone(rt));
     if let Some(cap) = cfg.effective_trace_capacity() {
         sched.set_trace_capacity(cap);
+    }
+    if cfg.sample_every > 0 {
+        let cap = match cfg.sample_capacity {
+            0 => TimeSeries::DEFAULT_CAPACITY,
+            c => c,
+        };
+        sched.set_sampling(cfg.sample_every, cap);
     }
     for t in 0..cfg.threads {
         let mut stream = OpStream::new(spec, t as u64, cfg.seed);
@@ -220,58 +241,107 @@ pub fn run_concurrent(
 ) -> RunMetrics {
     assert_eq!(rt.mode(), Mode::Concurrent);
     // All threads warm up, meet at a barrier, then the measured phase is
-    // timed on its own.
-    let barrier = std::sync::Barrier::new(cfg.threads + 1);
+    // timed on its own. The metrics sampler (when on) joins the same
+    // rendezvous so its tick 0 is the measured-phase start.
+    let sampling = cfg.sample_every > 0;
+    let barrier = std::sync::Barrier::new(cfg.threads + 1 + sampling as usize);
     let start_cell = std::sync::Mutex::new(Instant::now());
     let trace_cap = cfg.effective_trace_capacity();
-    let results: Vec<(ThreadStats, LatencyHistogram, Option<ThreadTrace>)> =
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for t in 0..cfg.threads {
-                let rt = Arc::clone(rt);
-                let spec = spec.clone();
-                let cfg = cfg.clone();
-                let map_ref: &dyn ConcurrentMap = map;
-                let barrier = &barrier;
-                handles.push(s.spawn(move || {
-                    let mut ctx = rt.thread(cfg.seed.wrapping_add(t as u64));
-                    if let Some(cap) = trace_cap {
-                        ctx.set_tracer(Box::new(TraceBuf::new(ctx.id, cap)));
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let mut series: Option<TimeSeries> = None;
+    let results: Vec<(
+        ThreadStats,
+        ExecStages,
+        LatencyHistogram,
+        Option<ThreadTrace>,
+    )> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..cfg.threads {
+            let rt = Arc::clone(rt);
+            let spec = spec.clone();
+            let cfg = cfg.clone();
+            let map_ref: &dyn ConcurrentMap = map;
+            let barrier = &barrier;
+            handles.push(s.spawn(move || {
+                let mut ctx = rt.thread(cfg.seed.wrapping_add(t as u64));
+                if let Some(cap) = trace_cap {
+                    ctx.set_tracer(Box::new(TraceBuf::new(ctx.id, cap)));
+                }
+                let mut stream = OpStream::new(&spec, t as u64, cfg.seed);
+                let mut scan_buf = Vec::new();
+                let mut latency = LatencyHistogram::new();
+                for _ in 0..cfg.warmup_ops {
+                    let op = stream.next_op();
+                    apply_warmup_op(map_ref, &mut ctx, op, &mut scan_buf);
+                }
+                barrier.wait();
+                ctx.stats.measure_start_cycles = Some(ctx.clock);
+                for _ in 0..cfg.ops_per_thread {
+                    let op = stream.next_op();
+                    let before = ctx.clock;
+                    apply_op(map_ref, &mut ctx, op, &mut scan_buf);
+                    latency.record(ctx.clock - before);
+                    ctx.metric_add(Counter::Ops, 1);
+                    ctx.metric_record_latency(ctx.clock - before);
+                }
+                ctx.finish();
+                let trace = ctx.take_tracer().map(|b| b.into_thread_trace());
+                let stages = ctx.exec_stages();
+                (ctx.stats, stages, latency, trace)
+            }));
+        }
+        // Wall-clock sampler: one extra thread ticking every Δ µs from
+        // the measured-phase start. It never touches the barrier (the
+        // workers' rendezvous stays threads+1); it just snapshots the
+        // shared registry until the workers finish.
+        let sampler = sampling.then(|| {
+            let rt = Arc::clone(rt);
+            let delta = cfg.sample_every;
+            let cap = match cfg.sample_capacity {
+                0 => TimeSeries::DEFAULT_CAPACITY,
+                c => c,
+            };
+            let done = &done;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut ts = TimeSeries::new(delta, cap);
+                barrier.wait();
+                let t0 = Instant::now();
+                while !done.load(std::sync::atomic::Ordering::Acquire) {
+                    let now = t0.elapsed().as_micros() as u64;
+                    if sample_due(&mut ts, now) {
+                        rt.publish_epoch_gauges();
+                        ts.sample(now, rt.metrics());
                     }
-                    let mut stream = OpStream::new(&spec, t as u64, cfg.seed);
-                    let mut scan_buf = Vec::new();
-                    let mut latency = LatencyHistogram::new();
-                    for _ in 0..cfg.warmup_ops {
-                        let op = stream.next_op();
-                        apply_warmup_op(map_ref, &mut ctx, op, &mut scan_buf);
-                    }
-                    barrier.wait();
-                    ctx.stats.measure_start_cycles = Some(ctx.clock);
-                    for _ in 0..cfg.ops_per_thread {
-                        let op = stream.next_op();
-                        let before = ctx.clock;
-                        apply_op(map_ref, &mut ctx, op, &mut scan_buf);
-                        latency.record(ctx.clock - before);
-                    }
-                    ctx.finish();
-                    let trace = ctx.take_tracer().map(|b| b.into_thread_trace());
-                    (ctx.stats, latency, trace)
-                }));
-            }
-            barrier.wait();
-            *start_cell.lock().unwrap() = Instant::now();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    std::thread::sleep(std::time::Duration::from_micros(delta.clamp(50, 1000)));
+                }
+                // Settle snapshot: close the series on the final totals.
+                rt.publish_epoch_gauges();
+                ts.sample(t0.elapsed().as_micros() as u64, rt.metrics());
+                ts
+            })
         });
+        barrier.wait();
+        *start_cell.lock().unwrap() = Instant::now();
+        let results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        done.store(true, std::sync::atomic::Ordering::Release);
+        series = sampler.map(|h| h.join().unwrap());
+        results
+    });
     let elapsed = start_cell.lock().unwrap().elapsed().as_secs_f64();
     let mut latency = LatencyHistogram::new();
     let mut per_thread = Vec::with_capacity(results.len());
+    let mut stages = ExecStages::default();
     let mut traces = Vec::new();
-    for (stats, hist, trace) in results {
+    for (stats, st, hist, trace) in results {
         latency.merge(&hist);
         per_thread.push(stats);
+        stages.merge(&st);
         traces.extend(trace);
     }
-    let mut m = RunMetrics::from_wall(per_thread, elapsed, latency);
+    let mut m = RunMetrics::from_wall(per_thread, stages, elapsed, latency);
+    m.timeseries = series;
+    m.flips = rt.metrics().flips().events();
     if trace_cap.is_some() {
         m.trace = Some(traces);
     }

@@ -5,153 +5,15 @@
 //! the mean. The harness records each operation's virtual-cycle latency
 //! here; experiments report quantiles alongside the figures.
 //!
-//! Buckets are powers of √2 (~3 dB resolution), covering 1 cycle to ~10¹²
-//! with 80 buckets — constant memory, O(1) insert, quantile error < 20 %.
+//! The implementation lives in `euno-metrics` ([`LogHistogram`]) so the
+//! per-thread metric shards, the sampler windows and the harness all share
+//! one bucket layout (powers of √2, 80 buckets, ~3 dB resolution, exact
+//! max in the terminal bucket); this alias keeps the simulator's historic
+//! name and API. The tests below are the original `LatencyHistogram`
+//! suite, kept as a compatibility contract over the re-export — including
+//! the exact-max terminal-bucket regression.
 
-/// A fixed-size logarithmic histogram of u64 samples.
-#[derive(Clone)]
-pub struct LatencyHistogram {
-    buckets: [u64; Self::BUCKETS],
-    count: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl LatencyHistogram {
-    const BUCKETS: usize = 80;
-
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: [0; Self::BUCKETS],
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-
-    /// Bucket index: ~2 buckets per octave (powers of √2).
-    #[inline]
-    fn index(value: u64) -> usize {
-        let v = value.max(1);
-        // floor(2·log2(v)) = number of half-octaves.
-        let bits = 63 - v.leading_zeros() as usize; // floor(log2 v)
-        let half = if bits < 63 && v >= (3u64 << bits.saturating_sub(1)).max(1) && bits > 0 {
-            // Upper half-octave: v ≥ 1.5·2^bits … approximated via the
-            // second-highest bit.
-            2 * bits + 1
-        } else {
-            2 * bits
-        };
-        half.min(Self::BUCKETS - 1)
-    }
-
-    /// Lower bound of a bucket (for quantile reporting).
-    fn bucket_floor(i: usize) -> u64 {
-        let bits = i / 2;
-        let base = 1u64 << bits.min(62);
-        if i % 2 == 1 {
-            base + base / 2
-        } else {
-            base
-        }
-    }
-
-    #[inline]
-    pub fn record(&mut self, value: u64) {
-        self.buckets[Self::index(value)] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(value);
-        self.max = self.max.max(value);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Approximate quantile (`q` in [0,1]): the floor of the bucket where
-    /// the cumulative count crosses `q·count` — except in the **terminal**
-    /// (highest non-empty) bucket, where the exact observed maximum is
-    /// returned. Without that, `quantile(1.0)` under-reported the max by
-    /// up to √2× (the bucket's width).
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let last = match self.buckets.iter().rposition(|&c| c > 0) {
-            Some(i) => i,
-            None => return 0,
-        };
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
-        let mut acc = 0;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            acc += c;
-            if acc >= target {
-                return if i == last {
-                    self.max
-                } else {
-                    Self::bucket_floor(i)
-                };
-            }
-        }
-        self.max
-    }
-
-    /// The non-empty buckets as `(floor, count)` pairs — the raw
-    /// distribution a run report serializes.
-    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (Self::bucket_floor(i), c))
-            .collect()
-    }
-
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum = self.sum.saturating_add(other.sum);
-        self.max = self.max.max(other.max);
-    }
-
-    /// One-line summary: `mean/p50/p99/p999/max` in cycles.
-    pub fn summary(&self) -> String {
-        format!(
-            "mean {:.0}cyc p50 {} p99 {} p99.9 {} max {}",
-            self.mean(),
-            self.quantile(0.50),
-            self.quantile(0.99),
-            self.quantile(0.999),
-            self.max()
-        )
-    }
-}
-
-impl std::fmt::Debug for LatencyHistogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "LatencyHistogram({})", self.summary())
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+pub use euno_metrics::LogHistogram as LatencyHistogram;
 
 #[cfg(test)]
 mod tests {

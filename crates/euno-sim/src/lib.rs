@@ -27,6 +27,7 @@ pub use sched::{Driver, VirtualScheduler};
 // The trace toolkit, re-exported so bench binaries can export traces
 // without a separate dependency edge.
 pub use euno_trace::{
-    build_profile, chrome_trace, folded_rollup, validate_chrome_trace, LeafProfile, ThreadTrace,
-    TraceBuf, DEFAULT_CAPACITY as DEFAULT_TRACE_CAPACITY,
+    build_profile, chrome_trace, folded_rollup, metrics_jsonl, validate_chrome_trace,
+    validate_metrics_jsonl, LeafProfile, ThreadTrace, TraceBuf,
+    DEFAULT_CAPACITY as DEFAULT_TRACE_CAPACITY,
 };

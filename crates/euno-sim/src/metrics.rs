@@ -1,6 +1,7 @@
 //! Run-level metrics: what each paper figure plots.
 
 use euno_htm::{AbortCounts, CostModel, ThreadStats};
+use euno_metrics::{ExecStages, FlipEvent, TimeSeries};
 use euno_trace::{LeafProfile, ThreadTrace};
 
 use crate::hist::LatencyHistogram;
@@ -28,6 +29,18 @@ pub struct RunMetrics {
     pub fallbacks_per_op: f64,
     /// Merged raw counters.
     pub stats: ThreadStats,
+    /// Executor stage counts (attempts/commits/middles/fallbacks/...),
+    /// aggregated from the run's `euno-metrics` thread shards.
+    pub stages: ExecStages,
+    /// Registry snapshots sampled every Δ ticks, when the run asked for
+    /// them ([`crate::harness::RunConfig::sample_every`]).
+    pub timeseries: Option<TimeSeries>,
+    /// Unit of [`Snapshot::tick`](euno_metrics::Snapshot) values in
+    /// `timeseries` and `flips`: `"cycles"` (virtual) or `"us"` (wall).
+    pub tick_unit: &'static str,
+    /// CCM bypass flips and programmed shift marks recorded during the
+    /// run, decoded from the registry's flip log.
+    pub flips: Vec<FlipEvent>,
     /// Per-thread raw counters (scalability diagnostics).
     pub per_thread: Vec<ThreadStats>,
     /// Per-operation virtual-cycle latency distribution (merged).
@@ -45,10 +58,17 @@ impl RunMetrics {
     /// (virtual mode).
     pub fn from_virtual(
         per_thread: Vec<ThreadStats>,
+        stages: ExecStages,
         makespan_cycles: u64,
         cost: &CostModel,
     ) -> Self {
-        Self::from_virtual_with_latency(per_thread, makespan_cycles, cost, LatencyHistogram::new())
+        Self::from_virtual_with_latency(
+            per_thread,
+            stages,
+            makespan_cycles,
+            cost,
+            LatencyHistogram::new(),
+        )
     }
 
     /// As [`RunMetrics::from_virtual`], with a latency histogram. The
@@ -56,6 +76,7 @@ impl RunMetrics {
     /// so warmup cycles never dilute throughput.
     pub fn from_virtual_with_latency(
         per_thread: Vec<ThreadStats>,
+        stages: ExecStages,
         makespan_cycles: u64,
         cost: &CostModel,
         latency: LatencyHistogram,
@@ -68,7 +89,7 @@ impl RunMetrics {
             .unwrap_or(0);
         let span = makespan_cycles.saturating_sub(measure_start).max(1);
         let elapsed = cost.cycles_to_secs(span);
-        Self::build(per_thread, elapsed, latency)
+        Self::build(per_thread, stages, elapsed, latency)
     }
 
     /// Build from per-thread stats plus measured wall time and the merged
@@ -77,13 +98,21 @@ impl RunMetrics {
     /// no latencies — reports distinguish "no samples" from "not wired".
     pub fn from_wall(
         per_thread: Vec<ThreadStats>,
+        stages: ExecStages,
         elapsed_secs: f64,
         latency: LatencyHistogram,
     ) -> Self {
-        Self::build(per_thread, elapsed_secs.max(1e-9), latency)
+        let mut m = Self::build(per_thread, stages, elapsed_secs.max(1e-9), latency);
+        m.tick_unit = "us";
+        m
     }
 
-    fn build(per_thread: Vec<ThreadStats>, elapsed_secs: f64, latency: LatencyHistogram) -> Self {
+    fn build(
+        per_thread: Vec<ThreadStats>,
+        stages: ExecStages,
+        elapsed_secs: f64,
+        latency: LatencyHistogram,
+    ) -> Self {
         let mut merged = ThreadStats::default();
         for s in &per_thread {
             merged.merge(s);
@@ -98,10 +127,14 @@ impl RunMetrics {
             aborts_per_op: merged.aborts.total() as f64 / ops as f64,
             wasted_cycle_fraction: merged.wasted_cycle_fraction(),
             accesses_per_op: merged.mem_accesses as f64 / ops as f64,
-            fallbacks_per_op: merged.fallbacks as f64 / ops as f64,
+            fallbacks_per_op: stages.fallbacks as f64 / ops as f64,
             stats: merged,
+            stages,
             per_thread,
             latency,
+            timeseries: None,
+            tick_unit: "cycles",
+            flips: Vec::new(),
             trace: None,
             profile: None,
         }
@@ -133,7 +166,7 @@ mod tests {
         };
         b.aborts.capacity = 10;
         let cost = CostModel::default();
-        let m = RunMetrics::from_virtual(vec![a, b], 2_300_000, &cost);
+        let m = RunMetrics::from_virtual(vec![a, b], ExecStages::default(), 2_300_000, &cost);
         assert_eq!(m.threads, 2);
         assert_eq!(m.total_ops, 200);
         // 2.3e6 cycles at 2.3 GHz = 1 ms → 200 ops / 1 ms = 200 kops/s.
@@ -145,7 +178,12 @@ mod tests {
 
     #[test]
     fn zero_ops_does_not_divide_by_zero() {
-        let m = RunMetrics::from_wall(vec![ThreadStats::default()], 0.0, LatencyHistogram::new());
+        let m = RunMetrics::from_wall(
+            vec![ThreadStats::default()],
+            ExecStages::default(),
+            0.0,
+            LatencyHistogram::new(),
+        );
         assert_eq!(m.total_ops, 0);
         assert!(m.throughput.is_finite());
         assert_eq!(m.aborts_per_op, 0.0);
@@ -157,7 +195,7 @@ mod tests {
             ops: 5_000_000,
             ..Default::default()
         };
-        let m = RunMetrics::from_wall(vec![a], 1.0, LatencyHistogram::new());
+        let m = RunMetrics::from_wall(vec![a], ExecStages::default(), 1.0, LatencyHistogram::new());
         assert!((m.mops() - 5.0).abs() < 1e-9);
     }
 
@@ -171,7 +209,7 @@ mod tests {
             ops: 4,
             ..Default::default()
         };
-        let m = RunMetrics::from_wall(vec![a], 0.5, h);
+        let m = RunMetrics::from_wall(vec![a], ExecStages::default(), 0.5, h);
         assert_eq!(m.latency.count(), 4);
         let (p50, p99, p999) = (
             m.latency.quantile(0.5),
@@ -193,7 +231,12 @@ mod tests {
             measure_start_cycles: Some(start),
             ..Default::default()
         };
-        let warmed = RunMetrics::from_virtual(vec![mk(400_000), mk(500_000)], 2_300_000, &cost);
+        let warmed = RunMetrics::from_virtual(
+            vec![mk(400_000), mk(500_000)],
+            ExecStages::default(),
+            2_300_000,
+            &cost,
+        );
         let naive = RunMetrics::from_virtual(
             vec![
                 ThreadStats {
@@ -202,6 +245,7 @@ mod tests {
                 };
                 2
             ],
+            ExecStages::default(),
             2_300_000,
             &cost,
         );

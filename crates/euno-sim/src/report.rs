@@ -19,6 +19,7 @@
 use std::path::{Path, PathBuf};
 
 use euno_htm::{AbortCounts, CostModel};
+use euno_metrics::{adaptation_lags, approx_quantile_from_buckets, Counter, Gauge, TimeSeries};
 use euno_trace::{LeafCounters, LeafProfile};
 use euno_workloads::{KeyDistribution, WorkloadSpec};
 
@@ -30,7 +31,11 @@ pub use euno_trace::Json;
 /// Bumped whenever a required key is added, removed or renamed.
 /// v2: three-path executor — `stages` gained `middles`, `middle_attempts`
 /// and `cycles_middle_wait`; metrics gained `middle_rate`.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: `euno-metrics` — stage counts now come from the always-on metric
+/// registry ([`RunMetrics::stages`]); metrics gained an optional
+/// `timeseries` section (Δ-tick sampler windows, CCM flip events and
+/// adaptation lags) validated when present.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Hot-leaf rows kept in a report's `profile` section (the full table
 /// stays available in-process via [`RunMetrics::profile`]).
@@ -167,9 +172,10 @@ fn aborts_json(a: &AbortCounts, ops: u64) -> Json {
 /// the memory audit) can embed metrics into their own documents.
 pub fn metrics_json(m: &RunMetrics) -> Json {
     let s = &m.stats;
+    let st = &m.stages;
     let lat = &m.latency;
-    let attempts = s.attempts.max(1) as f64;
-    Json::Obj(vec![
+    let attempts = st.attempts.max(1) as f64;
+    let mut fields = vec![
         ("threads".into(), Json::u64(m.threads as u64)),
         ("total_ops".into(), Json::u64(m.total_ops)),
         ("elapsed_secs".into(), Json::Num(m.elapsed_secs)),
@@ -185,21 +191,21 @@ pub fn metrics_json(m: &RunMetrics) -> Json {
         ("fallbacks_per_op".into(), Json::Num(m.fallbacks_per_op)),
         (
             "fallback_rate".into(),
-            Json::Num(s.fallbacks as f64 / attempts),
+            Json::Num(st.fallbacks as f64 / attempts),
         ),
         (
             "middle_rate".into(),
-            Json::Num(s.middles as f64 / s.commits.max(1) as f64),
+            Json::Num(st.middles as f64 / st.commits.max(1) as f64),
         ),
         (
             "stages".into(),
             Json::Obj(vec![
-                ("attempts".into(), Json::u64(s.attempts)),
-                ("commits".into(), Json::u64(s.commits)),
-                ("middles".into(), Json::u64(s.middles)),
-                ("middle_attempts".into(), Json::u64(s.middle_attempts)),
-                ("fallbacks".into(), Json::u64(s.fallbacks)),
-                ("backoffs".into(), Json::u64(s.backoffs)),
+                ("attempts".into(), Json::u64(st.attempts)),
+                ("commits".into(), Json::u64(st.commits)),
+                ("middles".into(), Json::u64(st.middles)),
+                ("middle_attempts".into(), Json::u64(st.middle_attempts)),
+                ("fallbacks".into(), Json::u64(st.fallbacks)),
+                ("backoffs".into(), Json::u64(st.backoffs)),
                 ("cycles_backoff".into(), Json::u64(s.cycles_backoff)),
                 ("cycles_lock_wait".into(), Json::u64(s.cycles_lock_wait)),
                 ("cycles_middle_wait".into(), Json::u64(s.cycles_middle_wait)),
@@ -207,7 +213,7 @@ pub fn metrics_json(m: &RunMetrics) -> Json {
                     "cycles_fallback_wait".into(),
                     Json::u64(s.cycles_fallback_wait),
                 ),
-                ("ccm_bypass_flips".into(), Json::u64(s.ccm_bypass_flips)),
+                ("ccm_bypass_flips".into(), Json::u64(st.ccm_bypass_flips)),
                 ("optimistic_retries".into(), Json::u64(s.optimistic_retries)),
                 ("cycles_total".into(), Json::u64(s.cycles_total)),
                 ("cycles_wasted".into(), Json::u64(s.cycles_wasted)),
@@ -245,6 +251,114 @@ pub fn metrics_json(m: &RunMetrics) -> Json {
                 ),
             ]),
         ),
+    ];
+    if let Some(ts) = &m.timeseries {
+        fields.push(("timeseries".into(), timeseries_json(m, ts)));
+    }
+    Json::Obj(fields)
+}
+
+/// The optional `timeseries` section: the Δ-tick sampler's windows (one
+/// entry per consecutive-snapshot pair, nonzero counter deltas only, so
+/// the document stays proportional to activity rather than to
+/// `Counter::COUNT`), plus the CCM flip-event ledger and the adaptation
+/// lags derived from it.
+pub fn timeseries_json(m: &RunMetrics, ts: &TimeSeries) -> Json {
+    let points: Vec<Json> = ts
+        .windows()
+        .map(|w| {
+            let counters: Vec<(String, Json)> = Counter::ALL
+                .iter()
+                .filter(|c| w.counters[c.index()] > 0)
+                .map(|c| (c.name().to_string(), Json::u64(w.counters[c.index()])))
+                .collect();
+            let gauges: Vec<(String, Json)> = Gauge::ALL
+                .iter()
+                .map(|g| (g.name().to_string(), Json::u64(w.gauges[g.index()])))
+                .collect();
+            let lat_count: u64 = w.hist.iter().sum();
+            Json::Obj(vec![
+                ("tick".into(), Json::u64(w.t1)),
+                ("span".into(), Json::u64(w.span())),
+                ("counters".into(), Json::Obj(counters)),
+                ("gauges".into(), Json::Obj(gauges)),
+                (
+                    "latency".into(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::u64(lat_count)),
+                        (
+                            "p50".into(),
+                            Json::u64(approx_quantile_from_buckets(&w.hist, 0.50)),
+                        ),
+                        (
+                            "p99".into(),
+                            Json::u64(approx_quantile_from_buckets(&w.hist, 0.99)),
+                        ),
+                    ]),
+                ),
+                ("flip_events".into(), Json::u64(w.flip_events)),
+            ])
+        })
+        .collect();
+    let flips: Vec<Json> = m
+        .flips
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("tick".into(), Json::u64(e.tick)),
+                ("addr".into(), Json::str(format!("{:#x}", e.addr))),
+                ("kind".into(), Json::str(e.kind.name())),
+            ])
+        })
+        .collect();
+    let lags = adaptation_lags(&m.flips);
+    let answered: Vec<u64> = lags.iter().filter_map(|l| l.lag).collect();
+    let adaptation = Json::Obj(vec![
+        ("shifts".into(), Json::u64(lags.len() as u64)),
+        ("answered".into(), Json::u64(answered.len() as u64)),
+        (
+            "lags".into(),
+            Json::Arr(
+                lags.iter()
+                    .map(|l| {
+                        Json::Obj(vec![
+                            ("shift_tick".into(), Json::u64(l.shift_tick)),
+                            (
+                                "lag".into(),
+                                match l.lag {
+                                    Some(v) => Json::u64(v),
+                                    None => Json::Null,
+                                },
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "mean_lag".into(),
+            if answered.is_empty() {
+                Json::Null
+            } else {
+                Json::Num(answered.iter().sum::<u64>() as f64 / answered.len() as f64)
+            },
+        ),
+        (
+            "max_lag".into(),
+            match answered.iter().max() {
+                Some(&v) => Json::u64(v),
+                None => Json::Null,
+            },
+        ),
+    ]);
+    Json::Obj(vec![
+        ("tick_unit".into(), Json::str(m.tick_unit)),
+        ("delta".into(), Json::u64(ts.delta())),
+        ("samples".into(), Json::u64(ts.len() as u64)),
+        ("dropped".into(), Json::u64(ts.dropped())),
+        ("points".into(), Json::Arr(points)),
+        ("flips".into(), Json::Arr(flips)),
+        ("adaptation".into(), adaptation),
     ])
 }
 
@@ -427,6 +541,20 @@ const STAGE_KEYS: &[&str] = &[
 
 const LATENCY_KEYS: &[&str] = &["count", "mean", "p50", "p99", "p999", "max"];
 
+const TIMESERIES_KEYS: &[&str] = &[
+    "tick_unit",
+    "delta",
+    "samples",
+    "dropped",
+    "points",
+    "flips",
+    "adaptation",
+];
+
+const TIMESERIES_POINT_KEYS: &[&str] = &["tick", "span", "counters", "gauges", "latency"];
+
+const ADAPTATION_KEYS: &[&str] = &["shifts", "answered", "lags", "mean_lag", "max_lag"];
+
 const PROFILE_COUNTER_KEYS: &[&str] = &[
     "aborts",
     "lock_wait_cycles",
@@ -511,10 +639,53 @@ pub fn validate_report(text: &str) -> Result<(), String> {
             LATENCY_KEYS,
             &format!("{at}.metrics.latency"),
         )?;
+        if let Some(ts) = metrics.get("timeseries") {
+            validate_timeseries(ts, &format!("{at}.metrics.timeseries"))?;
+        }
         if let Some(profile) = run.get("profile") {
             validate_profile(profile, &format!("{at}.profile"))?;
         }
     }
+    Ok(())
+}
+
+/// Check a run's optional `timeseries` section: sampler provenance, the
+/// window points (ticks strictly increasing — cumulative snapshots never
+/// regress), the flip ledger and the adaptation summary.
+fn validate_timeseries(ts: &Json, at: &str) -> Result<(), String> {
+    require_keys(ts, TIMESERIES_KEYS, at)?;
+    require(ts, "tick_unit", at)?
+        .as_str()
+        .filter(|u| *u == "cycles" || *u == "us")
+        .ok_or(format!("{at}: tick_unit must be \"cycles\" or \"us\""))?;
+    let points = require(ts, "points", at)?
+        .as_arr()
+        .ok_or(format!("{at}: points must be an array"))?;
+    let mut prev_tick = -1.0f64;
+    for (i, p) in points.iter().enumerate() {
+        let at = format!("{at}.points[{i}]");
+        require_keys(p, TIMESERIES_POINT_KEYS, &at)?;
+        let tick = require(p, "tick", &at)?
+            .as_f64()
+            .ok_or(format!("{at}: tick must be a number"))?;
+        if tick <= prev_tick {
+            return Err(format!("{at}: ticks not strictly increasing"));
+        }
+        prev_tick = tick;
+    }
+    for (i, f) in require(ts, "flips", at)?
+        .as_arr()
+        .ok_or(format!("{at}: flips must be an array"))?
+        .iter()
+        .enumerate()
+    {
+        require_keys(f, &["tick", "addr", "kind"], &format!("{at}.flips[{i}]"))?;
+    }
+    require_keys(
+        require(ts, "adaptation", at)?,
+        ADAPTATION_KEYS,
+        &format!("{at}.adaptation"),
+    )?;
     Ok(())
 }
 
@@ -555,6 +726,7 @@ mod tests {
     use super::*;
     use crate::hist::LatencyHistogram;
     use euno_htm::ThreadStats;
+    use euno_metrics::{ExecStages, FlipEvent, FlipKind, Registry};
 
     fn sample_metrics() -> RunMetrics {
         let mut hist = LatencyHistogram::new();
@@ -563,15 +735,18 @@ mod tests {
         }
         let t = ThreadStats {
             ops: 4,
-            commits: 4,
-            attempts: 6,
-            backoffs: 2,
             cycles_backoff: 80,
             cycles_total: 50_000,
             measure_start_cycles: Some(1_000),
             ..Default::default()
         };
-        RunMetrics::from_wall(vec![t], 0.001, hist)
+        let stages = ExecStages {
+            attempts: 6,
+            commits: 4,
+            backoffs: 2,
+            ..Default::default()
+        };
+        RunMetrics::from_wall(vec![t], stages, 0.001, hist)
     }
 
     fn sample_report() -> RunReport {
@@ -693,6 +868,85 @@ mod tests {
         assert!(err.contains("p999"), "unexpected error: {err}");
         assert!(validate_report("{}").is_err());
         assert!(validate_report("not json").is_err());
+    }
+
+    #[test]
+    fn timeseries_section_serializes_and_validates() {
+        let mut report = sample_report();
+        // Two sampled snapshots with activity in between → one window.
+        let reg = Registry::new();
+        let shard = reg.register_shard().unwrap();
+        let mut ts = TimeSeries::new(100, 8);
+        shard.add(Counter::Ops, 3);
+        shard.record_latency(500);
+        ts.sample(100, &reg);
+        shard.add(Counter::Ops, 5);
+        shard.add(Counter::Commits, 4);
+        ts.sample(200, &reg);
+        report.runs[0].metrics.timeseries = Some(ts);
+        report.runs[0].metrics.flips = vec![
+            FlipEvent {
+                tick: 120,
+                addr: 0,
+                kind: FlipKind::ShiftMark,
+            },
+            FlipEvent {
+                tick: 150,
+                addr: 0xbeef,
+                kind: FlipKind::ToProtect,
+            },
+        ];
+        let text = report.to_json().to_pretty();
+        validate_report(&text).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        let section = doc.get("runs").unwrap().as_arr().unwrap()[0]
+            .get("metrics")
+            .unwrap()
+            .get("timeseries")
+            .unwrap()
+            .clone();
+        assert_eq!(section.get("tick_unit").unwrap().as_str(), Some("us"));
+        let points = section.get("points").unwrap().as_arr().unwrap();
+        assert_eq!(points.len(), 1);
+        let counters = points[0].get("counters").unwrap();
+        assert_eq!(counters.get("ops").unwrap().as_f64(), Some(5.0));
+        assert_eq!(counters.get("commits").unwrap().as_f64(), Some(4.0));
+        // Zero-delta counters are elided from the window object.
+        assert!(counters.get("fallbacks").is_none());
+        let adaptation = section.get("adaptation").unwrap();
+        assert_eq!(adaptation.get("shifts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(adaptation.get("mean_lag").unwrap().as_f64(), Some(30.0));
+    }
+
+    #[test]
+    fn nonmonotone_timeseries_ticks_are_rejected() {
+        let mut report = sample_report();
+        let reg = Registry::new();
+        let _shard = reg.register_shard().unwrap();
+        let mut ts = TimeSeries::new(10, 8);
+        ts.sample(10, &reg);
+        ts.sample(20, &reg);
+        ts.sample(30, &reg);
+        report.runs[0].metrics.timeseries = Some(ts);
+        let mut doc = report.to_json();
+        let text = doc.to_pretty();
+        validate_report(&text).unwrap();
+        // Corrupt the second point's tick below the first's.
+        fn find<'j>(doc: &'j mut Json, key: &str) -> &'j mut Json {
+            match doc {
+                Json::Obj(fields) => &mut fields.iter_mut().find(|(k, _)| k == key).unwrap().1,
+                _ => panic!("not an object"),
+            }
+        }
+        let runs = find(&mut doc, "runs");
+        if let Json::Arr(runs) = runs {
+            let points = find(find(find(&mut runs[0], "metrics"), "timeseries"), "points");
+            if let Json::Arr(points) = points {
+                *find(&mut points[1], "tick") = Json::u64(5);
+            }
+        }
+        let err = validate_report(&doc.to_pretty()).unwrap_err();
+        assert!(err.contains("strictly increasing"), "unexpected: {err}");
     }
 
     #[test]

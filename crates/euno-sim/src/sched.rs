@@ -19,6 +19,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use euno_htm::{Mode, Runtime, ThreadCtx, ThreadStats};
+use euno_metrics::{sample_due, Counter, ExecStages, TimeSeries};
 use euno_trace::{EventKind, ThreadTrace, TraceBuf};
 
 use crate::hist::LatencyHistogram;
@@ -38,6 +39,12 @@ pub struct VirtualScheduler<'a> {
     /// scheduler emits a [`EventKind::SchedStep`] per dispatch; collected
     /// traces land in [`RunMetrics::trace`].
     trace_capacity: Option<usize>,
+    /// When set, the scheduler snapshots the runtime's metric registry
+    /// every `delta` virtual cycles into a ring of `capacity` snapshots;
+    /// the series lands in [`RunMetrics::timeseries`]. Sampling charges no
+    /// cycles and draws no randomness — the schedule is bit-identical with
+    /// it on or off.
+    sampling: Option<(u64, usize)>,
 }
 
 impl<'a> VirtualScheduler<'a> {
@@ -52,6 +59,7 @@ impl<'a> VirtualScheduler<'a> {
             threads: Vec::new(),
             prune_every: 64,
             trace_capacity: None,
+            sampling: None,
         }
     }
 
@@ -60,6 +68,12 @@ impl<'a> VirtualScheduler<'a> {
     /// before or after this call).
     pub fn set_trace_capacity(&mut self, capacity: usize) {
         self.trace_capacity = Some(capacity);
+    }
+
+    /// Snapshot the metric registry every `delta` virtual cycles into a
+    /// ring of `capacity` snapshots (see [`RunMetrics::timeseries`]).
+    pub fn set_sampling(&mut self, delta: u64, capacity: usize) {
+        self.sampling = Some((delta, capacity));
     }
 
     /// Register a logical thread with its own deterministic seed.
@@ -89,11 +103,23 @@ impl<'a> VirtualScheduler<'a> {
         let mut events: u64 = 0;
         let mut makespan: u64 = 0;
         let mut latency = LatencyHistogram::new();
+        let mut series = self
+            .sampling
+            .map(|(delta, cap)| TimeSeries::new(delta, cap));
         while let Some(Reverse((start, i))) = heap.pop() {
             events += 1;
             if events.is_multiple_of(self.prune_every) {
                 // Nothing can start before `start` anymore: safe horizon.
                 self.rt.virt_prune(start);
+            }
+            if let Some(ts) = series.as_mut() {
+                // The popped start tick is the run's monotone virtual "now"
+                // (threads resume in clock order), so it drives the Δ-tick
+                // sampling cadence.
+                if sample_due(ts, start) {
+                    self.rt.publish_epoch_gauges();
+                    ts.sample(start, self.rt.metrics());
+                }
             }
             let (ctx, driver) = &mut self.threads[i];
             debug_assert_eq!(ctx.clock, start);
@@ -104,6 +130,8 @@ impl<'a> VirtualScheduler<'a> {
                 // One event = one operation: its latency is the clock span
                 // (includes retries, lock waits, fallback serialization).
                 latency.record(ctx.clock - start);
+                ctx.metric_add(Counter::Ops, ctx.stats.ops - ops_before);
+                ctx.metric_record_latency(ctx.clock - start);
             }
             makespan = makespan.max(ctx.clock);
             if more {
@@ -114,6 +142,10 @@ impl<'a> VirtualScheduler<'a> {
         }
 
         let mut traces: Vec<ThreadTrace> = Vec::new();
+        // Stage counts come from the scheduler's own thread shards (never
+        // registry totals, which could include contexts other callers
+        // registered on the same runtime).
+        let mut stages = ExecStages::default();
         let per_thread: Vec<ThreadStats> = self
             .threads
             .iter_mut()
@@ -122,11 +154,25 @@ impl<'a> VirtualScheduler<'a> {
                 if let Some(buf) = ctx.take_tracer() {
                     traces.push(buf.into_thread_trace());
                 }
+                stages.merge(&ctx.exec_stages());
                 ctx.stats.clone()
             })
             .collect();
-        let mut m =
-            RunMetrics::from_virtual_with_latency(per_thread, makespan, &self.rt.cost, latency);
+        if let Some(ts) = series.as_mut() {
+            // Settle snapshot at the makespan so the series always closes
+            // with the final totals.
+            self.rt.publish_epoch_gauges();
+            ts.sample(makespan, self.rt.metrics());
+        }
+        let mut m = RunMetrics::from_virtual_with_latency(
+            per_thread,
+            stages,
+            makespan,
+            &self.rt.cost,
+            latency,
+        );
+        m.timeseries = series;
+        m.flips = self.rt.metrics().flips().events();
         if self.trace_capacity.is_some() {
             m.trace = Some(traces);
         }

@@ -42,7 +42,9 @@ pub mod profile;
 pub mod ring;
 
 pub use event::{codes, Event, EventKind};
-pub use export::{chrome_trace, folded_rollup, validate_chrome_trace};
+pub use export::{
+    chrome_trace, folded_rollup, metrics_jsonl, validate_chrome_trace, validate_metrics_jsonl,
+};
 pub use json::Json;
 pub use profile::{build_profile, LeafCounters, LeafProfile};
 pub use ring::{ThreadTrace, TraceBuf, DEFAULT_CAPACITY};

@@ -79,14 +79,17 @@ fn main() {
                 }
                 _ => "ERR scan <from> <n>".into(),
             },
-            Some("stats") => format!(
-                "ops={} commits={} aborts={} fallbacks={} mem={}B",
-                ctx.stats.ops,
-                ctx.stats.commits,
-                ctx.stats.aborts.total(),
-                ctx.stats.fallbacks,
-                tree.memory().total_live(),
-            ),
+            Some("stats") => {
+                let stages = ctx.exec_stages();
+                format!(
+                    "ops={} commits={} aborts={} fallbacks={} mem={}B",
+                    ctx.stats.ops,
+                    stages.commits,
+                    ctx.stats.aborts.total(),
+                    stages.fallbacks,
+                    tree.memory().total_live(),
+                )
+            }
             Some("quit") | Some("exit") => break,
             Some(cmd) => format!("ERR unknown command {cmd}"),
             None => continue,

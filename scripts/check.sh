@@ -84,6 +84,23 @@ cargo run --release -q -p euno-bench --bin report_check -- \
     "$SMOKE/BENCH_fig13_threepath.json"
 echo "smoke-threepath report OK"
 
+# Metrics smoke: a tiny Figure 14 run (rotating-hotspot timeline) must
+# quantify an adaptation lag for at least one programmed shift, emit a
+# schema-v3 report with its timeseries sections (validated by
+# report_check) and the JSON-lines export next to the CSV; then the
+# counting-allocator harness asserts the sampling hot path stays
+# allocation-free (the "always-on, low-overhead" contract of DESIGN.md
+# §14).
+EUNO_BENCH_SCALE=0.1 cargo run --release -q -p euno-bench --bin fig14_timeline -- \
+    --csv "$SMOKE/fig14.csv" >"$SMOKE/fig14.out"
+grep -qE "answered [1-9]+/" "$SMOKE/fig14.out" \
+    || { echo "smoke-metrics: no adaptation lag quantified"; exit 1; }
+cargo run --release -q -p euno-bench --bin report_check -- \
+    "$SMOKE/BENCH_fig14.json"
+test -s "$SMOKE/fig14.jsonl"
+cargo test -q -p euno-metrics --test zero_alloc_sample
+echo "smoke-metrics (fig14 timeline + schema v3 + zero-alloc sampler) OK"
+
 # Concurrent-correctness stage: real threads, recorded histories, the
 # linearizability oracle, and structural audits over all four trees.
 # Fixed seed for reproducibility; the wall-clock cap keeps the stage
